@@ -1,0 +1,383 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §5 and EXPERIMENTS.md). Each benchmark
+// regenerates the artefact end to end — workload generation, policy
+// decisions, platform model, metric aggregation — and reports the key
+// reproduced number as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation.
+package hipster_test
+
+import (
+	"testing"
+
+	"hipster"
+	"hipster/internal/experiments"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+func benchOpts() experiments.RunOpts {
+	return experiments.RunOpts{Seed: experiments.DefaultSeed}
+}
+
+// BenchmarkTable2Characterisation regenerates Table 2: the stress-
+// microbenchmark power/performance characterisation of the platform.
+func BenchmarkTable2Characterisation(b *testing.B) {
+	spec := platform.JunoR1()
+	var rows []platform.CharacterizationRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table2(spec)
+	}
+	b.ReportMetric(rows[0].AllCoresW, "bigclusterW")
+	b.ReportMetric(rows[1].AllCoresW, "smallclusterW")
+}
+
+// BenchmarkFig1DiurnalPower regenerates Figure 1: Web-Search pinned to
+// the big cores under diurnal load; reports the power floor (paper:
+// power never drops below ~60% of peak).
+func BenchmarkFig1DiurnalPower(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig1(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MinPowerPct, "minpower%")
+}
+
+// BenchmarkFig2aMemcachedEfficiency regenerates Figure 2a: the
+// per-load-level configuration search and RPS/W comparison between the
+// heterogeneous policy and the baseline policy for Memcached.
+func BenchmarkFig2aMemcachedEfficiency(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig2(spec, workload.Memcached())
+	}
+	b.ReportMetric(res.MeanGainPct, "gain%")
+}
+
+// BenchmarkFig2bWebSearchEfficiency regenerates Figure 2b (QPS/W for
+// Web-Search).
+func BenchmarkFig2bWebSearchEfficiency(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig2(spec, workload.WebSearch())
+	}
+	b.ReportMetric(res.MeanGainPct, "gain%")
+}
+
+// BenchmarkFig2cStateMachines regenerates Figure 2c: the per-workload
+// optimal state machines.
+func BenchmarkFig2cStateMachines(b *testing.B) {
+	spec := platform.JunoR1()
+	var rows []experiments.StateMachineRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig2c(spec, workload.Memcached(), workload.WebSearch())
+	}
+	differ := 0
+	for _, r := range rows {
+		if r.Memcached != r.WebSearch {
+			differ++
+		}
+	}
+	b.ReportMetric(float64(differ), "differing-levels")
+}
+
+// BenchmarkFig3CrossStateMachine regenerates Figure 3: the efficiency
+// lost when driving each workload with the other's state machine.
+func BenchmarkFig3CrossStateMachine(b *testing.B) {
+	spec := platform.JunoR1()
+	var rows []experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig3(spec, workload.Memcached(), workload.WebSearch())
+	}
+	worst := 1.0
+	for _, r := range rows {
+		if r.Memcached < worst {
+			worst = r.Memcached
+		}
+	}
+	b.ReportMetric(worst, "worst-mc-ratio")
+}
+
+// BenchmarkFig5HeuristicComparison regenerates Figure 5: static
+// mapping, Octopus-Man and Hipster's heuristic on both workloads over
+// the diurnal day.
+func BenchmarkFig5HeuristicComparison(b *testing.B) {
+	spec := platform.JunoR1()
+	var omQoS float64
+	for i := 0; i < b.N; i++ {
+		for _, wl := range []*workload.Model{workload.Memcached(), workload.WebSearch()} {
+			res, err := experiments.Fig5(spec, wl, benchOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, run := range res.Runs {
+				if run.Policy == "octopus-man" && wl.Name == "memcached" {
+					omQoS = run.Summary.QoSGuarantee * 100
+				}
+			}
+		}
+	}
+	b.ReportMetric(omQoS, "om-mc-qos%")
+}
+
+// BenchmarkFig6HipsterInMemcached regenerates Figure 6.
+func BenchmarkFig6HipsterInMemcached(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig67Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig67(spec, workload.Memcached(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Summary.QoSGuarantee*100, "qos%")
+	b.ReportMetric(float64(res.Summary.MigrationEvents), "migrations")
+}
+
+// BenchmarkFig7HipsterInWebSearch regenerates Figure 7.
+func BenchmarkFig7HipsterInWebSearch(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig67Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig67(spec, workload.WebSearch(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Summary.QoSGuarantee*100, "qos%")
+	b.ReportMetric(float64(res.Summary.MigrationEvents), "migrations")
+}
+
+// BenchmarkFig8RampResponse regenerates Figure 8: the 50%->100% load
+// ramp; reports Octopus-Man's tardiness relative to HipsterIn in the
+// 75-90% region (paper: 3.7x).
+func BenchmarkFig8RampResponse(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig8(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.TardinessRatio7590, "om/hipster-tardiness")
+}
+
+// BenchmarkFig9LearningCurve regenerates Figure 9: windowed QoS
+// guarantees with a 200 s learning phase.
+func BenchmarkFig9LearningCurve(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig9(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.HipsterAfterLearn, "hipster-qos%")
+	b.ReportMetric(res.OctopusMean, "om-qos%")
+}
+
+// BenchmarkFig10BucketSweep regenerates Figure 10: the bucket-size
+// sensitivity sweep on both workloads.
+func BenchmarkFig10BucketSweep(b *testing.B) {
+	spec := platform.JunoR1()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		for _, wl := range []*workload.Model{workload.WebSearch(), workload.Memcached()} {
+			rows, err := experiments.Fig10(spec, wl, benchOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			spread = rows[0].QoSViolationsPct - rows[len(rows)-1].QoSViolationsPct
+		}
+	}
+	b.ReportMetric(spread, "mc-violation-spread")
+}
+
+// BenchmarkTable3Summary regenerates Table 3: five policies on two
+// workloads; reports HipsterIn's headline numbers.
+func BenchmarkTable3Summary(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table3(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res.Rows {
+		if r.Policy == "hipster-in" && r.Workload == "memcached" {
+			b.ReportMetric(r.QoSGuaranteePct, "mc-qos%")
+			b.ReportMetric(r.EnergyReductPct, "mc-energy-red%")
+		}
+	}
+}
+
+// BenchmarkFig11Collocation regenerates Figure 11: Web-Search
+// collocated with each SPEC CPU 2006 program under static, Octopus-Man
+// and HipsterCo management.
+func BenchmarkFig11Collocation(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Fig11(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanHipsterQoSPct, "hc-qos%")
+	b.ReportMetric(res.MeanHipsterIPS, "hc-ips-x")
+	b.ReportMetric(res.MeanOctopusQoSPct, "om-qos%")
+}
+
+// BenchmarkAblationOMThresholds regenerates the §4.1 Octopus-Man
+// danger/safe threshold sweep.
+func BenchmarkAblationOMThresholds(b *testing.B) {
+	spec := platform.JunoR1()
+	var bestQoS float64
+	for i := 0; i < b.N; i++ {
+		rows, best, err := experiments.OMThresholdSweep(spec, workload.Memcached(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestQoS = rows[best].QoSGuaranteePct
+	}
+	b.ReportMetric(bestQoS, "best-qos%")
+}
+
+// BenchmarkAblationRewardTerms regenerates the Hipster parameter
+// ablation (gamma, alpha, stochastic term, learning duration).
+func BenchmarkAblationRewardTerms(b *testing.B) {
+	spec := platform.JunoR1()
+	var defaults float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RewardAblation(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defaults = rows[0].QoSGuaranteePct
+	}
+	b.ReportMetric(defaults, "defaults-qos%")
+}
+
+// BenchmarkQueueingValidation regenerates the analytic-vs-DES queueing
+// model validation.
+func BenchmarkQueueingValidation(b *testing.B) {
+	var maxErr float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, maxErr, err = experiments.QueueingValidation(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(maxErr*100, "max-rel-err%")
+}
+
+// BenchmarkExtOracleBound regenerates the oracle-bound extension: how
+// much of the theoretically achievable energy saving HipsterIn's
+// learned table captures.
+func BenchmarkExtOracleBound(b *testing.B) {
+	spec := platform.JunoR1()
+	var capture float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.OracleBound(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		capture = rows[0].CaptureFrac
+	}
+	b.ReportMetric(capture*100, "mc-captured%")
+}
+
+// BenchmarkExtSpikeResilience regenerates the sudden-load-spike
+// extension (Dean & Barroso tails).
+func BenchmarkExtSpikeResilience(b *testing.B) {
+	spec := platform.JunoR1()
+	var hipster float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SpikeResilience(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Policy == "hipster-in" {
+				hipster = r.SpikeQoSPct
+			}
+		}
+	}
+	b.ReportMetric(hipster, "hipster-spike-qos%")
+}
+
+// BenchmarkExtWarmStart regenerates the warm-started deployment
+// extension (serialised lookup table).
+func BenchmarkExtWarmStart(b *testing.B) {
+	spec := platform.JunoR1()
+	var res experiments.WarmStartResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.WarmStart(spec, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WarmQoSPct, "warm-qos%")
+}
+
+// BenchmarkEngineStep measures the per-interval cost of the simulation
+// loop with a HipsterIn policy attached — the simulated analogue of the
+// paper's <2 ms runtime-overhead budget (§3.7).
+func BenchmarkEngineStep(b *testing.B) {
+	spec := platform.JunoR1()
+	mgr, err := hipster.NewHipsterIn(spec, hipster.DefaultParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.Memcached(),
+		Pattern:  hipster.DefaultDiurnal(),
+		Policy:   mgr,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtSeedRobustness regenerates the multi-seed robustness
+// study of HipsterIn's headline metrics.
+func BenchmarkExtSeedRobustness(b *testing.B) {
+	spec := platform.JunoR1()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SeedRobustness(spec, benchOpts(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = rows[0].QoSMinPct
+	}
+	b.ReportMetric(worst, "mc-worst-seed-qos%")
+}

@@ -1,0 +1,173 @@
+// Command hipster runs one task-management scenario — a policy managing
+// a latency-critical workload under a load pattern, optionally with
+// collocated batch jobs — and reports the paper's headline metrics,
+// optionally dumping the full per-interval trace.
+//
+// Examples:
+//
+//	hipster -workload memcached -policy hipster-in -duration 2880
+//	hipster -workload websearch -policy octopus-man -pattern ramp
+//	hipster -workload websearch -policy hipster-co -batch calculix,lbm
+//	hipster -workload memcached -policy static-big -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hipster"
+	"hipster/internal/report"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "memcached", "latency-critical workload: memcached|websearch")
+		policyName   = flag.String("policy", "hipster-in", "policy: hipster-in|hipster-co|octopus-man|hipster-heuristic|static-big|static-small")
+		patternName  = flag.String("pattern", "diurnal", "load pattern: diurnal|ramp|constant:<frac>|spike")
+		duration     = flag.Float64("duration", 1440, "simulated seconds")
+		seed         = flag.Int64("seed", 42, "random seed")
+		batchList    = flag.String("batch", "", "comma-separated SPEC CPU 2006 programs to collocate (implies batch mode)")
+		csvPath      = flag.String("csv", "", "write the per-interval trace as CSV to this path")
+		series       = flag.Bool("series", true, "print sparkline time series")
+	)
+	flag.Parse()
+
+	if err := run(*workloadName, *policyName, *patternName, *duration, *seed, *batchList, *csvPath, *series); err != nil {
+		fmt.Fprintln(os.Stderr, "hipster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workloadName, policyName, patternName string, duration float64, seed int64, batchList, csvPath string, series bool) error {
+	spec := hipster.JunoR1()
+
+	wl := hipster.WorkloadByName(workloadName)
+	if wl == nil {
+		return fmt.Errorf("unknown workload %q", workloadName)
+	}
+
+	pattern, err := parsePattern(patternName)
+	if err != nil {
+		return err
+	}
+
+	pol, err := buildPolicy(policyName, spec, seed)
+	if err != nil {
+		return err
+	}
+
+	opts := hipster.SimOptions{
+		Spec:     spec,
+		Workload: wl,
+		Pattern:  pattern,
+		Policy:   pol,
+		Seed:     seed,
+	}
+	if batchList != "" {
+		var progs []hipster.BatchProgram
+		for _, name := range strings.Split(batchList, ",") {
+			p, ok := hipster.BatchProgramByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown batch program %q", name)
+			}
+			progs = append(progs, p)
+		}
+		runner, err := hipster.NewBatchRunner(progs)
+		if err != nil {
+			return err
+		}
+		opts.Batch = runner
+	}
+
+	sim, err := hipster.NewSimulation(opts)
+	if err != nil {
+		return err
+	}
+	trace, err := sim.Run(duration)
+	if err != nil {
+		return err
+	}
+
+	sum := trace.Summarize()
+	fmt.Printf("workload=%s policy=%s pattern=%s duration=%.0fs seed=%d\n",
+		workloadName, policyName, patternName, duration, seed)
+	fmt.Printf("  QoS guarantee   : %s (%d samples)\n", report.Pct(sum.QoSGuarantee*100), sum.Samples)
+	fmt.Printf("  QoS tardiness   : %s (mean over violations)\n", report.F2(sum.MeanTardiness))
+	fmt.Printf("  energy          : %s J (mean %s W)\n", report.F0(sum.TotalEnergyJ), report.F2(sum.MeanPowerW))
+	fmt.Printf("  migrations      : %d events (%d cores), %d DVFS-only changes\n",
+		sum.MigrationEvents, sum.MigratedCores, sum.DVFSChanges)
+	if opts.Batch != nil {
+		fmt.Printf("  batch throughput: %s GIPS mean, %.3g instructions total\n",
+			report.F2(sum.MeanBatchIPS/1e9), sum.BatchInstr)
+	}
+
+	if series && trace.Len() > 1 {
+		width := 72
+		lat := make([]float64, trace.Len())
+		load := make([]float64, trace.Len())
+		pow := make([]float64, trace.Len())
+		cores := make([]float64, trace.Len())
+		for i, s := range trace.Samples {
+			lat[i] = s.Tardiness()
+			load[i] = s.LoadFrac
+			pow[i] = s.PowerW()
+			cores[i] = float64(s.NBig)*2 + float64(s.NSmall)*0.5
+		}
+		fmt.Printf("  load      %s\n", report.Sparkline(load, width))
+		fmt.Printf("  tardiness %s\n", report.Sparkline(lat, width))
+		fmt.Printf("  power     %s\n", report.Sparkline(pow, width))
+		fmt.Printf("  coremix   %s\n", report.Sparkline(cores, width))
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("  trace written to %s\n", csvPath)
+	}
+	return nil
+}
+
+func parsePattern(name string) (hipster.Pattern, error) {
+	switch {
+	case name == "diurnal":
+		return hipster.DefaultDiurnal(), nil
+	case name == "ramp":
+		return hipster.Ramp{From: 0.5, To: 1.0, RampSecs: 175, HoldSecs: 10}, nil
+	case name == "spike":
+		return hipster.Spike{Base: 0.3, Peak: 0.9, EverySecs: 120, SpikeSecs: 20, Horizon: 1440}, nil
+	case strings.HasPrefix(name, "constant:"):
+		frac, err := strconv.ParseFloat(strings.TrimPrefix(name, "constant:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad constant pattern %q: %w", name, err)
+		}
+		return hipster.ConstantLoad{Frac: frac}, nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", name)
+}
+
+func buildPolicy(name string, spec *hipster.Spec, seed int64) (hipster.Policy, error) {
+	switch name {
+	case "hipster-in":
+		return hipster.NewHipsterIn(spec, hipster.DefaultParams(), seed)
+	case "hipster-co":
+		return hipster.NewHipsterCo(spec, hipster.DefaultParams(), seed)
+	case "octopus-man":
+		return hipster.NewOctopusMan(spec)
+	case "hipster-heuristic":
+		return hipster.NewHeuristicMapper(spec)
+	case "static-big":
+		return hipster.NewStaticBig(spec), nil
+	case "static-small":
+		return hipster.NewStaticSmall(spec), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}

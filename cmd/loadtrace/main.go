@@ -1,0 +1,107 @@
+// Command loadtrace generates and inspects client load traces: it
+// samples any built-in pattern (diurnal, ramp, spike) to a CSV that the
+// library's trace pattern — or an external load generator like the
+// paper's Faban — can replay, and prints a terminal preview.
+//
+//	loadtrace -pattern diurnal -step 10 -out diurnal.csv
+//	loadtrace -pattern spike -duration 600
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hipster"
+	"hipster/internal/report"
+)
+
+func main() {
+	var (
+		patternName = flag.String("pattern", "diurnal", "pattern: diurnal|ramp|spike")
+		duration    = flag.Float64("duration", 1440, "trace duration in seconds")
+		step        = flag.Float64("step", 10, "sample spacing in seconds")
+		out         = flag.String("out", "", "write CSV (t_secs,load_frac) to this path")
+		maxRPS      = flag.Float64("maxrps", 0, "optionally scale fractions to requests/second")
+	)
+	flag.Parse()
+
+	if err := run(*patternName, *duration, *step, *out, *maxRPS); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(patternName string, duration, step float64, out string, maxRPS float64) error {
+	if step <= 0 || duration <= 0 {
+		return fmt.Errorf("duration and step must be positive")
+	}
+	var pattern hipster.Pattern
+	switch patternName {
+	case "diurnal":
+		d := hipster.DefaultDiurnal()
+		d.PeriodSecs = duration
+		pattern = d
+	case "ramp":
+		pattern = hipster.Ramp{From: 0.5, To: 1.0, RampSecs: duration * 0.9, HoldSecs: duration * 0.1}
+	case "spike":
+		pattern = hipster.Spike{Base: 0.3, Peak: 0.9, EverySecs: 120, SpikeSecs: 20, Horizon: duration}
+	default:
+		return fmt.Errorf("unknown pattern %q", patternName)
+	}
+
+	n := int(duration/step) + 1
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = pattern.LoadAt(float64(i) * step)
+	}
+
+	fmt.Printf("%s: %d samples at %.0fs spacing\n", patternName, n, step)
+	fmt.Printf("preview %s\n", report.Sparkline(samples, 72))
+	var min, max, sum float64 = 2, -1, 0
+	for _, s := range samples {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	fmt.Printf("min %.1f%%  mean %.1f%%  max %.1f%%\n",
+		min*100, sum/float64(n)*100, max*100)
+
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"t_secs", "load"}); err != nil {
+		return err
+	}
+	for i, s := range samples {
+		v := s
+		if maxRPS > 0 {
+			v = s * maxRPS
+		}
+		rec := []string{
+			strconv.FormatFloat(float64(i)*step, 'f', 1, 64),
+			strconv.FormatFloat(v, 'g', -1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

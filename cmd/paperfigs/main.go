@@ -1,0 +1,445 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation from the simulation, printing the same rows and series the
+// paper reports. Use -only to select artefacts and -scale to shrink the
+// horizons for a quick pass.
+//
+//	paperfigs                    # everything, paper-scale horizons
+//	paperfigs -only table3,fig11
+//	paperfigs -scale 0.25        # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hipster/internal/experiments"
+	"hipster/internal/platform"
+	"hipster/internal/report"
+	"hipster/internal/workload"
+)
+
+var artefacts = []struct {
+	name string
+	fn   func(*platform.Spec, experiments.RunOpts) error
+}{
+	{"table2", table2},
+	{"fig1", fig1},
+	{"fig2", fig2},
+	{"fig3", fig3},
+	{"fig5", fig5},
+	{"fig6", fig6},
+	{"fig7", fig7},
+	{"fig8", fig8},
+	{"fig9", fig9},
+	{"fig10", fig10},
+	{"table3", table3},
+	{"fig11", fig11},
+	{"ablations", ablations},
+	{"extensions", extensions},
+	{"robustness", robustness},
+}
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", experiments.DefaultSeed, "random seed")
+		scale = flag.Float64("scale", 1.0, "horizon scale factor (1.0 = paper scale)")
+		only  = flag.String("only", "", "comma-separated artefact list (default: all)")
+	)
+	flag.Parse()
+
+	o := experiments.RunOpts{
+		Seed:        *seed,
+		DiurnalSecs: 1440 * *scale,
+		LearnSecs:   500 * *scale,
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	spec := platform.JunoR1()
+	for _, a := range artefacts {
+		if len(want) > 0 && !want[a.name] {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", a.name)
+		if err := a.fn(spec, o); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func table2(spec *platform.Spec, _ experiments.RunOpts) error {
+	rows := [][]string{}
+	for _, r := range experiments.Table2(spec) {
+		rows = append(rows, []string{
+			r.CoreType, r.FreqGHz,
+			report.F2(r.AllCoresW), report.F2(r.OneCoreW),
+			report.F0(r.AllCoresIPS / 1e6), report.F0(r.OneCoreIPS / 1e6),
+		})
+	}
+	report.Table(os.Stdout, []string{"Core type", "GHz", "All cores W", "One core W", "All IPS(M)", "One IPS(M)"}, rows)
+	fmt.Println("paper: big 2.30/1.62 W, 4260/2138 MIPS; small 1.43/0.95 W, 3298/826 MIPS")
+	return nil
+}
+
+func fig1(spec *platform.Spec, o experiments.RunOpts) error {
+	res, err := experiments.Fig1(spec, o)
+	if err != nil {
+		return err
+	}
+	load := make([]float64, len(res.Points))
+	power := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		load[i] = p.LoadPct
+		power[i] = p.PowerPct
+	}
+	fmt.Printf("QPS   %% of max: %s\n", report.Sparkline(load, 72))
+	fmt.Printf("Power %% of max: %s\n", report.Sparkline(power, 72))
+	fmt.Printf("min power %s at min load %s (paper: power stays >= ~60%% while load falls to 5%%)\n",
+		report.Pct(res.MinPowerPct), report.Pct(res.MinLoadPct))
+	return nil
+}
+
+func fig2(spec *platform.Spec, _ experiments.RunOpts) error {
+	for _, wl := range []*workload.Model{workload.Memcached(), workload.WebSearch()} {
+		res := experiments.Fig2(spec, wl)
+		rows := [][]string{}
+		for _, r := range res.Rows {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d%%", r.LoadPct),
+				r.HetConfig.String(), met(r.HetMet), report.F0(r.HetEff),
+				r.BPConfig.String(), met(r.BPMet), report.F0(r.BPEff),
+			})
+		}
+		fmt.Printf("-- %s (throughput per watt; mean HetCMP gain %.1f%%)\n", res.Workload, res.MeanGainPct)
+		report.Table(os.Stdout, []string{"Load", "HetCMP", "QoS", "eff", "BP", "QoS", "eff"}, rows)
+	}
+	return nil
+}
+
+func fig3(spec *platform.Spec, _ experiments.RunOpts) error {
+	rows := [][]string{}
+	for _, r := range experiments.Fig3(spec, workload.Memcached(), workload.WebSearch()) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d%%", r.LoadPct),
+			report.F2(r.Memcached), met(r.MemcachedQoSMet),
+			report.F2(r.WebSearch), met(r.WebSearchQoSMet),
+		})
+	}
+	report.Table(os.Stdout, []string{"Load", "MC eff (x-SM)", "QoS", "WS eff (x-SM)", "QoS"}, rows)
+	fmt.Println("(efficiency under the other workload's state machine, normalised to own; paper: up to 35%/19% loss)")
+
+	fmt.Println("\n-- Figure 2c state machines")
+	smRows := [][]string{}
+	for _, r := range experiments.Fig2c(spec, workload.Memcached(), workload.WebSearch()) {
+		smRows = append(smRows, []string{fmt.Sprintf("%d%%", r.LoadPct), r.Memcached.String(), r.WebSearch.String()})
+	}
+	report.Table(os.Stdout, []string{"Load", "Memcached", "Web-Search"}, smRows)
+	return nil
+}
+
+func fig5(spec *platform.Spec, o experiments.RunOpts) error {
+	for _, wl := range []*workload.Model{workload.Memcached(), workload.WebSearch()} {
+		res, err := experiments.Fig5(spec, wl, o)
+		if err != nil {
+			return err
+		}
+		rows := [][]string{}
+		for _, run := range res.Runs {
+			rows = append(rows, []string{
+				run.Policy,
+				report.Pct(run.Summary.QoSGuarantee * 100),
+				report.F2(run.Summary.MeanTardiness),
+				report.F0(run.Summary.TotalEnergyJ),
+				fmt.Sprintf("%d", run.Summary.MigrationEvents),
+			})
+		}
+		fmt.Printf("-- %s\n", res.Workload)
+		report.Table(os.Stdout, []string{"Policy", "QoS", "Tardiness", "Energy J", "Migrations"}, rows)
+		for _, run := range res.Runs {
+			lat := make([]float64, run.Trace.Len())
+			for i, s := range run.Trace.Samples {
+				lat[i] = s.Tardiness()
+			}
+			fmt.Printf("   %-18s tardiness %s\n", run.Policy, report.Sparkline(lat, 64))
+		}
+	}
+	return nil
+}
+
+func fig6(spec *platform.Spec, o experiments.RunOpts) error {
+	return fig67(spec, o, workload.Memcached())
+}
+func fig7(spec *platform.Spec, o experiments.RunOpts) error {
+	return fig67(spec, o, workload.WebSearch())
+}
+
+func fig67(spec *platform.Spec, o experiments.RunOpts, wl *workload.Model) error {
+	res, err := experiments.Fig67(spec, wl, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("HipsterIn on %s (day 2 = exploitation): QoS %s, tardiness %s, %d migrations\n",
+		res.Workload,
+		report.Pct(res.Summary.QoSGuarantee*100),
+		report.F2(res.Summary.MeanTardiness),
+		res.Summary.MigrationEvents)
+	fmt.Printf("learning window: QoS %s with %d migrations -> same window exploited: QoS %s with %d migrations\n",
+		report.Pct(res.LearnSummary.QoSGuarantee*100), res.LearnSummary.MigrationEvents,
+		report.Pct(res.ExploitSummary.QoSGuarantee*100), res.ExploitSummary.MigrationEvents)
+	lat := make([]float64, res.Trace.Len())
+	freq := make([]float64, res.Trace.Len())
+	cores := make([]float64, res.Trace.Len())
+	for i, s := range res.Trace.Samples {
+		lat[i] = s.Tardiness()
+		freq[i] = float64(s.BigFreqMHz)
+		cores[i] = float64(s.NBig)*2 + float64(s.NSmall)*0.5
+	}
+	fmt.Printf("tardiness %s\n", report.Sparkline(lat, 72))
+	fmt.Printf("big DVFS  %s\n", report.Sparkline(freq, 72))
+	fmt.Printf("core mix  %s\n", report.Sparkline(cores, 72))
+	return nil
+}
+
+func fig8(spec *platform.Spec, o experiments.RunOpts) error {
+	res, err := experiments.Fig8(spec, o)
+	if err != nil {
+		return err
+	}
+	h := make([]float64, len(res.Points))
+	om := make([]float64, len(res.Points))
+	for i, p := range res.Points {
+		h[i] = p.HipsterTardiness
+		om[i] = p.OctopusTardiness
+	}
+	fmt.Printf("load 50%%->100%% over 175 s (Memcached)\n")
+	fmt.Printf("HipsterIn   tardiness %s\n", report.Sparkline(h, 64))
+	fmt.Printf("Octopus-Man tardiness %s\n", report.Sparkline(om, 64))
+	fmt.Printf("mean tardiness in the 75-90%% region: Octopus-Man / HipsterIn = %s (paper: 3.7x)\n",
+		report.Ratio(res.TardinessRatio7590))
+	return nil
+}
+
+func fig9(spec *platform.Spec, o experiments.RunOpts) error {
+	res, err := experiments.Fig9(spec, o)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	n := len(res.Hipster)
+	if len(res.Octopus) > n {
+		n = len(res.Octopus)
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%d", i)}
+		row = append(row, pickPct(res.Hipster, i), pickPct(res.Octopus, i))
+		rows = append(rows, row)
+	}
+	report.Table(os.Stdout, []string{"Window", "HipsterIn", "Octopus-Man"}, rows)
+	fmt.Printf("HipsterIn after %0.f s learning: mean %s; Octopus-Man overall: %s (paper: ~80%% flat)\n",
+		o.LearnSecs, report.Pct(res.HipsterAfterLearn), report.Pct(res.OctopusMean))
+	return nil
+}
+
+func pickPct(xs []float64, i int) string {
+	if i >= len(xs) {
+		return "-"
+	}
+	return report.Pct(xs[i])
+}
+
+func fig10(spec *platform.Spec, o experiments.RunOpts) error {
+	rows := [][]string{}
+	for _, wl := range []*workload.Model{workload.WebSearch(), workload.Memcached()} {
+		rs, err := experiments.Fig10(spec, wl, o)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			rows = append(rows, []string{
+				r.Workload, fmt.Sprintf("%.0f%%", r.BucketPct),
+				report.Pct(r.QoSViolationsPct), report.Pct(r.EnergyReductPct),
+				fmt.Sprintf("%d", r.MigrationEvents),
+			})
+		}
+	}
+	report.Table(os.Stdout, []string{"Workload", "Bucket", "QoS violations", "Energy saving", "Migrations"}, rows)
+	return nil
+}
+
+func table3(spec *platform.Spec, o experiments.RunOpts) error {
+	res, err := experiments.Table3(spec, o)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, r := range res.Rows {
+		paper := experiments.Table3Paper[r.Workload][r.Policy]
+		rows = append(rows, []string{
+			r.Workload, r.Policy,
+			report.Pct(r.QoSGuaranteePct), report.Pct(paper[0]),
+			report.F2(r.QoSTardiness), report.F2(paper[1]),
+			report.Pct(r.EnergyReductPct), report.Pct(paper[2]),
+		})
+	}
+	report.Table(os.Stdout,
+		[]string{"Workload", "Policy", "QoS", "(paper)", "Tardiness", "(paper)", "Energy red.", "(paper)"},
+		rows)
+	return nil
+}
+
+func fig11(spec *platform.Spec, o experiments.RunOpts) error {
+	res, err := experiments.Fig11(spec, o)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Program,
+			report.Pct(r.StaticQoSPct), report.Pct(r.OctopusQoSPct), report.Pct(r.HipsterQoSPct),
+			report.Ratio(r.OctopusIPS), report.Ratio(r.HipsterIPS),
+			report.Ratio(r.OctopusEnergy), report.Ratio(r.HipsterEnergy),
+		})
+	}
+	rows = append(rows, []string{
+		"MEAN", "-",
+		report.Pct(res.MeanOctopusQoSPct), report.Pct(res.MeanHipsterQoSPct),
+		report.Ratio(res.MeanOctopusIPS), report.Ratio(res.MeanHipsterIPS),
+		report.Ratio(res.MeanOctopusEnergy), report.Ratio(res.MeanHipsterEnergy),
+	})
+	report.Table(os.Stdout,
+		[]string{"Program", "QoS static", "QoS OM", "QoS HC", "IPS OM", "IPS HC", "E OM", "E HC"},
+		rows)
+	fmt.Println("(normalised to static: LC on 2 big cores, batch on 4 small; paper means: OM 2.6x/1.2x, HC 2.3x/0.8x)")
+	return nil
+}
+
+func ablations(spec *platform.Spec, o experiments.RunOpts) error {
+	fmt.Println("-- Octopus-Man threshold sweep (Memcached)")
+	rows, best, err := experiments.OMThresholdSweep(spec, workload.Memcached(), o)
+	if err != nil {
+		return err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].QoSGuaranteePct > rows[j].QoSGuaranteePct })
+	out := [][]string{}
+	for i, r := range rows {
+		if i >= 8 {
+			break
+		}
+		out = append(out, []string{
+			report.F2(r.QoSD), report.F2(r.QoSS),
+			report.Pct(r.QoSGuaranteePct), report.Pct(r.EnergyReductPct),
+		})
+	}
+	report.Table(os.Stdout, []string{"QoSD", "QoSS", "QoS", "Energy red."}, out)
+	_ = best
+
+	fmt.Println("\n-- Hipster parameter ablation (Memcached)")
+	ab, err := experiments.RewardAblation(spec, o)
+	if err != nil {
+		return err
+	}
+	out = out[:0]
+	for _, r := range ab {
+		out = append(out, []string{
+			r.Label, report.Pct(r.QoSGuaranteePct), report.Pct(r.EnergyReductPct),
+			fmt.Sprintf("%d", r.MigrationEvents),
+		})
+	}
+	report.Table(os.Stdout, []string{"Variant", "QoS", "Energy red.", "Migrations"}, out)
+
+	fmt.Println("\n-- queueing model vs discrete-event simulation")
+	qv, maxErr, err := experiments.QueueingValidation(o.Seed)
+	if err != nil {
+		return err
+	}
+	out = out[:0]
+	for _, r := range qv {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Servers), report.F2(r.Rho),
+			fmt.Sprintf("%.4fs", r.AnalyticSec), fmt.Sprintf("%.4fs", r.DESSec),
+			report.Pct(r.RelErr * 100),
+		})
+	}
+	report.Table(os.Stdout, []string{"Servers", "Rho", "Analytic p95", "DES p95", "Rel err"}, out)
+	fmt.Printf("max relative error: %s\n", report.Pct(maxErr*100))
+	return nil
+}
+
+func extensions(spec *platform.Spec, o experiments.RunOpts) error {
+	fmt.Println("-- oracle bound (perfect-knowledge scheduler vs HipsterIn, day 2)")
+	rows, err := experiments.OracleBound(spec, o)
+	if err != nil {
+		return err
+	}
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload,
+			report.Pct(r.OracleQoSPct), report.Pct(r.OracleEnergyPct),
+			report.Pct(r.HipsterQoSPct), report.Pct(r.HipsterEnergyPct),
+			report.Pct(r.CaptureFrac * 100),
+		})
+	}
+	report.Table(os.Stdout, []string{"Workload", "Oracle QoS", "Oracle saving", "Hipster QoS", "Hipster saving", "Captured"}, out)
+
+	fmt.Println("\n-- sudden load spikes (Memcached, 30%->90% bursts)")
+	srows, err := experiments.SpikeResilience(spec, o)
+	if err != nil {
+		return err
+	}
+	out = out[:0]
+	for _, r := range srows {
+		out = append(out, []string{
+			r.Policy, report.Pct(r.QoSGuaranteePct), report.Pct(r.SpikeQoSPct),
+			fmt.Sprintf("%d", r.MigrationEvents),
+		})
+	}
+	report.Table(os.Stdout, []string{"Policy", "QoS", "QoS during spikes", "Migrations"}, out)
+
+	fmt.Println("\n-- warm-started deployment (saved lookup table)")
+	ws, err := experiments.WarmStart(spec, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cold start: QoS %s with %d migrations; warm start: QoS %s with %d migrations (table %d bytes)\n",
+		report.Pct(ws.ColdQoSPct), ws.ColdMigrations,
+		report.Pct(ws.WarmQoSPct), ws.WarmMigrations, ws.TableBytesSaved)
+	return nil
+}
+
+func robustness(spec *platform.Spec, o experiments.RunOpts) error {
+	rows, err := experiments.SeedRobustness(spec, o, 5)
+	if err != nil {
+		return err
+	}
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload, fmt.Sprintf("%d", r.Seeds),
+			fmt.Sprintf("%s ± %s", report.Pct(r.QoSMeanPct), report.F2(r.QoSStdPct)),
+			report.Pct(r.QoSMinPct),
+			fmt.Sprintf("%s ± %s", report.Pct(r.EnergyMeanPct), report.F2(r.EnergyStdPct)),
+			report.F0(r.MigrationsMean),
+		})
+	}
+	report.Table(os.Stdout,
+		[]string{"Workload", "Seeds", "HipsterIn QoS", "worst seed", "Energy saving", "Migrations"}, out)
+	fmt.Println("(day-2 metrics of HipsterIn across independent seeds)")
+	return nil
+}
+
+func met(ok bool) string {
+	if ok {
+		return "met"
+	}
+	return "VIOL"
+}

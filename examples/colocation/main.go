@@ -1,0 +1,72 @@
+// Colocation: HipsterCo shares the machine between Web-Search and a
+// mix of SPEC CPU 2006 batch programs (the Figure 11 scenario),
+// maximising batch throughput while protecting the search QoS, and is
+// compared against the static partitioning (search on big cores, batch
+// on small cores).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipster"
+)
+
+func run(label string, pol hipster.Policy, progs []hipster.BatchProgram) *hipster.Trace {
+	spec := hipster.JunoR1()
+	runner, err := hipster.NewBatchRunner(progs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.WebSearch(),
+		Pattern:  hipster.DefaultDiurnal(),
+		Policy:   pol,
+		Batch:    runner,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := sim.Run(2 * 1440)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day2 := full.Slice(1440, 2*1440+1)
+	sum := day2.Summarize()
+	fmt.Printf("%-12s QoS %5.1f%%  batch %6.2f GIPS mean  energy(total run) %6.0f J  migrations %d\n",
+		label, sum.QoSGuarantee*100, sum.MeanBatchIPS/1e9, full.TotalEnergyJ(), sum.MigrationEvents)
+	return day2
+}
+
+func main() {
+	spec := hipster.JunoR1()
+
+	// A mixed batch: one compute-bound, one memory-bound program.
+	calculix, _ := hipster.BatchProgramByName("calculix")
+	lbm, _ := hipster.BatchProgramByName("lbm")
+	mix := []hipster.BatchProgram{calculix, lbm}
+
+	fmt.Println("Web-Search collocated with calculix+lbm (day 2 of 2, diurnal load)")
+
+	static := run("static", hipster.NewStaticBig(spec), mix)
+
+	om, err := hipster.NewOctopusMan(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("octopus-man", om, mix)
+
+	hc, err := hipster.NewHipsterCo(spec, hipster.DefaultParams(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hipsterTrace := run("hipster-co", hc, mix)
+
+	if s := static.Summarize(); s.MeanBatchIPS > 0 {
+		h := hipsterTrace.Summarize()
+		fmt.Printf("\nHipsterCo batch throughput vs static partitioning: %.2fx\n",
+			h.MeanBatchIPS/s.MeanBatchIPS)
+	}
+}

@@ -1,0 +1,78 @@
+// Policy comparison: reproduce the Table 3 experiment through the
+// public API — five task-management policies on Memcached and
+// Web-Search over the diurnal load, scored on QoS guarantee, tardiness
+// and energy relative to the static all-big mapping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipster"
+)
+
+func buildPolicy(name string, spec *hipster.Spec, seed int64) (hipster.Policy, error) {
+	switch name {
+	case "static-big":
+		return hipster.NewStaticBig(spec), nil
+	case "static-small":
+		return hipster.NewStaticSmall(spec), nil
+	case "octopus-man":
+		return hipster.NewOctopusMan(spec)
+	case "hipster-heuristic":
+		return hipster.NewHeuristicMapper(spec)
+	default:
+		return hipster.NewHipsterIn(spec, hipster.DefaultParams(), seed)
+	}
+}
+
+func main() {
+	spec := hipster.JunoR1()
+	policies := []string{
+		"static-big", "static-small", "hipster-heuristic", "octopus-man", "hipster-in",
+	}
+	const day = 1440.0
+
+	for _, wl := range []*hipster.Workload{hipster.Memcached(), hipster.WebSearch()} {
+		fmt.Printf("\n=== %s (target: p%.0f <= %v s) ===\n",
+			wl.Name, wl.QoSPercentile*100, wl.TargetLatency)
+		fmt.Printf("%-18s %8s %10s %10s %11s\n",
+			"policy", "QoS", "tardiness", "energy J", "migrations")
+
+		var baseline float64
+		for _, name := range policies {
+			pol, err := buildPolicy(name, spec, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sim, err := hipster.NewSimulation(hipster.SimOptions{
+				Spec:     spec,
+				Workload: wl,
+				Pattern:  hipster.DefaultDiurnal(),
+				Policy:   pol,
+				Seed:     42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Two days; score the second so Hipster is in its
+			// exploitation phase (the paper's methodology).
+			full, err := sim.Run(2 * day)
+			if err != nil {
+				log.Fatal(err)
+			}
+			day2 := full.Slice(day, 2*day+1)
+			sum := day2.Summarize()
+			energy := sum.TotalEnergyJ - full.Slice(0, day).Summarize().TotalEnergyJ
+			if name == "static-big" {
+				baseline = energy
+			}
+			fmt.Printf("%-18s %7.1f%% %10.2f %10.0f %11d",
+				name, sum.QoSGuarantee*100, sum.MeanTardiness, energy, sum.MigrationEvents)
+			if baseline > 0 && name != "static-big" {
+				fmt.Printf("   (%.1f%% energy saved)", (1-energy/baseline)*100)
+			}
+			fmt.Println()
+		}
+	}
+}

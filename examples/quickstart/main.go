@@ -1,0 +1,62 @@
+// Quickstart: run HipsterIn on Memcached over two compressed days of
+// diurnal load and print the paper's headline metrics (QoS guarantee,
+// tardiness, energy, migrations).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hipster"
+)
+
+func main() {
+	spec := hipster.JunoR1()
+
+	mgr, err := hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.Memcached(),
+		Pattern:  hipster.DefaultDiurnal(),
+		Policy:   mgr,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day one learns, day two exploits.
+	trace, err := sim.Run(2 * 1440)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := trace.Summarize()
+	fmt.Println("HipsterIn on Memcached, two compressed days of diurnal load")
+	fmt.Printf("  QoS guarantee : %.1f%% (target: 95th pct <= 10 ms)\n", sum.QoSGuarantee*100)
+	fmt.Printf("  QoS tardiness : %.2f (mean over violations)\n", sum.MeanTardiness)
+	fmt.Printf("  energy        : %.0f J (mean %.2f W)\n", sum.TotalEnergyJ, sum.MeanPowerW)
+	fmt.Printf("  migrations    : %d events\n", sum.MigrationEvents)
+
+	// Compare the exploitation day against the static all-big mapping.
+	static, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.Memcached(),
+		Pattern:  hipster.DefaultDiurnal(),
+		Policy:   hipster.NewStaticBig(spec),
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := static.Run(2 * 1440)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saving := trace.EnergyReductionVs(baseline)
+	fmt.Printf("  energy saving vs static all-big: %.1f%%\n", saving*100)
+}

@@ -1,0 +1,232 @@
+// Package hipster is a library-quality reproduction of "Hipster: Hybrid
+// Task Manager for Latency-Critical Cloud Workloads" (Nishtala,
+// Carpenter, Petrucci, Martorell — HPCA 2017).
+//
+// Hipster manages a latency-critical cloud workload on a heterogeneous
+// (big.LITTLE) server: every monitoring interval it observes load and
+// tail latency and picks a core mapping plus DVFS setting, combining a
+// feedback-controlled heuristic (used while learning) with a
+// reinforcement-learning lookup table (exploited thereafter). The
+// HipsterIn variant minimises power for an interactive workload running
+// alone; HipsterCo maximises the throughput of batch jobs collocated on
+// the remaining cores. Octopus-Man (HPCA 2015) and static mappings are
+// provided as baselines.
+//
+// The paper's testbed (an ARM Juno R1 board, Memcached and Web-Search
+// backends, SPEC CPU 2006 co-runners) is reproduced as a calibrated
+// simulation — see DESIGN.md for the substitution table. The public API
+// wires the same pieces the paper's system had: a platform, a
+// latency-critical workload, a load pattern, a policy, and optional
+// batch jobs, driven by a per-interval engine that records telemetry.
+//
+// Quick start:
+//
+//	spec := hipster.JunoR1()
+//	mgr, _ := hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42)
+//	sim, _ := hipster.NewSimulation(hipster.SimOptions{
+//		Spec:     spec,
+//		Workload: hipster.Memcached(),
+//		Pattern:  hipster.DefaultDiurnal(),
+//		Policy:   mgr,
+//		Seed:     42,
+//	})
+//	trace, _ := sim.Run(1440)
+//	fmt.Printf("QoS guarantee: %.1f%%\n", trace.QoSGuarantee()*100)
+package hipster
+
+import (
+	"hipster/internal/batch"
+	"hipster/internal/core"
+	"hipster/internal/engine"
+	"hipster/internal/heuristic"
+	"hipster/internal/loadgen"
+	"hipster/internal/octopusman"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// Platform types.
+type (
+	// Spec describes a heterogeneous platform (clusters, DVFS points,
+	// calibrated power and performance).
+	Spec = platform.Spec
+	// ClusterSpec describes one core cluster.
+	ClusterSpec = platform.ClusterSpec
+	// Config is a schedulable configuration: big/small core counts for
+	// the latency-critical workload plus the big-cluster frequency.
+	Config = platform.Config
+	// CoreKind distinguishes big from small cores.
+	CoreKind = platform.CoreKind
+	// FreqMHz is a DVFS operating point.
+	FreqMHz = platform.FreqMHz
+	// PowerBreakdown is a per-channel power reading.
+	PowerBreakdown = platform.Breakdown
+	// EnergyMeter integrates power over time.
+	EnergyMeter = platform.EnergyMeter
+)
+
+// Core kinds.
+const (
+	Big   = platform.Big
+	Small = platform.Small
+)
+
+// Workload and load-generation types.
+type (
+	// Workload models a latency-critical application (service demand,
+	// QoS target, calibration knobs).
+	Workload = workload.Model
+	// Pattern yields offered load over time as a fraction of maximum.
+	Pattern = loadgen.Pattern
+	// Diurnal is the day/night load cycle of Figure 1.
+	Diurnal = loadgen.Diurnal
+	// Ramp is the linear load ramp of Figure 8.
+	Ramp = loadgen.Ramp
+	// Spike injects rectangular load bursts.
+	Spike = loadgen.Spike
+	// ConstantLoad holds a flat load fraction.
+	ConstantLoad = loadgen.Constant
+	// TraceLoad replays a sampled load trace.
+	TraceLoad = loadgen.Trace
+)
+
+// Policy and manager types.
+type (
+	// Policy decides the next configuration from an observation.
+	Policy = policy.Policy
+	// Observation is what the QoS monitor reports each interval.
+	Observation = policy.Observation
+	// StaticPolicy pins a fixed configuration.
+	StaticPolicy = policy.Static
+	// Manager is the Hipster hybrid task manager.
+	Manager = core.Manager
+	// Params are Hipster's tunables (alpha, gamma, zones, buckets...).
+	Params = core.Params
+	// Variant selects HipsterIn or HipsterCo.
+	Variant = core.Variant
+	// OctopusMan is the HPCA 2015 baseline task manager.
+	OctopusMan = octopusman.Manager
+	// HeuristicMapper is Hipster's heuristic policy used stand-alone.
+	HeuristicMapper = heuristic.Mapper
+)
+
+// Hipster variants.
+const (
+	// HipsterIn minimises system power (interactive-only).
+	HipsterIn = core.In
+	// HipsterCo maximises collocated batch throughput.
+	HipsterCo = core.Co
+)
+
+// Batch and telemetry types.
+type (
+	// BatchProgram models one throughput-oriented co-runner.
+	BatchProgram = batch.Program
+	// BatchRunner executes a batch mix on granted cores.
+	BatchRunner = batch.Runner
+	// Trace is a recorded run (per-interval samples plus metrics).
+	Trace = telemetry.Trace
+	// Sample is one monitoring interval's measurements.
+	Sample = telemetry.Sample
+	// Summary holds a run's headline metrics (QoS guarantee, energy,
+	// migrations...), as in the paper's Table 3.
+	Summary = telemetry.Summary
+)
+
+// Simulation types.
+type (
+	// Simulation drives the interval loop binding platform, workload,
+	// batch jobs, and policy.
+	Simulation = engine.Engine
+	// SimOptions configure a simulation run.
+	SimOptions = engine.Options
+)
+
+// JunoR1 returns the model of the paper's evaluation platform: an ARM
+// Juno R1 big.LITTLE board calibrated to Table 2.
+func JunoR1() *Spec { return platform.JunoR1() }
+
+// Memcached returns the paper's Memcached workload model (36 000 RPS
+// maximum, 10 ms p95 target).
+func Memcached() *Workload { return workload.Memcached() }
+
+// WebSearch returns the paper's Web-Search (Elasticsearch) workload
+// model (44 QPS maximum, 500 ms p90 target).
+func WebSearch() *Workload { return workload.WebSearch() }
+
+// WorkloadByName returns a built-in workload model ("memcached" or
+// "websearch"), or nil.
+func WorkloadByName(name string) *Workload { return workload.ByName(name) }
+
+// DefaultDiurnal returns the paper's compressed-day load pattern.
+func DefaultDiurnal() Diurnal { return loadgen.DefaultDiurnal() }
+
+// NewTracePattern builds a load pattern that replays samples (fractions
+// of maximum load) spaced stepSecs apart, interpolating linearly.
+func NewTracePattern(stepSecs float64, samples []float64) (TraceLoad, error) {
+	return loadgen.NewTrace(stepSecs, samples)
+}
+
+// Configs enumerates the platform's canonical configuration space (the
+// 13 states of Figure 2c on Juno R1).
+func Configs(spec *Spec) []Config { return platform.Configs(spec) }
+
+// DefaultParams returns Hipster's paper-default parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// NewHipsterIn builds the power-minimising Hipster manager.
+func NewHipsterIn(spec *Spec, params Params, seed int64) (*Manager, error) {
+	return core.New(core.In, spec, params, seed)
+}
+
+// NewHipsterCo builds the collocation Hipster manager.
+func NewHipsterCo(spec *Spec, params Params, seed int64) (*Manager, error) {
+	return core.New(core.Co, spec, params, seed)
+}
+
+// NewOctopusMan builds the Octopus-Man baseline with its swept default
+// thresholds.
+func NewOctopusMan(spec *Spec) (*OctopusMan, error) {
+	return octopusman.New(spec, octopusman.DefaultParams())
+}
+
+// NewHeuristicMapper builds Hipster's heuristic mapper as a stand-alone
+// policy.
+func NewHeuristicMapper(spec *Spec) (*HeuristicMapper, error) {
+	return heuristic.New(spec, heuristic.DefaultParams())
+}
+
+// NewStaticBig returns the all-big-cores baseline policy.
+func NewStaticBig(spec *Spec) *StaticPolicy { return policy.NewStaticBig(spec) }
+
+// NewStaticSmall returns the all-small-cores baseline policy.
+func NewStaticSmall(spec *Spec) *StaticPolicy { return policy.NewStaticSmall(spec) }
+
+// NewOracle returns the perfect-knowledge scheduler used as the upper
+// bound on achievable energy savings: each interval it picks the
+// least-power configuration that deterministically meets the QoS target
+// at the observed load, derated by headroom (e.g. 0.05).
+func NewOracle(spec *Spec, wl *Workload, headroom float64) *policy.Oracle {
+	return policy.NewOracle(spec, wl, headroom)
+}
+
+// SPEC2006 returns the twelve SPEC CPU 2006 batch program models of
+// Figure 11.
+func SPEC2006() []BatchProgram { return batch.SPEC2006() }
+
+// BatchProgramByName returns one SPEC CPU 2006 model by name.
+func BatchProgramByName(name string) (BatchProgram, bool) {
+	return batch.ProgramByName(name)
+}
+
+// NewBatchRunner builds a batch runner over a program mix.
+func NewBatchRunner(programs []BatchProgram) (*BatchRunner, error) {
+	return batch.NewRunner(programs)
+}
+
+// NewSimulation builds a simulation from options.
+func NewSimulation(opts SimOptions) (*Simulation, error) {
+	return engine.New(opts)
+}

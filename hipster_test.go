@@ -1,0 +1,123 @@
+package hipster_test
+
+import (
+	"testing"
+
+	"hipster"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	spec := hipster.JunoR1()
+	mgr, err := hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.Memcached(),
+		Pattern:  hipster.DefaultDiurnal(),
+		Policy:   mgr,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sim.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != 300 {
+		t.Fatalf("samples = %d", trace.Len())
+	}
+	if q := trace.QoSGuarantee(); q < 0.5 {
+		t.Fatalf("QoS guarantee %v implausible", q)
+	}
+	if trace.TotalEnergyJ() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	spec := hipster.JunoR1()
+	if got := len(hipster.Configs(spec)); got != 13 {
+		t.Fatalf("configs = %d", got)
+	}
+	if _, err := hipster.NewHipsterCo(spec, hipster.DefaultParams(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hipster.NewOctopusMan(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hipster.NewHeuristicMapper(spec); err != nil {
+		t.Fatal(err)
+	}
+	if hipster.NewStaticBig(spec).Name() != "static-big" {
+		t.Fatal("static big")
+	}
+	if hipster.NewStaticSmall(spec).Name() != "static-small" {
+		t.Fatal("static small")
+	}
+	if hipster.WorkloadByName("websearch") == nil {
+		t.Fatal("workload lookup")
+	}
+	if got := len(hipster.SPEC2006()); got != 12 {
+		t.Fatalf("SPEC programs = %d", got)
+	}
+	if _, ok := hipster.BatchProgramByName("lbm"); !ok {
+		t.Fatal("program lookup")
+	}
+}
+
+func TestCollocationFlow(t *testing.T) {
+	spec := hipster.JunoR1()
+	prog, _ := hipster.BatchProgramByName("calculix")
+	runner, err := hipster.NewBatchRunner([]hipster.BatchProgram{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := hipster.NewHipsterCo(spec, hipster.DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.WebSearch(),
+		Pattern:  hipster.ConstantLoad{Frac: 0.3},
+		Policy:   mgr,
+		Batch:    runner,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sim.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.MeanBatchIPS() <= 0 {
+		t.Fatal("collocated run should report batch throughput")
+	}
+}
+
+func TestCustomPatternViaFacade(t *testing.T) {
+	spec := hipster.JunoR1()
+	sim, err := hipster.NewSimulation(hipster.SimOptions{
+		Spec:     spec,
+		Workload: hipster.Memcached(),
+		Pattern: hipster.Ramp{
+			From: 0.5, To: 1.0, RampSecs: 50, HoldSecs: 10,
+		},
+		Policy: hipster.NewStaticBig(spec),
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sim.Run(0) // pattern supplies the horizon
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != 60 {
+		t.Fatalf("samples = %d", trace.Len())
+	}
+}

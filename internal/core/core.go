@@ -1,0 +1,419 @@
+// Package core implements the paper's primary contribution: the Hipster
+// hybrid task manager (§3). Hipster couples the heuristic mapper (which
+// drives decisions during the learning phase and seeds the lookup table
+// with viable configurations) with a reinforcement-learning lookup
+// table R(load-bucket, configuration) exploited thereafter
+// (Algorithm 2), re-entering the learning phase whenever the rolling
+// QoS guarantee degrades below a threshold X.
+//
+// Two variants are provided, differing only in the reward's
+// optimisation term (Algorithm 1): HipsterIn rewards low system power
+// for a latency-critical workload running alone; HipsterCo rewards
+// batch throughput measured via performance counters when batch jobs
+// are collocated.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"hipster/internal/heuristic"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/rl"
+	"hipster/internal/sim"
+)
+
+// Variant selects the optimisation objective.
+type Variant int
+
+const (
+	// In minimises system power (HipsterIn, §4.2).
+	In Variant = iota
+	// Co maximises collocated batch throughput (HipsterCo, §4.3).
+	Co
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Co {
+		return "hipster-co"
+	}
+	return "hipster-in"
+}
+
+// Params are Hipster's tunables with the paper's defaults.
+type Params struct {
+	// Alpha is the learning rate of the table update (paper: 0.6).
+	Alpha float64
+	// Gamma is the discount factor (paper: 0.9).
+	Gamma float64
+	// QoSD / QoSS are the danger and safe thresholds shared with the
+	// heuristic mapper.
+	QoSD float64
+	QoSS float64
+	// BucketFrac is the load-bucket width (Figure 10 sweeps it; the
+	// deployment rule picks the largest width that still maximises
+	// energy savings subject to the QoS guarantee).
+	BucketFrac float64
+	// LearnSecs is the initial learning-phase duration (paper: 500 s;
+	// 200 s when quantifying learning time).
+	LearnSecs float64
+	// ReentryQoS is the threshold X on the rolling QoS guarantee that
+	// re-enters the learning phase (Algorithm 2 line 18).
+	ReentryQoS float64
+	// ReentryWindow is the number of recent intervals over which the
+	// rolling QoS guarantee is computed.
+	ReentryWindow int
+	// ReentrySecs is how long a re-entered learning phase lasts.
+	ReentrySecs float64
+	// NoStochastic disables the stochastic penalty of Algorithm 1
+	// line 9 (ablation studies only; the paper keeps it on).
+	NoStochastic bool
+	// StickyMargin keeps the current configuration during exploitation
+	// unless the argmax action's value exceeds the current action's by
+	// this margin, damping migrations between near-equivalent
+	// configurations at bucket boundaries.
+	StickyMargin float64
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		Alpha:         0.6,
+		Gamma:         0.9,
+		QoSD:          0.85,
+		QoSS:          0.55,
+		BucketFrac:    0.05,
+		LearnSecs:     500,
+		ReentryQoS:    0.50,
+		ReentryWindow: 40,
+		ReentrySecs:   60,
+		StickyMargin:  0.04,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Alpha <= 0 || p.Alpha > 1:
+		return fmt.Errorf("core: alpha %v out of (0,1]", p.Alpha)
+	case p.Gamma < 0 || p.Gamma >= 1:
+		return fmt.Errorf("core: gamma %v out of [0,1)", p.Gamma)
+	case !(0 < p.QoSS && p.QoSS < p.QoSD && p.QoSD <= 1):
+		return fmt.Errorf("core: invalid zones QoSD=%v QoSS=%v", p.QoSD, p.QoSS)
+	case p.BucketFrac <= 0 || p.BucketFrac > 1:
+		return fmt.Errorf("core: bucket fraction %v out of (0,1]", p.BucketFrac)
+	case p.LearnSecs < 0:
+		return fmt.Errorf("core: negative learning duration")
+	case p.ReentryQoS < 0 || p.ReentryQoS > 1:
+		return fmt.Errorf("core: re-entry threshold %v out of [0,1]", p.ReentryQoS)
+	case p.ReentryWindow <= 0:
+		return fmt.Errorf("core: non-positive re-entry window")
+	}
+	return nil
+}
+
+// Phase is the manager's operating phase.
+type Phase int
+
+const (
+	// Learning drives decisions with the heuristic mapper while
+	// populating the table.
+	Learning Phase = iota
+	// Exploiting picks argmax_c R(w, c).
+	Exploiting
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	if p == Exploiting {
+		return "exploit"
+	}
+	return "learning"
+}
+
+// Manager is the Hipster policy.
+type Manager struct {
+	variant Variant
+	spec    *platform.Spec
+	params  Params
+
+	quant rl.Quantizer
+	table *rl.Table
+	heur  *heuristic.Mapper
+	rng   *rand.Rand
+
+	maxBigIPS   float64
+	maxSmallIPS float64
+
+	// Decision state.
+	started    bool
+	prevState  int
+	prevAction int
+	phase      Phase
+	learnUntil float64
+	recentMet  []bool
+	recentPos  int
+	recentN    int
+}
+
+// Option customises construction.
+type Option func(*Manager) error
+
+// WithLadder overrides the heuristic ladder / action space ordering
+// (e.g. heuristic.PaperLadder for exact Figure 2c order).
+func WithLadder(states []platform.Config) Option {
+	return func(m *Manager) error {
+		if len(states) == 0 {
+			return fmt.Errorf("core: empty ladder")
+		}
+		h, err := heuristic.NewWithLadder(states, heuristic.Params{
+			QoSD: m.params.QoSD, QoSS: m.params.QoSS, StartAtTop: true,
+			Cooldown: heuristic.DefaultParams().Cooldown,
+		})
+		if err != nil {
+			return err
+		}
+		m.heur = h
+		return nil
+	}
+}
+
+// WithBatchNormalizers overrides the maxIPS(B)/maxIPS(S) constants of
+// the HipsterCo throughput reward (defaults come from the platform's
+// Table 2 characterisation).
+func WithBatchNormalizers(maxBig, maxSmall float64) Option {
+	return func(m *Manager) error {
+		if maxBig <= 0 || maxSmall <= 0 {
+			return fmt.Errorf("core: non-positive IPS normalisers")
+		}
+		m.maxBigIPS, m.maxSmallIPS = maxBig, maxSmall
+		return nil
+	}
+}
+
+// New builds a Hipster manager. seed feeds the stochastic reward term.
+func New(variant Variant, spec *platform.Spec, params Params, seed int64, opts ...Option) (*Manager, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	quant, err := rl.NewQuantizer(params.BucketFrac)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		variant:     variant,
+		spec:        spec,
+		params:      params,
+		quant:       quant,
+		rng:         sim.SubRNG(seed, "hipster-reward"),
+		maxBigIPS:   spec.Big.AllCoresIPS,
+		maxSmallIPS: spec.Small.AllCoresIPS,
+		phase:       Learning,
+		learnUntil:  params.LearnSecs,
+		prevState:   -1,
+		prevAction:  -1,
+	}
+	h, err := heuristic.New(spec, heuristic.Params{
+		QoSD: params.QoSD, QoSS: params.QoSS, StartAtTop: true,
+		Cooldown: heuristic.DefaultParams().Cooldown,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.heur = h
+	for _, o := range opts {
+		if err := o(m); err != nil {
+			return nil, err
+		}
+	}
+	table, err := rl.NewTable(quant.NumBuckets(), m.heur.States())
+	if err != nil {
+		return nil, err
+	}
+	m.table = table
+	m.recentMet = make([]bool, params.ReentryWindow)
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(variant Variant, spec *platform.Spec, params Params, seed int64, opts ...Option) *Manager {
+	m, err := New(variant, spec, params, seed, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements policy.Policy.
+func (m *Manager) Name() string { return m.variant.String() }
+
+// Phase implements policy.Phaser.
+func (m *Manager) Phase() string { return m.phase.String() }
+
+// CurrentPhase returns the typed phase.
+func (m *Manager) CurrentPhase() Phase { return m.phase }
+
+// Table exposes the lookup table (reports and tests).
+func (m *Manager) Table() *rl.Table { return m.table }
+
+// Quantizer exposes the load quantiser.
+func (m *Manager) Quantizer() rl.Quantizer { return m.quant }
+
+// Variant returns the manager variant.
+func (m *Manager) Variant() Variant { return m.variant }
+
+// Reset implements policy.Policy.
+func (m *Manager) Reset() {
+	table, err := rl.NewTable(m.quant.NumBuckets(), m.heur.States())
+	if err != nil {
+		panic(err) // cannot happen: construction already validated
+	}
+	m.table = table
+	m.heur.Reset()
+	m.started = false
+	m.prevState = -1
+	m.prevAction = -1
+	m.phase = Learning
+	m.learnUntil = m.params.LearnSecs
+	m.recentMet = make([]bool, m.params.ReentryWindow)
+	m.recentPos, m.recentN = 0, 0
+}
+
+// reward evaluates Algorithm 1 for the finished interval.
+func (m *Manager) reward(obs policy.Observation) float64 {
+	in := rl.RewardInput{
+		TailLatency: obs.TailLatency,
+		Target:      obs.Target,
+		PowerW:      obs.PowerW,
+		TDPW:        m.spec.TDPW,
+	}
+	if !m.params.NoStochastic {
+		in.Rand = m.rng.Float64()
+	}
+	// The throughput reward needs trustworthy counters; with the Juno
+	// erratum corrupting a reading, fall back to the power term for
+	// this interval rather than learning from garbage.
+	if m.variant == Co && obs.HasBatch && !obs.PerfGarbage {
+		in.HasBatch = true
+		in.BigIPS = obs.BatchBigIPS
+		in.SmallIPS = obs.BatchSmallIPS
+		in.MaxBigIPS = m.maxBigIPS
+		in.MaxSmallIPS = m.maxSmallIPS
+	}
+	return rl.Reward(in, m.params.QoSD)
+}
+
+// rollingQoS returns the QoS guarantee over the recent window.
+func (m *Manager) rollingQoS() float64 {
+	if m.recentN == 0 {
+		return 1
+	}
+	met := 0
+	for i := 0; i < m.recentN; i++ {
+		if m.recentMet[i] {
+			met++
+		}
+	}
+	return float64(met) / float64(m.recentN)
+}
+
+func (m *Manager) noteQoS(met bool) {
+	m.recentMet[m.recentPos] = met
+	m.recentPos = (m.recentPos + 1) % len(m.recentMet)
+	if m.recentN < len(m.recentMet) {
+		m.recentN++
+	}
+}
+
+// Decide implements policy.Policy: it closes the RL loop for the
+// finished interval (reward + table update), manages the phase machine,
+// and returns the configuration for the next interval.
+func (m *Manager) Decide(obs policy.Observation) platform.Config {
+	state := m.quant.Bucket(obs.LoadFrac)
+
+	// Update the table with the finished interval's reward.
+	if m.started && m.prevState >= 0 && m.prevAction >= 0 {
+		lam := m.reward(obs)
+		m.table.Update(m.prevState, m.prevAction, state, lam, m.params.Alpha, m.params.Gamma)
+	}
+	m.noteQoS(obs.QoSMet())
+
+	// Phase transitions. The initial learning phase runs for a fixed
+	// quantum; afterwards a degraded rolling QoS guarantee re-enters
+	// learning (Algorithm 2 line 18).
+	switch m.phase {
+	case Learning:
+		if obs.Time >= m.learnUntil {
+			m.phase = Exploiting
+		}
+	case Exploiting:
+		if m.recentN >= len(m.recentMet) && m.rollingQoS() <= m.params.ReentryQoS {
+			m.phase = Learning
+			m.learnUntil = obs.Time + m.params.ReentrySecs
+			// Resume the ladder from the currently applied state.
+			if i := m.heur.IndexOf(obs.Current); i >= 0 {
+				m.heur.SetIndex(i)
+			}
+			m.recentN, m.recentPos = 0, 0
+		}
+	}
+
+	var action int
+	if m.phase == Learning {
+		cfg := m.heur.Decide(obs)
+		action = m.table.ActionIndex(cfg)
+	} else {
+		if m.table.StateVisits(state) == 0 {
+			// Never-seen bucket: fall back to the heuristic rather
+			// than an arbitrary zero-valued argmax.
+			cfg := m.heur.Decide(obs)
+			action = m.table.ActionIndex(cfg)
+		} else {
+			action = m.table.Best(state)
+			// Sticky exploitation: keep the current configuration when
+			// its learned value is within a relative margin of the
+			// argmax, damping migration churn between near-tied
+			// actions (margins are relative because table values scale
+			// with 1/(1-gamma)).
+			if cur := m.table.ActionIndex(obs.Current); cur >= 0 && cur != action &&
+				m.table.Visits(state, cur) > 0 && obs.QoSMet() {
+				bestV := m.table.Value(state, action)
+				curV := m.table.Value(state, cur)
+				if curV > 0 && bestV-curV <= m.params.StickyMargin*math.Abs(bestV) {
+					action = cur
+				}
+			}
+			// Keep the ladder positioned at the applied state so a
+			// future re-entry starts from the right rung.
+			m.heur.SetIndex(action)
+		}
+	}
+
+	m.prevState = state
+	m.prevAction = action
+	m.started = true
+	return m.table.Action(action)
+}
+
+// ActionSpace exposes the ladder-ordered configuration space.
+func (m *Manager) ActionSpace() []platform.Config { return m.table.Actions() }
+
+// SaveTable serialises the learned lookup table (JSON), enabling
+// warm-started deployments that skip the learning phase.
+func (m *Manager) SaveTable(w io.Writer) error { return m.table.Save(w) }
+
+// LoadTable restores a table written by SaveTable. The stored action
+// space must match this manager's configuration space exactly.
+func (m *Manager) LoadTable(r io.Reader) error { return m.table.Load(r) }
+
+// StartExploiting skips the initial learning phase — used after
+// LoadTable to deploy with a previously learned table. The re-entry
+// rule (Algorithm 2 line 18) still applies if QoS degrades.
+func (m *Manager) StartExploiting() {
+	m.phase = Exploiting
+	m.learnUntil = 0
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"bytes"
+
+	"hipster/internal/core"
+	"hipster/internal/engine"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/workload"
+)
+
+// These experiments extend the paper's evaluation along directions its
+// text motivates but does not quantify: the gap to an oracle scheduler,
+// resilience to sudden load spikes (Dean & Barroso tails, cited as a
+// challenge for heuristics in §2), and warm-started deployment.
+
+// OracleBoundRow compares HipsterIn against the perfect-knowledge
+// oracle policy on one workload.
+type OracleBoundRow struct {
+	Workload string
+
+	OracleQoSPct     float64
+	OracleEnergyPct  float64 // reduction vs static all-big
+	HipsterQoSPct    float64
+	HipsterEnergyPct float64
+	// CaptureFrac is Hipster's share of the oracle's achievable energy
+	// saving (1.0 = optimal).
+	CaptureFrac float64
+}
+
+// OracleBound quantifies how much of the theoretically achievable
+// energy saving HipsterIn's learned table captures.
+func OracleBound(spec *platform.Spec, o RunOpts) ([]OracleBoundRow, error) {
+	o = o.withDefaults()
+	var rows []OracleBoundRow
+	for _, wl := range []*workload.Model{workload.Memcached(), workload.WebSearch()} {
+		base, err := runPolicy(spec, wl, o.diurnal(), policy.NewStaticBig(spec), o.Seed, 2*o.DiurnalSecs)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := runPolicy(spec, wl, o.diurnal(), policy.NewOracle(spec, wl, 0.06), o.Seed, 2*o.DiurnalSecs)
+		if err != nil {
+			return nil, err
+		}
+		hip, err := policyByName("hipster-in", spec, wl, o)
+		if err != nil {
+			return nil, err
+		}
+		hipT, err := runPolicy(spec, wl, o.diurnal(), hip, o.Seed, 2*o.DiurnalSecs)
+		if err != nil {
+			return nil, err
+		}
+
+		b2 := rebase(base.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+		o2 := rebase(oracle.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+		h2 := rebase(hipT.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+
+		row := OracleBoundRow{Workload: wl.Name}
+		row.OracleQoSPct = o2.QoSGuarantee() * 100
+		row.HipsterQoSPct = h2.QoSGuarantee() * 100
+		if be := b2.TotalEnergyJ(); be > 0 {
+			row.OracleEnergyPct = (1 - o2.TotalEnergyJ()/be) * 100
+			row.HipsterEnergyPct = (1 - h2.TotalEnergyJ()/be) * 100
+		}
+		if row.OracleEnergyPct > 0 {
+			row.CaptureFrac = row.HipsterEnergyPct / row.OracleEnergyPct
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SpikeRow summarises one policy's behaviour under rectangular load
+// spikes (base 30% -> peak 90%, 20 s bursts every 120 s).
+type SpikeRow struct {
+	Policy          string
+	QoSGuaranteePct float64
+	// SpikeQoSPct is the guarantee measured over the spike intervals
+	// and the two recovery intervals after each.
+	SpikeQoSPct     float64
+	MigrationEvents int
+}
+
+// SpikeResilience compares HipsterIn (pre-trained on the diurnal
+// pattern so its table covers all load buckets) against Octopus-Man
+// and the static mappings under sudden load spikes.
+func SpikeResilience(spec *platform.Spec, o RunOpts) ([]SpikeRow, error) {
+	o = o.withDefaults()
+	wl := workload.Memcached()
+	spike := loadgen.Spike{Base: 0.30, Peak: 0.90, EverySecs: 120, SpikeSecs: 20, Horizon: o.DiurnalSecs}
+
+	// Pre-train Hipster on the diurnal day.
+	hip, err := core.New(core.In, spec, hipsterParams(o, wl), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := runPolicy(spec, wl, o.diurnal(), hip, o.Seed, o.DiurnalSecs); err != nil {
+		return nil, err
+	}
+
+	pols := []policy.Policy{
+		policy.NewStaticBig(spec),
+		policy.NewStaticSmall(spec),
+		mustOM(spec),
+		hip,
+	}
+	var rows []SpikeRow
+	for _, pol := range pols {
+		eng, err := engine.New(engine.Options{
+			Spec:     spec,
+			Workload: wl,
+			Pattern:  spike,
+			Policy:   pol,
+			Seed:     o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := eng.Run(0)
+		if err != nil {
+			return nil, err
+		}
+		row := SpikeRow{
+			Policy:          pol.Name(),
+			QoSGuaranteePct: tr.QoSGuarantee() * 100,
+			MigrationEvents: tr.MigrationEvents(),
+		}
+		// Spike windows: t mod 120 in [0, 22).
+		met, n := 0, 0
+		for _, s := range tr.Samples {
+			phase := s.T - 120*float64(int(s.T/120))
+			if phase >= 1 && phase < 23 {
+				n++
+				if s.QoSMet() {
+					met++
+				}
+			}
+		}
+		if n > 0 {
+			row.SpikeQoSPct = float64(met) / float64(n) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func mustOM(spec *platform.Spec) policy.Policy {
+	om, err := policyByName("octopus-man", spec, nil, RunOpts{}.withDefaults())
+	if err != nil {
+		panic(err)
+	}
+	return om
+}
+
+// WarmStartResult compares a cold-started HipsterIn (full learning
+// phase) against one warm-started from a saved lookup table.
+type WarmStartResult struct {
+	ColdQoSPct      float64
+	ColdMigrations  int
+	WarmQoSPct      float64
+	WarmMigrations  int
+	TableBytesSaved int
+}
+
+// WarmStart trains a manager for one day, serialises its table,
+// restores it into a fresh manager that skips the learning phase, and
+// compares first-day behaviour.
+func WarmStart(spec *platform.Spec, o RunOpts) (WarmStartResult, error) {
+	o = o.withDefaults()
+	wl := workload.Memcached()
+
+	trained, err := core.New(core.In, spec, hipsterParams(o, wl), o.Seed)
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+	cold, err := runPolicy(spec, wl, o.diurnal(), trained, o.Seed, o.DiurnalSecs)
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+
+	var buf bytes.Buffer
+	if err := trained.SaveTable(&buf); err != nil {
+		return WarmStartResult{}, err
+	}
+	saved := buf.Len()
+
+	warm, err := core.New(core.In, spec, hipsterParams(o, wl), o.Seed+1)
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+	if err := warm.LoadTable(bytes.NewReader(buf.Bytes())); err != nil {
+		return WarmStartResult{}, err
+	}
+	warm.StartExploiting()
+	warmT, err := runPolicy(spec, wl, o.diurnal(), warm, o.Seed+1, o.DiurnalSecs)
+	if err != nil {
+		return WarmStartResult{}, err
+	}
+
+	return WarmStartResult{
+		ColdQoSPct:      cold.QoSGuarantee() * 100,
+		ColdMigrations:  cold.MigrationEvents(),
+		WarmQoSPct:      warmT.QoSGuarantee() * 100,
+		WarmMigrations:  warmT.MigrationEvents(),
+		TableBytesSaved: saved,
+	}, nil
+}

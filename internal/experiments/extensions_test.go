@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+
+	"hipster/internal/platform"
+)
+
+func TestOracleBound(t *testing.T) {
+	spec := platform.JunoR1()
+	rows, err := OracleBound(spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OracleQoSPct < 96 {
+			t.Errorf("%s: oracle QoS %v should be near-perfect", r.Workload, r.OracleQoSPct)
+		}
+		if r.OracleEnergyPct <= 0 {
+			t.Errorf("%s: oracle saves no energy", r.Workload)
+		}
+		if r.HipsterEnergyPct > r.OracleEnergyPct+2 {
+			t.Errorf("%s: Hipster (%v%%) cannot beat the oracle (%v%%) by more than noise",
+				r.Workload, r.HipsterEnergyPct, r.OracleEnergyPct)
+		}
+		if r.CaptureFrac < 0.5 {
+			t.Errorf("%s: Hipster captures only %v of the oracle saving", r.Workload, r.CaptureFrac)
+		}
+	}
+}
+
+func TestSpikeResilience(t *testing.T) {
+	spec := platform.JunoR1()
+	rows, err := SpikeResilience(spec, shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SpikeRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	// Static big rides out the spikes; static small collapses during
+	// them; Hipster holds QoS far better than its spike exposure would
+	// suggest thanks to direct configuration jumps.
+	if byName["static-big"].SpikeQoSPct < 95 {
+		t.Errorf("static-big spike QoS %v", byName["static-big"].SpikeQoSPct)
+	}
+	if byName["static-small"].SpikeQoSPct > byName["static-big"].SpikeQoSPct {
+		t.Error("static-small cannot beat static-big during spikes")
+	}
+	if byName["hipster-in"].QoSGuaranteePct < byName["static-small"].QoSGuaranteePct {
+		t.Error("hipster should beat static-small under spikes")
+	}
+}
+
+func TestWarmStartSkipsLearning(t *testing.T) {
+	spec := platform.JunoR1()
+	res, err := WarmStart(spec, shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TableBytesSaved <= 0 {
+		t.Fatal("no table bytes written")
+	}
+	if res.WarmQoSPct < res.ColdQoSPct-2 {
+		t.Errorf("warm start QoS %v should not trail cold start %v",
+			res.WarmQoSPct, res.ColdQoSPct)
+	}
+	if res.WarmMigrations >= res.ColdMigrations {
+		t.Errorf("warm start should migrate less: %d vs %d",
+			res.WarmMigrations, res.ColdMigrations)
+	}
+}
+
+func TestEngineDESBackendEndToEnd(t *testing.T) {
+	// The DES-backed workload path must sustain a full policy run and
+	// broadly agree with the analytic path on QoS.
+	spec := platform.JunoR1()
+	o := RunOpts{Seed: DefaultSeed, DiurnalSecs: 240, LearnSecs: 100}
+	wl := wsModel()
+	pol, err := policyByName("octopus-man", spec, wl, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anTrace, err := runPolicy(spec, wl, o.diurnal(), pol, o.Seed, o.DiurnalSecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol2, err := policyByName("octopus-man", spec, wl, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desTrace, err := runPolicyDES(spec, wl, o.diurnal(), pol2, o.Seed, o.DiurnalSecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := anTrace.QoSGuarantee()
+	des := desTrace.QoSGuarantee()
+	if diff := an - des; diff > 0.25 || diff < -0.25 {
+		t.Errorf("analytic (%v) and DES (%v) QoS diverge", an, des)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// Fig1Point is one sample of Figure 1: offered load and server power,
+// both as percent of their maxima.
+type Fig1Point struct {
+	T        float64
+	LoadPct  float64
+	PowerPct float64
+}
+
+// Fig1Result is the diurnal power series.
+type Fig1Result struct {
+	Points []Fig1Point
+	// MinPowerPct is the lowest power percentage observed — the paper's
+	// headline is that power never drops below ~60% even when load
+	// falls to 5% (poor energy proportionality of the static mapping).
+	MinPowerPct float64
+	MinLoadPct  float64
+}
+
+// Fig1 reproduces Figure 1: Web-Search pinned to the two big cores at
+// maximum DVFS while the diurnal load swings, reporting load and power
+// as percent of maximum capacity.
+func Fig1(spec *platform.Spec, o RunOpts) (Fig1Result, error) {
+	o = o.withDefaults()
+	wl := workload.WebSearch()
+	trace, err := runPolicy(spec, wl, o.diurnal(), policy.NewStaticBig(spec), o.Seed, o.DiurnalSecs)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return fig1FromTrace(trace), nil
+}
+
+func fig1FromTrace(trace *telemetry.Trace) Fig1Result {
+	var maxPower float64
+	for _, s := range trace.Samples {
+		if p := s.PowerW(); p > maxPower {
+			maxPower = p
+		}
+	}
+	res := Fig1Result{MinPowerPct: 100, MinLoadPct: 100}
+	for _, s := range trace.Samples {
+		pt := Fig1Point{
+			T:        s.T,
+			LoadPct:  s.LoadFrac * 100,
+			PowerPct: s.PowerW() / maxPower * 100,
+		}
+		if pt.PowerPct < res.MinPowerPct {
+			res.MinPowerPct = pt.PowerPct
+		}
+		if pt.LoadPct < res.MinLoadPct {
+			res.MinLoadPct = pt.LoadPct
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}

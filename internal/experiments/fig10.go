@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"hipster/internal/core"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/workload"
+)
+
+// Fig10Row is one bucket-size configuration of Figure 10.
+type Fig10Row struct {
+	Workload          string
+	BucketPct         float64
+	QoSViolationsPct  float64
+	EnergyReductPct   float64 // vs static all-big on the same load
+	MigrationEvents   int
+	ConfigChangesFrac float64 // fraction of intervals with any change
+}
+
+// Fig10Buckets are the swept bucket sizes per workload (percent of
+// maximum load), as in the paper.
+var Fig10Buckets = map[string][]float64{
+	"websearch": {3, 6, 9},
+	"memcached": {2, 3, 4},
+}
+
+// Fig10 reproduces the bucket-size sensitivity study: small buckets
+// enable finer-grained control (more energy savings) but cause more
+// configuration changes and hence QoS violations; large buckets are
+// safer but waste energy.
+func Fig10(spec *platform.Spec, wl *workload.Model, o RunOpts) ([]Fig10Row, error) {
+	o = o.withDefaults()
+
+	// Baseline: static all-big, same seed and pattern.
+	base, err := runPolicy(spec, wl, o.diurnal(), policy.NewStaticBig(spec), o.Seed, o.DiurnalSecs)
+	if err != nil {
+		return nil, err
+	}
+	baseEnergy := base.TotalEnergyJ()
+
+	buckets := Fig10Buckets[wl.Name]
+	if buckets == nil {
+		buckets = []float64{2, 5, 10}
+	}
+	rows := make([]Fig10Row, 0, len(buckets))
+	for _, pct := range buckets {
+		params := hipsterParams(o, wl)
+		params.BucketFrac = pct / 100
+		pol, err := core.New(core.In, spec, params, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		trace, err := runPolicy(spec, wl, o.diurnal(), pol, o.Seed, o.DiurnalSecs)
+		if err != nil {
+			return nil, err
+		}
+		sum := trace.Summarize()
+		changes := sum.MigrationEvents + sum.DVFSChanges
+		rows = append(rows, Fig10Row{
+			Workload:          wl.Name,
+			BucketPct:         pct,
+			QoSViolationsPct:  (1 - sum.QoSGuarantee) * 100,
+			EnergyReductPct:   (1 - sum.TotalEnergyJ/baseEnergy) * 100,
+			MigrationEvents:   sum.MigrationEvents,
+			ConfigChangesFrac: float64(changes) / float64(max(1, sum.Samples)),
+		})
+	}
+	return rows, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"hipster/internal/batch"
+	"hipster/internal/core"
+	"hipster/internal/engine"
+	"hipster/internal/octopusman"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// Fig11Row is one SPEC program's collocation result, normalised to the
+// static mapping (LC on the two big cores at maximum DVFS, batch on the
+// four small cores), as in Figure 11.
+type Fig11Row struct {
+	Program string
+
+	// QoSGuarantee (absolute, percent) per policy.
+	StaticQoSPct  float64
+	OctopusQoSPct float64
+	HipsterQoSPct float64
+
+	// Throughput (batch IPS) normalised to static.
+	OctopusIPS float64
+	HipsterIPS float64
+
+	// Energy normalised to static.
+	OctopusEnergy float64
+	HipsterEnergy float64
+}
+
+// Fig11Result aggregates the per-program rows and the paper's headline
+// means.
+type Fig11Result struct {
+	Rows []Fig11Row
+
+	// Means across programs.
+	MeanHipsterIPS    float64
+	MeanOctopusIPS    float64
+	MeanHipsterEnergy float64
+	MeanOctopusEnergy float64
+	MeanHipsterQoSPct float64
+	MeanOctopusQoSPct float64
+}
+
+// Fig11Programs returns the benchmark order of Figure 11.
+func Fig11Programs() []string {
+	return []string{
+		"povray", "namd", "gromacs", "tonto", "sjeng", "calculix",
+		"cactusADM", "lbm", "astar", "soplex", "libquantum", "zeusmp",
+	}
+}
+
+// runCollocated executes two compressed days of the collocation and
+// scores the second, so Hipster is measured in its exploitation phase
+// (methodology matches Table3).
+func runCollocated(spec *platform.Spec, wl *workload.Model, prog batch.Program, pol policy.Policy, o RunOpts) (*telemetry.Trace, error) {
+	runner, err := batch.NewRunner([]batch.Program{prog})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Options{
+		Spec:     spec,
+		Workload: wl,
+		Pattern:  o.diurnal(),
+		Policy:   pol,
+		Batch:    runner,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	full, err := eng.Run(2 * o.DiurnalSecs)
+	if err != nil {
+		return nil, err
+	}
+	return rebase(full.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1)), nil
+}
+
+// Fig11 reproduces Figure 11: Web-Search collocated with each SPEC
+// CPU 2006 program under the static mapping, Octopus-Man and HipsterCo;
+// reporting QoS guarantee, batch throughput and energy (normalised to
+// static).
+func Fig11(spec *platform.Spec, o RunOpts) (Fig11Result, error) {
+	o = o.withDefaults()
+	wl := workload.WebSearch()
+	var res Fig11Result
+
+	for _, name := range Fig11Programs() {
+		prog, ok := batch.ProgramByName(name)
+		if !ok {
+			continue
+		}
+		static := policy.NewStaticBig(spec)
+		st, err := runCollocated(spec, wl, prog, static, o)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		om := octopusman.MustNew(spec, octopusman.DefaultParams())
+		ot, err := runCollocated(spec, wl, prog, om, o)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		// The throughput reward normalisers are the batch mix's own
+		// maximum per-cluster IPS at highest DVFS, as the paper
+		// measures them with the workload under management.
+		normRunner, err := batch.NewRunner([]batch.Program{prog})
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		hc, err := core.New(core.Co, spec, hipsterParams(o, wl), o.Seed,
+			core.WithBatchNormalizers(
+				normRunner.MaxIPSOn(spec, platform.Big, spec.Big.Cores),
+				normRunner.MaxIPSOn(spec, platform.Small, spec.Small.Cores)))
+		if err != nil {
+			return Fig11Result{}, err
+		}
+		ht, err := runCollocated(spec, wl, prog, hc, o)
+		if err != nil {
+			return Fig11Result{}, err
+		}
+
+		ss, os, hs := st.Summarize(), ot.Summarize(), ht.Summarize()
+		row := Fig11Row{
+			Program:       name,
+			StaticQoSPct:  ss.QoSGuarantee * 100,
+			OctopusQoSPct: os.QoSGuarantee * 100,
+			HipsterQoSPct: hs.QoSGuarantee * 100,
+		}
+		if ss.BatchInstr > 0 {
+			row.OctopusIPS = os.BatchInstr / ss.BatchInstr
+			row.HipsterIPS = hs.BatchInstr / ss.BatchInstr
+		}
+		if ss.TotalEnergyJ > 0 {
+			row.OctopusEnergy = os.TotalEnergyJ / ss.TotalEnergyJ
+			row.HipsterEnergy = hs.TotalEnergyJ / ss.TotalEnergyJ
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	n := float64(len(res.Rows))
+	if n > 0 {
+		for _, r := range res.Rows {
+			res.MeanHipsterIPS += r.HipsterIPS / n
+			res.MeanOctopusIPS += r.OctopusIPS / n
+			res.MeanHipsterEnergy += r.HipsterEnergy / n
+			res.MeanOctopusEnergy += r.OctopusEnergy / n
+			res.MeanHipsterQoSPct += r.HipsterQoSPct / n
+			res.MeanOctopusQoSPct += r.OctopusQoSPct / n
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"hipster/internal/octopusman"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// Fig2LoadLevels are the load levels (percent of maximum capacity) of
+// Figure 2's x-axes.
+var Fig2LoadLevels = map[string][]int{
+	"memcached": {29, 40, 51, 63, 69, 71, 77, 83, 89, 91, 94, 97, 100},
+	"websearch": {18, 25, 33, 40, 47, 55, 62, 69, 76, 84, 91, 96, 100},
+}
+
+// Fig2Row is one load level of Figure 2a/2b: the configuration chosen
+// by the heterogeneous policy (HetCMP) and by the baseline policy (BP,
+// Octopus-Man's configuration space), with their throughput-per-watt.
+type Fig2Row struct {
+	LoadPct int
+	RPS     float64
+
+	HetConfig platform.Config
+	HetEff    float64 // requests (or queries) per second per watt
+	HetMet    bool
+
+	BPConfig platform.Config
+	BPEff    float64
+	BPMet    bool
+}
+
+// Fig2Result is the full sweep for one workload.
+type Fig2Result struct {
+	Workload string
+	Rows     []Fig2Row
+	// MeanGainPct is the mean efficiency advantage of HetCMP over BP
+	// across levels where both meet QoS, in percent (the paper reports
+	// 27.74% for Memcached, ~25% for Web-Search).
+	MeanGainPct float64
+}
+
+// Fig2 reproduces Figure 2a (Memcached) or 2b (Web-Search): at each
+// load level, each policy picks the least-power configuration that
+// meets the QoS target from its configuration space; the row reports
+// the resulting energy efficiency in throughput per watt.
+func Fig2(spec *platform.Spec, wl *workload.Model) Fig2Result {
+	het := platform.Configs(spec)
+	bp := octopusman.Ladder(spec)
+	levels := Fig2LoadLevels[wl.Name]
+	if levels == nil {
+		levels = Fig2LoadLevels["memcached"]
+	}
+
+	res := Fig2Result{Workload: wl.Name}
+	var gainSum float64
+	var gainN int
+	for _, pct := range levels {
+		rps := wl.RPSAt(float64(pct) / 100)
+		row := Fig2Row{LoadPct: pct, RPS: rps}
+		row.HetConfig, row.HetMet = PickMinPower(spec, wl, het, rps)
+		row.BPConfig, row.BPMet = PickMinPower(spec, wl, bp, rps)
+		row.HetEff = rps / SteadyPower(spec, wl, row.HetConfig, rps)
+		row.BPEff = rps / SteadyPower(spec, wl, row.BPConfig, rps)
+		if row.HetMet && row.BPMet && row.BPEff > 0 {
+			gainSum += (row.HetEff/row.BPEff - 1) * 100
+			gainN++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if gainN > 0 {
+		res.MeanGainPct = gainSum / float64(gainN)
+	}
+	return res
+}
+
+// StateMachineRow is one load level of Figure 2c: the most
+// energy-efficient QoS-meeting configuration for each workload.
+type StateMachineRow struct {
+	LoadPct   int
+	Memcached platform.Config
+	WebSearch platform.Config
+}
+
+// Fig2cLoadLevels are Figure 2c's x-axis levels.
+var Fig2cLoadLevels = []int{20, 30, 40, 50, 60, 70, 75, 85, 90, 95, 100}
+
+// Fig2c derives the per-workload optimal state machines of Figure 2c.
+func Fig2c(spec *platform.Spec, mc, ws *workload.Model) []StateMachineRow {
+	het := platform.Configs(spec)
+	rows := make([]StateMachineRow, 0, len(Fig2cLoadLevels))
+	for _, pct := range Fig2cLoadLevels {
+		var row StateMachineRow
+		row.LoadPct = pct
+		row.Memcached, _ = PickMinPower(spec, mc, het, mc.RPSAt(float64(pct)/100))
+		row.WebSearch, _ = PickMinPower(spec, ws, het, ws.RPSAt(float64(pct)/100))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// StateMachineFor returns the load-level -> configuration mapping used
+// by Figure 3's cross-workload experiment.
+func StateMachineFor(spec *platform.Spec, wl *workload.Model, levels []int) map[int]platform.Config {
+	het := platform.Configs(spec)
+	out := make(map[int]platform.Config, len(levels))
+	for _, pct := range levels {
+		cfg, _ := PickMinPower(spec, wl, het, wl.RPSAt(float64(pct)/100))
+		out[pct] = cfg
+	}
+	return out
+}

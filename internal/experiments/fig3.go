@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// Fig3Row is one load level of Figure 3: the energy efficiency obtained
+// when driving a workload with the state machine built for the *other*
+// workload, normalised to its own state machine (1.0 = no loss; lower
+// is worse).
+type Fig3Row struct {
+	LoadPct int
+	// Memcached is Memcached's efficiency under Web-Search's state
+	// machine, normalised to its own.
+	Memcached float64
+	// MemcachedQoSMet reports whether the foreign configuration still
+	// met Memcached's QoS target.
+	MemcachedQoSMet bool
+	// WebSearch is the converse.
+	WebSearch       float64
+	WebSearchQoSMet bool
+}
+
+// Fig3 reproduces Figure 3: run each workload at each load level using
+// the configuration the other workload's state machine prescribes, and
+// report the normalised energy efficiency. The paper observes losses of
+// up to 35% for Memcached and 19% for Web-Search at intermediate loads,
+// motivating per-application learning.
+func Fig3(spec *platform.Spec, mc, ws *workload.Model) []Fig3Row {
+	levels := Fig2cLoadLevels
+	mcSM := StateMachineFor(spec, mc, levels)
+	wsSM := StateMachineFor(spec, ws, levels)
+
+	eff := func(wl *workload.Model, cfg platform.Config, pct int) (float64, bool) {
+		rps := wl.RPSAt(float64(pct) / 100)
+		p := SteadyPower(spec, wl, cfg, rps)
+		if p <= 0 {
+			return 0, false
+		}
+		// Throughput saturates at the configuration's capacity.
+		ach := rps
+		if c := wl.CapacityRPS(spec, cfg); ach > c {
+			ach = c
+		}
+		return ach / p, wl.MeetsQoS(spec, cfg, rps)
+	}
+
+	rows := make([]Fig3Row, 0, len(levels))
+	for _, pct := range levels {
+		var r Fig3Row
+		r.LoadPct = pct
+		ownMC, _ := eff(mc, mcSM[pct], pct)
+		crossMC, metMC := eff(mc, wsSM[pct], pct)
+		ownWS, _ := eff(ws, wsSM[pct], pct)
+		crossWS, metWS := eff(ws, mcSM[pct], pct)
+		if ownMC > 0 {
+			r.Memcached = crossMC / ownMC
+		}
+		if ownWS > 0 {
+			r.WebSearch = crossWS / ownWS
+		}
+		r.MemcachedQoSMet = metMC
+		r.WebSearchQoSMet = metWS
+		rows = append(rows, r)
+	}
+	return rows
+}

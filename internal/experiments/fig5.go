@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"hipster/internal/platform"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// PolicyRun couples a policy name with its full trace and summary.
+type PolicyRun struct {
+	Policy  string
+	Trace   *telemetry.Trace
+	Summary telemetry.Summary
+}
+
+// Fig5Result holds the heuristic-policy comparison of Figure 5 for one
+// workload: static mapping (all big cores), Octopus-Man, and Hipster's
+// heuristic mapper, each on the same diurnal load.
+type Fig5Result struct {
+	Workload string
+	Runs     []PolicyRun
+}
+
+// Fig5Policies are the column order of Figure 5.
+var Fig5Policies = []string{"static-big", "octopus-man", "hipster-heuristic"}
+
+// Fig5 reproduces Figure 5 for one workload (the paper shows Memcached
+// on the top row and Web-Search on the bottom).
+func Fig5(spec *platform.Spec, wl *workload.Model, o RunOpts) (Fig5Result, error) {
+	o = o.withDefaults()
+	res := Fig5Result{Workload: wl.Name}
+	for _, name := range Fig5Policies {
+		pol, err := policyByName(name, spec, wl, o)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		trace, err := runPolicy(spec, wl, o.diurnal(), pol, o.Seed, o.DiurnalSecs)
+		if err != nil {
+			return Fig5Result{}, err
+		}
+		res.Runs = append(res.Runs, PolicyRun{Policy: name, Trace: trace, Summary: trace.Summarize()})
+	}
+	return res, nil
+}
+
+// Fig67Result is the HipsterIn time series of Figures 6 (Memcached) and
+// 7 (Web-Search), with phase-split summaries.
+type Fig67Result struct {
+	Workload string
+	// Trace covers two compressed days: learning happens early on day
+	// one, day two is pure exploitation.
+	Trace *telemetry.Trace
+	// Summary covers day two (exploitation over the full diurnal).
+	Summary telemetry.Summary
+	// LearnSummary and ExploitSummary compare the learning window of
+	// day one against the identical load window of day two, isolating
+	// the paper's observation that exploitation reduces oscillation
+	// and improves QoS relative to the learning phase.
+	LearnSummary   telemetry.Summary
+	ExploitSummary telemetry.Summary
+}
+
+// Fig67 reproduces Figure 6 or 7: HipsterIn managing one interactive
+// workload over the diurnal pattern.
+func Fig67(spec *platform.Spec, wl *workload.Model, o RunOpts) (Fig67Result, error) {
+	o = o.withDefaults()
+	pol, err := policyByName("hipster-in", spec, wl, o)
+	if err != nil {
+		return Fig67Result{}, err
+	}
+	trace, err := runPolicy(spec, wl, o.diurnal(), pol, o.Seed, 2*o.DiurnalSecs)
+	if err != nil {
+		return Fig67Result{}, err
+	}
+	day2 := rebase(trace.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+	res := Fig67Result{
+		Workload: wl.Name,
+		Trace:    trace,
+		Summary:  day2.Summarize(),
+	}
+	res.LearnSummary = trace.Slice(0, o.LearnSecs).Summarize()
+	res.ExploitSummary = day2.Slice(0, o.LearnSecs).Summarize()
+	return res, nil
+}

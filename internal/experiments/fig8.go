@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"hipster/internal/core"
+	"hipster/internal/engine"
+	"hipster/internal/loadgen"
+	"hipster/internal/octopusman"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// Fig8Point is one interval of the ramp experiment.
+type Fig8Point struct {
+	T                 float64
+	LoadPct           float64
+	HipsterTardiness  float64
+	OctopusTardiness  float64
+	HipsterConfig     platform.Config
+	OctopusManConfig  platform.Config
+	HipsterViolation  bool
+	OctopusManViolate bool
+}
+
+// Fig8Result is the rapid-adaptation experiment of Figure 8: Memcached
+// load ramping from 50% to 100% over 175 seconds, HipsterIn (in its
+// exploitation phase, pre-trained on the diurnal pattern) versus
+// Octopus-Man.
+type Fig8Result struct {
+	Points []Fig8Point
+	// TardinessRatio7590 is Octopus-Man's mean tardiness divided by
+	// HipsterIn's over the 75%-90% load region (the paper reports
+	// HipsterIn 3.7x lower).
+	TardinessRatio7590 float64
+	HipsterTrace       *telemetry.Trace
+	OctopusTrace       *telemetry.Trace
+}
+
+// Fig8 reproduces Figure 8.
+func Fig8(spec *platform.Spec, o RunOpts) (Fig8Result, error) {
+	o = o.withDefaults()
+	wl := workload.Memcached()
+
+	// Pre-train HipsterIn on the diurnal pattern so the ramp runs
+	// entirely in the exploitation phase.
+	hip, err := core.New(core.In, spec, hipsterParams(o, wl), o.Seed)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	if _, err := runPolicy(spec, wl, o.diurnal(), hip, o.Seed, o.DiurnalSecs); err != nil {
+		return Fig8Result{}, err
+	}
+
+	ramp := loadgen.Ramp{From: 0.50, To: 1.00, RampSecs: 175, HoldSecs: 10}
+	run := func(pol policy.Policy, label string) (*telemetry.Trace, error) {
+		eng, err := engine.New(engine.Options{
+			Spec:     spec,
+			Workload: wl,
+			Pattern:  ramp,
+			Policy:   pol,
+			Seed:     o.Seed + int64(len(label)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(0)
+	}
+
+	ht, err := run(hip, "hipster")
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	om := octopusman.MustNew(spec, octopusman.DefaultParams())
+	ot, err := run(om, "octopus")
+	if err != nil {
+		return Fig8Result{}, err
+	}
+
+	res := Fig8Result{HipsterTrace: ht, OctopusTrace: ot}
+	var hSum, oSum float64
+	var n int
+	for i := range ht.Samples {
+		hs, os := ht.Samples[i], ot.Samples[i]
+		pt := Fig8Point{
+			T:                 hs.T,
+			LoadPct:           hs.LoadFrac * 100,
+			HipsterTardiness:  hs.Tardiness(),
+			OctopusTardiness:  os.Tardiness(),
+			HipsterConfig:     hs.Config(),
+			OctopusManConfig:  os.Config(),
+			HipsterViolation:  !hs.QoSMet(),
+			OctopusManViolate: !os.QoSMet(),
+		}
+		res.Points = append(res.Points, pt)
+		if pt.LoadPct >= 75 && pt.LoadPct <= 90 {
+			hSum += pt.HipsterTardiness
+			oSum += pt.OctopusTardiness
+			n++
+		}
+	}
+	if n > 0 && hSum > 0 {
+		res.TardinessRatio7590 = oSum / hSum
+	}
+	return res, nil
+}

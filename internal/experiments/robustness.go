@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/stats"
+	"hipster/internal/workload"
+)
+
+// RobustnessRow aggregates HipsterIn's day-2 metrics over several seeds
+// for one workload: the paper reports single runs; this study checks
+// that the reproduction's headline numbers are stable under different
+// noise realisations.
+type RobustnessRow struct {
+	Workload string
+	Seeds    int
+
+	QoSMeanPct float64
+	QoSMinPct  float64
+	QoSStdPct  float64
+
+	EnergyMeanPct float64
+	EnergyStdPct  float64
+
+	MigrationsMean float64
+}
+
+// SeedRobustness runs HipsterIn (and its static-big baseline) across
+// nSeeds seeds per workload and aggregates the day-2 metrics.
+func SeedRobustness(spec *platform.Spec, o RunOpts, nSeeds int) ([]RobustnessRow, error) {
+	o = o.withDefaults()
+	if nSeeds <= 0 {
+		nSeeds = 5
+	}
+	var rows []RobustnessRow
+	for _, wl := range []*workload.Model{workload.Memcached(), workload.WebSearch()} {
+		var qos, energy, migs stats.Aggregate
+		for s := 0; s < nSeeds; s++ {
+			seed := o.Seed + int64(s)*101
+
+			base, err := runPolicy(spec, wl, o.diurnal(), policy.NewStaticBig(spec), seed, 2*o.DiurnalSecs)
+			if err != nil {
+				return nil, err
+			}
+			hp := hipsterParams(o, wl)
+			pol, err := policyByName("hipster-in", spec, wl, RunOpts{Seed: seed, DiurnalSecs: o.DiurnalSecs, LearnSecs: hp.LearnSecs})
+			if err != nil {
+				return nil, err
+			}
+			tr, err := runPolicy(spec, wl, o.diurnal(), pol, seed, 2*o.DiurnalSecs)
+			if err != nil {
+				return nil, err
+			}
+			day2 := rebase(tr.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+			b2 := rebase(base.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+
+			qos.Add(day2.QoSGuarantee() * 100)
+			if be := b2.TotalEnergyJ(); be > 0 {
+				energy.Add((1 - day2.TotalEnergyJ()/be) * 100)
+			}
+			migs.Add(float64(day2.MigrationEvents()))
+		}
+		rows = append(rows, RobustnessRow{
+			Workload:       wl.Name,
+			Seeds:          nSeeds,
+			QoSMeanPct:     qos.Mean(),
+			QoSMinPct:      qos.Min(),
+			QoSStdPct:      qos.StdDev(),
+			EnergyMeanPct:  energy.Mean(),
+			EnergyStdPct:   energy.StdDev(),
+			MigrationsMean: migs.Mean(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"hipster/internal/core"
+	"hipster/internal/heuristic"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+func TestSeedRobustness(t *testing.T) {
+	spec := platform.JunoR1()
+	rows, err := SeedRobustness(spec, shortOpts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seeds != 3 {
+			t.Fatalf("%s: seeds = %d", r.Workload, r.Seeds)
+		}
+		// The headline result must hold across seeds, not just at 42:
+		// the WORST seed still delivers a strong QoS guarantee and the
+		// spread stays tight.
+		if r.QoSMinPct < 88 {
+			t.Errorf("%s: worst-seed QoS %v too low", r.Workload, r.QoSMinPct)
+		}
+		if r.QoSStdPct > 5 {
+			t.Errorf("%s: QoS spread %v too wide", r.Workload, r.QoSStdPct)
+		}
+		if r.EnergyMeanPct <= 0 {
+			t.Errorf("%s: mean energy saving %v", r.Workload, r.EnergyMeanPct)
+		}
+	}
+}
+
+// TestPaperLadderEndToEnd runs HipsterIn with the exact Figure 2c state
+// ordering injected (core.WithLadder + heuristic.PaperLadder) and
+// checks the run is healthy — the exact-order replication mode the
+// README documents.
+func TestPaperLadderEndToEnd(t *testing.T) {
+	spec := platform.JunoR1()
+	o := shortOpts()
+	wl := workload.Memcached()
+	mgr, err := core.New(core.In, spec, hipsterParams(o, wl), o.Seed,
+		core.WithLadder(heuristic.PaperLadder(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mgr.ActionSpace()); got != 13 {
+		t.Fatalf("paper ladder action space = %d", got)
+	}
+	if mgr.ActionSpace()[0].String() != "1S-0.65" ||
+		mgr.ActionSpace()[12].String() != "2B-1.15" {
+		t.Fatal("paper ladder order not applied")
+	}
+	tr, err := runPolicy(spec, wl, o.diurnal(), mgr, o.Seed, 2*o.DiurnalSecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day2 := rebase(tr.Slice(o.DiurnalSecs, 2*o.DiurnalSecs+1))
+	if q := day2.QoSGuarantee(); q < 0.88 {
+		t.Fatalf("paper-ladder HipsterIn QoS %v", q)
+	}
+}

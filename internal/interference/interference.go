@@ -1,0 +1,119 @@
+// Package interference models shared-resource contention between a
+// latency-critical (LC) workload and collocated batch jobs. The paper
+// observes (corroborating Heracles) that collocation degrades LC QoS at
+// high load through shared caches and memory bandwidth; HipsterCo must
+// learn configurations with enough headroom to absorb it.
+//
+// The model is intentionally coarse — contention is driven by memory
+// intensity and by whether the contenders share a cluster (and thus an
+// L2) or only the memory system — because the policies under study only
+// ever observe its effect on tail latency and IPS, never the mechanism.
+package interference
+
+import "hipster/internal/platform"
+
+// Params are the contention coefficients.
+type Params struct {
+	// SameClusterAlpha scales LC demand inflation caused by batch jobs
+	// sharing the LC cluster's L2 cache.
+	SameClusterAlpha float64
+	// CrossClusterAlpha scales inflation from batch jobs elsewhere on
+	// the chip (shared interconnect and DRAM bandwidth).
+	CrossClusterAlpha float64
+	// BatchSameAlpha scales batch slowdown caused by the LC workload
+	// sharing the batch cores' cluster.
+	BatchSameAlpha float64
+	// BatchCrossAlpha scales batch slowdown from DRAM sharing.
+	BatchCrossAlpha float64
+	// BatchSelfAlpha scales batch-on-batch contention within a cluster.
+	BatchSelfAlpha float64
+}
+
+// DefaultParams returns the calibrated coefficients. They produce
+// single-digit-percent effects for compute-bound mixes and up to
+// ~25% demand inflation for fully memory-bound mixes saturating both
+// clusters, in line with the collocation sensitivity the paper reports.
+func DefaultParams() Params {
+	return Params{
+		SameClusterAlpha:  0.22,
+		CrossClusterAlpha: 0.08,
+		BatchSameAlpha:    0.15,
+		BatchCrossAlpha:   0.06,
+		BatchSelfAlpha:    0.10,
+	}
+}
+
+// Placement describes who runs where for one interval.
+type Placement struct {
+	// LC is the configuration of the latency-critical workload.
+	LC platform.Config
+	// BatchBig / BatchSmall are the batch core counts per cluster.
+	BatchBig   int
+	BatchSmall int
+	// LCMemIntensity and BatchMemIntensity are the contenders' memory
+	// intensities in [0,1].
+	LCMemIntensity    float64
+	BatchMemIntensity float64
+}
+
+func clusterShare(n, clusterCores int) float64 {
+	if clusterCores <= 0 || n <= 0 {
+		return 0
+	}
+	f := float64(n) / float64(clusterCores)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// LCInflation returns the multiplicative service-demand inflation
+// (>= 1) the LC workload suffers from the batch placement.
+func LCInflation(spec *platform.Spec, p Params, pl Placement) float64 {
+	inf := 1.0
+	m := clamp01(pl.BatchMemIntensity)
+	// L2 sharing within each cluster the LC occupies.
+	if pl.LC.NBig > 0 && pl.BatchBig > 0 {
+		inf += p.SameClusterAlpha * m * clusterShare(pl.BatchBig, spec.Big.Cores)
+	}
+	if pl.LC.NSmall > 0 && pl.BatchSmall > 0 {
+		inf += p.SameClusterAlpha * m * clusterShare(pl.BatchSmall, spec.Small.Cores)
+	}
+	// Memory-system pressure from all batch cores.
+	total := spec.TotalCores()
+	inf += p.CrossClusterAlpha * m * clusterShare(pl.BatchBig+pl.BatchSmall, total)
+	return inf
+}
+
+// BatchSlowdowns returns the multiplicative throughput factors (<= 1)
+// for batch jobs on the big and small clusters.
+func BatchSlowdowns(spec *platform.Spec, p Params, pl Placement) (bigFactor, smallFactor float64) {
+	lcm := clamp01(pl.LCMemIntensity)
+	bm := clamp01(pl.BatchMemIntensity)
+
+	slow := func(lcCoresHere, batchHere, clusterCores int) float64 {
+		s := 1.0
+		if lcCoresHere > 0 && batchHere > 0 {
+			s += p.BatchSameAlpha * lcm * clusterShare(lcCoresHere, clusterCores)
+		}
+		if batchHere > 1 {
+			s += p.BatchSelfAlpha * bm * clusterShare(batchHere-1, clusterCores)
+		}
+		// DRAM pressure from the LC workload regardless of cluster.
+		s += p.BatchCrossAlpha * lcm
+		return 1 / s
+	}
+	bigFactor = slow(pl.LC.NBig, pl.BatchBig, spec.Big.Cores)
+	smallFactor = slow(pl.LC.NSmall, pl.BatchSmall, spec.Small.Cores)
+	return bigFactor, smallFactor
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,146 @@
+package interference
+
+import (
+	"math/rand"
+	"testing"
+
+	"hipster/internal/platform"
+)
+
+func TestNoBatchNoInflation(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	pl := Placement{
+		LC:                platform.Config{NBig: 2, BigFreq: 1150},
+		LCMemIntensity:    0.6,
+		BatchMemIntensity: 0.7,
+	}
+	if got := LCInflation(spec, p, pl); got != 1 {
+		t.Fatalf("no batch cores should mean no inflation, got %v", got)
+	}
+}
+
+func TestSameClusterWorseThanCross(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	// LC on the big cluster; batch on the same cluster vs only smalls.
+	same := Placement{
+		LC:                platform.Config{NBig: 1, BigFreq: 1150},
+		BatchBig:          1,
+		LCMemIntensity:    0.6,
+		BatchMemIntensity: 0.7,
+	}
+	cross := Placement{
+		LC:                platform.Config{NBig: 1, BigFreq: 1150},
+		BatchSmall:        1,
+		LCMemIntensity:    0.6,
+		BatchMemIntensity: 0.7,
+	}
+	if LCInflation(spec, p, same) <= LCInflation(spec, p, cross) {
+		t.Fatal("same-cluster batch must hurt the LC workload more")
+	}
+}
+
+func TestInflationMonotoneInBatchPressure(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		m1 := rng.Float64()
+		m2 := m1 + rng.Float64()*(1-m1)
+		mk := func(m float64, nb int) Placement {
+			return Placement{
+				LC:                platform.Config{NBig: 1, NSmall: 2, BigFreq: 900},
+				BatchBig:          nb,
+				BatchSmall:        1,
+				LCMemIntensity:    0.5,
+				BatchMemIntensity: m,
+			}
+		}
+		if LCInflation(spec, p, mk(m2, 1)) < LCInflation(spec, p, mk(m1, 1))-1e-12 {
+			t.Fatal("inflation not monotone in batch memory intensity")
+		}
+		if LCInflation(spec, p, mk(m1, 1)) > LCInflation(spec, p, mk(m1, 1))+1e-12 {
+			t.Fatal("unreachable")
+		}
+	}
+}
+
+func TestInflationAlwaysAtLeastOne(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		pl := Placement{
+			LC: platform.Config{
+				NBig:    rng.Intn(3),
+				NSmall:  rng.Intn(5),
+				BigFreq: 900,
+			},
+			BatchBig:          rng.Intn(3),
+			BatchSmall:        rng.Intn(5),
+			LCMemIntensity:    rng.Float64() * 1.5,   // also test clamp
+			BatchMemIntensity: rng.Float64()*2 - 0.5, // and negatives
+		}
+		if got := LCInflation(spec, p, pl); got < 1 {
+			t.Fatalf("inflation %v < 1 for %+v", got, pl)
+		}
+	}
+}
+
+func TestBatchSlowdownsBounded(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		pl := Placement{
+			LC: platform.Config{
+				NBig:    rng.Intn(3),
+				NSmall:  rng.Intn(5),
+				BigFreq: 600,
+			},
+			BatchBig:          rng.Intn(3),
+			BatchSmall:        rng.Intn(5),
+			LCMemIntensity:    rng.Float64(),
+			BatchMemIntensity: rng.Float64(),
+		}
+		b, s := BatchSlowdowns(spec, p, pl)
+		if b <= 0 || b > 1 || s <= 0 || s > 1 {
+			t.Fatalf("slowdowns out of (0,1]: %v %v for %+v", b, s, pl)
+		}
+	}
+}
+
+func TestBatchSufferMoreWhenSharingWithLC(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	shared := Placement{
+		LC:                platform.Config{NBig: 1, BigFreq: 1150},
+		BatchBig:          1,
+		LCMemIntensity:    0.6,
+		BatchMemIntensity: 0.3,
+	}
+	alone := Placement{
+		LC:                platform.Config{NSmall: 2},
+		BatchBig:          1,
+		LCMemIntensity:    0.6,
+		BatchMemIntensity: 0.3,
+	}
+	bShared, _ := BatchSlowdowns(spec, p, shared)
+	bAlone, _ := BatchSlowdowns(spec, p, alone)
+	if bShared >= bAlone {
+		t.Fatalf("batch sharing the LC cluster should run slower: %v vs %v", bShared, bAlone)
+	}
+}
+
+func TestBatchSelfContention(t *testing.T) {
+	spec := platform.JunoR1()
+	p := DefaultParams()
+	one := Placement{BatchSmall: 1, BatchMemIntensity: 0.8, LC: platform.Config{NBig: 1, BigFreq: 900}}
+	four := Placement{BatchSmall: 4, BatchMemIntensity: 0.8, LC: platform.Config{NBig: 1, BigFreq: 900}}
+	_, sOne := BatchSlowdowns(spec, p, one)
+	_, sFour := BatchSlowdowns(spec, p, four)
+	if sFour >= sOne {
+		t.Fatalf("four memory-bound batch jobs should contend with each other: %v vs %v", sFour, sOne)
+	}
+}

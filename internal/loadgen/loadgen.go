@@ -1,0 +1,254 @@
+// Package loadgen generates the client load patterns used by the
+// paper's experiments: the diurnal pattern of Figure 1 (a 36-hour
+// production trace compressed to minutes), the linear ramp of Figure 8,
+// sudden spikes, constants, and replayed traces. Patterns yield the load
+// as a fraction of the workload's maximum capacity.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Pattern yields the offered load at time t (seconds) as a fraction of
+// maximum capacity. Implementations must be deterministic; stochastic
+// jitter is added by the engine from its seeded stream.
+type Pattern interface {
+	// LoadAt returns the load fraction at time t; implementations clamp
+	// to [0, 1].
+	LoadAt(t float64) float64
+	// Duration returns the natural horizon of the pattern in seconds
+	// (0 = unbounded).
+	Duration() float64
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Constant is a flat load.
+type Constant struct {
+	Frac float64
+}
+
+// LoadAt implements Pattern.
+func (c Constant) LoadAt(float64) float64 { return clamp01(c.Frac) }
+
+// Duration implements Pattern (unbounded).
+func (c Constant) Duration() float64 { return 0 }
+
+// Diurnal models the day/night cycle observed at production data
+// centers (Figure 1): load swings between Min and Max across each
+// simulated day with a morning rise, an afternoon peak, an evening
+// shoulder and a night trough. PeriodSecs maps one full day; the
+// paper compresses one hour of trace to one minute, i.e. a 1440 s
+// period for a 24-hour day.
+type Diurnal struct {
+	PeriodSecs float64
+	Min        float64
+	Max        float64
+	// PeakSharpness (>= 1) concentrates the high-load region into a
+	// shorter afternoon window, as in production traces where peak
+	// capacity is approached for only a small part of the day. The
+	// default (0 = 2.6) keeps load above ~2/3 of maximum for roughly
+	// 15% of the day.
+	PeakSharpness float64
+	// StartPhase shifts where in the day the replay begins (0 =
+	// midnight, 0.25 = mid-morning rise). The paper's replayed trace
+	// starts on the morning rise.
+	StartPhase float64
+	// Days is the number of periods the pattern spans (for Duration);
+	// zero means unbounded.
+	Days int
+}
+
+// DefaultDiurnal matches the paper's setup: load between 5% and 95% of
+// maximum capacity over a 1440-second compressed day.
+func DefaultDiurnal() Diurnal {
+	return Diurnal{PeriodSecs: 1440, Min: 0.05, Max: 0.95, Days: 1}
+}
+
+// LoadAt implements Pattern: a two-harmonic day curve producing a
+// daytime plateau, an afternoon peak and a deep night trough,
+// qualitatively matching the Google/Facebook diurnal traces the paper
+// replays.
+func (d Diurnal) LoadAt(t float64) float64 {
+	if d.PeriodSecs <= 0 {
+		return clamp01(d.Min)
+	}
+	phase := math.Mod(t/d.PeriodSecs+d.StartPhase, 1) // 0 = midnight
+	// Base daily sinusoid with trough at ~04:00 and peak at ~16:00.
+	base := 0.5 - 0.5*math.Cos(2*math.Pi*(phase-1.0/6))
+	// Second harmonic sharpens the afternoon peak and flattens the
+	// morning shoulder.
+	base += 0.18 * math.Sin(4*math.Pi*(phase-1.0/6))
+	base = clamp01(base / 1.08)
+	sharp := d.PeakSharpness
+	if sharp <= 0 {
+		sharp = 2.6
+	}
+	base = math.Pow(base, sharp)
+	return clamp01(d.Min + (d.Max-d.Min)*base)
+}
+
+// Duration implements Pattern.
+func (d Diurnal) Duration() float64 {
+	if d.Days <= 0 {
+		return 0
+	}
+	return float64(d.Days) * d.PeriodSecs
+}
+
+// Ramp grows linearly from From to To over RampSecs, then holds To.
+// Figure 8 uses 50% -> 100% over 175 seconds.
+type Ramp struct {
+	From      float64
+	To        float64
+	RampSecs  float64
+	HoldSecs  float64
+	StartSecs float64 // optional flat lead-in at From
+}
+
+// LoadAt implements Pattern.
+func (r Ramp) LoadAt(t float64) float64 {
+	switch {
+	case t < r.StartSecs:
+		return clamp01(r.From)
+	case t < r.StartSecs+r.RampSecs:
+		f := (t - r.StartSecs) / r.RampSecs
+		return clamp01(r.From + (r.To-r.From)*f)
+	default:
+		return clamp01(r.To)
+	}
+}
+
+// Duration implements Pattern.
+func (r Ramp) Duration() float64 { return r.StartSecs + r.RampSecs + r.HoldSecs }
+
+// Spike holds Base load with rectangular bursts to Peak of SpikeSecs
+// every EverySecs (sudden load spikes, Dean & Barroso style).
+type Spike struct {
+	Base      float64
+	Peak      float64
+	EverySecs float64
+	SpikeSecs float64
+	Horizon   float64
+}
+
+// LoadAt implements Pattern.
+func (s Spike) LoadAt(t float64) float64 {
+	if s.EverySecs <= 0 {
+		return clamp01(s.Base)
+	}
+	if math.Mod(t, s.EverySecs) < s.SpikeSecs {
+		return clamp01(s.Peak)
+	}
+	return clamp01(s.Base)
+}
+
+// Duration implements Pattern.
+func (s Spike) Duration() float64 { return s.Horizon }
+
+// Trace replays a sampled load trace with linear interpolation between
+// samples spaced StepSecs apart.
+type Trace struct {
+	StepSecs float64
+	Samples  []float64
+}
+
+// NewTrace validates and builds a trace pattern.
+func NewTrace(stepSecs float64, samples []float64) (Trace, error) {
+	if stepSecs <= 0 {
+		return Trace{}, errors.New("loadgen: non-positive trace step")
+	}
+	if len(samples) < 2 {
+		return Trace{}, errors.New("loadgen: trace needs at least two samples")
+	}
+	for i, s := range samples {
+		if s < 0 || s > 1 {
+			return Trace{}, fmt.Errorf("loadgen: trace sample %d out of [0,1]: %v", i, s)
+		}
+	}
+	cp := make([]float64, len(samples))
+	copy(cp, samples)
+	return Trace{StepSecs: stepSecs, Samples: cp}, nil
+}
+
+// LoadAt implements Pattern.
+func (tr Trace) LoadAt(t float64) float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return tr.Samples[0]
+	}
+	pos := t / tr.StepSecs
+	i := int(pos)
+	if i >= len(tr.Samples)-1 {
+		return tr.Samples[len(tr.Samples)-1]
+	}
+	f := pos - float64(i)
+	return clamp01(tr.Samples[i]*(1-f) + tr.Samples[i+1]*f)
+}
+
+// Duration implements Pattern.
+func (tr Trace) Duration() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return float64(len(tr.Samples)-1) * tr.StepSecs
+}
+
+// Scale wraps a pattern, multiplying its output by Factor (clamped).
+type Scale struct {
+	Inner  Pattern
+	Factor float64
+}
+
+// LoadAt implements Pattern.
+func (s Scale) LoadAt(t float64) float64 { return clamp01(s.Inner.LoadAt(t) * s.Factor) }
+
+// Duration implements Pattern.
+func (s Scale) Duration() float64 { return s.Inner.Duration() }
+
+// Concat plays each pattern in sequence for its Duration; patterns with
+// unbounded duration terminate the sequence.
+type Concat struct {
+	Parts []Pattern
+}
+
+// LoadAt implements Pattern.
+func (c Concat) LoadAt(t float64) float64 {
+	for _, p := range c.Parts {
+		d := p.Duration()
+		if d == 0 || t < d {
+			return p.LoadAt(t)
+		}
+		t -= d
+	}
+	if len(c.Parts) == 0 {
+		return 0
+	}
+	last := c.Parts[len(c.Parts)-1]
+	return last.LoadAt(last.Duration())
+}
+
+// Duration implements Pattern.
+func (c Concat) Duration() float64 {
+	var d float64
+	for _, p := range c.Parts {
+		pd := p.Duration()
+		if pd == 0 {
+			return 0
+		}
+		d += pd
+	}
+	return d
+}

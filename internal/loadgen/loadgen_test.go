@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func allPatterns() []Pattern {
+	tr, _ := NewTrace(10, []float64{0.1, 0.9, 0.4})
+	return []Pattern{
+		Constant{Frac: 0.5},
+		DefaultDiurnal(),
+		Ramp{From: 0.5, To: 1, RampSecs: 175, HoldSecs: 25},
+		Spike{Base: 0.2, Peak: 0.9, EverySecs: 60, SpikeSecs: 5, Horizon: 600},
+		tr,
+		Scale{Inner: Constant{Frac: 0.8}, Factor: 0.5},
+		Concat{Parts: []Pattern{Ramp{From: 0, To: 1, RampSecs: 10}, Constant{Frac: 0.3}}},
+	}
+}
+
+func TestAllPatternsBounded(t *testing.T) {
+	for i, p := range allPatterns() {
+		f := func(tRaw float64) bool {
+			tt := math.Mod(math.Abs(tRaw), 1e6)
+			l := p.LoadAt(tt)
+			return l >= 0 && l <= 1 && !math.IsNaN(l)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("pattern %d out of bounds: %v", i, err)
+		}
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := DefaultDiurnal()
+	var min, max, sum float64 = 2, -1, 0
+	n := int(d.PeriodSecs)
+	for i := 0; i < n; i++ {
+		l := d.LoadAt(float64(i))
+		min = math.Min(min, l)
+		max = math.Max(max, l)
+		sum += l
+	}
+	if min > 0.10 {
+		t.Errorf("diurnal trough %v, want <= 10%% (paper: load falls to ~5%%)", min)
+	}
+	if max < 0.90 {
+		t.Errorf("diurnal peak %v, want >= 90%%", max)
+	}
+	mean := sum / float64(n)
+	if mean < 0.15 || mean > 0.55 {
+		t.Errorf("diurnal mean %v outside plausible range", mean)
+	}
+	// Periodicity.
+	if got, want := d.LoadAt(100), d.LoadAt(100+d.PeriodSecs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("diurnal not periodic: %v vs %v", got, want)
+	}
+	if d.Duration() != d.PeriodSecs {
+		t.Errorf("1-day duration = %v", d.Duration())
+	}
+}
+
+func TestDiurnalPeakShare(t *testing.T) {
+	// The calibrated diurnal keeps load above ~2/3 of maximum for
+	// roughly 15-20%% of the day, matching the violation budgets of
+	// the paper's static-small baseline.
+	d := DefaultDiurnal()
+	over := 0
+	n := int(d.PeriodSecs)
+	for i := 0; i < n; i++ {
+		if d.LoadAt(float64(i)) > 0.67 {
+			over++
+		}
+	}
+	frac := float64(over) / float64(n)
+	if frac < 0.08 || frac > 0.30 {
+		t.Errorf("time above 67%% load = %v, want 8-30%%", frac)
+	}
+}
+
+func TestDiurnalStartPhase(t *testing.T) {
+	base := DefaultDiurnal()
+	shifted := base
+	shifted.StartPhase = 0.25
+	if math.Abs(shifted.LoadAt(0)-base.LoadAt(0.25*base.PeriodSecs)) > 1e-12 {
+		t.Fatal("StartPhase should shift the day")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := Ramp{From: 0.5, To: 1.0, RampSecs: 100, HoldSecs: 50, StartSecs: 10}
+	if got := r.LoadAt(0); got != 0.5 {
+		t.Errorf("lead-in load = %v", got)
+	}
+	if got := r.LoadAt(60); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("mid-ramp load = %v, want 0.75", got)
+	}
+	if got := r.LoadAt(500); got != 1.0 {
+		t.Errorf("post-ramp load = %v", got)
+	}
+	if got := r.Duration(); got != 160 {
+		t.Errorf("duration = %v", got)
+	}
+}
+
+func TestSpike(t *testing.T) {
+	s := Spike{Base: 0.3, Peak: 0.9, EverySecs: 100, SpikeSecs: 10, Horizon: 1000}
+	if got := s.LoadAt(5); got != 0.9 {
+		t.Errorf("in-spike load = %v", got)
+	}
+	if got := s.LoadAt(50); got != 0.3 {
+		t.Errorf("base load = %v", got)
+	}
+	if got := s.LoadAt(105); got != 0.9 {
+		t.Errorf("second spike load = %v", got)
+	}
+	if s.Duration() != 1000 {
+		t.Errorf("duration = %v", s.Duration())
+	}
+}
+
+func TestTraceInterpolation(t *testing.T) {
+	tr, err := NewTrace(10, []float64{0.0, 1.0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ tt, want float64 }{
+		{0, 0}, {5, 0.5}, {10, 1.0}, {15, 0.75}, {20, 0.5}, {100, 0.5}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := tr.LoadAt(c.tt); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("trace(%v) = %v, want %v", c.tt, got, c.want)
+		}
+	}
+	if tr.Duration() != 20 {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace(0, []float64{0, 1}); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := NewTrace(1, []float64{0.5}); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, err := NewTrace(1, []float64{0.5, 1.5}); err == nil {
+		t.Error("out-of-range sample should fail")
+	}
+	// The trace must copy its input.
+	in := []float64{0.1, 0.2}
+	tr, _ := NewTrace(1, in)
+	in[0] = 0.9
+	if tr.LoadAt(0) != 0.1 {
+		t.Error("trace aliases caller slice")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	c := Concat{Parts: []Pattern{
+		Ramp{From: 0, To: 1, RampSecs: 10},
+		Constant{Frac: 0.3},
+	}}
+	if got := c.LoadAt(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("first part load = %v", got)
+	}
+	if got := c.LoadAt(15); got != 0.3 {
+		t.Errorf("second part load = %v", got)
+	}
+	// Unbounded tail pattern makes the whole sequence unbounded.
+	if c.Duration() != 0 {
+		t.Errorf("duration = %v, want unbounded", c.Duration())
+	}
+	bounded := Concat{Parts: []Pattern{
+		Ramp{From: 0, To: 1, RampSecs: 10},
+		Spike{Base: 0.1, Peak: 0.5, EverySecs: 10, SpikeSecs: 1, Horizon: 20},
+	}}
+	if bounded.Duration() != 30 {
+		t.Errorf("bounded duration = %v", bounded.Duration())
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := Scale{Inner: Constant{Frac: 0.8}, Factor: 0.5}
+	if got := s.LoadAt(0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("scaled load = %v", got)
+	}
+	over := Scale{Inner: Constant{Frac: 0.8}, Factor: 2}
+	if got := over.LoadAt(0); got != 1 {
+		t.Errorf("scaled load should clamp to 1, got %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+// Package octopusman implements the paper's primary baseline:
+// Octopus-Man (Petrucci et al., HPCA 2015), a QoS-driven task manager
+// for big.LITTLE systems. Octopus-Man maps the latency-critical
+// workload to either small cores or big cores — never both at once —
+// always at the highest DVFS setting, climbing and descending a
+// core-count ladder with a danger/safe feedback controller.
+//
+// Its configuration space is therefore a strict subset of Hipster's
+// (the "baseline policy" rows of Figure 2), which is exactly the
+// structural weakness the paper exploits: at intermediate load the
+// ladder oscillates between four small cores and two big cores, causing
+// costly cluster-to-cluster migrations and QoS violations.
+package octopusman
+
+import (
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+)
+
+// Params configure the controller.
+type Params struct {
+	// QoSD / QoSS are the danger and safe thresholds (fractions of the
+	// QoS target). The paper sweeps these and picks the combination
+	// with the highest QoS guarantee (§4.1).
+	QoSD float64
+	QoSS float64
+	// StartAtTop starts the ladder at the most powerful state (safe
+	// default, as deployed in the paper's experiments).
+	StartAtTop bool
+	// Cooldown suppresses down-transitions for this many intervals
+	// after a danger-triggered climb (oscillation damping).
+	Cooldown int
+}
+
+// DefaultParams returns the swept defaults used by the experiments.
+func DefaultParams() Params {
+	return Params{QoSD: 0.85, QoSS: 0.55, StartAtTop: true, Cooldown: 8}
+}
+
+// Manager is the Octopus-Man policy.
+type Manager struct {
+	ladder *policy.Ladder
+}
+
+// Ladder enumerates Octopus-Man's states for a platform: small-core
+// counts ascending, then big-core counts ascending, all at the highest
+// DVFS of their cluster.
+func Ladder(spec *platform.Spec) []platform.Config {
+	var states []platform.Config
+	for n := 1; n <= spec.Small.Cores; n++ {
+		states = append(states, platform.Config{NSmall: n, BigFreq: spec.Big.MinFreq()})
+	}
+	// Octopus-Man jumps from the small cluster straight to the full big
+	// cluster at maximum DVFS (Figure 2's baseline-policy rows show
+	// only xS and 2B configurations).
+	states = append(states, platform.Config{NBig: spec.Big.Cores, BigFreq: spec.Big.MaxFreq()})
+	return states
+}
+
+// New builds an Octopus-Man manager for the platform.
+func New(spec *platform.Spec, p Params) (*Manager, error) {
+	states := Ladder(spec)
+	start := 0
+	if p.StartAtTop {
+		start = len(states) - 1
+	}
+	l, err := policy.NewLadder(states, p.QoSD, p.QoSS, start)
+	if err != nil {
+		return nil, err
+	}
+	l.Cooldown = p.Cooldown
+	return &Manager{ladder: l}, nil
+}
+
+// MustNew is New that panics on error (invalid parameters only).
+func MustNew(spec *platform.Spec, p Params) *Manager {
+	m, err := New(spec, p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements policy.Policy.
+func (m *Manager) Name() string { return "octopus-man" }
+
+// Decide implements policy.Policy.
+func (m *Manager) Decide(obs policy.Observation) platform.Config {
+	return m.ladder.Step(obs)
+}
+
+// Reset implements policy.Policy.
+func (m *Manager) Reset() { m.ladder.Reset() }
+
+// States exposes the ladder (for reports and tests).
+func (m *Manager) States() []platform.Config { return m.ladder.States }

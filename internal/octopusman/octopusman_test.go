@@ -1,0 +1,79 @@
+package octopusman
+
+import (
+	"testing"
+
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+)
+
+func TestLadderStructure(t *testing.T) {
+	spec := platform.JunoR1()
+	states := Ladder(spec)
+	if len(states) != 5 {
+		t.Fatalf("Octopus-Man ladder should have 5 states on Juno, got %d", len(states))
+	}
+	// Small-core counts ascending, then the full big cluster at max
+	// DVFS — never a mixed configuration (the paper's structural
+	// contrast with Hipster).
+	for i := 0; i < 4; i++ {
+		if states[i].NBig != 0 || states[i].NSmall != i+1 {
+			t.Errorf("state %d = %v, want %dS", i, states[i], i+1)
+		}
+	}
+	top := states[4]
+	if top.NBig != spec.Big.Cores || top.NSmall != 0 || top.BigFreq != spec.Big.MaxFreq() {
+		t.Errorf("top state = %v, want all big cores at max DVFS", top)
+	}
+	for _, s := range states {
+		if s.NBig > 0 && s.NSmall > 0 {
+			t.Errorf("Octopus-Man must never mix core types: %v", s)
+		}
+	}
+}
+
+func TestDecisionCycle(t *testing.T) {
+	spec := platform.JunoR1()
+	m := MustNew(spec, Params{QoSD: 0.8, QoSS: 0.5, StartAtTop: true})
+	if m.Name() != "octopus-man" {
+		t.Fatal("name")
+	}
+	// Starts at the top.
+	cfg := m.Decide(policy.Observation{TailLatency: 0.7, Target: 1})
+	if cfg.NBig != 2 {
+		t.Fatalf("neutral obs from top = %v", cfg)
+	}
+	// Safe observations descend toward small cores.
+	for i := 0; i < 10; i++ {
+		cfg = m.Decide(policy.Observation{TailLatency: 0.1, Target: 1})
+	}
+	if cfg.NSmall != 1 || cfg.NBig != 0 {
+		t.Fatalf("sustained safe should land on 1S, got %v", cfg)
+	}
+	// A violation climbs back.
+	cfg = m.Decide(policy.Observation{TailLatency: 1.5, Target: 1})
+	if cfg.NSmall != 2 {
+		t.Fatalf("violation should climb, got %v", cfg)
+	}
+	m.Reset()
+	cfg = m.Decide(policy.Observation{TailLatency: 0.7, Target: 1})
+	if cfg.NBig != 2 {
+		t.Fatalf("reset should restore the top, got %v", cfg)
+	}
+}
+
+func TestStartAtBottom(t *testing.T) {
+	spec := platform.JunoR1()
+	m := MustNew(spec, Params{QoSD: 0.8, QoSS: 0.5})
+	cfg := m.Decide(policy.Observation{TailLatency: 0.7, Target: 1})
+	if cfg.NSmall != 1 {
+		t.Fatalf("bottom start = %v", cfg)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	spec := platform.JunoR1()
+	if _, err := New(spec, Params{QoSD: 0.5, QoSS: 0.8}); err == nil {
+		t.Fatal("inverted zones accepted")
+	}
+}

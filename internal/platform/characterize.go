@@ -1,0 +1,42 @@
+package platform
+
+// CharacterizationRow is one row of the Table 2 reproduction: the power
+// and stress-benchmark performance of a cluster with all cores or a
+// single core active at the cluster's maximum DVFS point.
+type CharacterizationRow struct {
+	CoreType    string
+	FreqGHz     string
+	AllCoresW   float64
+	OneCoreW    float64
+	AllCoresIPS float64
+	OneCoreIPS  float64
+}
+
+// Characterize reproduces Table 2 of the paper: it runs the power model
+// under the compute-only stress microbenchmark for each cluster with one
+// core and with all cores active, reporting system power (the Juno
+// meters include rest-of-system) and aggregate IPS.
+func Characterize(s *Spec) []CharacterizationRow {
+	rows := make([]CharacterizationRow, 0, 2)
+	for _, c := range []*ClusterSpec{&s.Big, &s.Small} {
+		var one, all Config
+		if c.Kind == Big {
+			one = Config{NBig: 1, BigFreq: c.MaxFreq()}
+			all = Config{NBig: c.Cores, BigFreq: c.MaxFreq()}
+		} else {
+			one = Config{NSmall: 1}
+			all = Config{NSmall: c.Cores}
+		}
+		oneR := StressPower(s, one)
+		allR := StressPower(s, all)
+		rows = append(rows, CharacterizationRow{
+			CoreType:    c.Name,
+			FreqGHz:     c.MaxFreq().GHz(),
+			AllCoresW:   allR.Total,
+			OneCoreW:    oneR.Total,
+			AllCoresIPS: allR.IPS,
+			OneCoreIPS:  oneR.IPS,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,185 @@
+package platform
+
+import "fmt"
+
+// Load describes the instantaneous utilisation of the platform over one
+// monitoring interval, as needed to evaluate the power model. Slices are
+// indexed per core within each cluster; a utilisation of zero means the
+// core is idle (parked unless CPUidle is disabled).
+type Load struct {
+	BigFreq   FreqMHz
+	SmallFreq FreqMHz
+
+	// BigUtils / SmallUtils carry the busy fraction (0..1) of each core.
+	// Length must not exceed the cluster core count; missing entries are
+	// treated as idle cores.
+	BigUtils   []float64
+	SmallUtils []float64
+
+	// CPUIdleDisabled models the paper's workaround for the Juno perf
+	// bug: cores can no longer enter idle states, so idle cores burn a
+	// fraction of dynamic power and clusters never power-gate.
+	CPUIdleDisabled bool
+
+	// DeliveredIPS is the aggregate instruction throughput this
+	// interval, used for the activity-dependent rest-of-system power.
+	DeliveredIPS float64
+}
+
+// Breakdown is a power reading in watts, mirroring the Juno energy-meter
+// registers that report big cluster, small cluster ("little") and
+// rest-of-system (sys) separately.
+type Breakdown struct {
+	BigW   float64
+	SmallW float64
+	RestW  float64
+}
+
+// Total returns the system power.
+func (b Breakdown) Total() float64 { return b.BigW + b.SmallW + b.RestW }
+
+// String renders the reading.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("big=%.3fW small=%.3fW rest=%.3fW total=%.3fW",
+		b.BigW, b.SmallW, b.RestW, b.Total())
+}
+
+// clusterPower evaluates one cluster: static power when powered, plus
+// per-core dynamic power scaled by utilisation. With CPUidle disabled,
+// idle cores burn IdleActiveFrac of the dynamic power and the cluster
+// can never gate.
+func clusterPower(c *ClusterSpec, f FreqMHz, utils []float64, cpuidleDisabled bool) float64 {
+	anyBusy := false
+	for _, u := range utils {
+		if u > 0 {
+			anyBusy = true
+			break
+		}
+	}
+	if !anyBusy && !cpuidleDisabled {
+		return c.GatedW
+	}
+	p := c.StaticW(f)
+	dyn := c.DynW(f)
+	n := c.Cores
+	for i := 0; i < n; i++ {
+		var u float64
+		if i < len(utils) {
+			u = clamp01(utils[i])
+		}
+		if cpuidleDisabled && u < c.IdleActiveFrac {
+			u = c.IdleActiveFrac
+		}
+		p += dyn * u
+	}
+	return p
+}
+
+// SystemPower evaluates the full platform power model for one interval.
+func SystemPower(s *Spec, l Load) Breakdown {
+	bigF := l.BigFreq
+	if bigF == 0 {
+		bigF = s.Big.MinFreq()
+	}
+	smallF := l.SmallFreq
+	if smallF == 0 {
+		smallF = s.Small.MinFreq()
+	}
+	frac := 0.0
+	if max := s.MaxSystemIPS(); max > 0 {
+		frac = clamp01(l.DeliveredIPS / max)
+	}
+	return Breakdown{
+		BigW:   clusterPower(&s.Big, bigF, l.BigUtils, l.CPUIdleDisabled),
+		SmallW: clusterPower(&s.Small, smallF, l.SmallUtils, l.CPUIdleDisabled),
+		RestW:  s.RestBaseW + s.RestActivityW*frac,
+	}
+}
+
+// StressIPS returns the aggregate IPS of the compute-only stress
+// microbenchmark running on the cores of cfg.
+func StressIPS(s *Spec, cfg Config) float64 {
+	return s.Big.TotalIPS(cfg.NBig, cfg.BigFreq) +
+		s.Small.TotalIPS(cfg.NSmall, s.Small.MaxFreq())
+}
+
+// StressPowerBreakdown is the result of characterising one configuration
+// with the stress microbenchmark.
+type StressPowerBreakdown struct {
+	Breakdown
+	Total float64
+	IPS   float64
+}
+
+// StressPower characterises cfg under the stress microbenchmark: all
+// allocated cores fully utilised, the remaining cores idle with CPUidle
+// enabled. This is the measurement §3.3 uses to order the heuristic
+// state machine.
+func StressPower(s *Spec, cfg Config) StressPowerBreakdown {
+	cfg = cfg.Normalize(s)
+	ips := StressIPS(s, cfg)
+	l := Load{
+		BigFreq:      cfg.BigFreq,
+		SmallFreq:    s.Small.MaxFreq(),
+		BigUtils:     fullUtils(cfg.NBig),
+		SmallUtils:   fullUtils(cfg.NSmall),
+		DeliveredIPS: ips,
+	}
+	b := SystemPower(s, l)
+	return StressPowerBreakdown{Breakdown: b, Total: b.Total(), IPS: ips}
+}
+
+func fullUtils(n int) []float64 {
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	return u
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// EnergyMeter integrates power over time, mirroring Juno's cumulative
+// energy registers (big, little, sys channels).
+type EnergyMeter struct {
+	BigJ   float64
+	SmallJ float64
+	RestJ  float64
+	secs   float64
+}
+
+// Add integrates a power reading over dt seconds.
+func (m *EnergyMeter) Add(b Breakdown, dt float64) {
+	if dt < 0 {
+		panic("platform: negative energy integration step")
+	}
+	m.BigJ += b.BigW * dt
+	m.SmallJ += b.SmallW * dt
+	m.RestJ += b.RestW * dt
+	m.secs += dt
+}
+
+// TotalJ returns the accumulated system energy in joules.
+func (m *EnergyMeter) TotalJ() float64 { return m.BigJ + m.SmallJ + m.RestJ }
+
+// Seconds returns the integration horizon.
+func (m *EnergyMeter) Seconds() float64 { return m.secs }
+
+// MeanPowerW returns the average system power over the horizon.
+func (m *EnergyMeter) MeanPowerW() float64 {
+	if m.secs == 0 {
+		return 0
+	}
+	return m.TotalJ() / m.secs
+}
+
+// Reset zeroes the meter.
+func (m *EnergyMeter) Reset() { *m = EnergyMeter{} }

@@ -1,0 +1,113 @@
+package policy
+
+import (
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// Oracle is an idealised policy with perfect knowledge of the workload
+// model: each interval it exhaustively searches the configuration space
+// for the least-power configuration whose *deterministic* steady-state
+// tail latency meets the QoS target at the just-observed load. It is
+// not realisable on real hardware (it assumes the next interval's load
+// equals the current one and a perfect latency model); the experiments
+// use it as the upper bound on achievable energy savings, against which
+// HipsterIn's learned table is judged.
+type Oracle struct {
+	spec    *platform.Spec
+	wl      *workload.Model
+	configs []platform.Config
+	// Headroom derates each configuration's capacity during the search
+	// (0.0 = none). A small margin absorbs load growth during the next
+	// interval.
+	Headroom float64
+
+	last platform.Config
+}
+
+// NewOracle builds the oracle for a workload on a platform.
+func NewOracle(spec *platform.Spec, wl *workload.Model, headroom float64) *Oracle {
+	return &Oracle{
+		spec:     spec,
+		wl:       wl,
+		configs:  platform.Configs(spec),
+		Headroom: headroom,
+		last:     platform.Config{NBig: spec.Big.Cores, BigFreq: spec.Big.MaxFreq()},
+	}
+}
+
+// Name implements Policy.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Decide implements Policy.
+func (o *Oracle) Decide(obs Observation) platform.Config {
+	rps := o.wl.RPSAt(obs.LoadFrac) * (1 + o.Headroom)
+	best := o.last
+	bestPower := -1.0
+	for _, cfg := range o.configs {
+		if !o.wl.MeetsQoS(o.spec, cfg, rps) {
+			continue
+		}
+		p := o.steadyPower(cfg, rps)
+		if bestPower < 0 || p < bestPower {
+			best, bestPower = cfg, p
+		}
+	}
+	if bestPower < 0 {
+		// Nothing meets QoS (overload): use the highest-capacity
+		// configuration.
+		best = o.maxCapacity()
+	}
+	o.last = best
+	return best
+}
+
+// Reset implements Policy.
+func (o *Oracle) Reset() {
+	o.last = platform.Config{NBig: o.spec.Big.Cores, BigFreq: o.spec.Big.MaxFreq()}
+}
+
+func (o *Oracle) maxCapacity() platform.Config {
+	best := o.configs[0]
+	bestCap := -1.0
+	for _, cfg := range o.configs {
+		if c := o.wl.CapacityRPS(o.spec, cfg); c > bestCap {
+			best, bestCap = cfg, c
+		}
+	}
+	return best
+}
+
+// steadyPower mirrors the experiments' steady-state power evaluation:
+// allocated cores at the workload's utilisation (with floor), unused
+// clusters at the lowest DVFS.
+func (o *Oracle) steadyPower(cfg platform.Config, rps float64) float64 {
+	cfg = cfg.Normalize(o.spec)
+	capacity := o.wl.CapacityRPS(o.spec, cfg)
+	rho := 0.0
+	if capacity > 0 {
+		rho = rps / capacity
+	}
+	if rho > 1 {
+		rho = 1
+	}
+	util := rho
+	if util < o.wl.UtilFloor {
+		util = o.wl.UtilFloor
+	}
+	mk := func(n int) []float64 {
+		u := make([]float64, n)
+		for i := range u {
+			u[i] = util
+		}
+		return u
+	}
+	load := platform.Load{
+		BigFreq:      cfg.BigFreq,
+		SmallFreq:    o.spec.Small.MaxFreq(),
+		BigUtils:     mk(cfg.NBig),
+		SmallUtils:   mk(cfg.NSmall),
+		DeliveredIPS: rps * o.wl.DemandInstr,
+	}
+	return platform.SystemPower(o.spec, load).Total()
+}

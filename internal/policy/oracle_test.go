@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"testing"
+
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+func TestOracleMeetsQoSAtEveryLoad(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := workload.Memcached()
+	o := NewOracle(spec, wl, 0)
+	for frac := 0.05; frac <= 1.0; frac += 0.05 {
+		cfg := o.Decide(Observation{LoadFrac: frac})
+		if err := cfg.Validate(spec); err != nil {
+			t.Fatalf("load %v: invalid config %v", frac, cfg)
+		}
+		if !wl.MeetsQoS(spec, cfg, wl.RPSAt(frac)) {
+			t.Errorf("load %v: oracle chose %v which violates QoS", frac, cfg)
+		}
+	}
+}
+
+func TestOracleIsMonotoneCheapAtTrough(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := workload.Memcached()
+	o := NewOracle(spec, wl, 0)
+	low := o.Decide(Observation{LoadFrac: 0.05})
+	if low.UsesBig() {
+		t.Fatalf("oracle at 5%% load should use small cores, got %v", low)
+	}
+	high := o.Decide(Observation{LoadFrac: 0.98})
+	if !high.UsesBig() {
+		t.Fatalf("oracle at 98%% load needs big cores, got %v", high)
+	}
+}
+
+func TestOracleOverloadPicksMaxCapacity(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := workload.WebSearch()
+	o := NewOracle(spec, wl, 0)
+	// Beyond 100% nothing meets QoS; the oracle must still return the
+	// highest-capacity configuration rather than stall.
+	cfg := o.Decide(Observation{LoadFrac: 1.5})
+	best := cfg
+	for _, c := range platform.Configs(spec) {
+		if wl.CapacityRPS(spec, c) > wl.CapacityRPS(spec, best) {
+			best = c
+		}
+	}
+	if cfg != best {
+		t.Fatalf("overload config %v, want max-capacity %v", cfg, best)
+	}
+}
+
+func TestOracleBeatsStaticOnPower(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := workload.Memcached()
+	o := NewOracle(spec, wl, 0)
+	static := platform.Config{NBig: 2, BigFreq: 1150}
+	cfg := o.Decide(Observation{LoadFrac: 0.3})
+	if o.steadyPower(cfg, wl.RPSAt(0.3)) >= o.steadyPower(static, wl.RPSAt(0.3)) {
+		t.Fatal("oracle at 30% load should undercut static-big power")
+	}
+	o.Reset()
+	if o.last != static {
+		t.Fatal("reset should restore the static-big starting point")
+	}
+}

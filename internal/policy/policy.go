@@ -1,0 +1,194 @@
+// Package policy defines the decision-making interface shared by every
+// task manager in the repository (static mappings, Octopus-Man,
+// Hipster's heuristic mapper, and the full Hipster manager), plus the
+// feedback-controlled state-machine ladder that the heuristic policies
+// share (§3.3).
+package policy
+
+import (
+	"fmt"
+
+	"hipster/internal/platform"
+)
+
+// Observation is what the QoS monitor hands the policy at the end of
+// each monitoring interval: application-level QoS metrics, the load, the
+// power reading, and (for collocated runs) the batch throughput read
+// from the performance counters.
+type Observation struct {
+	// Time is the interval end time in seconds; Interval its length.
+	Time     float64
+	Interval float64
+
+	// LoadFrac is the measured load during the interval as a fraction
+	// of the workload's maximum capacity.
+	LoadFrac float64
+
+	// TailLatency is the measured tail latency (seconds) at the
+	// workload's QoS percentile; Target is the QoS target.
+	TailLatency float64
+	Target      float64
+
+	// PowerW is the measured system power.
+	PowerW float64
+
+	// Current is the configuration that was in force.
+	Current platform.Config
+
+	// HasBatch reports whether batch jobs are collocated.
+	HasBatch bool
+	// BatchBigIPS / BatchSmallIPS are the per-cluster aggregate batch
+	// instruction rates (the BIPS/SIPS of Algorithm 1).
+	BatchBigIPS   float64
+	BatchSmallIPS float64
+	// PerfGarbage flags a corrupted counter reading (Juno erratum).
+	PerfGarbage bool
+}
+
+// QoSMet reports whether the interval met the target.
+func (o Observation) QoSMet() bool { return o.TailLatency <= o.Target }
+
+// Policy decides the configuration for the next interval from the
+// current observation.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns the configuration to apply for the next interval.
+	Decide(obs Observation) platform.Config
+	// Reset restores the policy to its initial state.
+	Reset()
+}
+
+// Phaser is implemented by policies that expose an internal phase
+// (Hipster's learning/exploitation) for telemetry.
+type Phaser interface {
+	Phase() string
+}
+
+// Static always returns a fixed configuration; the paper's
+// "Static (all big cores)" and "Static (all small cores)" baselines.
+type Static struct {
+	Label  string
+	Config platform.Config
+}
+
+// NewStaticBig returns the all-big-cores-at-max-DVFS baseline.
+func NewStaticBig(spec *platform.Spec) *Static {
+	return &Static{
+		Label:  "static-big",
+		Config: platform.Config{NBig: spec.Big.Cores, BigFreq: spec.Big.MaxFreq()},
+	}
+}
+
+// NewStaticSmall returns the all-small-cores baseline.
+func NewStaticSmall(spec *platform.Spec) *Static {
+	return &Static{
+		Label:  "static-small",
+		Config: platform.Config{NSmall: spec.Small.Cores, BigFreq: spec.Big.MinFreq()},
+	}
+}
+
+// Name implements Policy.
+func (s *Static) Name() string { return s.Label }
+
+// Decide implements Policy.
+func (s *Static) Decide(Observation) platform.Config { return s.Config }
+
+// Reset implements Policy.
+func (s *Static) Reset() {}
+
+// Ladder is a feedback-controlled state machine over an ordered list of
+// configurations (approximately ascending power). Whenever an interval
+// ends in the danger zone (tail latency above QoSD of the target) it
+// climbs to the next-higher-power state; whenever it ends in the safe
+// zone (below QoSS of the target) it descends.
+type Ladder struct {
+	States []platform.Config
+	// QoSD and QoSS define the danger and safe zones as fractions of
+	// the target (0 < QoSS < QoSD <= 1).
+	QoSD float64
+	QoSS float64
+	// Cooldown suppresses down-transitions for this many intervals
+	// after an up-transition, avoiding immediate re-descent into a
+	// state that just violated (the oscillation damping both
+	// Octopus-Man and the heuristic mapper deploy; the paper computes
+	// the zone thresholds "to avoid oscillations between adjacent
+	// states").
+	Cooldown int
+
+	idx      int
+	startIdx int
+	hold     int
+}
+
+// NewLadder builds a ladder controller starting at the given index.
+func NewLadder(states []platform.Config, qosD, qosS float64, startIdx int) (*Ladder, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("policy: empty ladder")
+	}
+	if !(0 < qosS && qosS < qosD && qosD <= 1) {
+		return nil, fmt.Errorf("policy: invalid zones QoSD=%v QoSS=%v", qosD, qosS)
+	}
+	if startIdx < 0 || startIdx >= len(states) {
+		return nil, fmt.Errorf("policy: start index %d out of range", startIdx)
+	}
+	cp := make([]platform.Config, len(states))
+	copy(cp, states)
+	return &Ladder{States: cp, QoSD: qosD, QoSS: qosS, idx: startIdx, startIdx: startIdx}, nil
+}
+
+// Index returns the current ladder position.
+func (l *Ladder) Index() int { return l.idx }
+
+// SetIndex moves the controller to a specific state (used when an outer
+// manager applied a different configuration and the ladder must resume
+// from there).
+func (l *Ladder) SetIndex(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.States) {
+		i = len(l.States) - 1
+	}
+	l.idx = i
+}
+
+// Current returns the configuration at the current position.
+func (l *Ladder) Current() platform.Config { return l.States[l.idx] }
+
+// Step applies the danger/safe transition rule for one observation and
+// returns the configuration for the next interval. After a
+// danger-triggered climb, the next Cooldown safe signals are absorbed
+// instead of descending.
+func (l *Ladder) Step(obs Observation) platform.Config {
+	switch {
+	case obs.TailLatency > obs.Target*l.QoSD:
+		if l.idx < len(l.States)-1 {
+			l.idx++
+		}
+		l.hold = l.Cooldown
+	case obs.TailLatency < obs.Target*l.QoSS:
+		if l.hold > 0 {
+			l.hold--
+		} else if l.idx > 0 {
+			l.idx--
+		}
+	}
+	return l.States[l.idx]
+}
+
+// Reset restores the initial position.
+func (l *Ladder) Reset() {
+	l.idx = l.startIdx
+	l.hold = 0
+}
+
+// IndexOf locates a configuration in the ladder, or -1.
+func (l *Ladder) IndexOf(c platform.Config) int {
+	for i, s := range l.States {
+		if s == c {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,148 @@
+package policy
+
+import (
+	"testing"
+
+	"hipster/internal/platform"
+)
+
+func ladderStates() []platform.Config {
+	return []platform.Config{
+		{NSmall: 1},
+		{NSmall: 2},
+		{NSmall: 4},
+		{NBig: 2, BigFreq: 1150},
+	}
+}
+
+func obs(tail, target float64) Observation {
+	return Observation{TailLatency: tail, Target: target}
+}
+
+func TestLadderClimbsOnDanger(t *testing.T) {
+	l, err := NewLadder(ladderStates(), 0.8, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail beyond the danger zone climbs one state per interval.
+	for i := 1; i <= 3; i++ {
+		l.Step(obs(0.95, 1))
+		if l.Index() != i {
+			t.Fatalf("after %d danger steps index = %d", i, l.Index())
+		}
+	}
+	// Clamped at the top.
+	l.Step(obs(2.0, 1))
+	if l.Index() != 3 {
+		t.Fatalf("index should clamp at top, got %d", l.Index())
+	}
+}
+
+func TestLadderDescendsWhenSafe(t *testing.T) {
+	l, _ := NewLadder(ladderStates(), 0.8, 0.5, 3)
+	l.Step(obs(0.2, 1))
+	if l.Index() != 2 {
+		t.Fatalf("safe zone should descend, index = %d", l.Index())
+	}
+	// Middle band: hold position.
+	l.Step(obs(0.65, 1))
+	if l.Index() != 2 {
+		t.Fatalf("between zones should hold, index = %d", l.Index())
+	}
+	// Clamped at the bottom.
+	l.SetIndex(0)
+	l.Step(obs(0.1, 1))
+	if l.Index() != 0 {
+		t.Fatalf("index should clamp at bottom, got %d", l.Index())
+	}
+}
+
+func TestLadderCooldownBlocksDescent(t *testing.T) {
+	l, _ := NewLadder(ladderStates(), 0.8, 0.5, 1)
+	l.Cooldown = 3
+	l.Step(obs(0.9, 1)) // climb, arming the cooldown
+	if l.Index() != 2 {
+		t.Fatal("should have climbed")
+	}
+	for i := 0; i < 3; i++ {
+		l.Step(obs(0.1, 1)) // safe, but held by cooldown
+		if l.Index() != 2 {
+			t.Fatalf("cooldown violated at safe step %d", i)
+		}
+	}
+	l.Step(obs(0.1, 1)) // cooldown expired
+	if l.Index() != 1 {
+		t.Fatalf("descent should resume, index = %d", l.Index())
+	}
+	// Danger transitions are never blocked by cooldown.
+	l.Step(obs(0.9, 1))
+	if l.Index() != 2 {
+		t.Fatal("danger climb must not be blocked")
+	}
+}
+
+func TestLadderResetAndIndexOf(t *testing.T) {
+	l, _ := NewLadder(ladderStates(), 0.8, 0.5, 2)
+	l.Step(obs(0.95, 1))
+	l.Reset()
+	if l.Index() != 2 {
+		t.Fatalf("reset index = %d", l.Index())
+	}
+	if got := l.IndexOf(platform.Config{NSmall: 2}); got != 1 {
+		t.Fatalf("IndexOf = %d", got)
+	}
+	if got := l.IndexOf(platform.Config{NBig: 1, BigFreq: 600}); got != -1 {
+		t.Fatalf("missing config IndexOf = %d", got)
+	}
+	l.SetIndex(99)
+	if l.Index() != len(ladderStates())-1 {
+		t.Fatal("SetIndex should clamp high")
+	}
+	l.SetIndex(-5)
+	if l.Index() != 0 {
+		t.Fatal("SetIndex should clamp low")
+	}
+}
+
+func TestNewLadderValidation(t *testing.T) {
+	if _, err := NewLadder(nil, 0.8, 0.5, 0); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewLadder(ladderStates(), 0.5, 0.8, 0); err == nil {
+		t.Error("safe above danger accepted")
+	}
+	if _, err := NewLadder(ladderStates(), 1.2, 0.5, 0); err == nil {
+		t.Error("danger above 1 accepted")
+	}
+	if _, err := NewLadder(ladderStates(), 0.8, 0.5, 10); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+}
+
+func TestStaticPolicies(t *testing.T) {
+	spec := platform.JunoR1()
+	big := NewStaticBig(spec)
+	if got := big.Decide(Observation{}); got.NBig != 2 || got.BigFreq != 1150 {
+		t.Fatalf("static big = %v", got)
+	}
+	small := NewStaticSmall(spec)
+	if got := small.Decide(Observation{}); got.NSmall != 4 || got.NBig != 0 {
+		t.Fatalf("static small = %v", got)
+	}
+	if big.Name() != "static-big" || small.Name() != "static-small" {
+		t.Fatal("policy names")
+	}
+	big.Reset() // must be a no-op
+	if got := big.Decide(Observation{TailLatency: 99, Target: 1}); got.NBig != 2 {
+		t.Fatal("static policy must ignore observations")
+	}
+}
+
+func TestObservationQoSMet(t *testing.T) {
+	if !(Observation{TailLatency: 0.9, Target: 1}).QoSMet() {
+		t.Fatal("below target should be met")
+	}
+	if (Observation{TailLatency: 1.1, Target: 1}).QoSMet() {
+		t.Fatal("above target should violate")
+	}
+}

@@ -1,0 +1,170 @@
+// Package queueing provides the request-level performance models behind
+// the latency-critical workloads: a fast analytic tail-latency
+// approximation for a pool of heterogeneous servers fed by a single
+// queue, and a discrete-event simulator used to validate it.
+//
+// The latency-critical applications of the paper (Memcached, Web-Search)
+// are thread-per-core services: the cores allocated by a configuration
+// form a pool of servers with different speeds (big vs small cores at
+// some DVFS point) draining a shared request queue. Tail latency as a
+// function of (arrival rate, pool composition) is exactly the quantity
+// every Hipster decision depends on.
+package queueing
+
+import (
+	"errors"
+	"math"
+
+	"hipster/internal/stats"
+)
+
+// Server is one serving thread pinned to a core; Rate is its service
+// rate in requests per second (core speed divided by request demand).
+type Server struct {
+	Rate float64
+}
+
+// TotalRate sums the pool's service capacity in requests per second.
+func TotalRate(servers []Server) float64 {
+	var s float64
+	for _, sv := range servers {
+		s += sv.Rate
+	}
+	return s
+}
+
+// satClamp is the utilisation beyond which the analytic model declares
+// saturation: queueing delay is unbounded and the caller must account
+// for backlog growth instead.
+const satClamp = 0.995
+
+// Result is the analytic model's prediction for one interval.
+type Result struct {
+	// Rho is the offered utilisation lambda / total service rate; it may
+	// exceed one under overload.
+	Rho float64
+	// PWait is the Erlang-C probability that an arriving request queues.
+	PWait float64
+	// MeanLatency is the mean sojourn time in seconds.
+	MeanLatency float64
+	// TailLatency is the requested percentile of the sojourn time in
+	// seconds; +Inf when saturated.
+	TailLatency float64
+	// Throughput is the achievable completion rate (min(lambda, mu)).
+	Throughput float64
+	// Saturated reports lambda >= satClamp * mu.
+	Saturated bool
+}
+
+// ErrNoServers is returned when the pool is empty.
+var ErrNoServers = errors.New("queueing: empty server pool")
+
+// Analyze approximates the sojourn-time distribution of a heterogeneous
+// server pool with Poisson(lambda) arrivals, lognormal service demands
+// with coefficient of variation cv, and a single FIFO queue. pct is the
+// percentile of interest (e.g. 0.95).
+//
+// The approximation combines (a) the service-time quantile of the
+// rate-weighted mixture over server speeds with (b) the Erlang-C waiting
+// time of the equivalent homogeneous M/M/c pool, with the standard
+// (1+cv^2)/2 G/G correction on the queueing term. It is validated
+// against the discrete-event simulator in the package tests.
+func Analyze(servers []Server, lambda, pct, cv float64) (Result, error) {
+	if len(servers) == 0 {
+		return Result{}, ErrNoServers
+	}
+	if pct <= 0 || pct >= 1 {
+		return Result{}, errors.New("queueing: percentile out of (0,1)")
+	}
+	if cv < 0 {
+		return Result{}, errors.New("queueing: negative cv")
+	}
+	mu := TotalRate(servers)
+	if mu <= 0 {
+		return Result{}, errors.New("queueing: zero service capacity")
+	}
+	if lambda < 0 {
+		return Result{}, errors.New("queueing: negative arrival rate")
+	}
+
+	res := Result{Rho: lambda / mu}
+	// Service-time mixture: a busy pool completes requests from each
+	// server in proportion to its rate.
+	parts := make([]stats.WeightedDist, 0, len(servers))
+	var meanS float64
+	for _, sv := range servers {
+		if sv.Rate <= 0 {
+			return Result{}, errors.New("queueing: non-positive server rate")
+		}
+		m := 1 / sv.Rate
+		parts = append(parts, stats.WeightedDist{
+			Weight: sv.Rate,
+			Dist:   stats.LogNormalFromMeanCV(m, cv),
+		})
+		meanS += (sv.Rate / mu) * m
+	}
+	sTail := stats.MixtureQuantile(parts, pct)
+
+	if lambda == 0 {
+		res.MeanLatency = meanS
+		res.TailLatency = sTail
+		return res, nil
+	}
+	if res.Rho >= satClamp {
+		res.Saturated = true
+		res.PWait = 1
+		res.Throughput = mu
+		res.MeanLatency = math.Inf(1)
+		res.TailLatency = math.Inf(1)
+		return res, nil
+	}
+
+	c := len(servers)
+	a := lambda / (mu / float64(c)) // offered load in erlangs
+	pWait := ErlangC(c, a)
+	drain := mu - lambda
+	gg := (1 + cv*cv) / 2 // G/G correction on the queueing term
+	meanWait := pWait / drain * gg
+
+	// Tail of the waiting time: exponential with rate drain/gg beyond
+	// the queueing probability mass.
+	var tailWait float64
+	if pWait > 1-pct {
+		tailWait = math.Log(pWait/(1-pct)) * gg / drain
+	}
+
+	res.PWait = pWait
+	res.Throughput = lambda
+	res.MeanLatency = meanS + meanWait
+	res.TailLatency = sTail + tailWait
+	return res, nil
+}
+
+// ErlangC returns the probability that an arrival must queue in an
+// M/M/c system with offered load a erlangs. It uses the numerically
+// stable Erlang-B recursion. Results are clamped to [0,1]; a >= c
+// (unstable system) returns 1.
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 {
+		return 1
+	}
+	if a <= 0 {
+		return 0
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 1
+	}
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	pc := b / (1 - rho*(1-b))
+	if pc < 0 {
+		return 0
+	}
+	if pc > 1 {
+		return 1
+	}
+	return pc
+}

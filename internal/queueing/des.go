@@ -1,0 +1,205 @@
+package queueing
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"math/rand"
+
+	"hipster/internal/stats"
+)
+
+// DESConfig configures a discrete-event simulation of the heterogeneous
+// pool: Poisson arrivals at Lambda req/s, lognormal service demands with
+// the given CV, fastest-idle-server-first dispatch, single FIFO queue.
+type DESConfig struct {
+	Servers  []Server
+	Lambda   float64
+	CV       float64
+	Duration float64 // measured horizon in seconds
+	Warmup   float64 // initial transient to discard
+	Seed     int64
+	// MaxQueue optionally bounds the queue length (0 = unbounded);
+	// arrivals beyond the bound are dropped and counted.
+	MaxQueue int
+}
+
+// DESummary aggregates the simulated sojourn times.
+type DESummary struct {
+	Completed   int
+	Dropped     int
+	Mean        float64
+	P50         float64
+	P90         float64
+	P95         float64
+	P99         float64
+	Utilization float64 // mean busy fraction across servers
+	Throughput  float64 // completions per second over the horizon
+}
+
+// Percentile returns the requested percentile from the summary's
+// precomputed points, interpolating is not attempted: p must be one of
+// 0.50, 0.90, 0.95, 0.99.
+func (s DESummary) Percentile(p float64) (float64, error) {
+	switch p {
+	case 0.50:
+		return s.P50, nil
+	case 0.90:
+		return s.P90, nil
+	case 0.95:
+		return s.P95, nil
+	case 0.99:
+		return s.P99, nil
+	}
+	return 0, errors.New("queueing: unsupported summary percentile")
+}
+
+type desEvent struct {
+	t      float64
+	server int // completing server index
+}
+
+type eventHeap []desEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(desEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// SimulateDES runs the discrete-event simulation and summarises the
+// sojourn-time distribution. It is deterministic for a given seed.
+func SimulateDES(cfg DESConfig) (DESummary, error) {
+	if len(cfg.Servers) == 0 {
+		return DESummary{}, ErrNoServers
+	}
+	if cfg.Lambda < 0 || cfg.Duration <= 0 {
+		return DESummary{}, errors.New("queueing: invalid DES parameters")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(cfg.Servers)
+
+	// Per-server lognormal service-time distributions.
+	dists := make([]stats.LogNormal, n)
+	for i, sv := range cfg.Servers {
+		if sv.Rate <= 0 {
+			return DESummary{}, errors.New("queueing: non-positive server rate")
+		}
+		dists[i] = stats.LogNormalFromMeanCV(1/sv.Rate, cfg.CV)
+	}
+	sample := func(server int) float64 {
+		d := dists[server]
+		if d.Sigma == 0 {
+			return 1 / cfg.Servers[server].Rate
+		}
+		return lognormSample(rng, d)
+	}
+
+	// Idle servers kept as a list scanned for the fastest (n is tiny:
+	// at most 6 cores on Juno).
+	idle := make([]bool, n)
+	for i := range idle {
+		idle[i] = true
+	}
+	fastestIdle := func() int {
+		best := -1
+		for i, ok := range idle {
+			if !ok {
+				continue
+			}
+			if best == -1 || cfg.Servers[i].Rate > cfg.Servers[best].Rate {
+				best = i
+			}
+		}
+		return best
+	}
+
+	horizon := cfg.Warmup + cfg.Duration
+	var completions eventHeap
+	queue := make([]float64, 0, 1024) // arrival timestamps
+	busyTime := make([]float64, n)
+
+	var sojourns []float64
+	dropped := 0
+	completed := 0
+
+	nextArrival := 0.0
+	if cfg.Lambda > 0 {
+		nextArrival = rng.ExpFloat64() / cfg.Lambda
+	} else {
+		nextArrival = horizon + 1
+	}
+
+	startService := func(server int, arrival, now float64) {
+		idle[server] = false
+		s := sample(server)
+		busyTime[server] += s
+		done := now + s
+		heap.Push(&completions, desEvent{t: done, server: server})
+		if arrival >= cfg.Warmup && done <= horizon {
+			sojourns = append(sojourns, done-arrival)
+			completed++
+		}
+	}
+	// The queue stores arrival times; service start pairs the oldest
+	// waiting arrival with the freed server.
+	for {
+		var now float64
+		if len(completions) > 0 && completions[0].t <= nextArrival {
+			ev := heap.Pop(&completions).(desEvent)
+			now = ev.t
+			if now > horizon {
+				break
+			}
+			if len(queue) > 0 {
+				arr := queue[0]
+				queue = queue[1:]
+				startService(ev.server, arr, now)
+			} else {
+				idle[ev.server] = true
+			}
+			continue
+		}
+		now = nextArrival
+		if now > horizon {
+			break
+		}
+		nextArrival = now + rng.ExpFloat64()/cfg.Lambda
+		if s := fastestIdle(); s >= 0 {
+			startService(s, now, now)
+		} else if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
+			dropped++
+		} else {
+			queue = append(queue, now)
+		}
+	}
+
+	sum := DESummary{Completed: completed, Dropped: dropped}
+	if completed > 0 {
+		sum.Mean, _ = stats.Mean(sojourns)
+		sum.P50, _ = stats.Percentile(sojourns, 0.50)
+		sum.P90, _ = stats.Percentile(sojourns, 0.90)
+		sum.P95, _ = stats.Percentile(sojourns, 0.95)
+		sum.P99, _ = stats.Percentile(sojourns, 0.99)
+		sum.Throughput = float64(completed) / cfg.Duration
+	}
+	var busy float64
+	for _, b := range busyTime {
+		busy += b
+	}
+	sum.Utilization = busy / (horizon * float64(n))
+	if sum.Utilization > 1 {
+		sum.Utilization = 1
+	}
+	return sum, nil
+}
+
+func lognormSample(rng *rand.Rand, d stats.LogNormal) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}

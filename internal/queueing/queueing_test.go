@@ -1,0 +1,253 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangCKnownCases(t *testing.T) {
+	// c=1: Erlang-C reduces to the utilisation rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := ErlangC(1, rho); math.Abs(got-rho) > 1e-9 {
+			t.Errorf("ErlangC(1, %v) = %v, want %v", rho, got, rho)
+		}
+	}
+	// Textbook value: c=2, a=1 (rho=0.5) -> 1/3.
+	if got := ErlangC(2, 1); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("ErlangC(2,1) = %v, want 1/3", got)
+	}
+	// Degenerate cases.
+	if ErlangC(0, 1) != 1 {
+		t.Error("no servers should force queueing")
+	}
+	if ErlangC(4, 0) != 0 {
+		t.Error("zero load should never queue")
+	}
+	if ErlangC(2, 2.5) != 1 {
+		t.Error("unstable system should return 1")
+	}
+}
+
+func TestErlangCProperties(t *testing.T) {
+	f := func(c uint8, aRaw float64) bool {
+		servers := int(c%16) + 1
+		a := math.Mod(math.Abs(aRaw), float64(servers))
+		p := ErlangC(servers, a)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Monotone in offered load for fixed c.
+	prev := -1.0
+	for a := 0.0; a < 3.9; a += 0.1 {
+		p := ErlangC(4, a)
+		if p < prev-1e-12 {
+			t.Fatalf("ErlangC not monotone in a at %v", a)
+		}
+		prev = p
+	}
+}
+
+func TestAnalyzeInputValidation(t *testing.T) {
+	pool := []Server{{Rate: 10}}
+	if _, err := Analyze(nil, 1, 0.95, 1); err != ErrNoServers {
+		t.Errorf("nil pool: %v", err)
+	}
+	if _, err := Analyze(pool, 1, 0, 1); err == nil {
+		t.Error("pct=0 should error")
+	}
+	if _, err := Analyze(pool, 1, 0.95, -1); err == nil {
+		t.Error("negative cv should error")
+	}
+	if _, err := Analyze(pool, -1, 0.95, 1); err == nil {
+		t.Error("negative lambda should error")
+	}
+	if _, err := Analyze([]Server{{Rate: 0}}, 1, 0.95, 1); err == nil {
+		t.Error("zero-rate server should error")
+	}
+}
+
+func TestAnalyzeZeroLoad(t *testing.T) {
+	pool := []Server{{Rate: 10}, {Rate: 10}}
+	res, err := Analyze(pool, 0, 0.95, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PWait != 0 || res.Rho != 0 || res.Saturated {
+		t.Fatalf("zero load: %+v", res)
+	}
+	// Latency is pure service time.
+	if res.TailLatency <= res.MeanLatency {
+		t.Fatal("p95 service time should exceed its mean for cv > 0")
+	}
+}
+
+func TestAnalyzeMonotoneInLoad(t *testing.T) {
+	pool := []Server{{Rate: 100}, {Rate: 100}, {Rate: 30}}
+	mu := TotalRate(pool)
+	prevTail := 0.0
+	for rho := 0.05; rho < 0.95; rho += 0.05 {
+		res, err := Analyze(pool, rho*mu, 0.95, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TailLatency < prevTail-1e-12 {
+			t.Fatalf("tail latency not monotone at rho=%v", rho)
+		}
+		prevTail = res.TailLatency
+	}
+}
+
+func TestAnalyzeSaturation(t *testing.T) {
+	pool := []Server{{Rate: 10}}
+	res, err := Analyze(pool, 11, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("lambda > mu should saturate")
+	}
+	if !math.IsInf(res.TailLatency, 1) {
+		t.Fatal("saturated tail should be +Inf")
+	}
+	if res.Throughput != 10 {
+		t.Fatalf("saturated throughput = %v, want capacity", res.Throughput)
+	}
+}
+
+func TestAnalyzeFasterPoolIsFaster(t *testing.T) {
+	slow := []Server{{Rate: 50}, {Rate: 50}}
+	fast := []Server{{Rate: 100}, {Rate: 100}}
+	rs, _ := Analyze(slow, 40, 0.95, 1)
+	rf, _ := Analyze(fast, 40, 0.95, 1)
+	if rf.TailLatency >= rs.TailLatency {
+		t.Fatalf("faster pool should have lower tail: %v vs %v", rf.TailLatency, rs.TailLatency)
+	}
+}
+
+func TestDESDeterministic(t *testing.T) {
+	cfg := DESConfig{
+		Servers:  []Server{{Rate: 100}, {Rate: 40}},
+		Lambda:   90,
+		CV:       1,
+		Duration: 50,
+		Warmup:   5,
+		Seed:     99,
+	}
+	a, err := SimulateDES(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateDES(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced different summaries:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 100
+	c, _ := SimulateDES(cfg)
+	if a == c {
+		t.Fatal("different seeds produced identical summaries")
+	}
+}
+
+func TestDESMM1AgainstTheory(t *testing.T) {
+	// M/M/1 with rho=0.7: mean sojourn = 1/(mu - lambda).
+	mu, lambda := 100.0, 70.0
+	sum, err := SimulateDES(DESConfig{
+		Servers:  []Server{{Rate: mu}},
+		Lambda:   lambda,
+		CV:       1,
+		Duration: 2000,
+		Warmup:   100,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (mu - lambda)
+	if rel := math.Abs(sum.Mean-want) / want; rel > 0.12 {
+		t.Fatalf("M/M/1 mean sojourn %v, theory %v (rel err %.2f)", sum.Mean, want, rel)
+	}
+	// p95 of an M/M/1 sojourn is exponential: -ln(0.05)/(mu-lambda).
+	wantP95 := -math.Log(0.05) / (mu - lambda)
+	if rel := math.Abs(sum.P95-wantP95) / wantP95; rel > 0.15 {
+		t.Fatalf("M/M/1 p95 %v, theory %v (rel err %.2f)", sum.P95, wantP95, rel)
+	}
+}
+
+func TestDESAnalyticAgreement(t *testing.T) {
+	// The analytic approximation should track the DES within a modest
+	// factor across heterogeneous pools and utilisations (the paper's
+	// policies only need the shape of the latency cliff).
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(4)
+		pool := make([]Server, n)
+		for i := range pool {
+			pool[i] = Server{Rate: 50 + rng.Float64()*300}
+		}
+		rho := 0.4 + rng.Float64()*0.5
+		lambda := rho * TotalRate(pool)
+		an, err := Analyze(pool, lambda, 0.95, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := SimulateDES(DESConfig{
+			Servers: pool, Lambda: lambda, CV: 1,
+			Duration: 600, Warmup: 60, Seed: int64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if des.P95 <= 0 {
+			t.Fatal("DES produced no latency")
+		}
+		rel := math.Abs(an.TailLatency-des.P95) / des.P95
+		if rel > 0.45 {
+			t.Errorf("trial %d (c=%d rho=%.2f): analytic %.5f vs DES %.5f (rel %.2f)",
+				trial, n, rho, an.TailLatency, des.P95, rel)
+		}
+	}
+}
+
+func TestDESMaxQueueDrops(t *testing.T) {
+	sum, err := SimulateDES(DESConfig{
+		Servers:  []Server{{Rate: 10}},
+		Lambda:   50,
+		CV:       0.5,
+		Duration: 100,
+		Seed:     3,
+		MaxQueue: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Dropped == 0 {
+		t.Fatal("overloaded bounded queue should drop requests")
+	}
+	if sum.Utilization < 0.95 {
+		t.Fatalf("overloaded server utilisation = %v", sum.Utilization)
+	}
+}
+
+func TestDESThroughputMatchesLoad(t *testing.T) {
+	sum, err := SimulateDES(DESConfig{
+		Servers:  []Server{{Rate: 100}, {Rate: 100}},
+		Lambda:   80,
+		CV:       1,
+		Duration: 500,
+		Warmup:   50,
+		Seed:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Throughput-80)/80 > 0.08 {
+		t.Fatalf("underloaded throughput %v, want ~80", sum.Throughput)
+	}
+}

@@ -1,0 +1,119 @@
+// Package report renders experiment results in the row/series formats
+// of the paper's tables and figures, for cmd/paperfigs and the
+// benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned ASCII table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline compresses a series into width characters of block glyphs,
+// used to render the paper's time-series figures in a terminal.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	// Downsample by averaging buckets.
+	buckets := make([]float64, width)
+	counts := make([]int, width)
+	for i, v := range vals {
+		b := i * width / len(vals)
+		if b >= width {
+			b = width - 1
+		}
+		buckets[b] += v
+		counts[b]++
+	}
+	lo, hi := 0.0, 0.0
+	first := true
+	for i := range buckets {
+		if counts[i] == 0 {
+			continue
+		}
+		buckets[i] /= float64(counts[i])
+		if first {
+			lo, hi = buckets[i], buckets[i]
+			first = false
+		} else {
+			if buckets[i] < lo {
+				lo = buckets[i]
+			}
+			if buckets[i] > hi {
+				hi = buckets[i]
+			}
+		}
+	}
+	var sb strings.Builder
+	for i := range buckets {
+		if counts[i] == 0 {
+			sb.WriteRune(' ')
+			continue
+		}
+		level := 0
+		if hi > lo {
+			level = int((buckets[i] - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkLevels) {
+			level = len(sparkLevels) - 1
+		}
+		sb.WriteRune(sparkLevels[level])
+	}
+	return sb.String()
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F0 formats a float with no decimals.
+func F0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Ratio formats a normalised value like "2.30x".
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator: %q", lines[1])
+	}
+	// The value column starts at the same offset on every row.
+	idx := strings.Index(lines[2], "1")
+	if got := strings.Index(lines[3], "22"); got != idx {
+		t.Fatalf("misaligned columns: %d vs %d\n%s", idx, got, buf.String())
+	}
+}
+
+func TestSparklineProperties(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(s))
+	}
+	// Monotone input produces a monotone sparkline.
+	prev := -1
+	for _, r := range s {
+		level := strings.IndexRune("▁▂▃▄▅▆▇█", r)
+		if level < prev {
+			t.Fatalf("sparkline not monotone: %s", s)
+		}
+		prev = level
+	}
+	// Flat input renders at a single level.
+	flat := Sparkline([]float64{5, 5, 5, 5}, 4)
+	if len(map[rune]bool{rune(flat[0]): true}) != 1 {
+		t.Fatal("unreachable")
+	}
+	for _, r := range flat {
+		if r != []rune(flat)[0] {
+			t.Fatalf("flat input should render uniformly: %s", flat)
+		}
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input should render empty")
+	}
+	if Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("zero width should render empty")
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 20)
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("downsampled width = %d", utf8.RuneCountInString(s))
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Pct(12.345), "12.3%"},
+		{F2(1.005), "1.00"},
+		{F1(2.44), "2.4"},
+		{F0(99.7), "100"},
+		{Ratio(2.304), "2.30x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}

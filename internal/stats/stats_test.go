@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447, 1},
+		{0.9772499, 2},
+		{0.95, 1.6448536},
+		{0.90, 1.2815516},
+		{0.1586553, -1},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for p=%v", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestLogNormalFromMeanCVRoundTrip(t *testing.T) {
+	f := func(m, cv float64) bool {
+		mean := 0.001 + math.Mod(math.Abs(m), 1e6)
+		c := math.Mod(math.Abs(cv), 3)
+		d := LogNormalFromMeanCV(mean, c)
+		return math.Abs(d.Mean()-mean) < 1e-9*math.Max(1, mean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalCDFQuantileInverse(t *testing.T) {
+	d := LogNormalFromMeanCV(2.0, 0.8)
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.9, 0.95, 0.99} {
+		x := d.Quantile(p)
+		if got := d.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestLogNormalDegenerate(t *testing.T) {
+	d := LogNormalFromMeanCV(5, 0)
+	if d.Sigma != 0 {
+		t.Fatal("cv=0 should be degenerate")
+	}
+	if got := d.Quantile(0.99); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("degenerate quantile = %v", got)
+	}
+	if d.CDF(4.9) != 0 || d.CDF(5.1) != 1 {
+		t.Fatal("degenerate CDF should step at the mean")
+	}
+	if d.CDF(-1) != 0 {
+		t.Fatal("CDF of negative value must be 0")
+	}
+}
+
+func TestMixtureQuantileSingleComponent(t *testing.T) {
+	d := LogNormalFromMeanCV(1.0, 0.5)
+	got := MixtureQuantile([]WeightedDist{{Weight: 2, Dist: d}}, 0.95)
+	if math.Abs(got-d.Quantile(0.95)) > 1e-9 {
+		t.Fatalf("single-component mixture: got %v want %v", got, d.Quantile(0.95))
+	}
+}
+
+func TestMixtureQuantileBounds(t *testing.T) {
+	fast := LogNormalFromMeanCV(0.5, 0.6)
+	slow := LogNormalFromMeanCV(2.0, 0.6)
+	parts := []WeightedDist{{Weight: 1, Dist: fast}, {Weight: 1, Dist: slow}}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		q := MixtureQuantile(parts, p)
+		lo := math.Min(fast.Quantile(p), slow.Quantile(p))
+		hi := math.Max(fast.Quantile(p), slow.Quantile(p))
+		if q < lo-1e-9 || q > hi+1e-9 {
+			t.Errorf("p=%v: mixture quantile %v outside [%v, %v]", p, q, lo, hi)
+		}
+	}
+}
+
+func TestMixtureQuantileMonotoneInP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		parts := make([]WeightedDist, 1+rng.Intn(4))
+		for i := range parts {
+			parts[i] = WeightedDist{
+				Weight: rng.Float64() + 0.1,
+				Dist:   LogNormalFromMeanCV(rng.Float64()*5+0.1, rng.Float64()*1.5),
+			}
+		}
+		prev := 0.0
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+			q := MixtureQuantile(parts, p)
+			if q < prev-1e-9 {
+				t.Fatalf("trial %d: quantile not monotone at p=%v (%v < %v)", trial, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestMixtureQuantileAgainstSampling(t *testing.T) {
+	fast := LogNormalFromMeanCV(1.0, 0.5)
+	slow := LogNormalFromMeanCV(3.0, 0.5)
+	parts := []WeightedDist{{Weight: 3, Dist: fast}, {Weight: 1, Dist: slow}}
+	rng := rand.New(rand.NewSource(4))
+	n := 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		d := fast
+		if rng.Float64() < 0.25 {
+			d = slow
+		}
+		samples[i] = math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+	}
+	want, err := Percentile(samples, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MixtureQuantile(parts, 0.95)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("mixture p95: analytic %v vs sampled %v", got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if _, err := Percentile(nil, 0.5); err != ErrEmpty {
+		t.Fatalf("expected ErrEmpty, got %v", err)
+	}
+	if _, err := Percentile(xs, 1.5); err == nil {
+		t.Fatal("expected error for p > 1")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("GeoMean should reject non-positive values")
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatal("Mean of empty should be ErrEmpty")
+	}
+}
+
+func TestAggregateMatchesDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Aggregate
+		for _, x := range xs {
+			a.Add(x)
+		}
+		mean, _ := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(mean))
+		return a.Count() == len(xs) &&
+			math.Abs(a.Mean()-mean) < 1e-6*scale &&
+			math.Abs(a.Variance()-wantVar) < 1e-4*math.Max(1, wantVar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateMinMax(t *testing.T) {
+	var a Aggregate
+	for _, x := range []float64{3, -1, 7, 2} {
+		a.Add(x)
+	}
+	if a.Min() != -1 || a.Max() != 7 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.StdDev() <= 0 {
+		t.Fatal("stddev should be positive")
+	}
+	var empty Aggregate
+	if empty.Variance() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty aggregate should be zero-valued")
+	}
+}

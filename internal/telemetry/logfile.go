@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The paper's QoS monitor exchanges measurements with the managed
+// applications through a logfile interface (§3.7). This file provides
+// the equivalent: CSV and JSON-lines encodings of traces.
+
+var csvHeader = []string{
+	"t", "load_frac", "offered_rps", "achieved_rps", "backlog",
+	"tail_latency_s", "target_s",
+	"nbig", "nsmall", "big_freq_mhz", "migrated", "dvfs_change",
+	"big_w", "small_w", "rest_w", "energy_j",
+	"batch_big_ips", "batch_small_ips", "batch_big_cores", "batch_small_cores",
+	"perf_garbage", "phase",
+}
+
+// WriteCSV streams the trace as CSV with a header row.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, s := range tr.Samples {
+		rec := []string{
+			f(s.T), f(s.LoadFrac), f(s.OfferedRPS), f(s.AchievedRPS), f(s.Backlog),
+			f(s.TailLatency), f(s.Target),
+			strconv.Itoa(s.NBig), strconv.Itoa(s.NSmall), strconv.Itoa(s.BigFreqMHz),
+			strconv.Itoa(s.Migrated), b(s.DVFSChange),
+			f(s.BigW), f(s.SmallW), f(s.RestW), f(s.EnergyJ),
+			f(s.BatchBigIPS), f(s.BatchSmallIPS),
+			strconv.Itoa(s.BatchBig), strconv.Itoa(s.BatchSmall),
+			b(s.PerfGarbage), s.Phase,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("telemetry: empty CSV")
+	}
+	if !equalStrings(rows[0], csvHeader) {
+		return nil, fmt.Errorf("telemetry: unexpected CSV header %v", rows[0])
+	}
+	tr := &Trace{}
+	for i, rec := range rows[1:] {
+		s, err := sampleFromRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: row %d: %w", i+2, err)
+		}
+		tr.Add(s)
+	}
+	return tr, nil
+}
+
+func sampleFromRecord(rec []string) (Sample, error) {
+	var s Sample
+	var err error
+	pf := func(i int) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(rec[i], 64)
+		return v
+	}
+	pi := func(i int) int {
+		if err != nil {
+			return 0
+		}
+		var v int
+		v, err = strconv.Atoi(rec[i])
+		return v
+	}
+	pb := func(i int) bool { return rec[i] == "1" }
+
+	s.T = pf(0)
+	s.LoadFrac = pf(1)
+	s.OfferedRPS = pf(2)
+	s.AchievedRPS = pf(3)
+	s.Backlog = pf(4)
+	s.TailLatency = pf(5)
+	s.Target = pf(6)
+	s.NBig = pi(7)
+	s.NSmall = pi(8)
+	s.BigFreqMHz = pi(9)
+	s.Migrated = pi(10)
+	s.DVFSChange = pb(11)
+	s.BigW = pf(12)
+	s.SmallW = pf(13)
+	s.RestW = pf(14)
+	s.EnergyJ = pf(15)
+	s.BatchBigIPS = pf(16)
+	s.BatchSmallIPS = pf(17)
+	s.BatchBig = pi(18)
+	s.BatchSmall = pi(19)
+	s.PerfGarbage = pb(20)
+	s.Phase = rec[21]
+	return s, err
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSONL streams the trace as JSON lines, one sample per line.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range tr.Samples {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON-lines trace.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	tr := &Trace{}
+	for {
+		var s Sample
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		tr.Add(s)
+	}
+	return tr, nil
+}

@@ -1,0 +1,276 @@
+// Package telemetry implements the measurement side of Hipster's
+// runtime: the per-interval samples the QoS monitor collects, trace
+// recording, the aggregate metrics the paper reports (QoS guarantee,
+// QoS tardiness, energy, migrations), and the logfile interface used to
+// exchange measurements between processes (§3.7).
+package telemetry
+
+import (
+	"math"
+
+	"hipster/internal/platform"
+)
+
+// Sample is one monitoring interval's worth of measurements.
+type Sample struct {
+	T float64 `json:"t"` // interval end time, seconds
+
+	// Load and throughput.
+	LoadFrac    float64 `json:"load_frac"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Backlog     float64 `json:"backlog"`
+
+	// QoS.
+	TailLatency float64 `json:"tail_latency_s"`
+	Target      float64 `json:"target_s"`
+
+	// Configuration in force during the interval.
+	NBig       int  `json:"nbig"`
+	NSmall     int  `json:"nsmall"`
+	BigFreqMHz int  `json:"big_freq_mhz"`
+	Migrated   int  `json:"migrated_cores"`
+	DVFSChange bool `json:"dvfs_change"`
+
+	// Power and energy.
+	BigW    float64 `json:"big_w"`
+	SmallW  float64 `json:"small_w"`
+	RestW   float64 `json:"rest_w"`
+	EnergyJ float64 `json:"energy_j"` // cumulative
+
+	// Batch side (HipsterCo).
+	BatchBigIPS   float64 `json:"batch_big_ips"`
+	BatchSmallIPS float64 `json:"batch_small_ips"`
+	BatchBig      int     `json:"batch_big_cores"`
+	BatchSmall    int     `json:"batch_small_cores"`
+	PerfGarbage   bool    `json:"perf_garbage"`
+
+	// Phase is the manager phase ("learning", "exploit" or "").
+	Phase string `json:"phase,omitempty"`
+}
+
+// Config reconstructs the platform configuration of the sample.
+func (s Sample) Config() platform.Config {
+	return platform.Config{NBig: s.NBig, NSmall: s.NSmall, BigFreq: platform.FreqMHz(s.BigFreqMHz)}
+}
+
+// PowerW returns the system power during the interval.
+func (s Sample) PowerW() float64 { return s.BigW + s.SmallW + s.RestW }
+
+// QoSMet reports whether the interval met the tail-latency target.
+func (s Sample) QoSMet() bool { return s.TailLatency <= s.Target }
+
+// Tardiness returns QoScurr/QoStarget (the paper's QoS tardiness).
+func (s Sample) Tardiness() float64 {
+	if s.Target <= 0 {
+		return 0
+	}
+	return s.TailLatency / s.Target
+}
+
+// Trace is an ordered sequence of samples.
+type Trace struct {
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (tr *Trace) Add(s Sample) { tr.Samples = append(tr.Samples, s) }
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.Samples) }
+
+// Slice returns the samples with T in [from, to).
+func (tr *Trace) Slice(from, to float64) *Trace {
+	out := &Trace{}
+	for _, s := range tr.Samples {
+		if s.T >= from && s.T < to {
+			out.Add(s)
+		}
+	}
+	return out
+}
+
+// QoSGuarantee returns the fraction of samples meeting the QoS target
+// (the paper's "QoS guarantee": 100% minus violations).
+func (tr *Trace) QoSGuarantee() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	met := 0
+	for _, s := range tr.Samples {
+		if s.QoSMet() {
+			met++
+		}
+	}
+	return float64(met) / float64(len(tr.Samples))
+}
+
+// MeanTardiness returns the mean QoS tardiness over violating samples
+// only, as in Table 3; zero when nothing violated.
+func (tr *Trace) MeanTardiness() float64 {
+	var sum float64
+	n := 0
+	for _, s := range tr.Samples {
+		if !s.QoSMet() {
+			sum += s.Tardiness()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// TotalEnergyJ returns the final cumulative energy.
+func (tr *Trace) TotalEnergyJ() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return tr.Samples[len(tr.Samples)-1].EnergyJ
+}
+
+// MeanPowerW averages per-interval power.
+func (tr *Trace) MeanPowerW() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range tr.Samples {
+		sum += s.PowerW()
+	}
+	return sum / float64(len(tr.Samples))
+}
+
+// MigrationEvents counts intervals whose configuration change moved at
+// least one core.
+func (tr *Trace) MigrationEvents() int {
+	n := 0
+	for _, s := range tr.Samples {
+		if s.Migrated > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MigratedCores sums the migration distances across the trace.
+func (tr *Trace) MigratedCores() int {
+	n := 0
+	for _, s := range tr.Samples {
+		n += s.Migrated
+	}
+	return n
+}
+
+// DVFSChanges counts frequency-only transitions.
+func (tr *Trace) DVFSChanges() int {
+	n := 0
+	for _, s := range tr.Samples {
+		if s.DVFSChange && s.Migrated == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BatchInstr integrates batch instructions over the trace.
+func (tr *Trace) BatchInstr() float64 {
+	var total float64
+	last := 0.0
+	for _, s := range tr.Samples {
+		dt := s.T - last
+		last = s.T
+		if dt <= 0 {
+			dt = 1
+		}
+		total += (s.BatchBigIPS + s.BatchSmallIPS) * dt
+	}
+	return total
+}
+
+// MeanBatchIPS averages aggregate batch throughput.
+func (tr *Trace) MeanBatchIPS() float64 {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range tr.Samples {
+		sum += s.BatchBigIPS + s.BatchSmallIPS
+	}
+	return sum / float64(len(tr.Samples))
+}
+
+// WindowQoS splits the trace into windows of the given width (seconds)
+// and returns the QoS guarantee of each (Figure 9). A sample with
+// timestamp T belongs to window floor((T-eps)/width), so interval-end
+// timestamps land in the window the interval ran in.
+func (tr *Trace) WindowQoS(window float64) []float64 {
+	if window <= 0 || len(tr.Samples) == 0 {
+		return nil
+	}
+	type agg struct{ met, n int }
+	var wins []agg
+	base := tr.Samples[0].T
+	for _, s := range tr.Samples {
+		idx := int((s.T - base) / window)
+		if idx < 0 {
+			idx = 0
+		}
+		for len(wins) <= idx {
+			wins = append(wins, agg{})
+		}
+		wins[idx].n++
+		if s.QoSMet() {
+			wins[idx].met++
+		}
+	}
+	out := make([]float64, 0, len(wins))
+	for _, w := range wins {
+		if w.n == 0 {
+			continue
+		}
+		out = append(out, float64(w.met)/float64(w.n))
+	}
+	return out
+}
+
+// Summary are the headline metrics of one run, matching Table 3.
+type Summary struct {
+	Samples         int
+	QoSGuarantee    float64
+	MeanTardiness   float64
+	TotalEnergyJ    float64
+	MeanPowerW      float64
+	MigrationEvents int
+	MigratedCores   int
+	DVFSChanges     int
+	MeanBatchIPS    float64
+	BatchInstr      float64
+}
+
+// Summarize computes the headline metrics.
+func (tr *Trace) Summarize() Summary {
+	return Summary{
+		Samples:         tr.Len(),
+		QoSGuarantee:    tr.QoSGuarantee(),
+		MeanTardiness:   tr.MeanTardiness(),
+		TotalEnergyJ:    tr.TotalEnergyJ(),
+		MeanPowerW:      tr.MeanPowerW(),
+		MigrationEvents: tr.MigrationEvents(),
+		MigratedCores:   tr.MigratedCores(),
+		DVFSChanges:     tr.DVFSChanges(),
+		MeanBatchIPS:    tr.MeanBatchIPS(),
+		BatchInstr:      tr.BatchInstr(),
+	}
+}
+
+// EnergyReductionVs returns the fractional energy saving of this trace
+// relative to a baseline trace (positive = this trace used less).
+func (tr *Trace) EnergyReductionVs(baseline *Trace) float64 {
+	be := baseline.TotalEnergyJ()
+	if be <= 0 {
+		return math.NaN()
+	}
+	return 1 - tr.TotalEnergyJ()/be
+}

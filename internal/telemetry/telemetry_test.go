@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hipster/internal/platform"
+)
+
+func mkTrace() *Trace {
+	tr := &Trace{}
+	// 4 samples: two met, two violated.
+	tr.Add(Sample{T: 1, TailLatency: 0.005, Target: 0.010, NBig: 2, BigFreqMHz: 1150, BigW: 1, SmallW: 0.1, RestW: 0.5, EnergyJ: 1.6})
+	tr.Add(Sample{T: 2, TailLatency: 0.015, Target: 0.010, NSmall: 4, Migrated: 6, BigW: 0.3, SmallW: 0.6, RestW: 0.5, EnergyJ: 3.0})
+	tr.Add(Sample{T: 3, TailLatency: 0.020, Target: 0.010, NSmall: 4, BigW: 0.3, SmallW: 0.6, RestW: 0.5, EnergyJ: 4.4, DVFSChange: true})
+	tr.Add(Sample{T: 4, TailLatency: 0.008, Target: 0.010, NSmall: 4, BigW: 0.3, SmallW: 0.6, RestW: 0.5, EnergyJ: 5.8, BatchBigIPS: 2e9, BatchSmallIPS: 1e9})
+	return tr
+}
+
+func TestQoSMetrics(t *testing.T) {
+	tr := mkTrace()
+	if got := tr.QoSGuarantee(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("QoS guarantee = %v, want 0.5", got)
+	}
+	// Mean tardiness over violations only: (1.5 + 2.0)/2.
+	if got := tr.MeanTardiness(); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("tardiness = %v, want 1.75", got)
+	}
+	if got := tr.TotalEnergyJ(); got != 5.8 {
+		t.Fatalf("energy = %v", got)
+	}
+	if got := tr.MigrationEvents(); got != 1 {
+		t.Fatalf("migration events = %d", got)
+	}
+	if got := tr.MigratedCores(); got != 6 {
+		t.Fatalf("migrated cores = %d", got)
+	}
+	if got := tr.DVFSChanges(); got != 1 {
+		t.Fatalf("dvfs changes = %d", got)
+	}
+}
+
+func TestSampleAccessors(t *testing.T) {
+	s := Sample{NBig: 1, NSmall: 3, BigFreqMHz: 900, TailLatency: 0.02, Target: 0.01}
+	cfg := s.Config()
+	want := platform.Config{NBig: 1, NSmall: 3, BigFreq: 900}
+	if cfg != want {
+		t.Fatalf("config = %v", cfg)
+	}
+	if s.QoSMet() {
+		t.Fatal("sample violates")
+	}
+	if got := s.Tardiness(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("tardiness = %v", got)
+	}
+	if (Sample{Target: 0}).Tardiness() != 0 {
+		t.Fatal("zero target should not divide by zero")
+	}
+}
+
+func TestSliceAndWindows(t *testing.T) {
+	tr := mkTrace()
+	w := tr.Slice(2, 4)
+	if w.Len() != 2 {
+		t.Fatalf("slice len = %d", w.Len())
+	}
+	qos := tr.WindowQoS(2)
+	if len(qos) != 2 {
+		t.Fatalf("windows = %d", len(qos))
+	}
+	if math.Abs(qos[0]-0.5) > 1e-12 || math.Abs(qos[1]-0.5) > 1e-12 {
+		t.Fatalf("window qos = %v", qos)
+	}
+	if tr.WindowQoS(0) != nil {
+		t.Fatal("zero window should yield nil")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mkTrace()
+	sum := tr.Summarize()
+	if sum.Samples != 4 || sum.QoSGuarantee != 0.5 || sum.MigrationEvents != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.MeanBatchIPS != 3e9/4 {
+		t.Fatalf("mean batch IPS = %v", sum.MeanBatchIPS)
+	}
+}
+
+func TestEnergyReduction(t *testing.T) {
+	a := &Trace{}
+	a.Add(Sample{T: 1, EnergyJ: 80})
+	b := &Trace{}
+	b.Add(Sample{T: 1, EnergyJ: 100})
+	if got := a.EnergyReductionVs(b); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("reduction = %v", got)
+	}
+	if got := a.EnergyReductionVs(&Trace{}); !math.IsNaN(got) {
+		t.Fatalf("reduction vs empty baseline should be NaN, got %v", got)
+	}
+}
+
+func randomSample(rng *rand.Rand, i int) Sample {
+	return Sample{
+		T:             float64(i + 1),
+		LoadFrac:      rng.Float64(),
+		OfferedRPS:    rng.Float64() * 36000,
+		AchievedRPS:   rng.Float64() * 36000,
+		Backlog:       rng.Float64() * 100,
+		TailLatency:   rng.Float64() * 0.05,
+		Target:        0.01,
+		NBig:          rng.Intn(3),
+		NSmall:        rng.Intn(5),
+		BigFreqMHz:    []int{600, 900, 1150}[rng.Intn(3)],
+		Migrated:      rng.Intn(7),
+		DVFSChange:    rng.Intn(2) == 0,
+		BigW:          rng.Float64() * 2,
+		SmallW:        rng.Float64(),
+		RestW:         rng.Float64(),
+		EnergyJ:       float64(i) * 2.5,
+		BatchBigIPS:   rng.Float64() * 5e9,
+		BatchSmallIPS: rng.Float64() * 2e9,
+		BatchBig:      rng.Intn(3),
+		BatchSmall:    rng.Intn(5),
+		PerfGarbage:   rng.Intn(5) == 0,
+		Phase:         []string{"learning", "exploit", ""}[rng.Intn(3)],
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := &Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Add(randomSample(rng, i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Samples, got.Samples) {
+		t.Fatal("CSV round trip lost data")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := &Trace{}
+	for i := 0; i < 30; i++ {
+		tr.Add(randomSample(rng, i))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Samples, got.Samples) {
+		t.Fatal("JSONL round trip lost data")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("wrong header should error")
+	}
+}
+
+func TestQoSGuaranteeProperty(t *testing.T) {
+	f := func(tails []float64) bool {
+		tr := &Trace{}
+		met := 0
+		for i, raw := range tails {
+			tail := math.Mod(math.Abs(raw), 0.03)
+			tr.Add(Sample{T: float64(i + 1), TailLatency: tail, Target: 0.01})
+			if tail <= 0.01 {
+				met++
+			}
+		}
+		if tr.Len() == 0 {
+			return tr.QoSGuarantee() == 0
+		}
+		want := float64(met) / float64(tr.Len())
+		return math.Abs(tr.QoSGuarantee()-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

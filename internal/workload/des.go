@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hipster/internal/platform"
+	"hipster/internal/queueing"
+)
+
+// IntervalDES evaluates one monitoring interval by discrete-event
+// simulation of the request stream instead of the analytic
+// approximation: Poisson arrivals at the offered rate are served by the
+// configuration's heterogeneous core pool with lognormal demands, and
+// the tail is the empirical percentile of the simulated sojourn times.
+//
+// It is an order of magnitude slower than Interval (every request is an
+// event — Memcached simulates tens of thousands of requests per
+// simulated second) but makes no queueing-theory approximations; the
+// engine exposes it via SimOptions.UseDES, and the package tests use it
+// to validate the analytic path end to end.
+//
+// Backlog is carried via an elevated arrival rate exactly as in the
+// analytic path; transition penalties and the tail cap are applied
+// identically.
+func (m *Model) IntervalDES(spec *platform.Spec, in IntervalInput, seed int64) (IntervalOutput, error) {
+	if in.Dt <= 0 {
+		return IntervalOutput{}, fmt.Errorf("workload %s: non-positive interval", m.Name)
+	}
+	if in.OfferedRPS < 0 || in.Backlog < 0 {
+		return IntervalOutput{}, fmt.Errorf("workload %s: negative load", m.Name)
+	}
+	if err := in.Config.Validate(spec); err != nil {
+		return IntervalOutput{}, err
+	}
+	servers := m.Servers(spec, in.Config, in.DemandInflation)
+	mu := queueing.TotalRate(servers)
+	effLambda := in.OfferedRPS + in.Backlog/in.Dt
+
+	// Simulate a few monitoring intervals' worth of traffic so the
+	// percentile estimate has enough samples even for Web-Search's
+	// tens of requests per second, with a short warmup.
+	duration := in.Dt * 4
+	if effLambda*duration < 400 && effLambda > 0 {
+		duration = 400 / effLambda
+	}
+	const maxQueueFactor = 4 // bounds overload memory, mirroring BacklogCapSecs
+	sum, err := queueing.SimulateDES(queueing.DESConfig{
+		Servers:  servers,
+		Lambda:   effLambda,
+		CV:       m.DemandCV,
+		Duration: duration,
+		Warmup:   duration / 8,
+		Seed:     seed,
+		MaxQueue: int(math.Max(16, m.BacklogCapSecs*mu*maxQueueFactor)),
+	})
+	if err != nil {
+		return IntervalOutput{}, err
+	}
+
+	out := IntervalOutput{}
+	tailCap := m.TailCapFactor * m.TargetLatency
+
+	rho := 0.0
+	if mu > 0 {
+		rho = effLambda / mu
+	}
+	out.Saturated = rho >= 0.995
+	if out.Saturated {
+		served := mu * in.Dt
+		total := in.Backlog + in.OfferedRPS*in.Dt
+		end := total - served
+		if cap := m.BacklogCapSecs * mu; end > cap {
+			end = cap
+		}
+		if end < 0 {
+			end = 0
+		}
+		out.EndBacklog = end
+		out.AchievedRPS = mu
+		out.CoreUtil = 1
+	} else {
+		out.AchievedRPS = effLambda
+		out.CoreUtil = rho
+	}
+
+	tail, err := sum.Percentile(quantizePct(m.QoSPercentile))
+	if err != nil {
+		return IntervalOutput{}, err
+	}
+	if in.Backlog > 0 && mu > 0 {
+		tail += in.Backlog / mu
+	}
+	if in.MigratedCores > 0 {
+		tail += m.MigPenaltySecsPerCore * float64(in.MigratedCores)
+	} else if in.DVFSChanged {
+		tail += m.DVFSPenaltySecs
+	}
+	out.TailLatency = math.Min(tail, tailCap)
+	out.MeanLatency = math.Min(sum.Mean, tailCap)
+	out.PowerUtil = math.Max(m.UtilFloor, math.Min(1, out.CoreUtil))
+	out.DeliveredIPS = out.AchievedRPS * m.DemandInstr
+	return out, nil
+}
+
+// quantizePct snaps the model's QoS percentile to the summary points
+// the DES reports (p50/p90/p95/p99).
+func quantizePct(p float64) float64 {
+	candidates := []float64{0.50, 0.90, 0.95, 0.99}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if math.Abs(c-p) < math.Abs(best-p) {
+			best = c
+		}
+	}
+	return best
+}

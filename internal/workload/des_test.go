@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hipster/internal/platform"
+)
+
+func TestIntervalDESAgreesWithAnalytic(t *testing.T) {
+	spec := platform.JunoR1()
+	for _, tc := range []struct {
+		wl   *Model
+		cfg  platform.Config
+		frac float64
+	}{
+		{WebSearch(), platform.Config{NBig: 2, BigFreq: 1150}, 0.6},
+		{WebSearch(), platform.Config{NSmall: 4}, 0.35},
+		{Memcached(), platform.Config{NSmall: 4}, 0.45},
+		{Memcached(), platform.Config{NBig: 1, NSmall: 3, BigFreq: 900}, 0.6},
+	} {
+		in := IntervalInput{
+			Config:     tc.cfg,
+			OfferedRPS: tc.wl.RPSAt(tc.frac),
+			Dt:         1,
+		}
+		an, err := tc.wl.Interval(spec, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := tc.wl.IntervalDES(spec, in, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if des.TailLatency <= 0 {
+			t.Fatalf("%s/%v: DES produced no tail", tc.wl.Name, tc.cfg)
+		}
+		// The analytic model is intentionally conservative; require
+		// agreement within a factor of two in both directions.
+		ratio := an.TailLatency / des.TailLatency
+		if ratio < 0.5 || ratio > 2.2 {
+			t.Errorf("%s/%v at %.0f%%: analytic %.4fs vs DES %.4fs (ratio %.2f)",
+				tc.wl.Name, tc.cfg, tc.frac*100, an.TailLatency, des.TailLatency, ratio)
+		}
+		// Both paths must agree on whether QoS is met with headroom.
+		if an.TailLatency < 0.5*tc.wl.TargetLatency != (des.TailLatency < 0.9*tc.wl.TargetLatency) &&
+			an.TailLatency < 0.5*tc.wl.TargetLatency {
+			t.Errorf("%s/%v: comfortable-QoS disagreement (analytic %.4f, DES %.4f, target %.4f)",
+				tc.wl.Name, tc.cfg, an.TailLatency, des.TailLatency, tc.wl.TargetLatency)
+		}
+	}
+}
+
+func TestIntervalDESDeterministicPerSeed(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := WebSearch()
+	in := IntervalInput{
+		Config:     platform.Config{NBig: 2, BigFreq: 1150},
+		OfferedRPS: wl.RPSAt(0.5),
+		Dt:         1,
+	}
+	a, err := wl.IntervalDES(spec, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wl.IntervalDES(spec, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TailLatency != b.TailLatency {
+		t.Fatal("same seed should reproduce the DES tail")
+	}
+	c, _ := wl.IntervalDES(spec, in, 6)
+	if a.TailLatency == c.TailLatency {
+		t.Fatal("different seeds should perturb the DES tail")
+	}
+}
+
+func TestIntervalDESSaturation(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := Memcached()
+	out, err := wl.IntervalDES(spec, IntervalInput{
+		Config:     platform.Config{NSmall: 1},
+		OfferedRPS: wl.RPSAt(0.5),
+		Dt:         1,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Saturated || out.EndBacklog <= 0 {
+		t.Fatalf("overload should saturate the DES path too: %+v", out)
+	}
+	if out.TailLatency > wl.TailCapFactor*wl.TargetLatency+1e-9 {
+		t.Fatal("DES tail must respect the cap")
+	}
+}
+
+func TestIntervalDESValidation(t *testing.T) {
+	spec := platform.JunoR1()
+	wl := Memcached()
+	if _, err := wl.IntervalDES(spec, IntervalInput{Config: platform.Config{NSmall: 1}, OfferedRPS: 1, Dt: 0}, 1); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := wl.IntervalDES(spec, IntervalInput{Config: platform.Config{NBig: 9}, OfferedRPS: 1, Dt: 1}, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestQuantizePct(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.95, 0.95}, {0.90, 0.90}, {0.99, 0.99}, {0.50, 0.50}, {0.93, 0.95}, {0.91, 0.90},
+	}
+	for _, c := range cases {
+		if got := quantizePct(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantizePct(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

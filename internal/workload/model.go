@@ -1,0 +1,286 @@
+// Package workload models the latency-critical (LC) applications of the
+// paper — Memcached and Web-Search — as service-demand distributions
+// executed by the core pool that the active configuration allocates.
+//
+// Each model is calibrated so that (a) the maximum load of Table 1 is
+// just sustainable on two big cores at maximum DVFS, and (b) the set of
+// configurations that meet the QoS target at each load level reproduces
+// the frontier of Figure 2 (small cores suffice at low load, mixed
+// big+small configurations win at intermediate load, and only big cores
+// at maximum DVFS survive peak load).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hipster/internal/platform"
+	"hipster/internal/queueing"
+	"hipster/internal/sim"
+	"hipster/internal/stats"
+)
+
+// Model describes one latency-critical application.
+type Model struct {
+	// Name identifies the workload ("memcached", "websearch").
+	Name string
+	// QoSPercentile is the tail percentile of the QoS target (0.95 for
+	// Memcached, 0.90 for Web-Search, per Table 1).
+	QoSPercentile float64
+	// TargetLatency is the tail-latency target in seconds.
+	TargetLatency float64
+	// MaxLoadRPS is the 100% load level of Table 1.
+	MaxLoadRPS float64
+
+	// DemandInstr is the mean instruction count per request; a core's
+	// service rate is its effective IPS divided by this demand.
+	DemandInstr float64
+	// DemandCV is the coefficient of variation of per-request demand.
+	DemandCV float64
+	// Affinity scales each core kind's effective IPS for this workload
+	// (out-of-order big cores help compute-heavy requests more than
+	// memory-bound key-value lookups).
+	Affinity map[platform.CoreKind]float64
+
+	// MigPenaltySecsPerCore is added to the measured tail latency during
+	// an interval in which cores were migrated, per migrated core
+	// (thread re-pinning, cache warm-up and the request backlog built
+	// while workers move; core migrations cost milliseconds where DVFS
+	// changes cost microseconds, per Kasture et al. as cited).
+	MigPenaltySecsPerCore float64
+	// DVFSPenaltySecs is added to the tail during an interval following
+	// a DVFS-only change.
+	DVFSPenaltySecs float64
+	// UtilFloor is the minimum busy fraction of an assigned core
+	// (interrupt/polling overhead), applied to the power model only.
+	UtilFloor float64
+	// NoiseSigma is the lognormal sigma of tail-latency measurement
+	// noise.
+	NoiseSigma float64
+	// MemIntensity (0..1) is the workload's pressure on shared caches
+	// and memory bandwidth, used by the interference model when batch
+	// jobs are collocated.
+	MemIntensity float64
+	// CrossClusterPenalty (>= 1) inflates per-request demand when the
+	// configuration spans both clusters (shared-memory threads split
+	// across big and small cores pay CCI coherence traffic).
+	CrossClusterPenalty float64
+	// TailCapFactor caps reported tail latency at this multiple of the
+	// target (load generators time out; metrics stay finite).
+	TailCapFactor float64
+	// BacklogCapSecs caps the carried backlog at this many seconds of
+	// full-pool service capacity (finite outstanding requests).
+	BacklogCapSecs float64
+}
+
+// Validate checks the model parameters.
+func (m *Model) Validate() error {
+	switch {
+	case m.QoSPercentile <= 0 || m.QoSPercentile >= 1:
+		return fmt.Errorf("workload %s: QoS percentile out of (0,1)", m.Name)
+	case m.TargetLatency <= 0:
+		return fmt.Errorf("workload %s: non-positive target latency", m.Name)
+	case m.MaxLoadRPS <= 0:
+		return fmt.Errorf("workload %s: non-positive max load", m.Name)
+	case m.DemandInstr <= 0:
+		return fmt.Errorf("workload %s: non-positive demand", m.Name)
+	case m.DemandCV < 0:
+		return fmt.Errorf("workload %s: negative demand CV", m.Name)
+	case m.TailCapFactor < 1:
+		return fmt.Errorf("workload %s: tail cap below target", m.Name)
+	}
+	for _, k := range []platform.CoreKind{platform.Big, platform.Small} {
+		if a, ok := m.Affinity[k]; !ok || a <= 0 {
+			return fmt.Errorf("workload %s: missing affinity for %v cores", m.Name, k)
+		}
+	}
+	return nil
+}
+
+// CoreRate returns the service rate (requests/second) of one core of
+// kind k at frequency f for this workload.
+func (m *Model) CoreRate(spec *platform.Spec, k platform.CoreKind, f platform.FreqMHz) float64 {
+	c := spec.Cluster(k)
+	return c.CoreIPS(f) * m.Affinity[k] / m.DemandInstr
+}
+
+// Servers expands a configuration into the heterogeneous server pool it
+// provides, with rates divided by the demand-inflation factor (>= 1)
+// caused by co-runner interference.
+func (m *Model) Servers(spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
+	if inflation < 1 {
+		inflation = 1
+	}
+	if cfg.NBig > 0 && cfg.NSmall > 0 && m.CrossClusterPenalty > 1 {
+		inflation *= m.CrossClusterPenalty
+	}
+	servers := make([]queueing.Server, 0, cfg.Cores())
+	bigRate := m.CoreRate(spec, platform.Big, cfg.BigFreq) / inflation
+	smallRate := m.CoreRate(spec, platform.Small, spec.Small.MaxFreq()) / inflation
+	for i := 0; i < cfg.NBig; i++ {
+		servers = append(servers, queueing.Server{Rate: bigRate})
+	}
+	for i := 0; i < cfg.NSmall; i++ {
+		servers = append(servers, queueing.Server{Rate: smallRate})
+	}
+	return servers
+}
+
+// CapacityRPS returns the aggregate service capacity of a configuration.
+func (m *Model) CapacityRPS(spec *platform.Spec, cfg platform.Config) float64 {
+	return queueing.TotalRate(m.Servers(spec, cfg, 1))
+}
+
+// IntervalInput carries everything the model needs to evaluate one
+// monitoring interval.
+type IntervalInput struct {
+	Config     platform.Config
+	OfferedRPS float64
+	Dt         float64
+	// Backlog is the request backlog carried in from the previous
+	// interval (saturation recovery).
+	Backlog float64
+	// MigratedCores is the migration distance of the configuration
+	// change applied at the start of this interval (0 when unchanged).
+	MigratedCores int
+	// DVFSChanged reports a frequency-only change at interval start.
+	DVFSChanged bool
+	// DemandInflation >= 1 models interference from collocated batch
+	// work.
+	DemandInflation float64
+	// RNG adds measurement noise; nil yields the deterministic model.
+	RNG *rand.Rand
+}
+
+// IntervalOutput is the measured behaviour of the LC workload over one
+// interval, as the QoS monitor would observe it.
+type IntervalOutput struct {
+	TailLatency  float64 // seconds at the model's QoS percentile
+	MeanLatency  float64
+	AchievedRPS  float64
+	EndBacklog   float64
+	CoreUtil     float64 // busy fraction of the assigned cores
+	PowerUtil    float64 // CoreUtil with the utilisation floor applied
+	DeliveredIPS float64 // useful instructions per second
+	Saturated    bool
+}
+
+// Interval evaluates the model for one monitoring interval.
+func (m *Model) Interval(spec *platform.Spec, in IntervalInput) (IntervalOutput, error) {
+	if in.Dt <= 0 {
+		return IntervalOutput{}, fmt.Errorf("workload %s: non-positive interval", m.Name)
+	}
+	if in.OfferedRPS < 0 || in.Backlog < 0 {
+		return IntervalOutput{}, fmt.Errorf("workload %s: negative load", m.Name)
+	}
+	if err := in.Config.Validate(spec); err != nil {
+		return IntervalOutput{}, err
+	}
+	servers := m.Servers(spec, in.Config, in.DemandInflation)
+	mu := queueing.TotalRate(servers)
+	effLambda := in.OfferedRPS + in.Backlog/in.Dt
+
+	res, err := queueing.Analyze(servers, effLambda, m.QoSPercentile, m.DemandCV)
+	if err != nil {
+		return IntervalOutput{}, err
+	}
+
+	out := IntervalOutput{Saturated: res.Saturated}
+	tailCap := m.TailCapFactor * m.TargetLatency
+	if res.Saturated {
+		served := mu * in.Dt
+		total := in.Backlog + in.OfferedRPS*in.Dt
+		end := total - served
+		if cap := m.BacklogCapSecs * mu; end > cap {
+			end = cap
+		}
+		if end < 0 {
+			end = 0
+		}
+		out.EndBacklog = end
+		out.AchievedRPS = mu
+		out.CoreUtil = 1
+		// Tail approximation under overload: the service-time quantile
+		// plus the drain time of the queue seen by late completions,
+		// with a continuity term matching the analytic model at the
+		// saturation clamp.
+		sTail := m.serviceTailQuantile(servers)
+		clampWait := math.Log(1/(1-m.QoSPercentile)) *
+			((1 + m.DemandCV*m.DemandCV) / 2) / (mu * 0.005)
+		tail := sTail + (in.Backlog+out.EndBacklog)/mu + clampWait
+		out.TailLatency = math.Min(tail, tailCap)
+		out.MeanLatency = math.Min(tail/2, tailCap)
+	} else {
+		out.EndBacklog = 0
+		out.AchievedRPS = effLambda
+		out.CoreUtil = res.Rho
+		tail := res.TailLatency
+		if in.Backlog > 0 {
+			// Requests queued behind the carried backlog wait for it
+			// to drain first.
+			tail += in.Backlog / mu
+		}
+		out.TailLatency = math.Min(tail, tailCap)
+		out.MeanLatency = math.Min(res.MeanLatency, tailCap)
+	}
+
+	// Transition penalties: migrating cores disturbs the tail far more
+	// than a DVFS change (§3.6).
+	if in.MigratedCores > 0 {
+		out.TailLatency += m.MigPenaltySecsPerCore * float64(in.MigratedCores)
+	} else if in.DVFSChanged {
+		out.TailLatency += m.DVFSPenaltySecs
+	}
+	out.TailLatency = math.Min(out.TailLatency, tailCap)
+	out.TailLatency = sim.Jitter(in.RNG, out.TailLatency, m.NoiseSigma)
+
+	out.PowerUtil = math.Max(m.UtilFloor, math.Min(1, out.CoreUtil))
+	out.DeliveredIPS = out.AchievedRPS * m.DemandInstr
+	return out, nil
+}
+
+// serviceTailQuantile returns the QoS-percentile of the service-time
+// mixture alone (no queueing).
+func (m *Model) serviceTailQuantile(servers []queueing.Server) float64 {
+	parts := make([]stats.WeightedDist, 0, len(servers))
+	for _, sv := range servers {
+		parts = append(parts, stats.WeightedDist{
+			Weight: sv.Rate,
+			Dist:   stats.LogNormalFromMeanCV(1/sv.Rate, m.DemandCV),
+		})
+	}
+	return stats.MixtureQuantile(parts, m.QoSPercentile)
+}
+
+// TailAt returns the deterministic steady-state tail latency of a
+// configuration at the given offered load (requests/second), with no
+// backlog, noise or transition penalties. Used by the Figure 2/3
+// config-search experiments.
+func (m *Model) TailAt(spec *platform.Spec, cfg platform.Config, rps float64) float64 {
+	out, err := m.Interval(spec, IntervalInput{
+		Config:          cfg,
+		OfferedRPS:      rps,
+		Dt:              1,
+		DemandInflation: 1,
+	})
+	if err != nil {
+		return math.Inf(1)
+	}
+	if out.Saturated {
+		return math.Inf(1)
+	}
+	return out.TailLatency
+}
+
+// MeetsQoS reports whether cfg sustains the offered load within the
+// QoS target in the deterministic model.
+func (m *Model) MeetsQoS(spec *platform.Spec, cfg platform.Config, rps float64) bool {
+	return m.TailAt(spec, cfg, rps) <= m.TargetLatency
+}
+
+// LoadFrac converts requests/second to the fraction of maximum load.
+func (m *Model) LoadFrac(rps float64) float64 { return rps / m.MaxLoadRPS }
+
+// RPSAt converts a load fraction to requests/second.
+func (m *Model) RPSAt(frac float64) float64 { return frac * m.MaxLoadRPS }

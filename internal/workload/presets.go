@@ -1,0 +1,99 @@
+package workload
+
+import "hipster/internal/platform"
+
+// Memcached returns the model of the paper's Memcached deployment: a
+// Twitter-like in-memory caching workload (1.3 GB dataset) with a
+// maximum load of 36 000 requests/second and a 10 ms 95th-percentile
+// latency target (Table 1).
+//
+// Calibration notes: one big core at 1.15 GHz sustains ~19 000 req/s, so
+// two big cores run at ~95% utilisation at maximum load; small cores are
+// ~3.1x slower per request than big cores (the in-order A53 pipeline
+// handles the memory-bound key-value path comparatively well, so its
+// affinity is high). The resulting viable-configuration frontier
+// reproduces Figure 2a: all-small configurations hold until ~63% load,
+// mixed big+small configurations cover intermediate loads, and only
+// 2B-1.15 survives beyond ~94%.
+func Memcached() *Model {
+	m := &Model{
+		Name:          "memcached",
+		QoSPercentile: 0.95,
+		TargetLatency: 0.010,
+		MaxLoadRPS:    36000,
+		DemandInstr:   112526, // 2138e6 IPS / 19000 req/s per big core
+		DemandCV:      1.2,
+		Affinity: map[platform.CoreKind]float64{
+			platform.Big:   1.00,
+			platform.Small: 0.825, // small core: ~6060 req/s
+		},
+		// A full cluster switch (6 cores) disturbs the p95 by ~7 ms:
+		// harmless at the trough, a violation whenever the base tail
+		// exceeds ~3 ms (the paper's oscillation-induced violations).
+		MigPenaltySecsPerCore: 0.0012,
+		DVFSPenaltySecs:       0.0002,
+		UtilFloor:             0.10,
+		NoiseSigma:            0.06,
+		MemIntensity:          0.60,
+		CrossClusterPenalty:   1.05,
+		TailCapFactor:         3, // closed-loop clients back off past ~3x target
+		BacklogCapSecs:        0.1,
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// WebSearch returns the model of the paper's Web-Search deployment: an
+// Elasticsearch index of English Wikipedia queried with a Zipfian
+// distribution, maximum load 44 queries/second and a 500 ms
+// 90th-percentile latency target (Table 1; the Faban client uses a 2 s
+// think time, modelled here as an open arrival process).
+//
+// Calibration notes: one big core at 1.15 GHz scores ~23.2 queries/s;
+// search scoring is compute-heavy, so small in-order cores are
+// comparatively worse (~3.7x slower than big). This reproduces the
+// Figure 2b frontier: three small cores are already needed at 18% load,
+// all-small holds to ~47%, and the 100% level requires 2B-1.15.
+func WebSearch() *Model {
+	m := &Model{
+		Name:          "websearch",
+		QoSPercentile: 0.90,
+		TargetLatency: 0.500,
+		MaxLoadRPS:    44,
+		DemandInstr:   86.91e6, // 2138e6 IPS / 24.6 q/s per big core
+		DemandCV:      0.7,
+		Affinity: map[platform.CoreKind]float64{
+			platform.Big:   1.00,
+			platform.Small: 0.663, // small core: ~6.3 q/s
+		},
+		MigPenaltySecsPerCore: 0.035, // search workers rebuild larger state
+		DVFSPenaltySecs:       0.002,
+		UtilFloor:             0.05,
+		NoiseSigma:            0.08,
+		MemIntensity:          0.35,
+		CrossClusterPenalty:   1.03,
+		TailCapFactor:         2.5, // Faban's 2 s think time bounds the queue
+		BacklogCapSecs:        1,
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Presets lists the built-in latency-critical workloads.
+func Presets() []*Model {
+	return []*Model{Memcached(), WebSearch()}
+}
+
+// ByName returns a preset by name, or nil.
+func ByName(name string) *Model {
+	for _, m := range Presets() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hipster/internal/platform"
+	"hipster/internal/sim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range Presets() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", m.Name, err)
+		}
+	}
+	if ByName("memcached") == nil || ByName("websearch") == nil {
+		t.Fatal("presets must be addressable by name")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown preset should be nil")
+	}
+}
+
+// TestTable1Calibration checks the anchor of Table 1: each workload's
+// maximum load is sustainable (QoS met) on two big cores at maximum
+// DVFS, and is NOT sustainable on the all-small configuration.
+func TestTable1Calibration(t *testing.T) {
+	spec := platform.JunoR1()
+	bigCfg := platform.Config{NBig: 2, BigFreq: 1150}
+	smallCfg := platform.Config{NSmall: 4}
+	for _, m := range Presets() {
+		if !m.MeetsQoS(spec, bigCfg, m.MaxLoadRPS) {
+			t.Errorf("%s: max load must be sustainable on 2B-1.15 (tail %v, target %v)",
+				m.Name, m.TailAt(spec, bigCfg, m.MaxLoadRPS), m.TargetLatency)
+		}
+		if m.MeetsQoS(spec, smallCfg, m.MaxLoadRPS) {
+			t.Errorf("%s: max load must NOT be sustainable on 4S-0.65", m.Name)
+		}
+	}
+}
+
+// TestFigure2Frontier checks the qualitative shape of the viable
+// configuration frontier that drives all of the paper's results:
+// small-core configurations suffice at low load, mixed configurations
+// appear at intermediate load, and the top load levels need big cores.
+func TestFigure2Frontier(t *testing.T) {
+	spec := platform.JunoR1()
+	for _, m := range Presets() {
+		// Low load: the all-small config meets QoS.
+		if !m.MeetsQoS(spec, platform.Config{NSmall: 4}, m.RPSAt(0.30)) {
+			t.Errorf("%s: 4S should hold 30%% load", m.Name)
+		}
+		// A mixed configuration covers intermediate load where
+		// all-small fails.
+		mid := m.RPSAt(0.72)
+		if m.MeetsQoS(spec, platform.Config{NSmall: 4}, mid) {
+			t.Errorf("%s: 4S should fail at 72%% load", m.Name)
+		}
+		mixedOK := false
+		for _, cfg := range platform.Configs(spec) {
+			if cfg.NBig > 0 && cfg.NSmall > 0 && m.MeetsQoS(spec, cfg, mid) {
+				mixedOK = true
+				break
+			}
+		}
+		if !mixedOK {
+			t.Errorf("%s: no mixed configuration covers 72%% load", m.Name)
+		}
+	}
+}
+
+func TestCapacityMonotone(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	// More small cores, more capacity.
+	prev := 0.0
+	for n := 1; n <= 4; n++ {
+		c := m.CapacityRPS(spec, platform.Config{NSmall: n})
+		if c <= prev {
+			t.Fatalf("capacity not monotone in cores at %dS", n)
+		}
+		prev = c
+	}
+	// Higher frequency, more capacity.
+	prev = 0
+	for _, f := range spec.Big.Freqs {
+		c := m.CapacityRPS(spec, platform.Config{NBig: 2, BigFreq: f})
+		if c <= prev {
+			t.Fatalf("capacity not monotone in frequency at %d", f)
+		}
+		prev = c
+	}
+}
+
+func TestIntervalTailMonotoneInLoad(t *testing.T) {
+	spec := platform.JunoR1()
+	m := WebSearch()
+	cfg := platform.Config{NBig: 1, NSmall: 3, BigFreq: 900}
+	prev := 0.0
+	for frac := 0.05; frac < 0.9; frac += 0.05 {
+		tail := m.TailAt(spec, cfg, m.RPSAt(frac))
+		if math.IsInf(tail, 1) {
+			break // saturated; later points only get worse
+		}
+		if tail < prev-1e-9 {
+			t.Fatalf("tail not monotone at %v%% load", frac*100)
+		}
+		prev = tail
+	}
+}
+
+func TestIntervalBacklogCarryover(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	small := platform.Config{NSmall: 1}
+	// Overload a single small core.
+	out, err := m.Interval(spec, IntervalInput{
+		Config:     small,
+		OfferedRPS: m.RPSAt(0.5),
+		Dt:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Saturated || out.EndBacklog <= 0 {
+		t.Fatalf("overload should saturate and build backlog: %+v", out)
+	}
+	if out.TailLatency <= m.TargetLatency {
+		t.Fatal("saturated interval must violate QoS")
+	}
+	// Recovery on a big configuration drains the backlog.
+	out2, err := m.Interval(spec, IntervalInput{
+		Config:     platform.Config{NBig: 2, BigFreq: 1150},
+		OfferedRPS: m.RPSAt(0.2),
+		Dt:         1,
+		Backlog:    out.EndBacklog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.EndBacklog != 0 {
+		t.Fatalf("big config should drain the backlog, kept %v", out2.EndBacklog)
+	}
+}
+
+func TestBacklogCapped(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	cfg := platform.Config{NSmall: 1}
+	backlog := 0.0
+	for i := 0; i < 50; i++ {
+		out, err := m.Interval(spec, IntervalInput{
+			Config: cfg, OfferedRPS: m.MaxLoadRPS, Dt: 1, Backlog: backlog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backlog = out.EndBacklog
+	}
+	capReq := m.BacklogCapSecs * m.CapacityRPS(spec, cfg)
+	if backlog > capReq+1 {
+		t.Fatalf("backlog %v exceeds cap %v", backlog, capReq)
+	}
+}
+
+func TestMigrationPenaltyRaisesTail(t *testing.T) {
+	spec := platform.JunoR1()
+	for _, m := range Presets() {
+		base, err := m.Interval(spec, IntervalInput{
+			Config: platform.Config{NBig: 2, BigFreq: 1150}, OfferedRPS: m.RPSAt(0.5), Dt: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		migrated, err := m.Interval(spec, IntervalInput{
+			Config: platform.Config{NBig: 2, BigFreq: 1150}, OfferedRPS: m.RPSAt(0.5), Dt: 1,
+			MigratedCores: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDelta := m.MigPenaltySecsPerCore * 6
+		if got := migrated.TailLatency - base.TailLatency; math.Abs(got-wantDelta) > 1e-9 {
+			t.Errorf("%s: migration delta %v, want %v", m.Name, got, wantDelta)
+		}
+		dvfs, err := m.Interval(spec, IntervalInput{
+			Config: platform.Config{NBig: 2, BigFreq: 1150}, OfferedRPS: m.RPSAt(0.5), Dt: 1,
+			DVFSChanged: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dvfs.TailLatency >= migrated.TailLatency {
+			t.Errorf("%s: DVFS change must cost less than a full migration", m.Name)
+		}
+	}
+}
+
+func TestInterferenceInflationRaisesTail(t *testing.T) {
+	spec := platform.JunoR1()
+	m := WebSearch()
+	cfg := platform.Config{NSmall: 4}
+	clean := m.TailAt(spec, cfg, m.RPSAt(0.4))
+	out, err := m.Interval(spec, IntervalInput{
+		Config: cfg, OfferedRPS: m.RPSAt(0.4), Dt: 1, DemandInflation: 1.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TailLatency <= clean {
+		t.Fatalf("inflation should raise the tail: %v vs %v", out.TailLatency, clean)
+	}
+}
+
+func TestCrossClusterPenaltyAppliesOnlyToMixed(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	pure := m.Servers(spec, platform.Config{NSmall: 4}, 1)
+	var pureRate float64
+	for _, s := range pure {
+		pureRate += s.Rate
+	}
+	wantSmall := m.CoreRate(spec, platform.Small, 650) * 4
+	if math.Abs(pureRate-wantSmall) > 1 {
+		t.Fatalf("pure config should not be penalised: %v vs %v", pureRate, wantSmall)
+	}
+	mixed := m.Servers(spec, platform.Config{NBig: 1, NSmall: 3, BigFreq: 900}, 1)
+	var mixedRate float64
+	for _, s := range mixed {
+		mixedRate += s.Rate
+	}
+	raw := m.CoreRate(spec, platform.Big, 900) + 3*m.CoreRate(spec, platform.Small, 650)
+	if mixedRate >= raw {
+		t.Fatal("mixed-cluster config should pay the coherence penalty")
+	}
+}
+
+func TestTailCapRespected(t *testing.T) {
+	spec := platform.JunoR1()
+	for _, m := range Presets() {
+		out, err := m.Interval(spec, IntervalInput{
+			Config: platform.Config{NSmall: 1}, OfferedRPS: m.MaxLoadRPS, Dt: 1,
+			Backlog: 1e9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.TailLatency > m.TailCapFactor*m.TargetLatency+1e-9 {
+			t.Errorf("%s: tail %v exceeds cap", m.Name, out.TailLatency)
+		}
+	}
+}
+
+func TestPowerUtilFloor(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	out, err := m.Interval(spec, IntervalInput{
+		Config: platform.Config{NBig: 2, BigFreq: 1150}, OfferedRPS: m.RPSAt(0.01), Dt: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PowerUtil < m.UtilFloor {
+		t.Fatalf("power util %v below floor %v", out.PowerUtil, m.UtilFloor)
+	}
+	if out.CoreUtil > out.PowerUtil {
+		t.Fatal("power util should never be below core util at low load")
+	}
+}
+
+func TestLoadFracRoundTrip(t *testing.T) {
+	m := WebSearch()
+	f := func(raw float64) bool {
+		frac := math.Mod(math.Abs(raw), 1)
+		return math.Abs(m.LoadFrac(m.RPSAt(frac))-frac) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalNoiseIsBounded(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	rng := sim.NewRNG(3)
+	base := m.TailAt(spec, platform.Config{NSmall: 4}, m.RPSAt(0.4))
+	for i := 0; i < 500; i++ {
+		out, err := m.Interval(spec, IntervalInput{
+			Config: platform.Config{NSmall: 4}, OfferedRPS: m.RPSAt(0.4), Dt: 1, RNG: rng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := out.TailLatency / base; ratio < 0.6 || ratio > 1.8 {
+			t.Fatalf("noise ratio %v out of plausible range at draw %d", ratio, i)
+		}
+	}
+}
+
+func TestIntervalInputValidation(t *testing.T) {
+	spec := platform.JunoR1()
+	m := Memcached()
+	if _, err := m.Interval(spec, IntervalInput{Config: platform.Config{NSmall: 1}, OfferedRPS: 10, Dt: 0}); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := m.Interval(spec, IntervalInput{Config: platform.Config{NSmall: 1}, OfferedRPS: -5, Dt: 1}); err == nil {
+		t.Error("negative load should error")
+	}
+	if _, err := m.Interval(spec, IntervalInput{Config: platform.Config{NBig: 9}, OfferedRPS: 5, Dt: 1}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := Memcached()
+	bad.QoSPercentile = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad percentile accepted")
+	}
+	bad = Memcached()
+	bad.Affinity = map[platform.CoreKind]float64{platform.Big: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("missing small affinity accepted")
+	}
+	bad = Memcached()
+	bad.TailCapFactor = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-target tail cap accepted")
+	}
+}
