@@ -10,6 +10,8 @@
 package hipster_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"hipster"
@@ -364,6 +366,43 @@ func BenchmarkEngineStep(b *testing.B) {
 		if _, err := sim.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCluster16Nodes steps a 16-node HipsterIn fleet over a
+// 300-second diurnal slice, once with serial node stepping and once
+// with one worker per core, demonstrating the multi-core speedup of the
+// cluster layer (results are bit-identical across worker counts; only
+// wall-clock changes).
+func BenchmarkCluster16Nodes(b *testing.B) {
+	spec := platform.JunoR1()
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nodes, err := hipster.UniformClusterNodes(16, spec, hipster.Memcached(),
+					func(nodeID int) (hipster.Policy, error) {
+						return hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42+int64(nodeID))
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := hipster.NewCluster(hipster.ClusterOptions{
+					Nodes:    nodes,
+					Pattern:  hipster.DefaultDiurnal(),
+					Splitter: hipster.NewLeastLoadedSplitter(),
+					Workers:  workers,
+					Seed:     42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := cl.Run(300)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Summarize().QoSAttainment*100, "fleet-qos%")
+			}
+		})
 	}
 }
 

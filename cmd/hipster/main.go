@@ -9,6 +9,12 @@
 //	hipster -workload websearch -policy octopus-man -pattern ramp
 //	hipster -workload websearch -policy hipster-co -batch calculix,lbm
 //	hipster -workload memcached -policy static-big -csv trace.csv
+//
+// The cluster subcommand steps a whole fleet of Hipster-managed nodes
+// in parallel under a datacenter-level load pattern:
+//
+//	hipster cluster -nodes 16 -workers 8 -splitter least-loaded
+//	hipster cluster -nodes 32 -workload websearch -policy octopus-man
 package main
 
 import (
@@ -23,6 +29,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		if err := runCluster(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "hipster cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		workloadName = flag.String("workload", "memcached", "latency-critical workload: memcached|websearch")
 		policyName   = flag.String("policy", "hipster-in", "policy: hipster-in|hipster-co|octopus-man|hipster-heuristic|static-big|static-small")
@@ -132,6 +145,114 @@ func run(workloadName, policyName, patternName string, duration float64, seed in
 			return err
 		}
 		fmt.Printf("  trace written to %s\n", csvPath)
+	}
+	return nil
+}
+
+func runCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	var (
+		nodes        = fs.Int("nodes", 16, "number of simulated nodes")
+		workers      = fs.Int("workers", 0, "goroutines stepping nodes in parallel (0 = GOMAXPROCS)")
+		workloadName = fs.String("workload", "memcached", "latency-critical workload on every node: memcached|websearch")
+		policyName   = fs.String("policy", "hipster-in", "per-node policy: hipster-in|hipster-co|octopus-man|hipster-heuristic|static-big|static-small")
+		splitterName = fs.String("splitter", "weighted-by-capacity", "front-end load splitter: round-robin|weighted-by-capacity|least-loaded")
+		patternName  = fs.String("pattern", "diurnal", "datacenter-level load pattern: diurnal|ramp|constant:<frac>|spike")
+		batchList    = fs.String("batch", "", "comma-separated SPEC CPU 2006 programs collocated on every node")
+		duration     = fs.Float64("duration", 1440, "simulated seconds")
+		seed         = fs.Int64("seed", 42, "fleet seed (node i uses seed+i)")
+		series       = fs.Bool("series", true, "print sparkline time series")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := hipster.JunoR1()
+	wl := hipster.WorkloadByName(*workloadName)
+	if wl == nil {
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+	pattern, err := parsePattern(*patternName)
+	if err != nil {
+		return err
+	}
+	splitter, err := hipster.SplitterByName(*splitterName)
+	if err != nil {
+		return err
+	}
+	defs, err := hipster.UniformClusterNodes(*nodes, spec, wl, func(nodeID int) (hipster.Policy, error) {
+		return buildPolicy(*policyName, spec, *seed+int64(nodeID))
+	})
+	if err != nil {
+		return err
+	}
+	if *batchList != "" {
+		var progs []hipster.BatchProgram
+		for _, name := range strings.Split(*batchList, ",") {
+			p, ok := hipster.BatchProgramByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown batch program %q", name)
+			}
+			progs = append(progs, p)
+		}
+		for i := range defs {
+			runner, err := hipster.NewBatchRunner(progs)
+			if err != nil {
+				return err
+			}
+			defs[i].Batch = runner
+		}
+	}
+
+	cl, err := hipster.NewCluster(hipster.ClusterOptions{
+		Nodes:    defs,
+		Pattern:  pattern,
+		Splitter: splitter,
+		Workers:  *workers,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := cl.Run(*duration)
+	if err != nil {
+		return err
+	}
+
+	sum := res.Summarize()
+	fmt.Printf("cluster nodes=%d workers=%d workload=%s policy=%s splitter=%s pattern=%s duration=%.0fs seed=%d\n",
+		*nodes, cl.Workers(), *workloadName, *policyName, splitter.Name(), *patternName, *duration, *seed)
+	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(cl.CapacityRPS()))
+	fmt.Printf("  QoS attainment  : %s (%d nodes x %d intervals)\n",
+		report.Pct(sum.QoSAttainment*100), sum.Nodes, sum.Intervals)
+	fmt.Printf("  fleet energy    : %s J (mean %s W)\n", report.F0(sum.TotalEnergyJ), report.F2(sum.MeanPowerW))
+	fmt.Printf("  stragglers      : %d node-intervals (peak %d in one interval)\n",
+		sum.TotalStragglers, sum.PeakStragglers)
+	fmt.Printf("  throughput      : %s RPS offered, %s RPS achieved (mean)\n",
+		report.F0(sum.MeanOfferedRPS), report.F0(sum.MeanAchievedRPS))
+
+	fleet := res.Fleet
+	if *series && fleet.Len() > 1 {
+		width := 72
+		load := make([]float64, fleet.Len())
+		qos := make([]float64, fleet.Len())
+		strag := make([]float64, fleet.Len())
+		pow := make([]float64, fleet.Len())
+		for i, s := range fleet.Samples {
+			load[i] = s.OfferedRPS
+			qos[i] = s.QoSAttainment()
+			strag[i] = float64(s.Stragglers)
+			pow[i] = s.PowerW
+		}
+		fmt.Printf("  load       %s\n", report.Sparkline(load, width))
+		fmt.Printf("  qos        %s\n", report.Sparkline(qos, width))
+		fmt.Printf("  stragglers %s\n", report.Sparkline(strag, width))
+		fmt.Printf("  power      %s\n", report.Sparkline(pow, width))
+	}
+
+	fmt.Println("  per-node QoS guarantee:")
+	for i, tr := range res.Nodes {
+		fmt.Printf("    node %2d: %s\n", i, report.Pct(tr.QoSGuarantee()*100))
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module hipster
+
+go 1.24

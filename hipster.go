@@ -36,6 +36,7 @@ package hipster
 
 import (
 	"hipster/internal/batch"
+	"hipster/internal/cluster"
 	"hipster/internal/core"
 	"hipster/internal/engine"
 	"hipster/internal/heuristic"
@@ -143,6 +144,54 @@ type (
 	// SimOptions configure a simulation run.
 	SimOptions = engine.Options
 )
+
+// Cluster-scale simulation types.
+type (
+	// Cluster steps a fleet of per-node simulations under one
+	// datacenter-level load pattern, in parallel across a worker pool,
+	// with bit-identical results regardless of worker count.
+	Cluster = cluster.Cluster
+	// ClusterOptions configure a cluster run.
+	ClusterOptions = cluster.Options
+	// ClusterNode describes one node of the fleet.
+	ClusterNode = cluster.NodeOptions
+	// ClusterResult bundles the merged fleet trace with per-node traces.
+	ClusterResult = cluster.Result
+	// LoadSplitter carves fleet-level load into per-node offered RPS.
+	LoadSplitter = cluster.Splitter
+	// FleetTrace is the per-interval fleet aggregate record.
+	FleetTrace = telemetry.FleetTrace
+	// FleetSample is one interval's fleet-wide aggregate.
+	FleetSample = telemetry.FleetSample
+	// FleetSummary holds a cluster run's headline metrics.
+	FleetSummary = telemetry.FleetSummary
+)
+
+// NewCluster builds a fleet simulation from options.
+func NewCluster(opts ClusterOptions) (*Cluster, error) { return cluster.New(opts) }
+
+// UniformClusterNodes builds n identical node definitions over one spec
+// and workload, calling build for each node's policy (policies are
+// stateful and must not be shared between nodes).
+func UniformClusterNodes(n int, spec *Spec, wl *Workload, build func(nodeID int) (Policy, error)) ([]ClusterNode, error) {
+	return cluster.Uniform(n, spec, wl, build)
+}
+
+// NewRoundRobinSplitter returns the capacity-oblivious equal-share
+// front-end.
+func NewRoundRobinSplitter() LoadSplitter { return cluster.RoundRobin{} }
+
+// NewCapacitySplitter returns the front-end that loads every node to an
+// equal fraction of its capacity.
+func NewCapacitySplitter() LoadSplitter { return cluster.WeightedByCapacity{} }
+
+// NewLeastLoadedSplitter returns the feedback-driven front-end that
+// routes load towards free capacity and away from QoS violators.
+func NewLeastLoadedSplitter() LoadSplitter { return cluster.LeastLoaded{} }
+
+// SplitterByName returns a built-in splitter ("round-robin",
+// "weighted-by-capacity" or "least-loaded").
+func SplitterByName(name string) (LoadSplitter, error) { return cluster.SplitterByName(name) }
 
 // JunoR1 returns the model of the paper's evaluation platform: an ARM
 // Juno R1 big.LITTLE board calibrated to Table 2.

@@ -68,6 +68,107 @@ func TestFacadeConstructors(t *testing.T) {
 	}
 }
 
+// TestPolicyConstructors instantiates every policy constructor of the
+// public API and steps each policy for a short horizon.
+func TestPolicyConstructors(t *testing.T) {
+	spec := hipster.JunoR1()
+	wl := hipster.Memcached()
+	cases := []struct {
+		name  string
+		build func() (hipster.Policy, error)
+	}{
+		{"hipster-in", func() (hipster.Policy, error) {
+			return hipster.NewHipsterIn(spec, hipster.DefaultParams(), 1)
+		}},
+		{"hipster-co", func() (hipster.Policy, error) {
+			return hipster.NewHipsterCo(spec, hipster.DefaultParams(), 1)
+		}},
+		{"octopus-man", func() (hipster.Policy, error) {
+			return hipster.NewOctopusMan(spec)
+		}},
+		{"hipster-heuristic", func() (hipster.Policy, error) {
+			return hipster.NewHeuristicMapper(spec)
+		}},
+		{"static-big", func() (hipster.Policy, error) {
+			return hipster.NewStaticBig(spec), nil
+		}},
+		{"static-small", func() (hipster.Policy, error) {
+			return hipster.NewStaticSmall(spec), nil
+		}},
+		{"oracle", func() (hipster.Policy, error) {
+			return hipster.NewOracle(spec, wl, 0.05), nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pol, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pol.Name() == "" {
+				t.Fatal("empty policy name")
+			}
+			sim, err := hipster.NewSimulation(hipster.SimOptions{
+				Spec:     spec,
+				Workload: wl,
+				Pattern:  hipster.DefaultDiurnal(),
+				Policy:   pol,
+				Seed:     1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace, err := sim.Run(60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trace.Len() != 60 {
+				t.Fatalf("samples = %d", trace.Len())
+			}
+		})
+	}
+}
+
+// TestClusterFacade exercises the fleet layer end to end through the
+// public API: heterogeneous nodes, a feedback splitter, and parallel
+// stepping.
+func TestClusterFacade(t *testing.T) {
+	spec := hipster.JunoR1()
+	nodes, err := hipster.UniformClusterNodes(4, spec, hipster.Memcached(),
+		func(nodeID int) (hipster.Policy, error) {
+			return hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42+int64(nodeID))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := hipster.NewCluster(hipster.ClusterOptions{
+		Nodes:    nodes,
+		Pattern:  hipster.DefaultDiurnal(),
+		Splitter: hipster.NewLeastLoadedSplitter(),
+		Workers:  4,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fleet.Len() != 120 || len(res.Nodes) != 4 {
+		t.Fatalf("fleet intervals = %d, node traces = %d", res.Fleet.Len(), len(res.Nodes))
+	}
+	sum := res.Summarize()
+	if sum.QoSAttainment <= 0 || sum.TotalEnergyJ <= 0 {
+		t.Fatalf("implausible fleet summary: %+v", sum)
+	}
+	for _, name := range []string{"round-robin", "weighted-by-capacity", "least-loaded"} {
+		if _, err := hipster.SplitterByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestCollocationFlow(t *testing.T) {
 	spec := hipster.JunoR1()
 	prog, _ := hipster.BatchProgramByName("calculix")

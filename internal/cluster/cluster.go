@@ -1,0 +1,378 @@
+// Package cluster scales the single-node simulation to a fleet: a
+// Cluster owns N per-node engines (heterogeneous specs and workloads
+// allowed), a pluggable front-end splitter that carves a
+// datacenter-level load pattern into per-node offered load each
+// monitoring interval, and a worker pool that steps all nodes in
+// parallel. Every node draws from its own deterministic RNG stream
+// (derived as seed + nodeID) and the split/merge steps run serially in
+// the coordinator, so cluster results are bit-identical regardless of
+// how many workers step the nodes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hipster/internal/batch"
+	"hipster/internal/engine"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/sim"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// NodeOptions describe one node of the fleet. Policies and batch
+// runners are stateful and must not be shared between nodes.
+type NodeOptions struct {
+	Spec     *platform.Spec
+	Workload *workload.Model
+	Policy   policy.Policy
+
+	// Batch, when non-nil, collocates batch jobs on the cores this
+	// node's LC configuration leaves free (HipsterCo's objective).
+	Batch *batch.Runner
+
+	// InitialConfig is the node's starting configuration (default: all
+	// big cores at maximum DVFS).
+	InitialConfig *platform.Config
+
+	// UseDES evaluates this node's workload by discrete-event
+	// simulation instead of the analytic queueing model.
+	UseDES bool
+}
+
+// Options configure a cluster run.
+type Options struct {
+	// Nodes is the fleet definition; at least one node.
+	Nodes []NodeOptions
+
+	// Pattern is the datacenter-level offered load as a fraction of
+	// total fleet capacity (the sum of node capacities).
+	Pattern loadgen.Pattern
+
+	// Splitter carves the fleet load into per-node offered RPS each
+	// interval (default WeightedByCapacity).
+	Splitter Splitter
+
+	// Workers is the number of goroutines stepping nodes in parallel;
+	// 0 means GOMAXPROCS. Results do not depend on this value.
+	Workers int
+
+	// IntervalSecs is the monitoring interval (default 1 s).
+	IntervalSecs float64
+
+	// Seed drives the whole fleet: node i's engine is seeded with
+	// Seed + i, giving every node an independent deterministic stream.
+	Seed int64
+
+	// Deterministic disables all per-node noise sources.
+	Deterministic bool
+
+	// LoadJitterSigma and PowerNoiseSigma are forwarded to every node
+	// engine (zero = engine defaults).
+	LoadJitterSigma float64
+	PowerNoiseSigma float64
+
+	// StragglerFactor flags a node as a straggler when its tail latency
+	// exceeds this multiple of the interval's fleet-median tail
+	// (default telemetry.DefaultStragglerFactor).
+	StragglerFactor float64
+}
+
+// feed is the per-node load pattern shim: the coordinator stores the
+// node's split share into frac before the node steps, so each engine
+// sees exactly the load the front-end routed to it.
+type feed struct{ frac float64 }
+
+// LoadAt implements loadgen.Pattern.
+func (f *feed) LoadAt(float64) float64 { return f.frac }
+
+// Duration implements loadgen.Pattern (the cluster supplies the
+// horizon).
+func (f *feed) Duration() float64 { return 0 }
+
+// node pairs an engine with its routing state.
+type node struct {
+	eng   *engine.Engine
+	feed  *feed
+	state NodeState
+}
+
+// Cluster steps a fleet of engines under one datacenter-level load
+// pattern. It is not safe for concurrent use; internally it fans each
+// interval's node stepping out to a worker pool.
+type Cluster struct {
+	opts     Options
+	splitter Splitter
+	workers  int
+	nodes    []*node
+	fleetCap float64
+
+	clock *sim.Clock
+	fleet *telemetry.FleetTrace
+
+	// failed latches the first Step error: some engines may already
+	// have stepped and recorded that interval, so the fleet is
+	// desynchronized and must not be stepped again.
+	failed error
+
+	// per-interval scratch, indexed by node
+	states  []NodeState
+	samples []telemetry.Sample
+	errs    []error
+}
+
+// New validates options and builds a cluster.
+func New(opts Options) (*Cluster, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes")
+	}
+	if opts.Pattern == nil {
+		return nil, errors.New("cluster: nil load pattern")
+	}
+	if opts.Workers < 0 {
+		return nil, errors.New("cluster: negative worker count")
+	}
+	c := &Cluster{
+		opts:     opts,
+		splitter: opts.Splitter,
+		workers:  opts.Workers,
+		fleet:    &telemetry.FleetTrace{},
+	}
+	if c.splitter == nil {
+		c.splitter = WeightedByCapacity{}
+	}
+	if c.workers == 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	interval := opts.IntervalSecs
+	if interval == 0 {
+		interval = 1
+	}
+	if interval < 0 {
+		return nil, errors.New("cluster: negative interval")
+	}
+	c.clock = sim.NewClock(interval)
+
+	seen := make(map[policy.Policy]int, len(opts.Nodes))
+	seenBatch := make(map[*batch.Runner]int)
+	for i, no := range opts.Nodes {
+		// Policies of a non-comparable dynamic type cannot be checked
+		// for sharing (they would panic as map keys); they are also
+		// impossible to accidentally alias without a pointer, so skip.
+		if no.Policy != nil && reflect.TypeOf(no.Policy).Comparable() {
+			if j, dup := seen[no.Policy]; dup {
+				return nil, fmt.Errorf("cluster: nodes %d and %d share one policy instance; policies are stateful and need one instance per node", j, i)
+			}
+			seen[no.Policy] = i
+		}
+		if no.Batch != nil {
+			if j, dup := seenBatch[no.Batch]; dup {
+				return nil, fmt.Errorf("cluster: nodes %d and %d share one batch runner; runners are stateful and need one instance per node", j, i)
+			}
+			seenBatch[no.Batch] = i
+		}
+		f := &feed{}
+		eng, err := engine.New(engine.Options{
+			Spec:            no.Spec,
+			Workload:        no.Workload,
+			Pattern:         f,
+			Policy:          no.Policy,
+			Batch:           no.Batch,
+			IntervalSecs:    interval,
+			Seed:            opts.Seed + int64(i),
+			Deterministic:   opts.Deterministic,
+			LoadJitterSigma: opts.LoadJitterSigma,
+			PowerNoiseSigma: opts.PowerNoiseSigma,
+			InitialConfig:   no.InitialConfig,
+			UseDES:          no.UseDES,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		cap := no.Workload.RPSAt(1)
+		c.nodes = append(c.nodes, &node{
+			eng:  eng,
+			feed: f,
+			state: NodeState{
+				ID:          i,
+				CapacityRPS: cap,
+			},
+		})
+		c.fleetCap += cap
+	}
+	c.states = make([]NodeState, len(c.nodes))
+	c.samples = make([]telemetry.Sample, len(c.nodes))
+	c.errs = make([]error, len(c.nodes))
+	return c, nil
+}
+
+// fail latches err so the desynchronized fleet cannot be stepped again.
+func (c *Cluster) fail(err error) (telemetry.FleetSample, error) {
+	c.failed = err
+	return telemetry.FleetSample{}, err
+}
+
+// NumNodes returns the fleet size.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Workers returns the resolved worker-pool size (never zero).
+func (c *Cluster) Workers() int { return c.workers }
+
+// CapacityRPS returns the total fleet capacity.
+func (c *Cluster) CapacityRPS() float64 { return c.fleetCap }
+
+// Fleet returns the merged fleet trace recorded so far.
+func (c *Cluster) Fleet() *telemetry.FleetTrace { return c.fleet }
+
+// NodeTrace returns node i's per-interval trace.
+func (c *Cluster) NodeTrace(i int) *telemetry.Trace { return c.nodes[i].eng.Trace() }
+
+// Step advances the whole fleet by one monitoring interval: split the
+// fleet-level load, step every node (in parallel across the worker
+// pool), and merge the per-node samples into one fleet sample. After an
+// error the cluster is desynchronized (engines that stepped cleanly
+// have recorded an interval the fleet trace lacks) and every further
+// Step returns the same error.
+func (c *Cluster) Step() (telemetry.FleetSample, error) {
+	if c.failed != nil {
+		return telemetry.FleetSample{}, c.failed
+	}
+	t := c.clock.Now()
+	totalRPS := c.opts.Pattern.LoadAt(t) * c.fleetCap
+
+	for i, n := range c.nodes {
+		c.states[i] = n.state
+	}
+	shares := c.splitter.Split(SplitContext{
+		Interval: c.clock.Steps(),
+		T:        t,
+		TotalRPS: totalRPS,
+		Nodes:    c.states,
+	})
+	if len(shares) != len(c.nodes) {
+		return c.fail(fmt.Errorf("cluster: splitter %q returned %d shares for %d nodes",
+			c.splitter.Name(), len(shares), len(c.nodes)))
+	}
+	for i, n := range c.nodes {
+		rps := shares[i]
+		if rps < 0 {
+			return c.fail(fmt.Errorf("cluster: splitter %q returned negative share %v for node %d",
+				c.splitter.Name(), rps, i))
+		}
+		// The feed is a load fraction of this node's own capacity;
+		// overload (> 1) is passed through so routing mistakes surface
+		// as backlog and stragglers rather than silently shed load.
+		n.feed.frac = rps / n.state.CapacityRPS
+	}
+
+	c.stepNodes()
+	for i, err := range c.errs {
+		if err != nil {
+			return c.fail(fmt.Errorf("cluster: node %d: %w", i, err))
+		}
+	}
+
+	c.clock.Tick()
+	for i, n := range c.nodes {
+		s := c.samples[i]
+		n.state.Stepped = true
+		n.state.LastOfferedRPS = s.OfferedRPS
+		n.state.LastAchievedRPS = s.AchievedRPS
+		n.state.LastBacklog = s.Backlog
+		n.state.LastTailLatency = s.TailLatency
+		n.state.LastTarget = s.Target
+	}
+	fs := telemetry.MergeInterval(c.samples, c.opts.StragglerFactor)
+	c.fleet.Add(fs)
+	return fs, nil
+}
+
+// stepNodes steps every node once, fanning out across the worker pool.
+// Each node is touched by exactly one goroutine per interval and writes
+// only its own slot of the scratch slices, and every node's stochastic
+// state lives in its own engine, so scheduling order cannot affect
+// results.
+func (c *Cluster) stepNodes() {
+	w := c.workers
+	if w > len(c.nodes) {
+		w = len(c.nodes)
+	}
+	if w <= 1 {
+		for i, n := range c.nodes {
+			c.samples[i], c.errs[i] = n.eng.Step()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(c.nodes) {
+					return
+				}
+				c.samples[i], c.errs[i] = c.nodes[i].eng.Step()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Result bundles a finished cluster run: the merged fleet trace plus
+// every node's own trace, in node order.
+type Result struct {
+	Fleet *telemetry.FleetTrace
+	Nodes []*telemetry.Trace
+}
+
+// Summarize computes the fleet's headline metrics.
+func (r Result) Summarize() telemetry.FleetSummary { return r.Fleet.Summarize() }
+
+// Run executes the cluster for the given horizon (seconds); a zero
+// horizon uses the pattern's natural duration.
+func (c *Cluster) Run(horizon float64) (Result, error) {
+	if horizon <= 0 {
+		horizon = c.opts.Pattern.Duration()
+	}
+	if horizon <= 0 {
+		return Result{}, errors.New("cluster: no horizon (unbounded pattern and no explicit duration)")
+	}
+	for c.clock.Now() < horizon {
+		if _, err := c.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Fleet: c.fleet, Nodes: make([]*telemetry.Trace, len(c.nodes))}
+	for i, n := range c.nodes {
+		res.Nodes[i] = n.eng.Trace()
+	}
+	return res, nil
+}
+
+// Uniform builds n identical node definitions over one spec and
+// workload, calling build for each node's policy (policies are stateful
+// and must not be shared between nodes).
+func Uniform(n int, spec *platform.Spec, wl *workload.Model, build func(nodeID int) (policy.Policy, error)) ([]NodeOptions, error) {
+	if n <= 0 {
+		return nil, errors.New("cluster: non-positive node count")
+	}
+	nodes := make([]NodeOptions, n)
+	for i := range nodes {
+		pol, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d policy: %w", i, err)
+		}
+		nodes[i] = NodeOptions{Spec: spec, Workload: wl, Policy: pol}
+	}
+	return nodes, nil
+}

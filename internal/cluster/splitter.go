@@ -1,0 +1,159 @@
+package cluster
+
+import "fmt"
+
+// NodeState is the per-node feedback a splitter may consult when carving
+// the fleet-level load. All fields describe the previous interval; they
+// are zero (with Stepped false) before the first interval.
+type NodeState struct {
+	ID          int
+	CapacityRPS float64 // node capacity at 100% load
+
+	Stepped         bool // at least one interval has run
+	LastOfferedRPS  float64
+	LastAchievedRPS float64
+	LastBacklog     float64
+	LastTailLatency float64
+	LastTarget      float64
+}
+
+// Overloaded reports whether the node violated its QoS target in the
+// previous interval.
+func (n NodeState) Overloaded() bool {
+	return n.Stepped && n.LastTarget > 0 && n.LastTailLatency > n.LastTarget
+}
+
+// SplitContext is the input to one splitting decision.
+type SplitContext struct {
+	Interval int     // monitoring interval index, starting at 0
+	T        float64 // interval start time, seconds
+	TotalRPS float64 // fleet-level offered load this interval
+	Nodes    []NodeState
+}
+
+// Splitter carves the datacenter-level offered load into per-node
+// offered RPS each monitoring interval. Implementations must be
+// deterministic pure functions of the context: the split runs serially
+// in the cluster coordinator, so determinism here (plus per-node RNG
+// streams) makes whole-cluster results independent of worker count.
+type Splitter interface {
+	Name() string
+	// Split returns one offered-RPS value per context node, in node
+	// order. Shares must be non-negative; they need not sum exactly to
+	// TotalRPS (a splitter may shed load), but the built-ins conserve it.
+	Split(ctx SplitContext) []float64
+}
+
+// RoundRobin dispatches requests to nodes in rotation, which at
+// monitoring-interval granularity is an equal split of the offered load
+// regardless of node capacity — the classic capacity-oblivious
+// front-end.
+type RoundRobin struct{}
+
+// Name implements Splitter.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Split implements Splitter.
+func (RoundRobin) Split(ctx SplitContext) []float64 {
+	out := make([]float64, len(ctx.Nodes))
+	if len(ctx.Nodes) == 0 {
+		return out
+	}
+	share := ctx.TotalRPS / float64(len(ctx.Nodes))
+	for i := range out {
+		out[i] = share
+	}
+	return out
+}
+
+// WeightedByCapacity splits the offered load proportionally to each
+// node's capacity, so heterogeneous nodes run at equal load fractions.
+type WeightedByCapacity struct{}
+
+// Name implements Splitter.
+func (WeightedByCapacity) Name() string { return "weighted-by-capacity" }
+
+// Split implements Splitter.
+func (WeightedByCapacity) Split(ctx SplitContext) []float64 {
+	return splitByWeight(ctx, func(n NodeState) float64 { return n.CapacityRPS })
+}
+
+// LeastLoaded splits the offered load proportionally to each node's
+// free capacity as observed last interval (capacity minus offered load,
+// floored at a small reserve), halving the share of nodes that violated
+// QoS. Before the first interval it falls back to capacity weighting.
+// This is the feedback-driven front-end of cluster schedulers that
+// steer load away from stragglers.
+type LeastLoaded struct {
+	// ReserveFrac floors every node's weight at this fraction of its
+	// capacity so no node is starved entirely (default 0.02).
+	ReserveFrac float64
+}
+
+// Name implements Splitter.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Split implements Splitter.
+func (l LeastLoaded) Split(ctx SplitContext) []float64 {
+	reserve := l.ReserveFrac
+	if reserve <= 0 {
+		reserve = 0.02
+	}
+	return splitByWeight(ctx, func(n NodeState) float64 {
+		if !n.Stepped {
+			return n.CapacityRPS
+		}
+		head := n.CapacityRPS - n.LastOfferedRPS
+		if head < reserve*n.CapacityRPS {
+			head = reserve * n.CapacityRPS
+		}
+		if n.Overloaded() {
+			head /= 2
+		}
+		return head
+	})
+}
+
+// splitByWeight distributes ctx.TotalRPS proportionally to the given
+// per-node weight, falling back to an equal split when all weights are
+// zero.
+func splitByWeight(ctx SplitContext, weight func(NodeState) float64) []float64 {
+	out := make([]float64, len(ctx.Nodes))
+	if len(ctx.Nodes) == 0 {
+		return out
+	}
+	var total float64
+	for i, n := range ctx.Nodes {
+		w := weight(n)
+		if w < 0 {
+			w = 0
+		}
+		out[i] = w
+		total += w
+	}
+	if total <= 0 {
+		share := ctx.TotalRPS / float64(len(ctx.Nodes))
+		for i := range out {
+			out[i] = share
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = ctx.TotalRPS * out[i] / total
+	}
+	return out
+}
+
+// SplitterByName returns a built-in splitter by its Name, or an error
+// listing the valid names.
+func SplitterByName(name string) (Splitter, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin{}, nil
+	case "weighted-by-capacity":
+		return WeightedByCapacity{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown splitter %q (want round-robin, weighted-by-capacity or least-loaded)", name)
+}

@@ -10,6 +10,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"hipster/internal/batch"
@@ -203,12 +204,16 @@ func (e *Engine) Step() (telemetry.Sample, error) {
 	dt := e.clock.Interval()
 	tStart := e.clock.Now()
 
-	// Offered load for this interval.
+	// Offered load for this interval. Jitter may not push load past
+	// 100% of capacity, but a pattern that itself demands overload (a
+	// cluster front-end can route a node more than its capacity) passes
+	// through, so overload behaves the same with and without noise.
 	frac := e.opts.Pattern.LoadAt(tStart)
 	if !e.opts.Deterministic {
+		limit := math.Max(1, frac)
 		frac = sim.Jitter(e.loadRNG, frac, e.opts.LoadJitterSigma)
-		if frac > 1 {
-			frac = 1
+		if frac > limit {
+			frac = limit
 		}
 	}
 	offered := e.wl.RPSAt(frac)

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"hipster/internal/stats"
+)
+
+// DefaultStragglerFactor flags a node as a straggler when its tail
+// latency exceeds this multiple of the fleet-median tail latency for the
+// interval (the straggler criterion used by cluster-level schedulers;
+// cf. START, arXiv:2111.10241).
+const DefaultStragglerFactor = 1.5
+
+// FleetSample aggregates one monitoring interval across every node of a
+// cluster: fleet-wide load, QoS attainment, power, and the interval's
+// straggler count.
+type FleetSample struct {
+	T     float64 `json:"t"`
+	Nodes int     `json:"nodes"`
+
+	// Load and throughput summed across nodes.
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Backlog     float64 `json:"backlog"`
+
+	// QoS across the fleet.
+	QoSMet        int     `json:"qos_met"`        // nodes meeting their target
+	Stragglers    int     `json:"stragglers"`     // nodes beyond factor × median tail
+	MedianTail    float64 `json:"median_tail_s"`  // fleet-median tail latency
+	WorstTail     float64 `json:"worst_tail_s"`   // slowest node's tail latency
+	MaxTardiness  float64 `json:"max_tardiness"`  // worst QoScurr/QoStarget
+	MeanTardiness float64 `json:"mean_tardiness"` // mean QoScurr/QoStarget
+
+	// Power and energy summed across nodes.
+	PowerW  float64 `json:"power_w"`
+	EnergyJ float64 `json:"energy_j"` // cumulative
+}
+
+// QoSAttainment returns the fraction of nodes meeting QoS this interval.
+func (f FleetSample) QoSAttainment() float64 {
+	if f.Nodes == 0 {
+		return 0
+	}
+	return float64(f.QoSMet) / float64(f.Nodes)
+}
+
+// MergeInterval folds the per-node samples of one monitoring interval
+// into a FleetSample. stragglerFactor <= 0 uses
+// DefaultStragglerFactor. The per-node samples must all carry the same
+// interval-end timestamp; the merge is a pure function of the inputs,
+// so fleet aggregates are identical however node stepping was
+// parallelised.
+func MergeInterval(samples []Sample, stragglerFactor float64) FleetSample {
+	if stragglerFactor <= 0 {
+		stragglerFactor = DefaultStragglerFactor
+	}
+	fs := FleetSample{Nodes: len(samples)}
+	if len(samples) == 0 {
+		return fs
+	}
+	fs.T = samples[0].T
+
+	tails := make([]float64, len(samples))
+	for i, s := range samples {
+		tails[i] = s.TailLatency
+		fs.OfferedRPS += s.OfferedRPS
+		fs.AchievedRPS += s.AchievedRPS
+		fs.Backlog += s.Backlog
+		fs.PowerW += s.PowerW()
+		fs.EnergyJ += s.EnergyJ
+		if s.QoSMet() {
+			fs.QoSMet++
+		}
+		tard := s.Tardiness()
+		fs.MeanTardiness += tard
+		if tard > fs.MaxTardiness {
+			fs.MaxTardiness = tard
+		}
+		if s.TailLatency > fs.WorstTail {
+			fs.WorstTail = s.TailLatency
+		}
+	}
+	fs.MeanTardiness /= float64(len(samples))
+	median, err := stats.Percentile(tails, 0.5)
+	if err == nil {
+		fs.MedianTail = median
+	}
+	if fs.MedianTail > 0 {
+		for _, s := range samples {
+			if s.TailLatency > stragglerFactor*fs.MedianTail {
+				fs.Stragglers++
+			}
+		}
+	}
+	return fs
+}
+
+// FleetTrace is an ordered sequence of fleet samples, one per
+// monitoring interval.
+type FleetTrace struct {
+	Samples []FleetSample
+}
+
+// Add appends a fleet sample.
+func (ft *FleetTrace) Add(s FleetSample) { ft.Samples = append(ft.Samples, s) }
+
+// Len returns the number of intervals recorded.
+func (ft *FleetTrace) Len() int { return len(ft.Samples) }
+
+// QoSAttainment returns the fraction of node-intervals that met their
+// QoS target across the whole run (the fleet-wide analogue of the
+// paper's QoS guarantee).
+func (ft *FleetTrace) QoSAttainment() float64 {
+	met, total := 0, 0
+	for _, s := range ft.Samples {
+		met += s.QoSMet
+		total += s.Nodes
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(met) / float64(total)
+}
+
+// TotalEnergyJ returns the fleet's final cumulative energy.
+func (ft *FleetTrace) TotalEnergyJ() float64 {
+	if len(ft.Samples) == 0 {
+		return 0
+	}
+	return ft.Samples[len(ft.Samples)-1].EnergyJ
+}
+
+// MeanPowerW averages fleet power across intervals.
+func (ft *FleetTrace) MeanPowerW() float64 {
+	if len(ft.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range ft.Samples {
+		sum += s.PowerW
+	}
+	return sum / float64(len(ft.Samples))
+}
+
+// TotalStragglers sums straggler node-intervals over the run.
+func (ft *FleetTrace) TotalStragglers() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Stragglers
+	}
+	return n
+}
+
+// PeakStragglers returns the worst single-interval straggler count.
+func (ft *FleetTrace) PeakStragglers() int {
+	peak := 0
+	for _, s := range ft.Samples {
+		if s.Stragglers > peak {
+			peak = s.Stragglers
+		}
+	}
+	return peak
+}
+
+// FleetSummary holds a cluster run's headline metrics.
+type FleetSummary struct {
+	Intervals       int
+	Nodes           int
+	QoSAttainment   float64
+	TotalEnergyJ    float64
+	MeanPowerW      float64
+	TotalStragglers int
+	PeakStragglers  int
+	MeanOfferedRPS  float64
+	MeanAchievedRPS float64
+}
+
+// Summarize computes the headline fleet metrics.
+func (ft *FleetTrace) Summarize() FleetSummary {
+	sum := FleetSummary{
+		Intervals:       ft.Len(),
+		QoSAttainment:   ft.QoSAttainment(),
+		TotalEnergyJ:    ft.TotalEnergyJ(),
+		MeanPowerW:      ft.MeanPowerW(),
+		TotalStragglers: ft.TotalStragglers(),
+		PeakStragglers:  ft.PeakStragglers(),
+	}
+	if len(ft.Samples) > 0 {
+		sum.Nodes = ft.Samples[0].Nodes
+		var off, ach float64
+		for _, s := range ft.Samples {
+			off += s.OfferedRPS
+			ach += s.AchievedRPS
+		}
+		sum.MeanOfferedRPS = off / float64(len(ft.Samples))
+		sum.MeanAchievedRPS = ach / float64(len(ft.Samples))
+	}
+	return sum
+}

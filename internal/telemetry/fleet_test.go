@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func nodeSample(t, tail, target, power, energy, offered float64) Sample {
+	return Sample{
+		T:           t,
+		TailLatency: tail,
+		Target:      target,
+		BigW:        power,
+		EnergyJ:     energy,
+		OfferedRPS:  offered,
+		AchievedRPS: offered,
+	}
+}
+
+func TestMergeInterval(t *testing.T) {
+	samples := []Sample{
+		nodeSample(1, 0.008, 0.010, 2, 2, 100),
+		nodeSample(1, 0.009, 0.010, 3, 3, 200),
+		nodeSample(1, 0.030, 0.010, 4, 4, 300), // violator and straggler
+		nodeSample(1, 0.010, 0.010, 5, 5, 400),
+	}
+	fs := MergeInterval(samples, 0)
+
+	if fs.Nodes != 4 || fs.T != 1 {
+		t.Fatalf("shape: %+v", fs)
+	}
+	if fs.QoSMet != 3 {
+		t.Fatalf("QoSMet = %d, want 3", fs.QoSMet)
+	}
+	if got := fs.QoSAttainment(); got != 0.75 {
+		t.Fatalf("attainment = %v", got)
+	}
+	// Median tail is (0.009+0.010)/2 = 0.0095; only the 0.030 node
+	// exceeds 1.5x that.
+	if math.Abs(fs.MedianTail-0.0095) > 1e-12 {
+		t.Fatalf("median tail = %v", fs.MedianTail)
+	}
+	if fs.Stragglers != 1 {
+		t.Fatalf("stragglers = %d, want 1", fs.Stragglers)
+	}
+	if fs.WorstTail != 0.030 {
+		t.Fatalf("worst tail = %v", fs.WorstTail)
+	}
+	if fs.MaxTardiness != 3 {
+		t.Fatalf("max tardiness = %v", fs.MaxTardiness)
+	}
+	if fs.PowerW != 14 || fs.EnergyJ != 14 {
+		t.Fatalf("power/energy: %+v", fs)
+	}
+	if fs.OfferedRPS != 1000 || fs.AchievedRPS != 1000 {
+		t.Fatalf("throughput: %+v", fs)
+	}
+}
+
+func TestMergeIntervalEmpty(t *testing.T) {
+	fs := MergeInterval(nil, 0)
+	if fs.Nodes != 0 || fs.Stragglers != 0 || fs.QoSAttainment() != 0 {
+		t.Fatalf("empty merge: %+v", fs)
+	}
+}
+
+func TestMergeIntervalSingleNodeHasNoStragglers(t *testing.T) {
+	fs := MergeInterval([]Sample{nodeSample(1, 0.5, 0.01, 1, 1, 10)}, 0)
+	if fs.Stragglers != 0 {
+		t.Fatalf("a lone node cannot straggle behind itself: %+v", fs)
+	}
+	if fs.QoSMet != 0 {
+		t.Fatalf("QoSMet = %d", fs.QoSMet)
+	}
+}
+
+func TestFleetTraceAggregates(t *testing.T) {
+	ft := &FleetTrace{}
+	ft.Add(MergeInterval([]Sample{
+		nodeSample(1, 0.008, 0.010, 2, 2, 100),
+		nodeSample(1, 0.030, 0.010, 2, 2, 100),
+	}, 0))
+	ft.Add(MergeInterval([]Sample{
+		nodeSample(2, 0.008, 0.010, 4, 6, 200),
+		nodeSample(2, 0.009, 0.010, 4, 6, 200),
+	}, 0))
+
+	if ft.Len() != 2 {
+		t.Fatalf("len = %d", ft.Len())
+	}
+	if got := ft.QoSAttainment(); got != 0.75 {
+		t.Fatalf("attainment = %v", got)
+	}
+	if got := ft.TotalEnergyJ(); got != 12 {
+		t.Fatalf("energy = %v", got)
+	}
+	if got := ft.MeanPowerW(); got != 6 {
+		t.Fatalf("mean power = %v", got)
+	}
+	if ft.TotalStragglers() != 1 || ft.PeakStragglers() != 1 {
+		t.Fatalf("stragglers: %d/%d", ft.TotalStragglers(), ft.PeakStragglers())
+	}
+	sum := ft.Summarize()
+	if sum.Intervals != 2 || sum.Nodes != 2 || sum.QoSAttainment != 0.75 {
+		t.Fatalf("summary: %+v", sum)
+	}
+	if sum.MeanOfferedRPS != 300 {
+		t.Fatalf("mean offered = %v", sum.MeanOfferedRPS)
+	}
+}
