@@ -10,7 +10,6 @@
 package hipster_test
 
 import (
-	"fmt"
 	"runtime"
 	"testing"
 
@@ -376,8 +375,18 @@ func BenchmarkEngineStep(b *testing.B) {
 // wall-clock changes).
 func BenchmarkCluster16Nodes(b *testing.B) {
 	spec := platform.JunoR1()
-	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	// Sub-benchmark names must not depend on the machine shape: the CI
+	// regression gate (cmd/benchgate) matches them against a committed
+	// baseline, so "parallel" rather than "workers=<GOMAXPROCS>".
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		workers := bc.workers
+		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				nodes, err := hipster.UniformClusterNodes(16, spec, hipster.Memcached(),
 					func(nodeID int) (hipster.Policy, error) {

@@ -1,0 +1,144 @@
+// Command benchgate is the CI benchmark-regression gate: it parses a
+// `go test -bench` run (the -json event stream by default), writes the
+// summarized per-benchmark ns/op results to a report file (the
+// BENCH_<sha>.json artifact), and fails when any gated benchmark
+// regressed more than the allowed fraction against the committed
+// baseline.
+//
+//	go test -json -bench . -benchtime 3x -count 3 -run '^$' . |
+//	  benchgate -baseline ci/bench_baseline.json -out BENCH_$SHA.json
+//
+// Refreshing the committed baseline after an intentional change:
+//
+//	go test -json -bench . -benchtime 3x -count 3 -run '^$' . |
+//	  benchgate -baseline ci/bench_baseline.json -update-baseline -note "PR 2 baseline"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hipster/internal/benchparse"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "bench output to parse (default: stdin)")
+		format   = flag.String("format", "json", "input format: json (go test -json stream) or text (raw bench output)")
+		baseline = flag.String("baseline", "", "committed baseline file to gate against")
+		out      = flag.String("out", "", "write the summarized results (report artifact) to this path")
+		gate     = flag.String("gate", "BenchmarkCluster16Nodes", "benchmark name prefix the regression gate applies to")
+		maxReg   = flag.Float64("max-regress", 0.20, "maximum allowed ns/op regression as a fraction of the baseline")
+		update   = flag.Bool("update-baseline", false, "rewrite the baseline from this run instead of gating")
+		note     = flag.String("note", "", "note stored in the baseline when updating")
+	)
+	flag.Parse()
+	if err := run(*in, *format, *baseline, *out, *gate, *maxReg, *update, *note); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, format, baseline, out, gate string, maxReg float64, update bool, note string) error {
+	var src io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	var results []benchparse.Result
+	var err error
+	switch format {
+	case "json":
+		results, err = benchparse.ParseJSON(src)
+	case "text":
+		results, err = benchparse.ParseText(src)
+	default:
+		return fmt.Errorf("unknown format %q (want json or text)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+	summary := benchparse.Summarize(results)
+
+	names := make([]string, 0, len(summary))
+	for name := range summary {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("parsed %d benchmark runs (%d distinct benchmarks)\n", len(results), len(summary))
+	for _, name := range names {
+		fmt.Printf("  %-60s %14.0f ns/op\n", name, summary[name])
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		report := benchparse.Baseline{Note: "benchgate run report", Benchmarks: summary}
+		if err := report.WriteBaseline(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+
+	if baseline == "" {
+		if update {
+			return fmt.Errorf("-update-baseline needs -baseline to know where to write")
+		}
+		return nil
+	}
+	if update {
+		f, err := os.Create(baseline)
+		if err != nil {
+			return err
+		}
+		b := benchparse.Baseline{Note: note, Benchmarks: summary}
+		if err := b.WriteBaseline(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("baseline %s updated\n", baseline)
+		return nil
+	}
+
+	f, err := os.Open(baseline)
+	if err != nil {
+		return err
+	}
+	base, err := benchparse.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	regressions, err := benchparse.Gate(summary, base, gate, maxReg)
+	if err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", len(regressions), 100*maxReg, baseline)
+	}
+	fmt.Printf("gate %q passed (limit +%.0f%% vs %s)\n", gate, 100*maxReg, baseline)
+	return nil
+}

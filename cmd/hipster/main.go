@@ -15,6 +15,8 @@
 //
 //	hipster cluster -nodes 16 -workers 8 -splitter least-loaded
 //	hipster cluster -nodes 32 -workload websearch -policy octopus-man
+//	hipster cluster -nodes 16 -federate -sync-interval 5 -merge visit-weighted
+//	hipster cluster -nodes 16 -federate -staleness 20 -merge max-confidence
 package main
 
 import (
@@ -162,9 +164,31 @@ func runCluster(args []string) error {
 		duration     = fs.Float64("duration", 1440, "simulated seconds")
 		seed         = fs.Int64("seed", 42, "fleet seed (node i uses seed+i)")
 		series       = fs.Bool("series", true, "print sparkline time series")
+		federate     = fs.Bool("federate", false, "share the per-node RL tables: periodically merge them into one fleet table and broadcast it back")
+		syncInterval = fs.Int("sync-interval", 10, "monitoring intervals between federation sync rounds")
+		mergeName    = fs.String("merge", "visit-weighted", "federation merge policy: visit-weighted|max-confidence|newest-wins")
+		staleness    = fs.Int("staleness", 0, "federation staleness bound K: discard a node's deltas older than K intervals (0 = unbounded)")
+		dropout      = fs.Float64("sync-dropout", 0, "deterministic per-node chance of missing a federation sync round (models partitions)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !*federate {
+		// Federation-dependent flags silently doing nothing would let a
+		// typo'd comparison measure independent learners; surface it.
+		var orphaned []string
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "sync-interval", "merge", "staleness", "sync-dropout":
+				orphaned = append(orphaned, "-"+fl.Name)
+			}
+		})
+		if len(orphaned) > 0 {
+			return fmt.Errorf("%s require(s) -federate", strings.Join(orphaned, ", "))
+		}
+	}
+	if *dropout < 0 || *dropout >= 1 {
+		return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
 	}
 
 	spec := hipster.JunoR1()
@@ -204,13 +228,40 @@ func runCluster(args []string) error {
 		}
 	}
 
-	cl, err := hipster.NewCluster(hipster.ClusterOptions{
+	opts := hipster.ClusterOptions{
 		Nodes:    defs,
 		Pattern:  pattern,
 		Splitter: splitter,
 		Workers:  *workers,
 		Seed:     *seed,
-	})
+	}
+	if *federate {
+		merge, err := hipster.MergePolicyByName(*mergeName)
+		if err != nil {
+			return err
+		}
+		opts.Federation = &hipster.FederationOptions{
+			SyncEvery:          *syncInterval,
+			Merge:              merge,
+			StalenessIntervals: *staleness,
+		}
+		if *dropout > 0 {
+			// A seeded hash of (node, interval) keeps the dropout
+			// pattern deterministic for a given -seed, preserving the
+			// cluster's reproducibility guarantees.
+			p, seedBits := *dropout, uint64(*seed)
+			opts.Federation.Participation = func(nodeID, interval int) bool {
+				h := seedBits ^ uint64(nodeID)<<32 ^ uint64(interval)
+				h ^= h >> 30
+				h *= 0xbf58476d1ce4e5b9
+				h ^= h >> 27
+				h *= 0x94d049bb133111eb
+				h ^= h >> 31
+				return float64(h%1000000)/1000000 >= p
+			}
+		}
+	}
+	cl, err := hipster.NewCluster(opts)
 	if err != nil {
 		return err
 	}
@@ -230,6 +281,10 @@ func runCluster(args []string) error {
 		sum.TotalStragglers, sum.PeakStragglers)
 	fmt.Printf("  throughput      : %s RPS offered, %s RPS achieved (mean)\n",
 		report.F0(sum.MeanOfferedRPS), report.F0(sum.MeanAchievedRPS))
+	if st, ok := cl.FederationStats(); ok {
+		fmt.Printf("  federation      : %s merge, %d rounds, %d reports, %d cells merged (%d updates), %d stale deltas dropped\n",
+			*mergeName, st.Rounds, st.Reports, st.MergedCells, st.MergedVisits, st.StaleDropped)
+	}
 
 	fleet := res.Fleet
 	if *series && fleet.Len() > 1 {

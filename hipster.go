@@ -39,6 +39,7 @@ import (
 	"hipster/internal/cluster"
 	"hipster/internal/core"
 	"hipster/internal/engine"
+	"hipster/internal/federation"
 	"hipster/internal/heuristic"
 	"hipster/internal/loadgen"
 	"hipster/internal/octopusman"
@@ -159,6 +160,11 @@ type (
 	ClusterResult = cluster.Result
 	// LoadSplitter carves fleet-level load into per-node offered RPS.
 	LoadSplitter = cluster.Splitter
+	// SplitContext is the per-interval input to a LoadSplitter; custom
+	// splitters implement LoadSplitter over it.
+	SplitContext = cluster.SplitContext
+	// NodeState is the per-node feedback a splitter may consult.
+	NodeState = cluster.NodeState
 	// FleetTrace is the per-interval fleet aggregate record.
 	FleetTrace = telemetry.FleetTrace
 	// FleetSample is one interval's fleet-wide aggregate.
@@ -166,6 +172,44 @@ type (
 	// FleetSummary holds a cluster run's headline metrics.
 	FleetSummary = telemetry.FleetSummary
 )
+
+// Federation types: fleet-wide sharing of the per-node RL lookup
+// tables. With FederationOptions set on ClusterOptions, the cluster
+// coordinator periodically collects each Hipster-managed node's table
+// delta (its learning since the last sync), merges the deltas under a
+// pluggable policy, and broadcasts the merged fleet table back — so the
+// fleet converges on a shared state machine faster than N independent
+// learners rediscovering it.
+type (
+	// FederationOptions configure table sharing on a cluster: the sync
+	// interval, the merge policy, and the staleness bound K intervals
+	// after which a node's unsynced deltas are discarded.
+	FederationOptions = cluster.FederationOptions
+	// MergePolicy selects how per-node deltas fold into the fleet
+	// table.
+	MergePolicy = federation.MergePolicy
+	// FederationStats counts sync rounds, reports, merged experience
+	// and staleness discards.
+	FederationStats = federation.Stats
+)
+
+// Merge policies.
+const (
+	// MergeVisitWeighted averages reported values weighted by visit
+	// counts (federated averaging; the default).
+	MergeVisitWeighted = federation.VisitWeighted
+	// MergeMaxConfidence takes each cell from the round's most-visited
+	// reporter.
+	MergeMaxConfidence = federation.MaxConfidence
+	// MergeNewestWins takes each cell from the round's last reporter.
+	MergeNewestWins = federation.NewestWins
+)
+
+// MergePolicyByName returns a merge policy ("visit-weighted",
+// "max-confidence" or "newest-wins").
+func MergePolicyByName(name string) (MergePolicy, error) {
+	return federation.MergePolicyByName(name)
+}
 
 // NewCluster builds a fleet simulation from options.
 func NewCluster(opts ClusterOptions) (*Cluster, error) { return cluster.New(opts) }

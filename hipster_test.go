@@ -169,6 +169,54 @@ func TestClusterFacade(t *testing.T) {
 	}
 }
 
+func TestFederatedClusterFacade(t *testing.T) {
+	spec := hipster.JunoR1()
+	nodes, err := hipster.UniformClusterNodes(4, spec, hipster.Memcached(),
+		func(nodeID int) (hipster.Policy, error) {
+			return hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42+int64(nodeID))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge, err := hipster.MergePolicyByName("visit-weighted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := hipster.NewCluster(hipster.ClusterOptions{
+		Nodes:    nodes,
+		Pattern:  hipster.DefaultDiurnal(),
+		Splitter: hipster.NewCapacitySplitter(),
+		Workers:  4,
+		Seed:     42,
+		Federation: &hipster.FederationOptions{
+			SyncEvery:          5,
+			Merge:              merge,
+			StalenessIntervals: 20,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := cl.FederationStats()
+	if !ok {
+		t.Fatal("federation stats missing")
+	}
+	if st.Rounds != 12 || st.Reports != 48 || st.MergedVisits == 0 {
+		t.Fatalf("federation stats = %+v", st)
+	}
+	for _, name := range []string{"visit-weighted", "max-confidence", "newest-wins"} {
+		if _, err := hipster.MergePolicyByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := hipster.MergePolicyByName("nope"); err == nil {
+		t.Fatal("want error for unknown merge policy name")
+	}
+}
+
 func TestCollocationFlow(t *testing.T) {
 	spec := hipster.JunoR1()
 	prog, _ := hipster.BatchProgramByName("calculix")

@@ -1,0 +1,211 @@
+// Package benchparse parses `go test -bench` output — either the raw
+// text or the `go test -json` event stream — into per-benchmark ns/op
+// results, and implements the CI regression gate that compares a run
+// against a committed baseline (cmd/benchgate).
+package benchparse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement line.
+type Result struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped, so results compare across machines with different core
+	// counts.
+	Name string `json:"name"`
+	// Iters is b.N for the run.
+	Iters int `json:"iters"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// testEvent is the subset of the `go test -json` envelope we need.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// procsSuffix matches the trailing -GOMAXPROCS benchmark name suffix.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkCluster16Nodes/workers=1-8   3   49812345 ns/op   97.5 fleet-qos%
+//
+// returning ok=false for any other output line.
+func parseLine(line string) (Result, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid form: name, iters, value, "ns/op".
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, false
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		return Result{
+			Name:    procsSuffix.ReplaceAllString(fields[0], ""),
+			Iters:   iters,
+			NsPerOp: ns,
+		}, true
+	}
+	return Result{}, false
+}
+
+// ParseText parses plain `go test -bench` output.
+func ParseText(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// ParseJSON parses a `go test -json` event stream, extracting the
+// benchmark result lines from the output events. A benchmark's name
+// and its measurements arrive as separate output events (the name is
+// printed when the benchmark starts, the numbers when it finishes), so
+// output is reassembled per package and split on real line boundaries
+// before parsing.
+func ParseJSON(r io.Reader) ([]Result, error) {
+	var out []Result
+	pending := make(map[string]string)
+	flush := func(pkg, chunk string) {
+		buf := pending[pkg] + chunk
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if res, ok := parseLine(buf[:nl]); ok {
+				out = append(out, res)
+			}
+			buf = buf[nl+1:]
+		}
+		pending[pkg] = buf
+	}
+	dec := json.NewDecoder(r)
+	for {
+		var ev testEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("benchparse: decode test event: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		flush(ev.Package, ev.Output)
+	}
+	// A final line without a trailing newline (truncated stream) is
+	// still worth parsing.
+	for _, rest := range pending {
+		if res, ok := parseLine(rest); ok {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// Summarize collapses repeated runs (go test -count N) into the
+// minimum ns/op per benchmark name — the least-noisy estimate of the
+// benchmark's true cost, as benchstat and friends use.
+func Summarize(results []Result) map[string]float64 {
+	out := make(map[string]float64, len(results))
+	for _, r := range results {
+		if best, ok := out[r.Name]; !ok || r.NsPerOp < best {
+			out[r.Name] = r.NsPerOp
+		}
+	}
+	return out
+}
+
+// Baseline is the committed reference a run is gated against.
+type Baseline struct {
+	// Note documents where the baseline came from.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (procs suffix stripped) to the
+	// reference min ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// ReadBaseline decodes a baseline file.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return Baseline{}, fmt.Errorf("benchparse: decode baseline: %w", err)
+	}
+	return b, nil
+}
+
+// WriteBaseline encodes a baseline with stable key order.
+func (b Baseline) WriteBaseline(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Gate compares the summarized current run against the baseline for
+// every baseline benchmark whose name starts with prefix. It returns
+// human-readable regression messages (current ns/op more than
+// maxRegress above baseline, e.g. 0.20 = +20%) and an error when the
+// gate is vacuous — no gated baseline benchmark appears in the current
+// run, so a regression could never be detected.
+func Gate(current map[string]float64, base Baseline, prefix string, maxRegress float64) ([]string, error) {
+	var names []string
+	for name := range base.Benchmarks {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("benchparse: baseline has no benchmark matching %q", prefix)
+	}
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			// Sub-benchmarks parameterised by machine shape (e.g.
+			// workers=GOMAXPROCS) may not exist on this runner.
+			continue
+		}
+		compared++
+		ref := base.Benchmarks[name]
+		if ref > 0 && cur > ref*(1+maxRegress) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
+				name, cur, ref, 100*(cur/ref-1), 100*maxRegress))
+		}
+	}
+	if compared == 0 {
+		return nil, fmt.Errorf("benchparse: none of the %d gated baseline benchmarks ran; gate would be vacuous", len(names))
+	}
+	return regressions, nil
+}

@@ -1,0 +1,155 @@
+package benchparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleText = `goos: linux
+goarch: amd64
+pkg: hipster
+BenchmarkEngineStep-8   	       3	     21042 ns/op
+BenchmarkCluster16Nodes/workers=1-8         	       3	  49812345 ns/op	        97.53 fleet-qos%
+BenchmarkCluster16Nodes/workers=8-8         	       3	  12345678 ns/op	        97.53 fleet-qos%
+BenchmarkCluster16Nodes/workers=1-8         	       3	  51000000 ns/op	        97.53 fleet-qos%
+--- BENCH: BenchmarkSomething
+PASS
+ok  	hipster	12.3s
+`
+
+func TestParseTextAndSummarize(t *testing.T) {
+	results, err := ParseText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	// The -8 procs suffix is stripped so runs compare across machines.
+	if results[0].Name != "BenchmarkEngineStep" || results[0].NsPerOp != 21042 || results[0].Iters != 3 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	sum := Summarize(results)
+	// Repeated -count runs collapse to the min.
+	if got := sum["BenchmarkCluster16Nodes/workers=1"]; got != 49812345 {
+		t.Fatalf("summarized workers=1 = %v, want the min 49812345", got)
+	}
+	if len(sum) != 3 {
+		t.Fatalf("summarized %d benchmarks, want 3", len(sum))
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	// go test -json emits a benchmark's name and its measurements as
+	// separate output events: the name when the benchmark starts, the
+	// numbers when it finishes. The parser must stitch them together.
+	stream := `{"Action":"start","Package":"hipster"}
+{"Action":"output","Package":"hipster","Output":"BenchmarkEngineStep-4   \t"}
+{"Action":"output","Package":"hipster","Output":"       3\t     21042 ns/op\n"}
+{"Action":"output","Package":"hipster","Output":"some unrelated output\n"}
+{"Action":"output","Package":"hipster","Output":"BenchmarkCluster16Nodes/workers=1-4 \t 3\t 49812345 ns/op\t 97.5 fleet-qos%\n"}
+{"Action":"output","Package":"hipster","Output":"BenchmarkTrailing-4 \t 3\t 77 ns/op"}
+{"Action":"pass","Package":"hipster"}
+`
+	results, err := ParseJSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkEngineStep" || results[0].NsPerOp != 21042 {
+		t.Fatalf("split-event result = %+v", results[0])
+	}
+	if results[1].Name != "BenchmarkCluster16Nodes/workers=1" {
+		t.Fatalf("second result = %+v", results[1])
+	}
+	// A final line without a trailing newline still parses.
+	if results[2].Name != "BenchmarkTrailing" || results[2].NsPerOp != 77 {
+		t.Fatalf("trailing result = %+v", results[2])
+	}
+	if _, err := ParseJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("want error for malformed stream")
+	}
+}
+
+func TestParseLineRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \thipster\t12.3s",
+		"BenchmarkBroken abc 123 ns/op",
+		"BenchmarkNoUnit 3 12345",
+		"--- BENCH: BenchmarkX",
+		"Benchmark", // name only
+	} {
+		if r, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as %+v", line, r)
+		}
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := Baseline{
+		Note:       "test",
+		Benchmarks: map[string]float64{"BenchmarkX": 100, "BenchmarkY/sub=1": 200},
+	}
+	var buf bytes.Buffer
+	if err := b.WriteBaseline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != b.Note || len(got.Benchmarks) != 2 || got.Benchmarks["BenchmarkX"] != 100 {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if _, err := ReadBaseline(strings.NewReader("nope")); err == nil {
+		t.Fatal("want error for garbage baseline")
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchmarkCluster16Nodes/workers=1":  100,
+		"BenchmarkCluster16Nodes/workers=16": 50,
+		"BenchmarkEngineStep":                10,
+	}}
+
+	// Within the limit: no regressions. The workers=16 sub-benchmark
+	// is absent on this "runner" and is skipped, and the ungated
+	// EngineStep regression is ignored.
+	current := map[string]float64{
+		"BenchmarkCluster16Nodes/workers=1": 115,
+		"BenchmarkEngineStep":               99,
+	}
+	regs, err := Gate(current, base, "BenchmarkCluster16Nodes", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Past the limit: reported.
+	current["BenchmarkCluster16Nodes/workers=1"] = 121
+	regs, err = Gate(current, base, "BenchmarkCluster16Nodes", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "workers=1") {
+		t.Fatalf("regressions = %v", regs)
+	}
+
+	// A prefix with no baseline entries is a configuration error.
+	if _, err := Gate(current, base, "BenchmarkNope", 0.20); err == nil {
+		t.Fatal("want error for unmatched prefix")
+	}
+
+	// A gate where no gated benchmark ran must fail rather than pass
+	// silently.
+	if _, err := Gate(map[string]float64{}, base, "BenchmarkCluster16Nodes", 0.20); err == nil {
+		t.Fatal("want error for vacuous gate")
+	}
+}

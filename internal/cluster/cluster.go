@@ -19,6 +19,7 @@ import (
 
 	"hipster/internal/batch"
 	"hipster/internal/engine"
+	"hipster/internal/federation"
 	"hipster/internal/loadgen"
 	"hipster/internal/platform"
 	"hipster/internal/policy"
@@ -83,6 +84,14 @@ type Options struct {
 	// exceeds this multiple of the interval's fleet-median tail
 	// (default telemetry.DefaultStragglerFactor).
 	StragglerFactor float64
+
+	// Federation, when non-nil, periodically merges the per-node RL
+	// lookup tables into one fleet table and broadcasts it back, so the
+	// fleet converges on a shared state machine instead of N
+	// independent rediscoveries. Requires at least one node whose
+	// policy exposes a table (the Hipster manager); the sync round runs
+	// serially in the coordinator, preserving worker-invariance.
+	Federation *FederationOptions
 }
 
 // feed is the per-node load pattern shim: the coordinator stores the
@@ -116,6 +125,7 @@ type Cluster struct {
 
 	clock *sim.Clock
 	fleet *telemetry.FleetTrace
+	fed   *fedState
 
 	// failed latches the first Step error: some engines may already
 	// have stepped and recorded that interval, so the fleet is
@@ -207,6 +217,13 @@ func New(opts Options) (*Cluster, error) {
 		})
 		c.fleetCap += cap
 	}
+	if opts.Federation != nil {
+		fed, err := newFedState(*opts.Federation, opts.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		c.fed = fed
+	}
 	c.states = make([]NodeState, len(c.nodes))
 	c.samples = make([]telemetry.Sample, len(c.nodes))
 	c.errs = make([]error, len(c.nodes))
@@ -289,9 +306,27 @@ func (c *Cluster) Step() (telemetry.FleetSample, error) {
 		n.state.LastTailLatency = s.TailLatency
 		n.state.LastTarget = s.Target
 	}
+	// Federation runs in the serial section, after every node finished
+	// its step: the worker pool is quiescent, so reading and rewriting
+	// the per-node tables here cannot race with policy decisions, and
+	// results stay independent of the worker count.
+	if c.fed != nil && c.fed.due(c.clock.Steps()) {
+		if err := c.fed.sync(c.clock.Steps()); err != nil {
+			return c.fail(err)
+		}
+	}
 	fs := telemetry.MergeInterval(c.samples, c.opts.StragglerFactor)
 	c.fleet.Add(fs)
 	return fs, nil
+}
+
+// FederationStats returns the federation coordinator's activity
+// counters; ok is false when federation is disabled.
+func (c *Cluster) FederationStats() (stats federation.Stats, ok bool) {
+	if c.fed == nil {
+		return federation.Stats{}, false
+	}
+	return c.fed.coord.Stats(), true
 }
 
 // stepNodes steps every node once, fanning out across the worker pool.

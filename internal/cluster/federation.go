@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"hipster/internal/federation"
+	"hipster/internal/policy"
+	"hipster/internal/rl"
+)
+
+// FederationOptions enable fleet-wide sharing of the per-node RL lookup
+// tables: every SyncEvery monitoring intervals the cluster coordinator
+// extracts each federated node's table delta (updates since its last
+// sync), merges them under the configured policy, and broadcasts the
+// merged fleet table back to every federated node. The whole round runs
+// serially in the coordinator between node steps, so federated runs
+// remain bit-identical for any worker count.
+type FederationOptions struct {
+	// SyncEvery is the number of monitoring intervals between sync
+	// rounds (default 10).
+	SyncEvery int
+	// Merge selects the table merge policy (default
+	// federation.VisitWeighted).
+	Merge federation.MergePolicy
+	// StalenessIntervals is the staleness bound K: a node whose
+	// accumulated delta spans more than K intervals has it discarded
+	// instead of merged (it still receives the broadcast). 0 disables
+	// the bound. When set, it must be at least SyncEvery — a tighter
+	// bound would discard every delta.
+	StalenessIntervals int
+	// Participation, when non-nil, gates which federated nodes take
+	// part in the sync round at a given interval — modelling
+	// partitions, maintenance windows, or slow links. An absent node
+	// neither reports nor receives the broadcast; it keeps learning
+	// locally, and once its accumulated delta is older than the
+	// staleness bound it is discarded at its next sync and the node
+	// restarts from the fleet table. The function runs in the serial
+	// coordinator section and must be a deterministic pure function of
+	// its arguments, or runs lose reproducibility.
+	Participation func(nodeID, interval int) bool
+}
+
+// fedState is the cluster's federation machinery: the coordinator, the
+// federated node set, and each node's delta checkpoint.
+type fedState struct {
+	syncEvery   int
+	participate func(nodeID, interval int) bool
+	coord       *federation.Coordinator
+	nodeIDs     []int                  // ascending; fixes report order
+	providers   []policy.TableProvider // parallel to nodeIDs
+	base        []rl.Checkpoint        // parallel to nodeIDs
+}
+
+// newFedState resolves the options against the fleet: every node whose
+// policy exposes a live table joins the federation; their tables must
+// agree on shape and action space.
+func newFedState(opts FederationOptions, defs []NodeOptions) (*fedState, error) {
+	f := &fedState{syncEvery: opts.SyncEvery, participate: opts.Participation}
+	if f.syncEvery == 0 {
+		f.syncEvery = 10
+	}
+	if f.syncEvery < 0 {
+		return nil, errors.New("cluster: negative federation sync interval")
+	}
+	if opts.StalenessIntervals > 0 && opts.StalenessIntervals < f.syncEvery {
+		return nil, fmt.Errorf("cluster: staleness bound %d is tighter than the sync interval %d and would discard every delta",
+			opts.StalenessIntervals, f.syncEvery)
+	}
+
+	var ref *rl.Table
+	var refID int
+	for i, def := range defs {
+		prov, ok := def.Policy.(policy.TableProvider)
+		if !ok {
+			continue
+		}
+		tab := prov.LiveTable()
+		if ref == nil {
+			ref, refID = tab, i
+		} else if tab.NumStates() != ref.NumStates() || !sameActions(tab, ref) {
+			return nil, fmt.Errorf("cluster: nodes %d and %d have incompatible tables; federated nodes must share one quantiser and action space", refID, i)
+		}
+		f.nodeIDs = append(f.nodeIDs, i)
+		f.providers = append(f.providers, prov)
+		f.base = append(f.base, tab.Checkpoint())
+	}
+	if ref == nil {
+		return nil, errors.New("cluster: federation enabled but no node policy exposes an RL table")
+	}
+
+	coord, err := federation.New(federation.Config{
+		Nodes:          len(defs),
+		States:         ref.NumStates(),
+		Actions:        ref.NumActions(),
+		Merge:          opts.Merge,
+		StalenessBound: opts.StalenessIntervals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.coord = coord
+	return f, nil
+}
+
+func sameActions(a, b *rl.Table) bool {
+	if a.NumActions() != b.NumActions() {
+		return false
+	}
+	for i, cfg := range a.Actions() {
+		if b.Action(i) != cfg {
+			return false
+		}
+	}
+	return true
+}
+
+// due reports whether a sync round runs after the given (1-based)
+// completed interval.
+func (f *fedState) due(interval int) bool {
+	return interval%f.syncEvery == 0
+}
+
+// sync runs one federation round: extract each participating node's
+// delta since its checkpoint, merge, broadcast the fleet table back,
+// and re-checkpoint. Absent nodes (Participation false) are skipped on
+// both legs — they keep their local table and their delta keeps
+// ageing, to be merged (or discarded as stale) when they rejoin. Runs
+// strictly serially; the caller must not be stepping nodes
+// concurrently.
+func (f *fedState) sync(interval int) error {
+	in := func(id int) bool {
+		return f.participate == nil || f.participate(id, interval)
+	}
+	reports := make([]federation.Report, 0, len(f.nodeIDs))
+	for k, id := range f.nodeIDs {
+		if !in(id) {
+			continue
+		}
+		tab := f.providers[k].LiveTable()
+		d, err := tab.DeltaSince(f.base[k])
+		if err != nil {
+			// The policy was reset to a differently-shaped table
+			// mid-run; resynchronise from scratch rather than merging
+			// a bogus delta.
+			return fmt.Errorf("cluster: federation delta for node %d: %w", id, err)
+		}
+		reports = append(reports, federation.Report{Node: id, Delta: d})
+	}
+	bc, err := f.coord.Sync(interval, reports)
+	if err != nil {
+		return err
+	}
+	for k, id := range f.nodeIDs {
+		if !in(id) {
+			continue
+		}
+		tab := f.providers[k].LiveTable()
+		if err := tab.Absorb(bc.Values, bc.Visits); err != nil {
+			return fmt.Errorf("cluster: federation broadcast to node %d: %w", id, err)
+		}
+		f.base[k] = tab.Checkpoint()
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hipster/internal/core"
+	"hipster/internal/federation"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/workload"
+)
+
+func runFederatedFleet(t testing.TB, workers int, seed int64, fed *FederationOptions, horizon float64) (*Cluster, Result) {
+	t.Helper()
+	cl, err := New(Options{
+		Nodes:      testFleet(t, 4, seed),
+		Pattern:    loadgen.DefaultDiurnal(),
+		Splitter:   LeastLoaded{},
+		Workers:    workers,
+		Seed:       seed,
+		Federation: fed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, res
+}
+
+func TestFederatedDeterminismSameSeed(t *testing.T) {
+	fed := &FederationOptions{SyncEvery: 5}
+	_, ra := runFederatedFleet(t, 4, 42, fed, 150)
+	_, rb := runFederatedFleet(t, 4, 42, fed, 150)
+	if !bytes.Equal(marshal(t, ra), marshal(t, rb)) {
+		t.Fatal("same seed produced different federated traces")
+	}
+}
+
+func TestFederatedWorkerCountInvariance(t *testing.T) {
+	fed := &FederationOptions{SyncEvery: 5, Merge: federation.MaxConfidence}
+	_, serialRes := runFederatedFleet(t, 1, 42, fed, 150)
+	serial := marshal(t, serialRes)
+	for _, w := range []int{2, runtime.GOMAXPROCS(0), 16} {
+		_, res := runFederatedFleet(t, w, 42, fed, 150)
+		if !bytes.Equal(serial, marshal(t, res)) {
+			t.Fatalf("workers=%d diverged from serial stepping with federation enabled", w)
+		}
+	}
+}
+
+// TestFederatedRunRace exercises the federation sync under the race
+// detector: table extraction and broadcast run in the coordinator's
+// serial section and must not race with the worker pool.
+func TestFederatedRunRace(t *testing.T) {
+	cl, res := runFederatedFleet(t, 8, 7, &FederationOptions{SyncEvery: 3}, 60)
+	if res.Fleet.Len() != 60 {
+		t.Fatalf("fleet intervals = %d", res.Fleet.Len())
+	}
+	st, ok := cl.FederationStats()
+	if !ok {
+		t.Fatal("federation stats missing")
+	}
+	if st.Rounds != 20 {
+		t.Fatalf("sync rounds = %d, want 60/3 = 20", st.Rounds)
+	}
+	if st.Reports != 20*4 {
+		t.Fatalf("reports = %d, want 80", st.Reports)
+	}
+	if st.MergedVisits == 0 {
+		t.Fatal("no fleet experience merged")
+	}
+}
+
+// TestFederatedBroadcastUnifiesTables pins the core mechanism: right
+// after a sync round every federated node holds the identical fleet
+// table, which equals the coordinator's.
+func TestFederatedBroadcastUnifiesTables(t *testing.T) {
+	spec := platform.JunoR1()
+	var mgrs []*core.Manager
+	var nodes []NodeOptions
+	for i := 0; i < 3; i++ {
+		m, err := core.New(core.In, spec, core.DefaultParams(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs = append(mgrs, m)
+		nodes = append(nodes, NodeOptions{Spec: spec, Workload: workload.Memcached(), Policy: m})
+	}
+	cl, err := New(Options{
+		Nodes:      nodes,
+		Pattern:    loadgen.Diurnal{Min: 0.2, Max: 0.9, PeriodSecs: 60},
+		Seed:       1,
+		Federation: &FederationOptions{SyncEvery: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // exactly one sync round
+		if _, err := cl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := mgrs[0].LiveTable().Snapshot()
+	refVisits := mgrs[0].LiveTable().VisitsSnapshot()
+	var updates int
+	for _, row := range refVisits {
+		for _, n := range row {
+			updates += n
+		}
+	}
+	if updates == 0 {
+		t.Fatal("no learning happened before the first sync")
+	}
+	for i, m := range mgrs[1:] {
+		if !reflect.DeepEqual(m.LiveTable().Snapshot(), ref) ||
+			!reflect.DeepEqual(m.LiveTable().VisitsSnapshot(), refVisits) {
+			t.Fatalf("node %d table differs from node 0 right after a sync round", i+1)
+		}
+	}
+
+	// The coordinator's fleet table matches what was broadcast.
+	st, ok := cl.FederationStats()
+	if !ok || st.Rounds != 1 || st.Reports != 3 {
+		t.Fatalf("federation stats after one round = %+v ok=%v", st, ok)
+	}
+	if st.MergedVisits != updates {
+		t.Fatalf("coordinator absorbed %d updates, nodes recorded %d", st.MergedVisits, updates)
+	}
+}
+
+// TestFederationStalenessDiscardsRejoiningNode models a partition via
+// the Participation hook: a node that misses sync rounds past the
+// staleness bound has its accumulated delta discarded when it rejoins,
+// and restarts from the broadcast fleet table.
+func TestFederationStalenessDiscardsRejoiningNode(t *testing.T) {
+	spec := platform.JunoR1()
+	var mgrs []*core.Manager
+	var defs []NodeOptions
+	for i := 0; i < 2; i++ {
+		m, err := core.New(core.In, spec, core.DefaultParams(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs = append(mgrs, m)
+		defs = append(defs, NodeOptions{Spec: spec, Workload: workload.Memcached(), Policy: m})
+	}
+	// Node 1 participates only at intervals 2 and 8: when it rejoins
+	// at 8, its delta spans 6 > K=2 intervals and must be discarded.
+	cl, err := New(Options{
+		Nodes:   defs,
+		Pattern: loadgen.Constant{Frac: 0.5},
+		Seed:    3,
+		Federation: &FederationOptions{
+			SyncEvery:          2,
+			StalenessIntervals: 2,
+			Participation: func(nodeID, interval int) bool {
+				return nodeID != 1 || interval == 2 || interval == 8
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := cl.FederationStats()
+	if !ok {
+		t.Fatal("federation stats missing")
+	}
+	if st.Rounds != 4 {
+		t.Fatalf("rounds = %d, want 4", st.Rounds)
+	}
+	// Node 0 reports every round (4), node 1 at intervals 2 and 8.
+	if st.Reports != 6 {
+		t.Fatalf("reports = %d, want 6", st.Reports)
+	}
+	if st.StaleDropped != 1 {
+		t.Fatalf("StaleDropped = %d, want node 1's rejoin delta discarded", st.StaleDropped)
+	}
+	// The rejoining node was reset to the fleet table.
+	if got, want := mgrs[1].LiveTable().VisitsSnapshot(), mgrs[0].LiveTable().VisitsSnapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatal("rejoining node does not hold the fleet table after the stale discard")
+	}
+}
+
+func TestFederationValidation(t *testing.T) {
+	spec := platform.JunoR1()
+	pattern := loadgen.Constant{Frac: 0.5}
+
+	// No table-bearing policy in the fleet.
+	static := []NodeOptions{
+		{Spec: spec, Workload: workload.Memcached(), Policy: policy.NewStaticBig(spec)},
+	}
+	if _, err := New(Options{Nodes: static, Pattern: pattern, Federation: &FederationOptions{}}); err == nil {
+		t.Fatal("want error when no node exposes a table")
+	}
+
+	// Staleness bound tighter than the sync interval.
+	if _, err := New(Options{
+		Nodes:      testFleet(t, 2, 1),
+		Pattern:    pattern,
+		Federation: &FederationOptions{SyncEvery: 10, StalenessIntervals: 5},
+	}); err == nil {
+		t.Fatal("want error for staleness bound < sync interval")
+	}
+
+	// Negative sync interval.
+	if _, err := New(Options{
+		Nodes:      testFleet(t, 2, 1),
+		Pattern:    pattern,
+		Federation: &FederationOptions{SyncEvery: -1},
+	}); err == nil {
+		t.Fatal("want error for negative sync interval")
+	}
+
+	// Incompatible quantisers: different bucket widths give different
+	// table shapes.
+	params := core.DefaultParams()
+	params.BucketFrac = 0.10
+	coarse, err := core.New(core.In, spec, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := core.New(core.In, spec, core.DefaultParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := []NodeOptions{
+		{Spec: spec, Workload: workload.Memcached(), Policy: coarse},
+		{Spec: spec, Workload: workload.Memcached(), Policy: fine},
+	}
+	if _, err := New(Options{Nodes: mixed, Pattern: pattern, Federation: &FederationOptions{}}); err == nil {
+		t.Fatal("want error for incompatible table shapes")
+	}
+
+	// A mixed fleet where only some nodes learn is fine: the static
+	// node just stays out of the federation.
+	hip, err := core.New(core.In, spec, core.DefaultParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := []NodeOptions{
+		{Spec: spec, Workload: workload.Memcached(), Policy: hip},
+		{Spec: spec, Workload: workload.Memcached(), Policy: policy.NewStaticBig(spec)},
+	}
+	cl, err := New(Options{Nodes: part, Pattern: pattern, Federation: &FederationOptions{SyncEvery: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := cl.FederationStats(); !ok || st.Rounds != 5 || st.Reports != 5 {
+		t.Fatalf("partial-fleet federation stats = %+v ok=%v", st, ok)
+	}
+
+	// Federation disabled: no stats.
+	plain, err := New(Options{Nodes: testFleet(t, 2, 1), Pattern: pattern})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.FederationStats(); ok {
+		t.Fatal("stats reported without federation")
+	}
+}

@@ -260,6 +260,11 @@ func (m *Manager) CurrentPhase() Phase { return m.phase }
 // Table exposes the lookup table (reports and tests).
 func (m *Manager) Table() *rl.Table { return m.table }
 
+// LiveTable implements policy.TableProvider: federation extracts sync
+// deltas from, and broadcasts merged fleet tables into, this table.
+// Reset replaces the table, so callers must re-fetch it each round.
+func (m *Manager) LiveTable() *rl.Table { return m.table }
+
 // Quantizer exposes the load quantiser.
 func (m *Manager) Quantizer() rl.Quantizer { return m.quant }
 

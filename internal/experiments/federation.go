@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hipster/internal/cluster"
+	"hipster/internal/core"
+	"hipster/internal/federation"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// phasedWeights is the convergence experiment's front-end: each node's
+// routing weight follows a sinusoid phase-shifted by its position in
+// the fleet, so during a short learning phase every node explores a
+// different slice of the load range, and as the phases rotate over the
+// day each node later serves load levels its peers learned first. This
+// is the regime where sharing tables pays: an independent learner hits
+// buckets it has never visited and falls back to the heuristic mapper,
+// while a federated learner exploits the fleet's merged experience.
+type phasedWeights struct {
+	// periodSecs is one full weight rotation (the experiment horizon).
+	periodSecs float64
+	// amp is the sinusoid amplitude in (0, 1).
+	amp float64
+}
+
+// Name implements cluster.Splitter.
+func (p phasedWeights) Name() string { return "phased-weights" }
+
+// Split implements cluster.Splitter.
+func (p phasedWeights) Split(ctx cluster.SplitContext) []float64 {
+	out := make([]float64, len(ctx.Nodes))
+	if len(ctx.Nodes) == 0 {
+		return out
+	}
+	var total float64
+	for i, n := range ctx.Nodes {
+		phase := ctx.T/p.periodSecs + float64(i)/float64(len(ctx.Nodes))
+		w := (1 + p.amp*math.Sin(2*math.Pi*phase)) * n.CapacityRPS
+		out[i] = w
+		total += w
+	}
+	for i := range out {
+		out[i] = ctx.TotalRPS * out[i] / total
+	}
+	return out
+}
+
+// FederationConvergenceOpts parameterise the federated-vs-independent
+// convergence comparison. The zero value selects the defaults below.
+type FederationConvergenceOpts struct {
+	// Nodes is the fleet size (default 4).
+	Nodes int
+	// Seed drives both fleets identically (default DefaultSeed).
+	Seed int64
+	// Horizon is the simulated duration in seconds; the diurnal day is
+	// compressed to this period (default 1440).
+	Horizon float64
+	// LearnSecs is each node's initial learning phase (default 120 —
+	// deliberately short, so exploitation starts from an undertrained
+	// table and the value of pooling fleet experience is visible).
+	LearnSecs float64
+	// SyncEvery is the federation sync interval in monitoring
+	// intervals (default 5).
+	SyncEvery int
+	// Merge is the federation merge policy (default VisitWeighted).
+	Merge federation.MergePolicy
+	// StalenessIntervals is the federation staleness bound K (default
+	// 0: disabled).
+	StalenessIntervals int
+	// Threshold is the trailing-window fleet QoS attainment a fleet
+	// must reach and hold to count as converged (default 0.95).
+	Threshold float64
+	// Window is the trailing window length in intervals (default 40).
+	Window int
+}
+
+func (o FederationConvergenceOpts) withDefaults() FederationConvergenceOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 1440
+	}
+	if o.LearnSecs == 0 {
+		o.LearnSecs = 120
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 5
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.95
+	}
+	if o.Window == 0 {
+		o.Window = 40
+	}
+	return o
+}
+
+// FederationConvergenceRun is one fleet's outcome.
+type FederationConvergenceRun struct {
+	Federated bool
+	// ConvergedAt is the 1-based monitoring interval at which the
+	// trailing-window fleet QoS attainment first reached the threshold
+	// and then held it for the rest of the run; -1 if it never did.
+	ConvergedAt int
+	// QoSAttainment and TotalEnergyJ summarise the whole run.
+	QoSAttainment float64
+	TotalEnergyJ  float64
+	// Stats is the coordinator's activity (federated fleet only).
+	Stats federation.Stats
+}
+
+// FederationConvergenceResult compares the two fleets.
+type FederationConvergenceResult struct {
+	Opts        FederationConvergenceOpts
+	Independent FederationConvergenceRun
+	Federated   FederationConvergenceRun
+}
+
+// FederationConvergence runs the same fleet twice on one seed — N
+// independent Hipster learners, then the identical fleet with federated
+// table sharing — and reports when each fleet's trailing-window QoS
+// attainment converges. The two fleets are bit-identical during the
+// learning phase (decisions come from the heuristic mapper either way),
+// so any difference in convergence is attributable to the quality of
+// the tables exploitation starts from: each independent node has only
+// its own LearnSecs of experience, while every federated node starts
+// from the merged experience of the whole fleet.
+func FederationConvergence(spec *platform.Spec, o FederationConvergenceOpts) (FederationConvergenceResult, error) {
+	o = o.withDefaults()
+	res := FederationConvergenceResult{Opts: o}
+
+	run := func(fed *cluster.FederationOptions) (FederationConvergenceRun, error) {
+		wl := workload.Memcached()
+		params := core.DefaultParams()
+		params.LearnSecs = o.LearnSecs
+		nodes, err := cluster.Uniform(o.Nodes, spec, wl, func(nodeID int) (policy.Policy, error) {
+			return core.New(core.In, spec, params, o.Seed+int64(nodeID))
+		})
+		if err != nil {
+			return FederationConvergenceRun{}, err
+		}
+		cl, err := cluster.New(cluster.Options{
+			Nodes: nodes,
+			// The day starts on the morning rise and peaks at 65% of
+			// fleet capacity, so per-node load (weight-skewed up to
+			// ~1.6x) approaches but does not exceed node capacity:
+			// violations reflect management quality, not raw overload.
+			Pattern:    loadgen.Diurnal{PeriodSecs: o.Horizon, Min: 0.05, Max: 0.65, StartPhase: 0.25, Days: 1},
+			Splitter:   phasedWeights{periodSecs: o.Horizon, amp: 0.6},
+			Seed:       o.Seed,
+			Federation: fed,
+		})
+		if err != nil {
+			return FederationConvergenceRun{}, err
+		}
+		out, err := cl.Run(o.Horizon)
+		if err != nil {
+			return FederationConvergenceRun{}, err
+		}
+		r := FederationConvergenceRun{
+			Federated:     fed != nil,
+			ConvergedAt:   convergedAt(out.Fleet, o.Threshold, o.Window),
+			QoSAttainment: out.Fleet.QoSAttainment(),
+			TotalEnergyJ:  out.Fleet.TotalEnergyJ(),
+		}
+		if st, ok := cl.FederationStats(); ok {
+			r.Stats = st
+		}
+		return r, nil
+	}
+
+	var err error
+	if res.Independent, err = run(nil); err != nil {
+		return res, fmt.Errorf("experiments: independent fleet: %w", err)
+	}
+	res.Federated, err = run(&cluster.FederationOptions{
+		SyncEvery:          o.SyncEvery,
+		Merge:              o.Merge,
+		StalenessIntervals: o.StalenessIntervals,
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: federated fleet: %w", err)
+	}
+	return res, nil
+}
+
+// convergedAt returns the 1-based interval at which the trailing-window
+// fleet QoS attainment first reaches the threshold and holds it through
+// the end of the run, or -1.
+func convergedAt(ft *telemetry.FleetTrace, threshold float64, window int) int {
+	n := ft.Len()
+	if n < window {
+		return -1
+	}
+	// ok[i]: trailing attainment of the window ending at interval i
+	// (inclusive, 0-based) meets the threshold.
+	met, nodes := 0, 0
+	ok := make([]bool, n)
+	for i := 0; i < n; i++ {
+		met += ft.Samples[i].QoSMet
+		nodes += ft.Samples[i].Nodes
+		if i >= window {
+			met -= ft.Samples[i-window].QoSMet
+			nodes -= ft.Samples[i-window].Nodes
+		}
+		if i >= window-1 {
+			ok[i] = nodes > 0 && float64(met)/float64(nodes) >= threshold
+		}
+	}
+	// Walk backwards to find where the final all-ok suffix begins.
+	last := n
+	for i := n - 1; i >= window-1; i-- {
+		if !ok[i] {
+			break
+		}
+		last = i
+	}
+	if last == n {
+		return -1
+	}
+	return last + 1
+}

@@ -1,0 +1,254 @@
+package federation
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hipster/internal/rl"
+)
+
+func coordinator(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func cell(s, a int, v float64, n int) rl.DeltaCell {
+	return rl.DeltaCell{State: s, Action: a, Value: v, Visits: n}
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Config{Nodes: 2, States: 3, Actions: 2}
+	bad := []Config{
+		{Nodes: 0, States: 3, Actions: 2},
+		{Nodes: 2, States: 0, Actions: 2},
+		{Nodes: 2, States: 3, Actions: 0},
+		{Nodes: 2, States: 3, Actions: 2, StalenessBound: -1},
+		{Nodes: 2, States: 3, Actions: 2, Merge: MergePolicy(99)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePolicyNames(t *testing.T) {
+	for _, p := range []MergePolicy{VisitWeighted, MaxConfidence, NewestWins} {
+		got, err := MergePolicyByName(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := MergePolicyByName("nope"); err == nil {
+		t.Fatal("want error for unknown policy name")
+	}
+}
+
+func TestVisitWeightedMerge(t *testing.T) {
+	c := coordinator(t, Config{Nodes: 2, States: 2, Actions: 2})
+	// Node 0 reports 3 visits at value 2, node 1 reports 1 visit at
+	// value 6: the fleet value is the visit-weighted mean 3.
+	bc, err := c.Sync(10, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 1, 2, 3)}}},
+		{Node: 1, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 1, 6, 1)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.Values[0][1]; math.Abs(got-3) > 1e-12 {
+		t.Fatalf("fleet value = %v, want 3", got)
+	}
+	if bc.Visits[0][1] != 4 {
+		t.Fatalf("fleet visits = %d, want 4", bc.Visits[0][1])
+	}
+
+	// A later round folds against the accumulated fleet weight:
+	// (4*3 + 4*9)/8 = 6.
+	bc, err = c.Sync(20, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 1, 9, 4)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.Values[0][1]; math.Abs(got-6) > 1e-12 {
+		t.Fatalf("second-round fleet value = %v, want 6", got)
+	}
+	st := c.Stats()
+	if st.Rounds != 2 || st.Reports != 3 || st.MergedCells != 3 || st.MergedVisits != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestVisitWeightedOrderIndependent(t *testing.T) {
+	reports := []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(1, 0, 2, 5)}}},
+		{Node: 1, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(1, 0, -4, 2)}}},
+		{Node: 2, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(1, 0, 10, 3)}}},
+	}
+	fwd := coordinator(t, Config{Nodes: 3, States: 2, Actions: 1})
+	a, err := fwd.Sync(5, reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := coordinator(t, Config{Nodes: 3, States: 2, Actions: 1})
+	b, err := rev.Sync(5, []Report{reports[2], reports[1], reports[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Values[1][0]-b.Values[1][0]) > 1e-12 || a.Visits[1][0] != b.Visits[1][0] {
+		t.Fatalf("visit-weighted merge depends on report order: %v vs %v", a.Values[1][0], b.Values[1][0])
+	}
+}
+
+func TestMaxConfidenceMerge(t *testing.T) {
+	c := coordinator(t, Config{Nodes: 3, States: 1, Actions: 1, Merge: MaxConfidence})
+	bc, err := c.Sync(10, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 1, 2)}}},
+		{Node: 1, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 7, 5)}}},
+		{Node: 2, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 3, 5)}}}, // tie: earlier reporter keeps the cell
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Values[0][0] != 7 {
+		t.Fatalf("max-confidence value = %v, want node 1's 7", bc.Values[0][0])
+	}
+	if bc.Visits[0][0] != 12 {
+		t.Fatalf("fleet visits = %d, want all 12 accumulated", bc.Visits[0][0])
+	}
+
+	// The round scratch resets: a small next-round report still wins
+	// its round even though the fleet count is now large.
+	bc, err = c.Sync(20, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, -2, 1)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Values[0][0] != -2 {
+		t.Fatalf("second-round value = %v, want -2", bc.Values[0][0])
+	}
+}
+
+func TestNewestWinsMerge(t *testing.T) {
+	c := coordinator(t, Config{Nodes: 2, States: 1, Actions: 1, Merge: NewestWins})
+	bc, err := c.Sync(10, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 1, 100)}}},
+		{Node: 1, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 9, 1)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Values[0][0] != 9 {
+		t.Fatalf("newest-wins value = %v, want the last reporter's 9", bc.Values[0][0])
+	}
+}
+
+func TestStalenessBoundDiscards(t *testing.T) {
+	c := coordinator(t, Config{Nodes: 2, States: 1, Actions: 1, StalenessBound: 10})
+	// Node 0 syncs on time; node 1 first reports at interval 25, so its
+	// delta spans 25 > 10 intervals and is discarded.
+	if _, err := c.Sync(10, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 4, 2)}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bc, err := c.Sync(25, []Report{
+		{Node: 1, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 100, 50)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Values[0][0] != 4 || bc.Visits[0][0] != 2 {
+		t.Fatalf("stale delta merged: value %v visits %d", bc.Values[0][0], bc.Visits[0][0])
+	}
+	if st := c.Stats(); st.StaleDropped != 1 {
+		t.Fatalf("StaleDropped = %d, want 1", st.StaleDropped)
+	}
+
+	// The discard reset node 1's sync clock: a report 10 intervals
+	// later is fresh again.
+	bc, err = c.Sync(35, []Report{
+		{Node: 1, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 10, 2)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bc.Values[0][0]; math.Abs(got-7) > 1e-12 {
+		t.Fatalf("post-reset merge = %v, want (2*4+2*10)/4 = 7", got)
+	}
+}
+
+func TestSyncValidation(t *testing.T) {
+	c := coordinator(t, Config{Nodes: 2, States: 2, Actions: 2})
+	if _, err := c.Sync(5, []Report{{Node: 7}}); err == nil {
+		t.Fatal("want error for unknown node")
+	}
+	c = coordinator(t, Config{Nodes: 2, States: 2, Actions: 2})
+	if _, err := c.Sync(5, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(5, 0, 1, 1)}}},
+	}); err == nil {
+		t.Fatal("want error for out-of-range cell")
+	}
+	c = coordinator(t, Config{Nodes: 2, States: 2, Actions: 2})
+	if _, err := c.Sync(5, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 1, 0)}}},
+	}); err == nil {
+		t.Fatal("want error for zero-visit cell")
+	}
+	c = coordinator(t, Config{Nodes: 2, States: 2, Actions: 2})
+	if _, err := c.Sync(5, []Report{{Node: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sync(3, []Report{{Node: 0}}); err == nil {
+		t.Fatal("want error for a report older than the node's last sync")
+	}
+}
+
+func TestBroadcastIsCopy(t *testing.T) {
+	c := coordinator(t, Config{Nodes: 1, States: 1, Actions: 1})
+	bc, err := c.Sync(1, []Report{
+		{Node: 0, Delta: rl.Delta{Cells: []rl.DeltaCell{cell(0, 0, 5, 1)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.Values[0][0] = 999
+	bc.Visits[0][0] = 999
+	if got := c.Table(); got.Values[0][0] != 5 || got.Visits[0][0] != 1 {
+		t.Fatalf("broadcast aliases coordinator state: %+v", got)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Broadcast {
+		c := coordinator(t, Config{Nodes: 3, States: 4, Actions: 3, Merge: MaxConfidence, StalenessBound: 20})
+		for round := 1; round <= 5; round++ {
+			var reports []Report
+			for n := 0; n < 3; n++ {
+				if (round+n)%3 == 0 {
+					continue // this node skips the round
+				}
+				reports = append(reports, Report{Node: n, Delta: rl.Delta{Cells: []rl.DeltaCell{
+					cell(round%4, n%3, float64(round*10+n), round+n),
+				}}})
+			}
+			if _, err := c.Sync(round*10, reports); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Table()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical report sequences produced different fleet tables")
+	}
+}

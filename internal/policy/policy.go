@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"hipster/internal/platform"
+	"hipster/internal/rl"
 )
 
 // Observation is what the QoS monitor hands the policy at the end of
@@ -63,6 +64,16 @@ type Policy interface {
 // (Hipster's learning/exploitation) for telemetry.
 type Phaser interface {
 	Phase() string
+}
+
+// TableProvider is implemented by policies that learn a shareable RL
+// lookup table (Hipster's hybrid manager). Federation reads the live
+// table to extract per-node deltas and overwrites it with the merged
+// fleet table at each sync round. The pointer is live, not a copy —
+// callers must only touch it while the policy is not deciding (the
+// cluster coordinator's serial section).
+type TableProvider interface {
+	LiveTable() *rl.Table
 }
 
 // Static always returns a fixed configuration; the paper's

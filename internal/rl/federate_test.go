@@ -1,0 +1,149 @@
+package rl
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestBucketCenterClampsOverflowBucket(t *testing.T) {
+	// The last bucket covers >= 100% load and has no upper edge; its
+	// naive center (b + 0.5) * frac lands above 1.0 for every width
+	// that does not divide 1 exactly — and even for exact divisors,
+	// because of the extra overflow bucket.
+	cases := []struct {
+		frac       float64
+		lastCenter float64
+	}{
+		{0.02, 1.0}, // 51 buckets, naive center 1.01
+		{0.05, 1.0}, // 21 buckets, naive center 1.025
+		{0.09, 1.0}, // 12 buckets, naive center 1.035
+		{0.30, 1.0}, // 5 buckets, naive center 1.35
+		{1.00, 1.0}, // 2 buckets, naive center 1.5
+	}
+	for _, c := range cases {
+		q, err := NewQuantizer(c.frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := q.NumBuckets() - 1
+		if got := q.BucketCenter(last); got != c.lastCenter {
+			t.Errorf("frac %v: center of overflow bucket %d = %v, want %v", c.frac, last, got, c.lastCenter)
+		}
+		// Interior buckets are untouched by the clamp.
+		if got, want := q.BucketCenter(0), 0.5*c.frac; math.Abs(got-want) > 1e-12 {
+			t.Errorf("frac %v: center of bucket 0 = %v, want %v", c.frac, got, want)
+		}
+		// The clamped center still quantises to a valid bucket.
+		if b := q.Bucket(q.BucketCenter(last)); b < 0 || b >= q.NumBuckets() {
+			t.Errorf("frac %v: clamped center maps to out-of-range bucket %d", c.frac, b)
+		}
+	}
+}
+
+func TestCheckpointAndDeltaSince(t *testing.T) {
+	tab, err := NewTable(3, actions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Update(0, 1, 0, 4, 1, 0)
+	cp := tab.Checkpoint()
+
+	// Nothing new yet.
+	d, err := tab.DeltaSince(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() || d.TotalVisits() != 0 {
+		t.Fatalf("fresh checkpoint yielded delta %+v", d)
+	}
+
+	// Two updates to one cell, one to another: the delta carries the
+	// current values and per-cell growth, in row-major order.
+	tab.Update(0, 1, 0, 8, 1, 0)
+	tab.Update(0, 1, 0, 6, 1, 0)
+	tab.Update(2, 0, 2, -1, 1, 0)
+	d, err = tab.DeltaSince(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Delta{Cells: []DeltaCell{
+		{State: 0, Action: 1, Value: tab.Value(0, 1), Visits: 2},
+		{State: 2, Action: 0, Value: tab.Value(2, 0), Visits: 1},
+	}}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("delta = %+v, want %+v", d, want)
+	}
+	if d.TotalVisits() != 3 {
+		t.Fatalf("TotalVisits = %d, want 3", d.TotalVisits())
+	}
+
+	// The checkpoint is a deep copy: extracting a delta does not move
+	// it, and the same diff comes out twice.
+	again, err := tab.DeltaSince(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, d) {
+		t.Fatal("DeltaSince moved the checkpoint")
+	}
+
+	// A table reset (fewer visits than the baseline) yields nothing
+	// rather than negative growth.
+	fresh, _ := NewTable(3, actions())
+	d, err = fresh.DeltaSince(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("reset table yielded delta %+v", d)
+	}
+}
+
+func TestDeltaSinceShapeMismatch(t *testing.T) {
+	small, _ := NewTable(2, actions())
+	big, _ := NewTable(3, actions())
+	if _, err := big.DeltaSince(small.Checkpoint()); err == nil {
+		t.Fatal("want error for mismatched checkpoint shape")
+	}
+}
+
+func TestAbsorbOverwritesTable(t *testing.T) {
+	tab, _ := NewTable(2, actions())
+	tab.Update(0, 0, 0, 100, 1, 0)
+
+	vals := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	visits := [][]int{{1, 0, 2}, {0, 3, 0}}
+	if err := tab.Absorb(vals, visits); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Value(1, 1) != 5 || tab.Visits(1, 1) != 3 || tab.Value(0, 0) != 1 {
+		t.Fatal("absorb did not overwrite the table")
+	}
+	// The table copies; mutating the broadcast afterwards is safe.
+	vals[0][0] = -9
+	visits[0][0] = 99
+	if tab.Value(0, 0) != 1 || tab.Visits(0, 0) != 1 {
+		t.Fatal("absorb aliases the caller's matrices")
+	}
+
+	if err := tab.Absorb(vals[:1], visits[:1]); err == nil {
+		t.Fatal("want error for wrong state count")
+	}
+	if err := tab.Absorb([][]float64{{1}, {2}}, [][]int{{1}, {2}}); err == nil {
+		t.Fatal("want error for wrong action count")
+	}
+}
+
+func TestVisitsSnapshotIsCopy(t *testing.T) {
+	tab, _ := NewTable(2, actions())
+	tab.Update(0, 0, 0, 1, 1, 0)
+	snap := tab.VisitsSnapshot()
+	if snap[0][0] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	snap[0][0] = 42
+	if tab.Visits(0, 0) != 1 {
+		t.Fatal("snapshot aliases table")
+	}
+}

@@ -45,8 +45,14 @@ func (q Quantizer) Bucket(loadFrac float64) int {
 }
 
 // BucketCenter returns the representative load fraction of a bucket.
+// The overflow (>= 100% load) bucket has no upper edge, so its center
+// is clamped to 1.0 rather than extrapolating past full load.
 func (q Quantizer) BucketCenter(b int) float64 {
-	return (float64(b) + 0.5) * q.BucketFrac
+	c := (float64(b) + 0.5) * q.BucketFrac
+	if c > 1 {
+		c = 1
+	}
+	return c
 }
 
 // Table is the lookup table R(w, c): for each load bucket w and action
@@ -83,6 +89,9 @@ func NewTable(nStates int, actions []platform.Config) (*Table, error) {
 
 // NumStates returns the number of buckets.
 func (t *Table) NumStates() int { return len(t.vals) }
+
+// NumActions returns the size of the action space.
+func (t *Table) NumActions() int { return len(t.actions) }
 
 // Actions returns the action space.
 func (t *Table) Actions() []platform.Config {
