@@ -415,6 +415,49 @@ func BenchmarkCluster16Nodes(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterAutoscale steps a federated 16-node HipsterIn roster
+// under a bursty load with elastic sizing: the active set follows the
+// bursts, joining nodes are warm-started from the fleet table, and
+// departing nodes flush their deltas. Gated in CI alongside
+// BenchmarkCluster16Nodes, it keeps the serial-section additions
+// (scaling decision, warm-start/flush, federation sync over a moving
+// active set) from regressing the coordinator's cost.
+func BenchmarkClusterAutoscale(b *testing.B) {
+	spec := platform.JunoR1()
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		nodes, err := hipster.UniformClusterNodes(16, spec, hipster.Memcached(),
+			func(nodeID int) (hipster.Policy, error) {
+				return hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42+int64(nodeID))
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := hipster.NewCluster(hipster.ClusterOptions{
+			Nodes:      nodes,
+			Pattern:    hipster.Spike{Base: 0.3, Peak: 0.8, EverySecs: 60, SpikeSecs: 15, Horizon: 300},
+			Workers:    runtime.GOMAXPROCS(0),
+			Seed:       42,
+			Federation: &hipster.FederationOptions{SyncEvery: 5},
+			Autoscale: &hipster.AutoscaleOptions{
+				MinNodes:           2,
+				CooldownIntervals:  3,
+				DownAfterIntervals: 2,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := cl.Run(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, _ := cl.AutoscaleStats()
+		saved = 100 * (1 - float64(st.NodeIntervals)/float64(16*res.Fleet.Len()))
+	}
+	b.ReportMetric(saved, "node-intervals-saved%")
+}
+
 // BenchmarkExtSeedRobustness regenerates the multi-seed robustness
 // study of HipsterIn's headline metrics.
 func BenchmarkExtSeedRobustness(b *testing.B) {

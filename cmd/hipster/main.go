@@ -17,6 +17,15 @@
 //	hipster cluster -nodes 32 -workload websearch -policy octopus-man
 //	hipster cluster -nodes 16 -federate -sync-interval 5 -merge visit-weighted
 //	hipster cluster -nodes 16 -federate -staleness 20 -merge max-confidence
+//
+// With -autoscale the active node set follows the load instead of the
+// whole fleet running all day; combined with -federate, joining nodes
+// are warm-started from the fleet table and departing nodes flush
+// their learning into it:
+//
+//	hipster cluster -nodes 16 -autoscale -min-nodes 2 -pattern spike
+//	hipster cluster -nodes 16 -autoscale -scale-policy qos-headroom -cooldown 10
+//	hipster cluster -nodes 16 -autoscale -federate -sync-interval 5
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"strings"
 
 	"hipster"
+	"hipster/internal/names"
 	"hipster/internal/report"
 )
 
@@ -59,9 +69,9 @@ func main() {
 func run(workloadName, policyName, patternName string, duration float64, seed int64, batchList, csvPath string, series bool) error {
 	spec := hipster.JunoR1()
 
-	wl := hipster.WorkloadByName(workloadName)
-	if wl == nil {
-		return fmt.Errorf("unknown workload %q", workloadName)
+	wl, err := hipster.WorkloadByName(workloadName)
+	if err != nil {
+		return err
 	}
 
 	pattern, err := parsePattern(patternName)
@@ -84,9 +94,9 @@ func run(workloadName, policyName, patternName string, duration float64, seed in
 	if batchList != "" {
 		var progs []hipster.BatchProgram
 		for _, name := range strings.Split(batchList, ",") {
-			p, ok := hipster.BatchProgramByName(strings.TrimSpace(name))
-			if !ok {
-				return fmt.Errorf("unknown batch program %q", name)
+			p, err := hipster.BatchProgramByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
 			}
 			progs = append(progs, p)
 		}
@@ -169,32 +179,48 @@ func runCluster(args []string) error {
 		mergeName    = fs.String("merge", "visit-weighted", "federation merge policy: visit-weighted|max-confidence|newest-wins")
 		staleness    = fs.Int("staleness", 0, "federation staleness bound K: discard a node's deltas older than K intervals (0 = unbounded)")
 		dropout      = fs.Float64("sync-dropout", 0, "deterministic per-node chance of missing a federation sync round (models partitions)")
+		autoScale    = fs.Bool("autoscale", false, "grow/shrink the active node set with load instead of running the whole fleet")
+		minNodes     = fs.Int("min-nodes", 1, "autoscale lower bound on active nodes")
+		maxNodes     = fs.Int("max-nodes", 0, "autoscale upper bound on active nodes (0 = the full fleet)")
+		scalePolicy  = fs.String("scale-policy", "target-utilization", "autoscale policy: target-utilization|qos-headroom")
+		cooldown     = fs.Int("cooldown", 0, "autoscale intervals between a scale event and the next scale-down (0 = default 5)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*federate {
-		// Federation-dependent flags silently doing nothing would let a
-		// typo'd comparison measure independent learners; surface it.
+	// Feature-dependent flags silently doing nothing would let a typo'd
+	// comparison measure the wrong fleet; surface them.
+	requireFeature := func(enabled bool, feature string, flags ...string) error {
+		if enabled {
+			return nil
+		}
 		var orphaned []string
 		fs.Visit(func(fl *flag.Flag) {
-			switch fl.Name {
-			case "sync-interval", "merge", "staleness", "sync-dropout":
-				orphaned = append(orphaned, "-"+fl.Name)
+			for _, name := range flags {
+				if fl.Name == name {
+					orphaned = append(orphaned, "-"+fl.Name)
+				}
 			}
 		})
 		if len(orphaned) > 0 {
-			return fmt.Errorf("%s require(s) -federate", strings.Join(orphaned, ", "))
+			return fmt.Errorf("%s require(s) %s", strings.Join(orphaned, ", "), feature)
 		}
+		return nil
+	}
+	if err := requireFeature(*federate, "-federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
+		return err
+	}
+	if err := requireFeature(*autoScale, "-autoscale", "min-nodes", "max-nodes", "scale-policy", "cooldown"); err != nil {
+		return err
 	}
 	if *dropout < 0 || *dropout >= 1 {
 		return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
 	}
 
 	spec := hipster.JunoR1()
-	wl := hipster.WorkloadByName(*workloadName)
-	if wl == nil {
-		return fmt.Errorf("unknown workload %q", *workloadName)
+	wl, err := hipster.WorkloadByName(*workloadName)
+	if err != nil {
+		return err
 	}
 	pattern, err := parsePattern(*patternName)
 	if err != nil {
@@ -213,9 +239,9 @@ func runCluster(args []string) error {
 	if *batchList != "" {
 		var progs []hipster.BatchProgram
 		for _, name := range strings.Split(*batchList, ",") {
-			p, ok := hipster.BatchProgramByName(strings.TrimSpace(name))
-			if !ok {
-				return fmt.Errorf("unknown batch program %q", name)
+			p, err := hipster.BatchProgramByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
 			}
 			progs = append(progs, p)
 		}
@@ -261,6 +287,18 @@ func runCluster(args []string) error {
 			}
 		}
 	}
+	if *autoScale {
+		pol, err := hipster.AutoscalePolicyByName(*scalePolicy)
+		if err != nil {
+			return err
+		}
+		opts.Autoscale = &hipster.AutoscaleOptions{
+			Policy:            pol,
+			MinNodes:          *minNodes,
+			MaxNodes:          *maxNodes,
+			CooldownIntervals: *cooldown,
+		}
+	}
 	cl, err := hipster.NewCluster(opts)
 	if err != nil {
 		return err
@@ -274,8 +312,8 @@ func runCluster(args []string) error {
 	fmt.Printf("cluster nodes=%d workers=%d workload=%s policy=%s splitter=%s pattern=%s duration=%.0fs seed=%d\n",
 		*nodes, cl.Workers(), *workloadName, *policyName, splitter.Name(), *patternName, *duration, *seed)
 	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(cl.CapacityRPS()))
-	fmt.Printf("  QoS attainment  : %s (%d nodes x %d intervals)\n",
-		report.Pct(sum.QoSAttainment*100), sum.Nodes, sum.Intervals)
+	fmt.Printf("  QoS attainment  : %s (%d node-intervals, %d nodes peak, %d intervals)\n",
+		report.Pct(sum.QoSAttainment*100), sum.NodeIntervals, sum.Nodes, sum.Intervals)
 	fmt.Printf("  fleet energy    : %s J (mean %s W)\n", report.F0(sum.TotalEnergyJ), report.F2(sum.MeanPowerW))
 	fmt.Printf("  stragglers      : %d node-intervals (peak %d in one interval)\n",
 		sum.TotalStragglers, sum.PeakStragglers)
@@ -285,6 +323,15 @@ func runCluster(args []string) error {
 		fmt.Printf("  federation      : %s merge, %d rounds, %d reports, %d cells merged (%d updates), %d stale deltas dropped\n",
 			*mergeName, st.Rounds, st.Reports, st.MergedCells, st.MergedVisits, st.StaleDropped)
 	}
+	if st, ok := cl.AutoscaleStats(); ok {
+		fmt.Printf("  autoscale       : %s policy, %d-%d active nodes, %d up / %d down events, %d of %d node-intervals consumed\n",
+			*scalePolicy, st.MinActive, st.PeakActive, st.Ups, st.Downs,
+			st.NodeIntervals, *nodes*sum.Intervals)
+		if st.WarmStarts > 0 || st.Flushes > 0 {
+			fmt.Printf("  warm starts     : %d nodes seeded from the fleet table, %d departure deltas flushed\n",
+				st.WarmStarts, st.Flushes)
+		}
+	}
 
 	fleet := res.Fleet
 	if *series && fleet.Len() > 1 {
@@ -293,16 +340,21 @@ func runCluster(args []string) error {
 		qos := make([]float64, fleet.Len())
 		strag := make([]float64, fleet.Len())
 		pow := make([]float64, fleet.Len())
+		active := make([]float64, fleet.Len())
 		for i, s := range fleet.Samples {
 			load[i] = s.OfferedRPS
 			qos[i] = s.QoSAttainment()
 			strag[i] = float64(s.Stragglers)
 			pow[i] = s.PowerW
+			active[i] = float64(s.Nodes)
 		}
 		fmt.Printf("  load       %s\n", report.Sparkline(load, width))
 		fmt.Printf("  qos        %s\n", report.Sparkline(qos, width))
 		fmt.Printf("  stragglers %s\n", report.Sparkline(strag, width))
 		fmt.Printf("  power      %s\n", report.Sparkline(pow, width))
+		if _, ok := cl.AutoscaleStats(); ok {
+			fmt.Printf("  active     %s\n", report.Sparkline(active, width))
+		}
 	}
 
 	fmt.Println("  per-node QoS guarantee:")
@@ -330,6 +382,10 @@ func parsePattern(name string) (hipster.Pattern, error) {
 	return nil, fmt.Errorf("unknown pattern %q", name)
 }
 
+// policyNames lists the policies buildPolicy accepts; keep it next to
+// the switch below so the error message cannot drift from the cases.
+var policyNames = []string{"hipster-in", "hipster-co", "octopus-man", "hipster-heuristic", "static-big", "static-small"}
+
 func buildPolicy(name string, spec *hipster.Spec, seed int64) (hipster.Policy, error) {
 	switch name {
 	case "hipster-in":
@@ -345,5 +401,5 @@ func buildPolicy(name string, spec *hipster.Spec, seed int64) (hipster.Policy, e
 	case "static-small":
 		return hipster.NewStaticSmall(spec), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q", name)
+	return nil, names.Unknown("hipster", "policy", name, policyNames)
 }

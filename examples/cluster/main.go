@@ -8,8 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
-	"runtime"
+	"os"
 
 	"hipster"
 )
@@ -30,7 +31,11 @@ func buildFleet(spec *hipster.Spec, seed int64) ([]hipster.ClusterNode, error) {
 	return nodes, nil
 }
 
-func main() {
+// run executes the example and writes the report; the golden-file test
+// replays it against testdata/output.golden, so the output format is
+// part of the example's contract. (The worker count is deliberately
+// absent from the output: results do not depend on it.)
+func run(w io.Writer) error {
 	spec := hipster.JunoR1()
 	const seed = 42
 	const day = 1440.0
@@ -41,15 +46,15 @@ func main() {
 		hipster.NewLeastLoadedSplitter(),
 	}
 
-	fmt.Printf("16-node fleet (12x memcached, 4x websearch), diurnal day, %d workers\n\n",
-		runtime.GOMAXPROCS(0))
-	fmt.Printf("%-22s %8s %12s %12s %8s\n",
+	fmt.Fprintln(w, "16-node fleet (12x memcached, 4x websearch), diurnal day")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-22s %8s %12s %12s %8s\n",
 		"splitter", "QoS", "energy J", "stragglers", "peak")
 
 	for _, sp := range splitters {
 		nodes, err := buildFleet(spec, seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		cl, err := hipster.NewCluster(hipster.ClusterOptions{
 			Nodes:    nodes,
@@ -58,15 +63,22 @@ func main() {
 			Seed:     seed,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := cl.Run(day)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sum := res.Summarize()
-		fmt.Printf("%-22s %7.1f%% %12.0f %12d %8d\n",
+		fmt.Fprintf(w, "%-22s %7.1f%% %12.0f %12d %8d\n",
 			sp.Name(), sum.QoSAttainment*100, sum.TotalEnergyJ,
 			sum.TotalStragglers, sum.PeakStragglers)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

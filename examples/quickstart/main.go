@@ -5,17 +5,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hipster"
 )
 
-func main() {
+// run executes the example and writes the report; the golden-file test
+// replays it against testdata/output.golden, so the output format is
+// part of the example's contract.
+func run(w io.Writer) error {
 	spec := hipster.JunoR1()
 
 	mgr, err := hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	sim, err := hipster.NewSimulation(hipster.SimOptions{
@@ -26,21 +31,21 @@ func main() {
 		Seed:     42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Day one learns, day two exploits.
 	trace, err := sim.Run(2 * 1440)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	sum := trace.Summarize()
-	fmt.Println("HipsterIn on Memcached, two compressed days of diurnal load")
-	fmt.Printf("  QoS guarantee : %.1f%% (target: 95th pct <= 10 ms)\n", sum.QoSGuarantee*100)
-	fmt.Printf("  QoS tardiness : %.2f (mean over violations)\n", sum.MeanTardiness)
-	fmt.Printf("  energy        : %.0f J (mean %.2f W)\n", sum.TotalEnergyJ, sum.MeanPowerW)
-	fmt.Printf("  migrations    : %d events\n", sum.MigrationEvents)
+	fmt.Fprintln(w, "HipsterIn on Memcached, two compressed days of diurnal load")
+	fmt.Fprintf(w, "  QoS guarantee : %.1f%% (target: 95th pct <= 10 ms)\n", sum.QoSGuarantee*100)
+	fmt.Fprintf(w, "  QoS tardiness : %.2f (mean over violations)\n", sum.MeanTardiness)
+	fmt.Fprintf(w, "  energy        : %.0f J (mean %.2f W)\n", sum.TotalEnergyJ, sum.MeanPowerW)
+	fmt.Fprintf(w, "  migrations    : %d events\n", sum.MigrationEvents)
 
 	// Compare the exploitation day against the static all-big mapping.
 	static, err := hipster.NewSimulation(hipster.SimOptions{
@@ -51,12 +56,19 @@ func main() {
 		Seed:     42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	baseline, err := static.Run(2 * 1440)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	saving := trace.EnergyReductionVs(baseline)
-	fmt.Printf("  energy saving vs static all-big: %.1f%%\n", saving*100)
+	fmt.Fprintf(w, "  energy saving vs static all-big: %.1f%%\n", saving*100)
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -35,6 +35,7 @@
 package hipster
 
 import (
+	"hipster/internal/autoscale"
 	"hipster/internal/batch"
 	"hipster/internal/cluster"
 	"hipster/internal/core"
@@ -42,12 +43,19 @@ import (
 	"hipster/internal/federation"
 	"hipster/internal/heuristic"
 	"hipster/internal/loadgen"
+	"hipster/internal/names"
 	"hipster/internal/octopusman"
 	"hipster/internal/platform"
 	"hipster/internal/policy"
 	"hipster/internal/telemetry"
 	"hipster/internal/workload"
 )
+
+// ErrUnknownName is wrapped by every name-keyed constructor
+// (WorkloadByName, SplitterByName, MergePolicyByName,
+// AutoscalePolicyByName, BatchProgramByName) when the name is not
+// registered; the error message lists the valid options.
+var ErrUnknownName = names.ErrUnknown
 
 // Platform types.
 type (
@@ -211,6 +219,48 @@ func MergePolicyByName(name string) (MergePolicy, error) {
 	return federation.MergePolicyByName(name)
 }
 
+// Autoscaling types: elastic sizing of the active node set. With
+// AutoscaleOptions set on ClusterOptions, the cluster coordinator asks
+// a scaling policy each interval how many nodes the demand needs and
+// grows or shrinks the fleet within bounds (scale-ups are immediate;
+// scale-downs wait out a cooldown and hysteresis). Sleeping nodes
+// consume neither power nor node-intervals, and with federation
+// enabled a joining node is warm-started from the fleet table while a
+// departing node flushes its learning into it first.
+type (
+	// AutoscaleOptions configure elastic sizing on a cluster.
+	AutoscaleOptions = cluster.AutoscaleOptions
+	// AutoscalePolicy proposes a desired active-node count each
+	// interval; custom policies implement it over AutoscaleContext.
+	AutoscalePolicy = autoscale.Policy
+	// AutoscaleContext is the per-interval input to a scaling policy.
+	AutoscaleContext = autoscale.Context
+	// AutoscaleNodeInfo is one roster entry of an AutoscaleContext.
+	AutoscaleNodeInfo = autoscale.NodeInfo
+	// AutoscaleStats counts scale events, node-intervals consumed, and
+	// federation warm-starts/flushes over a run.
+	AutoscaleStats = autoscale.Stats
+)
+
+// NewTargetUtilizationPolicy returns the load-following scaling policy:
+// size the active set so demand lands at the target fraction of active
+// capacity (target <= 0 uses the 0.7 default).
+func NewTargetUtilizationPolicy(target float64) AutoscalePolicy {
+	return autoscale.TargetUtilization{Target: target}
+}
+
+// NewQoSHeadroomPolicy returns the QoS-driven scaling policy with its
+// default watermarks: any active node missing its tail-latency target
+// adds a node immediately; capacity is reclaimed only when the fleet is
+// clean and the demand fits the smaller set comfortably.
+func NewQoSHeadroomPolicy() AutoscalePolicy { return autoscale.QoSHeadroom{} }
+
+// AutoscalePolicyByName returns a built-in scaling policy
+// ("target-utilization" or "qos-headroom").
+func AutoscalePolicyByName(name string) (AutoscalePolicy, error) {
+	return autoscale.PolicyByName(name)
+}
+
 // NewCluster builds a fleet simulation from options.
 func NewCluster(opts ClusterOptions) (*Cluster, error) { return cluster.New(opts) }
 
@@ -250,8 +300,8 @@ func Memcached() *Workload { return workload.Memcached() }
 func WebSearch() *Workload { return workload.WebSearch() }
 
 // WorkloadByName returns a built-in workload model ("memcached" or
-// "websearch"), or nil.
-func WorkloadByName(name string) *Workload { return workload.ByName(name) }
+// "websearch").
+func WorkloadByName(name string) (*Workload, error) { return workload.ByName(name) }
 
 // DefaultDiurnal returns the paper's compressed-day load pattern.
 func DefaultDiurnal() Diurnal { return loadgen.DefaultDiurnal() }
@@ -310,7 +360,7 @@ func NewOracle(spec *Spec, wl *Workload, headroom float64) *policy.Oracle {
 func SPEC2006() []BatchProgram { return batch.SPEC2006() }
 
 // BatchProgramByName returns one SPEC CPU 2006 model by name.
-func BatchProgramByName(name string) (BatchProgram, bool) {
+func BatchProgramByName(name string) (BatchProgram, error) {
 	return batch.ProgramByName(name)
 }
 

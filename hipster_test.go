@@ -1,6 +1,8 @@
 package hipster_test
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"hipster"
@@ -57,14 +59,68 @@ func TestFacadeConstructors(t *testing.T) {
 	if hipster.NewStaticSmall(spec).Name() != "static-small" {
 		t.Fatal("static small")
 	}
-	if hipster.WorkloadByName("websearch") == nil {
-		t.Fatal("workload lookup")
+	if wl, err := hipster.WorkloadByName("websearch"); err != nil || wl == nil {
+		t.Fatalf("workload lookup: %v", err)
 	}
 	if got := len(hipster.SPEC2006()); got != 12 {
 		t.Fatalf("SPEC programs = %d", got)
 	}
-	if _, ok := hipster.BatchProgramByName("lbm"); !ok {
-		t.Fatal("program lookup")
+	if _, err := hipster.BatchProgramByName("lbm"); err != nil {
+		t.Fatalf("program lookup: %v", err)
+	}
+}
+
+// TestByNameConstructors sweeps every name-keyed constructor of the
+// public API over every registered name, and checks that an unknown
+// name yields the shared ErrUnknownName sentinel with the valid
+// options listed in the message.
+func TestByNameConstructors(t *testing.T) {
+	cases := []struct {
+		kind   string
+		valid  []string
+		lookup func(name string) error
+	}{
+		{"workload", []string{"memcached", "websearch"}, func(n string) error {
+			_, err := hipster.WorkloadByName(n)
+			return err
+		}},
+		{"splitter", []string{"round-robin", "weighted-by-capacity", "least-loaded"}, func(n string) error {
+			_, err := hipster.SplitterByName(n)
+			return err
+		}},
+		{"merge policy", []string{"visit-weighted", "max-confidence", "newest-wins"}, func(n string) error {
+			_, err := hipster.MergePolicyByName(n)
+			return err
+		}},
+		{"autoscale policy", []string{"target-utilization", "qos-headroom"}, func(n string) error {
+			_, err := hipster.AutoscalePolicyByName(n)
+			return err
+		}},
+		{"batch program", []string{
+			"povray", "namd", "gromacs", "tonto", "sjeng", "calculix",
+			"cactusADM", "lbm", "astar", "soplex", "libquantum", "zeusmp",
+		}, func(n string) error {
+			_, err := hipster.BatchProgramByName(n)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			for _, name := range tc.valid {
+				if err := tc.lookup(name); err != nil {
+					t.Errorf("registered name %q rejected: %v", name, err)
+				}
+			}
+			err := tc.lookup("no-such-name")
+			if !errors.Is(err, hipster.ErrUnknownName) {
+				t.Fatalf("unknown name error = %v, want ErrUnknownName", err)
+			}
+			for _, name := range tc.valid {
+				if !strings.Contains(err.Error(), name) {
+					t.Errorf("error %q does not list the valid option %q", err, name)
+				}
+			}
+		})
 	}
 }
 
@@ -214,6 +270,60 @@ func TestFederatedClusterFacade(t *testing.T) {
 	}
 	if _, err := hipster.MergePolicyByName("nope"); err == nil {
 		t.Fatal("want error for unknown merge policy name")
+	}
+}
+
+// TestAutoscaledClusterFacade drives an elastic fleet end to end
+// through the public API: the spiky day is served by a node set that
+// follows the load, consuming fewer node-intervals than the roster
+// would.
+func TestAutoscaledClusterFacade(t *testing.T) {
+	spec := hipster.JunoR1()
+	nodes, err := hipster.UniformClusterNodes(6, spec, hipster.Memcached(),
+		func(nodeID int) (hipster.Policy, error) {
+			return hipster.NewHipsterIn(spec, hipster.DefaultParams(), 42+int64(nodeID))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := hipster.AutoscalePolicyByName("target-utilization")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := hipster.NewCluster(hipster.ClusterOptions{
+		Nodes:   nodes,
+		Pattern: hipster.Spike{Base: 0.3, Peak: 0.8, EverySecs: 40, SpikeSecs: 10, Horizon: 120},
+		Workers: 4,
+		Seed:    42,
+		Federation: &hipster.FederationOptions{
+			SyncEvery: 5,
+		},
+		Autoscale: &hipster.AutoscaleOptions{
+			Policy:             pol,
+			MinNodes:           2,
+			CooldownIntervals:  3,
+			DownAfterIntervals: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := cl.AutoscaleStats()
+	if !ok {
+		t.Fatal("autoscale stats missing")
+	}
+	if st.Ups == 0 {
+		t.Fatal("spiky load never scaled the fleet up")
+	}
+	if st.NodeIntervals >= 6*120 {
+		t.Fatalf("elastic fleet consumed %d node-intervals, the static roster would use %d", st.NodeIntervals, 6*120)
+	}
+	if sum := res.Summarize(); sum.NodeIntervals != st.NodeIntervals {
+		t.Fatalf("summary node-intervals %d != stats %d", sum.NodeIntervals, st.NodeIntervals)
 	}
 }
 

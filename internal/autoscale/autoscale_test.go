@@ -1,0 +1,196 @@
+package autoscale
+
+import (
+	"errors"
+	"testing"
+
+	"hipster/internal/names"
+)
+
+// roster builds a uniform n-node context with the given demand and
+// active prefix.
+func roster(n int, capacity, offered float64, active int) Context {
+	nodes := make([]NodeInfo, n)
+	for i := range nodes {
+		nodes[i] = NodeInfo{ID: i, CapacityRPS: capacity, Active: i < active}
+	}
+	return Context{OfferedRPS: offered, Nodes: nodes, Active: active}
+}
+
+func TestTargetUtilizationDesired(t *testing.T) {
+	p := TargetUtilization{Target: 0.5}
+	cases := []struct {
+		offered float64
+		want    int
+	}{
+		{0, 1},     // never below one node
+		{400, 1},   // 400/0.5 = 800 <= 1000
+		{500, 1},   // exactly one node's worth at 50%
+		{501, 2},   // just past it
+		{2400, 5},  // 4800 capacity needed
+		{99999, 8}, // demand beyond the roster saturates at the roster
+	}
+	for _, c := range cases {
+		ctx := roster(8, 1000, c.offered, 4)
+		if got := p.Desired(ctx); got != c.want {
+			t.Errorf("offered %v: desired = %d, want %d", c.offered, got, c.want)
+		}
+	}
+	// Zero-value target falls back to 0.7.
+	ctx := roster(8, 1000, 690, 4)
+	if got := (TargetUtilization{}).Desired(ctx); got != 1 {
+		t.Errorf("default target: desired = %d, want 1", got)
+	}
+	if got := (TargetUtilization{}).Desired(roster(8, 1000, 701, 4)); got != 2 {
+		t.Error("default target: 701 RPS should need a second node at 70%")
+	}
+}
+
+func TestQoSHeadroomDesired(t *testing.T) {
+	p := QoSHeadroom{}
+
+	// A violation on any active node adds a node immediately.
+	ctx := roster(8, 1000, 1000, 2)
+	ctx.Nodes[1].Stepped = true
+	ctx.Nodes[1].LastTarget = 0.01
+	ctx.Nodes[1].LastTailLatency = 0.02
+	if got := p.Desired(ctx); got != 3 {
+		t.Fatalf("violation: desired = %d, want 3", got)
+	}
+
+	// A violation on an inactive node is ignored (stale feedback).
+	ctx = roster(8, 1000, 1000, 2)
+	ctx.Nodes[5].Stepped = true
+	ctx.Nodes[5].LastTarget = 0.01
+	ctx.Nodes[5].LastTailLatency = 0.02
+	if got := p.Desired(ctx); got != 2 {
+		t.Fatalf("inactive violation: desired = %d, want 2", got)
+	}
+
+	// Utilisation backstop: above UpUtil without a violation.
+	if got := p.Desired(roster(8, 1000, 1800, 2)); got != 3 {
+		t.Fatalf("util backstop: desired = %d, want 3", got)
+	}
+
+	// Clean and clearly overprovisioned: shed one node.
+	if got := p.Desired(roster(8, 1000, 500, 2)); got != 1 {
+		t.Fatalf("overprovisioned: desired = %d, want 1", got)
+	}
+
+	// Clean but the smaller set would run too hot: hold.
+	if got := p.Desired(roster(8, 1000, 700, 2)); got != 2 {
+		t.Fatalf("hold: desired = %d, want 2", got)
+	}
+
+	// Never below one node.
+	if got := p.Desired(roster(8, 1000, 0, 1)); got != 1 {
+		t.Fatalf("floor: desired = %d, want 1", got)
+	}
+}
+
+func TestControllerBoundsAndHysteresis(t *testing.T) {
+	ctl, err := NewController(Config{
+		Policy:             TargetUtilization{Target: 0.5},
+		Min:                2,
+		Max:                6,
+		CooldownIntervals:  4,
+		DownAfterIntervals: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decide := func(interval int, offered float64, active int) Decision {
+		ctx := roster(8, 1000, offered, active)
+		ctx.Interval = interval
+		return ctl.Decide(ctx)
+	}
+
+	// Scale-up is immediate and unbounded by cooldown, clamped to Max.
+	d := decide(0, 9999, 2)
+	if !d.Scaled || d.Target != 6 {
+		t.Fatalf("burst: %+v, want scale to max 6", d)
+	}
+
+	// Desire drops, but hysteresis requires 2 consecutive low intervals
+	// and the cooldown 4 intervals of quiet.
+	if d = decide(1, 500, 6); d.Scaled {
+		t.Fatalf("interval 1: %+v, want hold (streak 1)", d)
+	}
+	if d = decide(2, 500, 6); d.Scaled {
+		t.Fatalf("interval 2: %+v, want hold (cooldown)", d)
+	}
+	if d = decide(3, 500, 6); d.Scaled {
+		t.Fatalf("interval 3: %+v, want hold (cooldown)", d)
+	}
+	// Interval 4: cooldown elapsed (last change at 0), streak satisfied;
+	// clamped at Min 2 even though the policy wants 1.
+	if d = decide(4, 500, 6); !d.Scaled || d.Target != 2 {
+		t.Fatalf("interval 4: %+v, want scale down to min 2", d)
+	}
+
+	// An up-desire resets the shrink streak.
+	if d = decide(5, 400, 2); d.Scaled {
+		t.Fatalf("interval 5: %+v, want hold (streak 1)", d)
+	}
+	if d = decide(6, 2400, 2); !d.Scaled || d.Target != 5 {
+		t.Fatalf("interval 6: %+v, want scale up to 5", d)
+	}
+	if d = decide(7, 400, 5); d.Scaled {
+		t.Fatal("interval 7: streak must restart after the up event")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	cases := []Config{
+		{Policy: nil, Min: 1, Max: 4},
+		{Policy: TargetUtilization{}, Min: 0, Max: 4},
+		{Policy: TargetUtilization{}, Min: 3, Max: 2},
+		{Policy: TargetUtilization{}, Min: 1, Max: 4, CooldownIntervals: -1},
+		{Policy: TargetUtilization{}, Min: 1, Max: 4, DownAfterIntervals: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewController(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted", i, cfg)
+		}
+	}
+	ctl, err := NewController(Config{Policy: QoSHeadroom{}, Min: 1, Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Policy().Name() != "qos-headroom" {
+		t.Fatal("controller does not expose its policy")
+	}
+	// A one-node bound can never scale.
+	if d := ctl.Decide(roster(4, 1000, 4000, 1)); d.Scaled || d.Target != 1 {
+		t.Fatalf("pinned fleet scaled: %+v", d)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("PolicyByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	_, err := PolicyByName("nope")
+	if !errors.Is(err, names.ErrUnknown) {
+		t.Fatalf("unknown policy error = %v, want names.ErrUnknown", err)
+	}
+}
+
+func TestPrefixCapacity(t *testing.T) {
+	ctx := Context{Nodes: []NodeInfo{
+		{CapacityRPS: 100}, {CapacityRPS: 200}, {CapacityRPS: 50},
+	}}
+	if got := ctx.PrefixCapacity(2); got != 300 {
+		t.Fatalf("PrefixCapacity(2) = %v", got)
+	}
+	if got := ctx.PrefixCapacity(99); got != 350 {
+		t.Fatalf("PrefixCapacity beyond roster = %v, want full capacity", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hipster/internal/names"
 	"hipster/internal/platform"
 )
 
@@ -90,14 +91,25 @@ func SPEC2006() []Program {
 	}
 }
 
-// ProgramByName returns a SPEC2006 program model by name.
-func ProgramByName(name string) (Program, bool) {
+// ProgramNames lists the SPEC2006 program names in Figure 11 order.
+func ProgramNames() []string {
+	progs := SPEC2006()
+	out := make([]string, len(progs))
+	for i, p := range progs {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ProgramByName returns a SPEC2006 program model by name, or an error
+// (wrapping names.ErrUnknown) listing the valid names.
+func ProgramByName(name string) (Program, error) {
 	for _, p := range SPEC2006() {
 		if p.Name == name {
-			return p, true
+			return p, nil
 		}
 	}
-	return Program{}, false
+	return Program{}, names.Unknown("batch", "SPEC CPU 2006 program", name, ProgramNames())
 }
 
 // Grant describes the cores handed to the batch runner for one interval

@@ -1,9 +1,11 @@
 package batch
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"hipster/internal/names"
 	"hipster/internal/platform"
 )
 
@@ -31,8 +33,8 @@ func TestSPEC2006Catalog(t *testing.T) {
 	if calc.MemIntensity >= libq.MemIntensity {
 		t.Error("libquantum must be more memory-bound than calculix")
 	}
-	if _, ok := ProgramByName("doom"); ok {
-		t.Error("unknown program should not resolve")
+	if _, err := ProgramByName("doom"); !errors.Is(err, names.ErrUnknown) {
+		t.Errorf("unknown program error = %v, want names.ErrUnknown", err)
 	}
 }
 

@@ -1,0 +1,106 @@
+package benchparse
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse throws arbitrary bytes at both parser entry points — this
+// package parses `go test -json` output produced inside the CI bench
+// gate, i.e. input the repository does not control — and checks the
+// invariants that the gate depends on:
+//
+//   - neither parser panics, whatever the input;
+//   - every parsed result is well-formed (a Benchmark-prefixed name
+//     with the -procs suffix stripped, finite non-negative ns/op);
+//   - wrapping the same text line-by-line in go-test JSON output
+//     events yields exactly the results of parsing the raw text, so
+//     the two entry points cannot drift apart;
+//   - Summarize never invents a benchmark and never reports a value
+//     larger than some run of that benchmark.
+func FuzzParse(f *testing.F) {
+	f.Add("BenchmarkCluster16Nodes/parallel-8   3   49812345 ns/op   97.5 fleet-qos%\n")
+	f.Add("BenchmarkEngineStep 1000000 4240 ns/op\nBenchmarkEngineStep 500000 4100 ns/op\n")
+	f.Add("goos: linux\ngoarch: amd64\nBenchmarkX-16 1 2 ns/op\nPASS\n")
+	f.Add("BenchmarkTruncated 3 17 ns/op") // no trailing newline
+	f.Add("Benchmark 1 2\nBenchmarkNaN one 2 ns/op\nBenchmarkHuge 1 1e999 ns/op\n")
+	f.Add(`{"Action":"output","Package":"hipster","Output":"BenchmarkY 2 7 ns/op\n"}`)
+	f.Add("{\"Action\":\"output\"")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		text, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("ParseText cannot fail on a string reader: %v", err)
+		}
+		for _, r := range text {
+			if !strings.HasPrefix(r.Name, "Benchmark") {
+				t.Fatalf("parsed name %q lacks the Benchmark prefix", r.Name)
+			}
+			if procsSuffix.MatchString(r.Name) {
+				t.Fatalf("parsed name %q retains a -procs suffix", r.Name)
+			}
+			if r.NsPerOp < 0 || r.NsPerOp != r.NsPerOp || r.NsPerOp > 1e308 {
+				t.Fatalf("implausible ns/op %v", r.NsPerOp)
+			}
+		}
+
+		// The raw input interpreted as a JSON event stream must not
+		// panic (errors are fine: the stream is untrusted).
+		if res, err := ParseJSON(strings.NewReader(input)); err == nil {
+			for _, r := range res {
+				if !strings.HasPrefix(r.Name, "Benchmark") {
+					t.Fatalf("JSON-parsed name %q lacks the Benchmark prefix", r.Name)
+				}
+			}
+		}
+
+		// Differential check: the same text delivered as go-test output
+		// events parses to the same results. Only meaningful for valid
+		// UTF-8 — the JSON encoder replaces invalid bytes with U+FFFD,
+		// and the real `go test -json` stream is always valid UTF-8
+		// (the go command performs the same sanitisation).
+		if !utf8.ValidString(input) {
+			return
+		}
+		var events strings.Builder
+		enc := json.NewEncoder(&events)
+		for _, line := range strings.SplitAfter(input, "\n") {
+			if line == "" {
+				continue
+			}
+			if err := enc.Encode(testEvent{Action: "output", Package: "p", Output: line}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		viaJSON, err := ParseJSON(strings.NewReader(events.String()))
+		if err != nil {
+			t.Fatalf("ParseJSON on well-formed events: %v", err)
+		}
+		if len(viaJSON) != len(text) {
+			t.Fatalf("JSON events parsed to %d results, raw text to %d", len(viaJSON), len(text))
+		}
+		for i := range text {
+			if text[i] != viaJSON[i] {
+				t.Fatalf("result %d differs: text %+v vs events %+v", i, text[i], viaJSON[i])
+			}
+		}
+
+		sum := Summarize(text)
+		mins := make(map[string]float64)
+		for _, r := range text {
+			if best, ok := mins[r.Name]; !ok || r.NsPerOp < best {
+				mins[r.Name] = r.NsPerOp
+			}
+		}
+		if len(sum) != len(mins) {
+			t.Fatalf("Summarize has %d names, runs had %d", len(sum), len(mins))
+		}
+		for name, v := range sum {
+			if v != mins[name] {
+				t.Fatalf("Summarize[%s] = %v, want the min %v", name, v, mins[name])
+			}
+		}
+	})
+}

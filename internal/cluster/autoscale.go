@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hipster/internal/autoscale"
+	"hipster/internal/federation"
+)
+
+// AutoscaleOptions enable elastic fleet sizing: every monitoring
+// interval, before the load is split, the coordinator asks a scaling
+// policy how many nodes the interval's demand needs and grows or
+// shrinks the active set within [MinNodes, MaxNodes]. The active set is
+// always a prefix of the node roster — scale-up wakes the lowest-ID
+// sleeping node, scale-down retires the highest-ID active one — which
+// keeps runs bit-identical at any worker count (the whole decision runs
+// in the coordinator's serial section) and makes capacity planning
+// legible: node i is on iff the fleet is at least i+1 nodes tall.
+//
+// The datacenter-level load pattern stays a fraction of the FULL
+// roster's capacity, so demand does not shrink when the fleet does.
+//
+// With federation enabled, scaling moves learned experience with the
+// nodes: a node joining the fleet is warm-started from the federation
+// coordinator's current fleet table (rl.Table.Absorb) instead of
+// learning from zero, and a node leaving first flushes its unsynced
+// table delta into the coordinator so its experience is not lost.
+// Without federation, joining nodes keep whatever table they had
+// (cold start on first activation).
+type AutoscaleOptions struct {
+	// Policy proposes the desired active count each interval (default
+	// autoscale.TargetUtilization{} at its 0.7 default target).
+	Policy autoscale.Policy
+	// MinNodes and MaxNodes bound the active count (defaults 1 and the
+	// roster size).
+	MinNodes, MaxNodes int
+	// InitialNodes is the active count before the first interval
+	// (default MinNodes).
+	InitialNodes int
+	// CooldownIntervals is the minimum number of intervals between a
+	// scale event and the next scale-down; scale-ups are immediate
+	// (default 5).
+	CooldownIntervals int
+	// DownAfterIntervals is the hysteresis: the policy must desire a
+	// smaller fleet for this many consecutive intervals before a
+	// scale-down happens (default 3).
+	DownAfterIntervals int
+}
+
+// asState is the cluster's autoscaling machinery: the controller, the
+// reusable roster scratch handed to the policy, and the activity
+// counters.
+type asState struct {
+	ctl    *autoscale.Controller
+	roster []autoscale.NodeInfo
+	stats  autoscale.Stats
+}
+
+// newAsState resolves the options against an n-node roster, returning
+// the machinery and the initial active count.
+func newAsState(opts AutoscaleOptions, n int) (*asState, int, error) {
+	pol := opts.Policy
+	if pol == nil {
+		pol = autoscale.TargetUtilization{}
+	}
+	lo := opts.MinNodes
+	if lo == 0 {
+		lo = 1
+	}
+	hi := opts.MaxNodes
+	if hi == 0 {
+		hi = n
+	}
+	if hi > n {
+		return nil, 0, fmt.Errorf("cluster: autoscale max nodes %d exceeds the %d-node roster", hi, n)
+	}
+	initial := opts.InitialNodes
+	if initial == 0 {
+		initial = lo
+	}
+	ctl, err := autoscale.NewController(autoscale.Config{
+		Policy:             pol,
+		Min:                lo,
+		Max:                hi,
+		CooldownIntervals:  opts.CooldownIntervals,
+		DownAfterIntervals: opts.DownAfterIntervals,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if initial < lo || initial > hi {
+		return nil, 0, fmt.Errorf("cluster: autoscale initial nodes %d outside [%d, %d]", initial, lo, hi)
+	}
+	a := &asState{ctl: ctl, roster: make([]autoscale.NodeInfo, n)}
+	a.stats.PeakActive, a.stats.MinActive = initial, initial
+	return a, initial, nil
+}
+
+// context assembles the scaling policy's view of the fleet.
+func (a *asState) context(c *Cluster, t, totalRPS float64) autoscale.Context {
+	for i, n := range c.nodes {
+		st := n.state
+		a.roster[i] = autoscale.NodeInfo{
+			ID:              i,
+			CapacityRPS:     st.CapacityRPS,
+			Active:          st.Active,
+			Stepped:         st.Stepped,
+			LastOfferedRPS:  st.LastOfferedRPS,
+			LastTailLatency: st.LastTailLatency,
+			LastTarget:      st.LastTarget,
+		}
+	}
+	return autoscale.Context{
+		Interval:   c.clock.Steps(),
+		T:          t,
+		OfferedRPS: totalRPS,
+		Nodes:      a.roster,
+		Active:     c.active,
+	}
+}
+
+// autoscaleStep runs one scaling decision and applies it: activations
+// warm-start from the federation fleet table, deactivations flush the
+// departing node's delta first. Runs in the coordinator's serial
+// section, before the interval's load is split, so the new active set
+// serves the demand that triggered it.
+func (c *Cluster) autoscaleStep(t, totalRPS float64) error {
+	d := c.as.ctl.Decide(c.as.context(c, t, totalRPS))
+	if !d.Scaled {
+		return nil
+	}
+	interval := c.clock.Steps()
+	if d.Target > c.active {
+		// One fleet-table copy serves every activation of this event.
+		var bc federation.Broadcast
+		for id := c.active; id < d.Target; id++ {
+			if c.fed != nil {
+				warmed, err := c.fed.warmStart(id, interval, &bc)
+				if err != nil {
+					return fmt.Errorf("cluster: autoscale warm-start of node %d: %w", id, err)
+				}
+				if warmed {
+					c.as.stats.WarmStarts++
+				}
+			}
+			c.nodes[id].state.Active = true
+		}
+		c.as.stats.Ups++
+		c.as.stats.NodesAdded += d.Target - c.active
+	} else {
+		for id := d.Target; id < c.active; id++ {
+			if c.fed != nil {
+				flushed, err := c.fed.flush(id, interval)
+				if err != nil {
+					return fmt.Errorf("cluster: autoscale flush of node %d: %w", id, err)
+				}
+				if flushed {
+					c.as.stats.Flushes++
+				}
+			}
+			n := c.nodes[id]
+			n.state.Active = false
+			// A powered-off node does not keep a request queue alive:
+			// whatever backlog it was draining is abandoned now rather
+			// than resurfacing as a phantom latency spike (and a
+			// spurious QoS violation) when the node rejoins.
+			n.eng.DropBacklog()
+			// Clear the feedback fields: when the node rejoins, its
+			// last interval is arbitrarily old, and splitters and
+			// scaling policies must treat it as fresh rather than act
+			// on stale load or QoS readings.
+			n.state.Stepped = false
+			n.state.LastOfferedRPS = 0
+			n.state.LastAchievedRPS = 0
+			n.state.LastBacklog = 0
+			n.state.LastTailLatency = 0
+			n.state.LastTarget = 0
+		}
+		c.as.stats.Downs++
+		c.as.stats.NodesRemoved += c.active - d.Target
+	}
+	c.active = d.Target
+	if c.active > c.as.stats.PeakActive {
+		c.as.stats.PeakActive = c.active
+	}
+	if c.active < c.as.stats.MinActive {
+		c.as.stats.MinActive = c.active
+	}
+	return nil
+}
+
+// AutoscaleStats returns the autoscaler's activity counters; ok is
+// false when autoscaling is disabled.
+func (c *Cluster) AutoscaleStats() (stats autoscale.Stats, ok bool) {
+	if c.as == nil {
+		return autoscale.Stats{}, false
+	}
+	return c.as.stats, true
+}
+
+// ActiveNodes returns the current active-node count (the full roster
+// size when autoscaling is disabled).
+func (c *Cluster) ActiveNodes() int { return c.active }

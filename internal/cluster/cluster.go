@@ -92,6 +92,15 @@ type Options struct {
 	// policy exposes a table (the Hipster manager); the sync round runs
 	// serially in the coordinator, preserving worker-invariance.
 	Federation *FederationOptions
+
+	// Autoscale, when non-nil, grows and shrinks the active node set
+	// each interval instead of running the whole roster: the splitter
+	// routes only over active nodes, sleeping nodes consume neither
+	// power nor node-intervals, and (with Federation set) nodes joining
+	// the fleet are warm-started from the fleet table while departing
+	// nodes flush their learning into it. Decisions run in the
+	// coordinator's serial section, preserving worker-invariance.
+	Autoscale *AutoscaleOptions
 }
 
 // feed is the per-node load pattern shim: the coordinator stores the
@@ -111,6 +120,10 @@ type node struct {
 	eng   *engine.Engine
 	feed  *feed
 	state NodeState
+	// lastEnergyJ is the node's cumulative energy as of its most recent
+	// step; it persists while the node sleeps, so the fleet's cumulative
+	// energy does not forget a deactivated node's consumption.
+	lastEnergyJ float64
 }
 
 // Cluster steps a fleet of engines under one datacenter-level load
@@ -126,6 +139,12 @@ type Cluster struct {
 	clock *sim.Clock
 	fleet *telemetry.FleetTrace
 	fed   *fedState
+	as    *asState
+
+	// active is the active-node count: the active set is always the
+	// roster prefix nodes[:active] (the whole roster without
+	// autoscaling).
+	active int
 
 	// failed latches the first Step error: some engines may already
 	// have stepped and recorded that interval, so the fleet is
@@ -224,6 +243,18 @@ func New(opts Options) (*Cluster, error) {
 		}
 		c.fed = fed
 	}
+	c.active = len(c.nodes)
+	if opts.Autoscale != nil {
+		as, initial, err := newAsState(*opts.Autoscale, len(c.nodes))
+		if err != nil {
+			return nil, err
+		}
+		c.as = as
+		c.active = initial
+	}
+	for i, n := range c.nodes {
+		n.state.Active = i < c.active
+	}
 	c.states = make([]NodeState, len(c.nodes))
 	c.samples = make([]telemetry.Sample, len(c.nodes))
 	c.errs = make([]error, len(c.nodes))
@@ -251,12 +282,13 @@ func (c *Cluster) Fleet() *telemetry.FleetTrace { return c.fleet }
 // NodeTrace returns node i's per-interval trace.
 func (c *Cluster) NodeTrace(i int) *telemetry.Trace { return c.nodes[i].eng.Trace() }
 
-// Step advances the whole fleet by one monitoring interval: split the
-// fleet-level load, step every node (in parallel across the worker
-// pool), and merge the per-node samples into one fleet sample. After an
-// error the cluster is desynchronized (engines that stepped cleanly
-// have recorded an interval the fleet trace lacks) and every further
-// Step returns the same error.
+// Step advances the whole fleet by one monitoring interval: decide the
+// active node set (when autoscaling), split the fleet-level load over
+// it, step every active node (in parallel across the worker pool), and
+// merge the per-node samples into one fleet sample. After an error the
+// cluster is desynchronized (engines that stepped cleanly have recorded
+// an interval the fleet trace lacks) and every further Step returns the
+// same error.
 func (c *Cluster) Step() (telemetry.FleetSample, error) {
 	if c.failed != nil {
 		return telemetry.FleetSample{}, c.failed
@@ -264,20 +296,31 @@ func (c *Cluster) Step() (telemetry.FleetSample, error) {
 	t := c.clock.Now()
 	totalRPS := c.opts.Pattern.LoadAt(t) * c.fleetCap
 
-	for i, n := range c.nodes {
-		c.states[i] = n.state
+	// The scaling decision sees this interval's demand before the split,
+	// so a burst can be answered by new capacity in the same interval it
+	// arrives.
+	if c.as != nil {
+		if err := c.autoscaleStep(t, totalRPS); err != nil {
+			return c.fail(err)
+		}
+	}
+
+	active := c.nodes[:c.active]
+	states := c.states[:c.active]
+	for i, n := range active {
+		states[i] = n.state
 	}
 	shares := c.splitter.Split(SplitContext{
 		Interval: c.clock.Steps(),
 		T:        t,
 		TotalRPS: totalRPS,
-		Nodes:    c.states,
+		Nodes:    states,
 	})
-	if len(shares) != len(c.nodes) {
-		return c.fail(fmt.Errorf("cluster: splitter %q returned %d shares for %d nodes",
-			c.splitter.Name(), len(shares), len(c.nodes)))
+	if len(shares) != len(active) {
+		return c.fail(fmt.Errorf("cluster: splitter %q returned %d shares for %d active nodes",
+			c.splitter.Name(), len(shares), len(active)))
 	}
-	for i, n := range c.nodes {
+	for i, n := range active {
 		rps := shares[i]
 		if rps < 0 {
 			return c.fail(fmt.Errorf("cluster: splitter %q returned negative share %v for node %d",
@@ -290,14 +333,14 @@ func (c *Cluster) Step() (telemetry.FleetSample, error) {
 	}
 
 	c.stepNodes()
-	for i, err := range c.errs {
+	for i, err := range c.errs[:c.active] {
 		if err != nil {
 			return c.fail(fmt.Errorf("cluster: node %d: %w", i, err))
 		}
 	}
 
 	c.clock.Tick()
-	for i, n := range c.nodes {
+	for i, n := range active {
 		s := c.samples[i]
 		n.state.Stepped = true
 		n.state.LastOfferedRPS = s.OfferedRPS
@@ -305,20 +348,43 @@ func (c *Cluster) Step() (telemetry.FleetSample, error) {
 		n.state.LastBacklog = s.Backlog
 		n.state.LastTailLatency = s.TailLatency
 		n.state.LastTarget = s.Target
+		n.lastEnergyJ = s.EnergyJ
 	}
 	// Federation runs in the serial section, after every node finished
 	// its step: the worker pool is quiescent, so reading and rewriting
 	// the per-node tables here cannot race with policy decisions, and
-	// results stay independent of the worker count.
+	// results stay independent of the worker count. Sleeping nodes sit
+	// the round out — they flushed their delta on deactivation and are
+	// re-seeded from the fleet table when they rejoin.
 	if c.fed != nil && c.fed.due(c.clock.Steps()) {
-		if err := c.fed.sync(c.clock.Steps()); err != nil {
+		if err := c.fed.sync(c.clock.Steps(), c.isActive); err != nil {
 			return c.fail(err)
 		}
 	}
-	fs := telemetry.MergeInterval(c.samples, c.opts.StragglerFactor)
+	fs := telemetry.MergeInterval(c.samples[:c.active], c.opts.StragglerFactor)
+	// A node activated mid-run carries a local clock that lags fleet
+	// time (it does not tick while asleep), so the fleet sample is
+	// stamped with the fleet clock rather than any node's.
+	fs.T = c.clock.Now()
+	// The merge sums cumulative energy over the active samples only; a
+	// node asleep this interval consumed no new energy but still burned
+	// joules earlier in the run, so the fleet cumulative is re-derived
+	// over the whole roster (bit-identical to the merge when every node
+	// is active, and monotonic under autoscaling).
+	var energy float64
+	for _, n := range c.nodes {
+		energy += n.lastEnergyJ
+	}
+	fs.EnergyJ = energy
+	if c.as != nil {
+		c.as.stats.NodeIntervals += c.active
+	}
 	c.fleet.Add(fs)
 	return fs, nil
 }
+
+// isActive reports whether a node is in the active set.
+func (c *Cluster) isActive(id int) bool { return id < c.active }
 
 // FederationStats returns the federation coordinator's activity
 // counters; ok is false when federation is disabled.
@@ -335,12 +401,13 @@ func (c *Cluster) FederationStats() (stats federation.Stats, ok bool) {
 // state lives in its own engine, so scheduling order cannot affect
 // results.
 func (c *Cluster) stepNodes() {
+	active := c.nodes[:c.active]
 	w := c.workers
-	if w > len(c.nodes) {
-		w = len(c.nodes)
+	if w > len(active) {
+		w = len(active)
 	}
 	if w <= 1 {
-		for i, n := range c.nodes {
+		for i, n := range active {
 			c.samples[i], c.errs[i] = n.eng.Step()
 		}
 		return
@@ -353,10 +420,10 @@ func (c *Cluster) stepNodes() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(c.nodes) {
+				if i >= len(active) {
 					return
 				}
-				c.samples[i], c.errs[i] = c.nodes[i].eng.Step()
+				c.samples[i], c.errs[i] = active[i].eng.Step()
 			}
 		}()
 	}

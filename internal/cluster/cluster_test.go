@@ -1,10 +1,7 @@
 package cluster
 
 import (
-	"bytes"
-	"encoding/json"
 	"math"
-	"runtime"
 	"testing"
 
 	"hipster/internal/batch"
@@ -46,43 +43,9 @@ func runFleet(t testing.TB, workers int, seed int64, sp Splitter, horizon float6
 	return res
 }
 
-// marshal renders a result to bytes so determinism checks compare every
-// recorded field, fleet-level and per-node.
-func marshal(t testing.TB, res Result) []byte {
-	t.Helper()
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(res.Fleet.Samples); err != nil {
-		t.Fatal(err)
-	}
-	for _, tr := range res.Nodes {
-		if err := enc.Encode(tr.Samples); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return buf.Bytes()
-}
-
-func TestClusterDeterminismSameSeed(t *testing.T) {
-	a := marshal(t, runFleet(t, 4, 42, LeastLoaded{}, 150))
-	b := marshal(t, runFleet(t, 4, 42, LeastLoaded{}, 150))
-	if !bytes.Equal(a, b) {
-		t.Fatal("same seed produced different traces")
-	}
-	c := marshal(t, runFleet(t, 4, 43, LeastLoaded{}, 150))
-	if bytes.Equal(a, c) {
-		t.Fatal("different seeds produced identical traces")
-	}
-}
-
-func TestClusterWorkerCountInvariance(t *testing.T) {
-	serial := marshal(t, runFleet(t, 1, 42, LeastLoaded{}, 150))
-	for _, w := range []int{2, 8, runtime.GOMAXPROCS(0), 16, 64} {
-		if got := marshal(t, runFleet(t, w, 42, LeastLoaded{}, 150)); !bytes.Equal(serial, got) {
-			t.Fatalf("workers=%d diverged from serial stepping", w)
-		}
-	}
-}
+// Worker-invariance and seed-determinism are asserted through the
+// shared internal/fleettest harness in invariance_test.go, over every
+// coordinator feature combination (plain, federated, autoscaled, both).
 
 // TestClusterRunRace exercises the worker pool under the race detector:
 // the CI race job runs this package with -race, so any unsynchronised

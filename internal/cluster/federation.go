@@ -50,6 +50,7 @@ type fedState struct {
 	nodeIDs     []int                  // ascending; fixes report order
 	providers   []policy.TableProvider // parallel to nodeIDs
 	base        []rl.Checkpoint        // parallel to nodeIDs
+	index       map[int]int            // node ID -> position in the slices above
 }
 
 // newFedState resolves the options against the fleet: every node whose
@@ -70,6 +71,7 @@ func newFedState(opts FederationOptions, defs []NodeOptions) (*fedState, error) 
 
 	var ref *rl.Table
 	var refID int
+	f.index = make(map[int]int)
 	for i, def := range defs {
 		prov, ok := def.Policy.(policy.TableProvider)
 		if !ok {
@@ -81,6 +83,7 @@ func newFedState(opts FederationOptions, defs []NodeOptions) (*fedState, error) 
 		} else if tab.NumStates() != ref.NumStates() || !sameActions(tab, ref) {
 			return nil, fmt.Errorf("cluster: nodes %d and %d have incompatible tables; federated nodes must share one quantiser and action space", refID, i)
 		}
+		f.index[i] = len(f.nodeIDs)
 		f.nodeIDs = append(f.nodeIDs, i)
 		f.providers = append(f.providers, prov)
 		f.base = append(f.base, tab.Checkpoint())
@@ -123,14 +126,16 @@ func (f *fedState) due(interval int) bool {
 
 // sync runs one federation round: extract each participating node's
 // delta since its checkpoint, merge, broadcast the fleet table back,
-// and re-checkpoint. Absent nodes (Participation false) are skipped on
-// both legs — they keep their local table and their delta keeps
-// ageing, to be merged (or discarded as stale) when they rejoin. Runs
+// and re-checkpoint. Absent nodes (Participation false) and nodes the
+// autoscaler has deactivated are skipped on both legs — an absent node
+// keeps its local table and its delta keeps ageing, to be merged (or
+// discarded as stale) when it rejoins, while a deactivated node already
+// flushed its delta on departure and is re-seeded on activation. Runs
 // strictly serially; the caller must not be stepping nodes
 // concurrently.
-func (f *fedState) sync(interval int) error {
+func (f *fedState) sync(interval int, active func(nodeID int) bool) error {
 	in := func(id int) bool {
-		return f.participate == nil || f.participate(id, interval)
+		return active(id) && (f.participate == nil || f.participate(id, interval))
 	}
 	reports := make([]federation.Report, 0, len(f.nodeIDs))
 	for k, id := range f.nodeIDs {
@@ -162,4 +167,63 @@ func (f *fedState) sync(interval int) error {
 		f.base[k] = tab.Checkpoint()
 	}
 	return nil
+}
+
+// warmStart seeds an activating node's policy with the coordinator's
+// current fleet table, so a node joining the fleet exploits the whole
+// fleet's experience instead of learning from zero. The node's
+// staleness clock resets too: holding a fresh copy of the fleet table
+// is a sync, and without the reset the node's first post-rejoin delta
+// would be aged across its sleep and wrongly discarded as stale.
+//
+// bc caches the fleet-table copy across one scale-up event (the
+// coordinator does not change between the event's activations), so a
+// burst that wakes k nodes copies the matrices once, not k times; the
+// copy is also skipped entirely when no activating node is federated.
+// Returns false when the node is not federated (no table-bearing
+// policy): it cold-starts with whatever table it holds.
+func (f *fedState) warmStart(id, interval int, bc *federation.Broadcast) (bool, error) {
+	k, ok := f.index[id]
+	if !ok {
+		return false, nil
+	}
+	if bc.Values == nil {
+		*bc = f.coord.Table()
+	}
+	tab := f.providers[k].LiveTable()
+	if err := tab.Absorb(bc.Values, bc.Visits); err != nil {
+		return false, err
+	}
+	if err := f.coord.MarkSynced(id, interval); err != nil {
+		return false, err
+	}
+	f.base[k] = tab.Checkpoint()
+	return true, nil
+}
+
+// flush folds a departing node's unsynced table delta into the
+// coordinator before deactivation, so the experience it gathered since
+// its last sync round is not lost with it. The single-report round
+// counts toward federation.Stats like any other (and the staleness
+// bound applies: a node that went dark past K intervals has its final
+// delta discarded too). Returns whether a non-empty delta was handed
+// to the coordinator.
+func (f *fedState) flush(id, interval int) (bool, error) {
+	k, ok := f.index[id]
+	if !ok {
+		return false, nil
+	}
+	tab := f.providers[k].LiveTable()
+	d, err := tab.DeltaSince(f.base[k])
+	if err != nil {
+		return false, err
+	}
+	f.base[k] = tab.Checkpoint()
+	if d.Empty() {
+		return false, nil
+	}
+	if _, err := f.coord.Sync(interval, []federation.Report{{Node: id, Delta: d}}); err != nil {
+		return false, err
+	}
+	return true, nil
 }

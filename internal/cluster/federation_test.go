@@ -1,13 +1,10 @@
 package cluster
 
 import (
-	"bytes"
 	"reflect"
-	"runtime"
 	"testing"
 
 	"hipster/internal/core"
-	"hipster/internal/federation"
 	"hipster/internal/loadgen"
 	"hipster/internal/platform"
 	"hipster/internal/policy"
@@ -34,26 +31,8 @@ func runFederatedFleet(t testing.TB, workers int, seed int64, fed *FederationOpt
 	return cl, res
 }
 
-func TestFederatedDeterminismSameSeed(t *testing.T) {
-	fed := &FederationOptions{SyncEvery: 5}
-	_, ra := runFederatedFleet(t, 4, 42, fed, 150)
-	_, rb := runFederatedFleet(t, 4, 42, fed, 150)
-	if !bytes.Equal(marshal(t, ra), marshal(t, rb)) {
-		t.Fatal("same seed produced different federated traces")
-	}
-}
-
-func TestFederatedWorkerCountInvariance(t *testing.T) {
-	fed := &FederationOptions{SyncEvery: 5, Merge: federation.MaxConfidence}
-	_, serialRes := runFederatedFleet(t, 1, 42, fed, 150)
-	serial := marshal(t, serialRes)
-	for _, w := range []int{2, runtime.GOMAXPROCS(0), 16} {
-		_, res := runFederatedFleet(t, w, 42, fed, 150)
-		if !bytes.Equal(serial, marshal(t, res)) {
-			t.Fatalf("workers=%d diverged from serial stepping with federation enabled", w)
-		}
-	}
-}
+// Federated worker-invariance and seed-determinism are asserted via
+// the shared internal/fleettest harness in invariance_test.go.
 
 // TestFederatedRunRace exercises the federation sync under the race
 // detector: table extraction and broadcast run in the coordinator's

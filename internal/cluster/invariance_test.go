@@ -1,0 +1,86 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"hipster/internal/autoscale"
+	"hipster/internal/cluster"
+	"hipster/internal/core"
+	"hipster/internal/federation"
+	"hipster/internal/fleettest"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/workload"
+)
+
+// fleetVariants enumerates one BuildFunc per coordinator feature
+// combination; every variant must satisfy both fleet properties. New
+// serial-section features (splitters, federation modes, scaling
+// policies) earn their determinism guarantee by adding a variant here.
+func fleetVariants(nodes int) map[string]fleettest.BuildFunc {
+	build := func(seed int64) ([]cluster.NodeOptions, error) {
+		spec := platform.JunoR1()
+		return cluster.Uniform(nodes, spec, workload.Memcached(), func(nodeID int) (policy.Policy, error) {
+			return core.New(core.In, spec, core.DefaultParams(), seed+int64(nodeID))
+		})
+	}
+	base := func(seed int64) (cluster.Options, error) {
+		defs, err := build(seed)
+		if err != nil {
+			return cluster.Options{}, err
+		}
+		return cluster.Options{
+			Nodes:    defs,
+			Pattern:  loadgen.DefaultDiurnal(),
+			Splitter: cluster.LeastLoaded{},
+			Seed:     seed,
+		}, nil
+	}
+	return map[string]fleettest.BuildFunc{
+		"plain": base,
+		"federated": func(seed int64) (cluster.Options, error) {
+			opts, err := base(seed)
+			opts.Federation = &cluster.FederationOptions{SyncEvery: 5, Merge: federation.MaxConfidence}
+			return opts, err
+		},
+		"autoscaled": func(seed int64) (cluster.Options, error) {
+			opts, err := base(seed)
+			opts.Pattern = loadgen.Spike{Base: 0.25, Peak: 0.85, EverySecs: 50, SpikeSecs: 15, Horizon: 1e9}
+			opts.Autoscale = &cluster.AutoscaleOptions{
+				Policy:             autoscale.TargetUtilization{Target: 0.7},
+				CooldownIntervals:  3,
+				DownAfterIntervals: 2,
+			}
+			return opts, err
+		},
+		"federated-autoscaled": func(seed int64) (cluster.Options, error) {
+			opts, err := base(seed)
+			opts.Pattern = loadgen.Spike{Base: 0.25, Peak: 0.85, EverySecs: 50, SpikeSecs: 15, Horizon: 1e9}
+			opts.Federation = &cluster.FederationOptions{SyncEvery: 5}
+			opts.Autoscale = &cluster.AutoscaleOptions{
+				Policy:             autoscale.QoSHeadroom{},
+				MinNodes:           2,
+				CooldownIntervals:  3,
+				DownAfterIntervals: 2,
+			}
+			return opts, err
+		},
+	}
+}
+
+func TestFleetWorkerInvariance(t *testing.T) {
+	for name, build := range fleetVariants(8) {
+		t.Run(name, func(t *testing.T) {
+			fleettest.AssertWorkerInvariance(t, build, 42, 150)
+		})
+	}
+}
+
+func TestFleetSeedDeterminism(t *testing.T) {
+	for name, build := range fleetVariants(8) {
+		t.Run(name, func(t *testing.T) {
+			fleettest.AssertSeedDeterminism(t, build, 42, 150)
+		})
+	}
+}

@@ -1,13 +1,16 @@
 package cluster
 
-import "fmt"
+import "hipster/internal/names"
 
 // NodeState is the per-node feedback a splitter may consult when carving
 // the fleet-level load. All fields describe the previous interval; they
-// are zero (with Stepped false) before the first interval.
+// are zero (with Stepped false) before the first interval, and are
+// cleared when an autoscaled node is deactivated, so a node rejoining
+// the fleet reads as fresh rather than reporting stale load.
 type NodeState struct {
 	ID          int
 	CapacityRPS float64 // node capacity at 100% load
+	Active      bool    // in the active set (always true without autoscaling)
 
 	Stepped         bool // at least one interval has run
 	LastOfferedRPS  float64
@@ -23,7 +26,9 @@ func (n NodeState) Overloaded() bool {
 	return n.Stepped && n.LastTarget > 0 && n.LastTailLatency > n.LastTarget
 }
 
-// SplitContext is the input to one splitting decision.
+// SplitContext is the input to one splitting decision. Nodes holds the
+// ACTIVE nodes only (in ascending ID order): with autoscaling enabled,
+// sleeping nodes are invisible to the splitter and receive no load.
 type SplitContext struct {
 	Interval int     // monitoring interval index, starting at 0
 	T        float64 // interval start time, seconds
@@ -144,8 +149,14 @@ func splitByWeight(ctx SplitContext, weight func(NodeState) float64) []float64 {
 	return out
 }
 
+// SplitterNames lists the built-in splitters as accepted by
+// SplitterByName.
+func SplitterNames() []string {
+	return []string{"round-robin", "weighted-by-capacity", "least-loaded"}
+}
+
 // SplitterByName returns a built-in splitter by its Name, or an error
-// listing the valid names.
+// (wrapping names.ErrUnknown) listing the valid names.
 func SplitterByName(name string) (Splitter, error) {
 	switch name {
 	case "round-robin":
@@ -155,5 +166,5 @@ func SplitterByName(name string) (Splitter, error) {
 	case "least-loaded":
 		return LeastLoaded{}, nil
 	}
-	return nil, fmt.Errorf("cluster: unknown splitter %q (want round-robin, weighted-by-capacity or least-loaded)", name)
+	return nil, names.Unknown("cluster", "splitter", name, SplitterNames())
 }

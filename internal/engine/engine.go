@@ -160,6 +160,13 @@ func New(opts Options) (*Engine, error) {
 // Config returns the configuration currently in force.
 func (e *Engine) Config() platform.Config { return e.cfg }
 
+// DropBacklog abandons any queued work carried between intervals. The
+// cluster autoscaler calls it when it powers a node down: a sleeping
+// node does not keep a request queue alive, so unserved backlog from
+// its last active interval must not reappear as a latency spike (and a
+// spurious QoS violation) when the node rejoins the fleet.
+func (e *Engine) DropBacklog() { e.backlog = 0 }
+
 // Trace returns the recorded samples so far.
 func (e *Engine) Trace() *telemetry.Trace { return e.trace }
 

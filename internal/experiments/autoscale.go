@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hipster/internal/autoscale"
+	"hipster/internal/cluster"
+	"hipster/internal/core"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/policy"
+	"hipster/internal/workload"
+)
+
+// AutoscaleElasticityOpts parameterise the elastic-vs-static fleet
+// comparison. The zero value selects the defaults below.
+type AutoscaleElasticityOpts struct {
+	// Nodes is the roster size (default 8).
+	Nodes int
+	// MinNodes is the elastic fleet's lower bound (default 2).
+	MinNodes int
+	// Seed drives both fleets identically (default DefaultSeed).
+	Seed int64
+	// Horizon is the simulated duration in seconds (default 1440).
+	Horizon float64
+	// LearnSecs is each node's initial learning phase (default 120).
+	LearnSecs float64
+	// UtilTarget is the elastic fleet's target utilisation (default the
+	// policy's 0.7).
+	UtilTarget float64
+	// Target is the QoS-attainment bar both fleets are judged against
+	// (default 0.95).
+	Target float64
+	// Burst shapes the trace: every BurstEverySecs the load jumps from
+	// BaseFrac to PeakFrac of roster capacity for BurstSecs (defaults
+	// 0.3 -> 0.8, every 180 s for 45 s).
+	BaseFrac, PeakFrac        float64
+	BurstEverySecs, BurstSecs float64
+	// SyncEvery is the federation sync interval; federation is what
+	// warm-starts joining nodes (default 5).
+	SyncEvery int
+	// CooldownIntervals and DownAfterIntervals tune the elastic
+	// controller (defaults 3 and 2).
+	CooldownIntervals, DownAfterIntervals int
+}
+
+func (o AutoscaleElasticityOpts) withDefaults() AutoscaleElasticityOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.MinNodes == 0 {
+		o.MinNodes = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 1440
+	}
+	if o.LearnSecs == 0 {
+		o.LearnSecs = 120
+	}
+	if o.Target == 0 {
+		o.Target = 0.95
+	}
+	if o.BaseFrac == 0 {
+		o.BaseFrac = 0.3
+	}
+	if o.PeakFrac == 0 {
+		o.PeakFrac = 0.8
+	}
+	if o.BurstEverySecs == 0 {
+		o.BurstEverySecs = 180
+	}
+	if o.BurstSecs == 0 {
+		o.BurstSecs = 45
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 5
+	}
+	if o.CooldownIntervals == 0 {
+		o.CooldownIntervals = 3
+	}
+	if o.DownAfterIntervals == 0 {
+		o.DownAfterIntervals = 2
+	}
+	return o
+}
+
+// AutoscaleElasticityRun is one fleet's outcome.
+type AutoscaleElasticityRun struct {
+	Elastic bool
+	// QoSAttainment is the fraction of active node-intervals that met
+	// the QoS target.
+	QoSAttainment float64
+	// NodeIntervals is the active node-intervals consumed — what the
+	// elastic fleet saves.
+	NodeIntervals int
+	// TotalEnergyJ is the fleet's cumulative energy.
+	TotalEnergyJ float64
+	// Stats is the autoscaler's activity (elastic fleet only).
+	Stats autoscale.Stats
+}
+
+// AutoscaleElasticityResult compares the two fleets.
+type AutoscaleElasticityResult struct {
+	Opts    AutoscaleElasticityOpts
+	Static  AutoscaleElasticityRun
+	Elastic AutoscaleElasticityRun
+	// NodeIntervalSaving is 1 - elastic/static node-intervals.
+	NodeIntervalSaving float64
+	// EnergySaving is 1 - elastic/static total energy.
+	EnergySaving float64
+	// TargetMet reports whether BOTH fleets attained Opts.Target — the
+	// saving only counts if elasticity did not buy it with QoS.
+	TargetMet bool
+}
+
+// AutoscaleElasticity runs the same bursty day twice on one seed: a
+// static fleet with the whole roster on all day, and an elastic fleet
+// whose active node set follows the load under the target-utilisation
+// policy, with federation warm-starting every node that joins mid-run.
+// The point of the comparison: the elastic fleet serves the same trace
+// at the QoS-attainment bar while consuming measurably fewer
+// node-intervals (and joules) than the static fleet, because between
+// bursts most of the roster sleeps.
+func AutoscaleElasticity(spec *platform.Spec, o AutoscaleElasticityOpts) (AutoscaleElasticityResult, error) {
+	o = o.withDefaults()
+	res := AutoscaleElasticityResult{Opts: o}
+
+	run := func(elastic bool) (AutoscaleElasticityRun, error) {
+		wl := workload.Memcached()
+		params := core.DefaultParams()
+		params.LearnSecs = o.LearnSecs
+		nodes, err := cluster.Uniform(o.Nodes, spec, wl, func(nodeID int) (policy.Policy, error) {
+			return core.New(core.In, spec, params, o.Seed+int64(nodeID))
+		})
+		if err != nil {
+			return AutoscaleElasticityRun{}, err
+		}
+		opts := cluster.Options{
+			Nodes: nodes,
+			Pattern: loadgen.Spike{
+				Base: o.BaseFrac, Peak: o.PeakFrac,
+				EverySecs: o.BurstEverySecs, SpikeSecs: o.BurstSecs,
+				Horizon: o.Horizon,
+			},
+			Seed:       o.Seed,
+			Federation: &cluster.FederationOptions{SyncEvery: o.SyncEvery},
+		}
+		if elastic {
+			opts.Autoscale = &cluster.AutoscaleOptions{
+				Policy:             autoscale.TargetUtilization{Target: o.UtilTarget},
+				MinNodes:           o.MinNodes,
+				CooldownIntervals:  o.CooldownIntervals,
+				DownAfterIntervals: o.DownAfterIntervals,
+			}
+		}
+		cl, err := cluster.New(opts)
+		if err != nil {
+			return AutoscaleElasticityRun{}, err
+		}
+		out, err := cl.Run(o.Horizon)
+		if err != nil {
+			return AutoscaleElasticityRun{}, err
+		}
+		r := AutoscaleElasticityRun{
+			Elastic:       elastic,
+			QoSAttainment: out.Fleet.QoSAttainment(),
+			NodeIntervals: out.Fleet.NodeIntervals(),
+			TotalEnergyJ:  out.Fleet.TotalEnergyJ(),
+		}
+		if st, ok := cl.AutoscaleStats(); ok {
+			r.Stats = st
+		}
+		return r, nil
+	}
+
+	var err error
+	if res.Static, err = run(false); err != nil {
+		return res, fmt.Errorf("experiments: static fleet: %w", err)
+	}
+	if res.Elastic, err = run(true); err != nil {
+		return res, fmt.Errorf("experiments: elastic fleet: %w", err)
+	}
+	if res.Static.NodeIntervals > 0 {
+		res.NodeIntervalSaving = 1 - float64(res.Elastic.NodeIntervals)/float64(res.Static.NodeIntervals)
+	}
+	if res.Static.TotalEnergyJ > 0 {
+		res.EnergySaving = 1 - res.Elastic.TotalEnergyJ/res.Static.TotalEnergyJ
+	}
+	res.TargetMet = res.Static.QoSAttainment >= o.Target && res.Elastic.QoSAttainment >= o.Target
+	return res, nil
+}

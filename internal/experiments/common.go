@@ -6,12 +6,11 @@
 package experiments
 
 import (
-	"fmt"
-
 	"hipster/internal/core"
 	"hipster/internal/engine"
 	"hipster/internal/heuristic"
 	"hipster/internal/loadgen"
+	"hipster/internal/names"
 	"hipster/internal/octopusman"
 	"hipster/internal/platform"
 	"hipster/internal/policy"
@@ -160,6 +159,12 @@ func hipsterParams(o RunOpts, wl *workload.Model) core.Params {
 	return p
 }
 
+// PolicyNames lists the standard policy set used by Table 3 and
+// Figure 5, as accepted by policyByName.
+func PolicyNames() []string {
+	return []string{"static-big", "static-small", "octopus-man", "hipster-heuristic", "hipster-in", "hipster-co"}
+}
+
 // policyByName builds a fresh policy instance for the standard set used
 // by Table 3 and Figure 5.
 func policyByName(name string, spec *platform.Spec, wl *workload.Model, o RunOpts) (policy.Policy, error) {
@@ -177,5 +182,5 @@ func policyByName(name string, spec *platform.Spec, wl *workload.Model, o RunOpt
 	case "hipster-co":
 		return core.New(core.Co, spec, hipsterParams(o, wl), o.Seed)
 	}
-	return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	return nil, names.Unknown("experiments", "policy", name, PolicyNames())
 }

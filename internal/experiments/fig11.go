@@ -89,9 +89,9 @@ func Fig11(spec *platform.Spec, o RunOpts) (Fig11Result, error) {
 	var res Fig11Result
 
 	for _, name := range Fig11Programs() {
-		prog, ok := batch.ProgramByName(name)
-		if !ok {
-			continue
+		prog, err := batch.ProgramByName(name)
+		if err != nil {
+			return Fig11Result{}, err
 		}
 		static := policy.NewStaticBig(spec)
 		st, err := runCollocated(spec, wl, prog, static, o)

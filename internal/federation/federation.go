@@ -19,6 +19,7 @@ package federation
 import (
 	"fmt"
 
+	"hipster/internal/names"
 	"hipster/internal/rl"
 )
 
@@ -51,8 +52,14 @@ func (p MergePolicy) String() string {
 	return "visit-weighted"
 }
 
-// MergePolicyByName parses a policy name, or errors listing the valid
-// names.
+// MergePolicyNames lists the merge policies as accepted by
+// MergePolicyByName.
+func MergePolicyNames() []string {
+	return []string{"visit-weighted", "max-confidence", "newest-wins"}
+}
+
+// MergePolicyByName parses a policy name, or returns an error (wrapping
+// names.ErrUnknown) listing the valid names.
 func MergePolicyByName(name string) (MergePolicy, error) {
 	switch name {
 	case "visit-weighted":
@@ -62,7 +69,7 @@ func MergePolicyByName(name string) (MergePolicy, error) {
 	case "newest-wins":
 		return NewestWins, nil
 	}
-	return 0, fmt.Errorf("federation: unknown merge policy %q (want visit-weighted, max-confidence or newest-wins)", name)
+	return 0, names.Unknown("federation", "merge policy", name, MergePolicyNames())
 }
 
 // Config sizes and parameterises a coordinator.
@@ -155,6 +162,23 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Stats returns the activity counters so far.
 func (c *Coordinator) Stats() Stats { return c.stats }
+
+// MarkSynced resets a node's staleness clock to the given interval
+// without a report. Callers use it when a node's table was externally
+// set to the fleet table (the autoscaler's warm-start on activation):
+// for staleness purposes that is a sync, and without the reset the
+// node's first real delta after rejoining would be aged from before
+// its sleep and wrongly discarded.
+func (c *Coordinator) MarkSynced(node, interval int) error {
+	if node < 0 || node >= c.cfg.Nodes {
+		return fmt.Errorf("federation: mark-synced for unknown node %d (fleet size %d)", node, c.cfg.Nodes)
+	}
+	if interval < c.lastSync[node] {
+		return fmt.Errorf("federation: node %d marked synced at interval %d before its last sync %d", node, interval, c.lastSync[node])
+	}
+	c.lastSync[node] = interval
+	return nil
+}
 
 // Table returns a copy of the current fleet table.
 func (c *Coordinator) Table() Broadcast { return c.broadcast() }

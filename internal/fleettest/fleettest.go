@@ -1,0 +1,99 @@
+// Package fleettest is the shared property-test harness for the
+// cluster/federation/autoscale stack. The stack's two load-bearing
+// guarantees — results are bit-identical for any worker count, and a
+// seed fully determines a run — must hold for every feature that plugs
+// into the cluster coordinator, so instead of each package hand-rolling
+// the compare-two-runs loop, tests describe how to build their fleet
+// (a BuildFunc returning fresh cluster.Options for a seed) and assert
+// the properties through this package. The fingerprint covers every
+// recorded field: all fleet samples plus every node's full trace.
+package fleettest
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hipster/internal/cluster"
+)
+
+// BuildFunc returns cluster options for one run at the given seed.
+// Every call must build FRESH policy and batch-runner instances —
+// both are stateful, and reusing them across runs would make the
+// second run start from the first run's learned state. The harness
+// overrides Options.Workers; everything else is the caller's.
+type BuildFunc func(seed int64) (cluster.Options, error)
+
+// WorkerCounts are the pool sizes the invariance property is checked
+// over: serial, moderately parallel, and more workers than most rosters
+// have nodes.
+var WorkerCounts = []int{1, 4, 16}
+
+// Fingerprint runs the cluster to the horizon and renders everything it
+// recorded — fleet samples and every node trace — to bytes, so equality
+// of fingerprints is equality of entire runs.
+func Fingerprint(tb testing.TB, opts cluster.Options, horizon float64) []byte {
+	tb.Helper()
+	cl, err := cluster.New(opts)
+	if err != nil {
+		tb.Fatalf("fleettest: build cluster: %v", err)
+	}
+	res, err := cl.Run(horizon)
+	if err != nil {
+		tb.Fatalf("fleettest: run cluster: %v", err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(res.Fleet.Samples); err != nil {
+		tb.Fatalf("fleettest: encode fleet trace: %v", err)
+	}
+	for i, tr := range res.Nodes {
+		if err := enc.Encode(tr.Samples); err != nil {
+			tb.Fatalf("fleettest: encode node %d trace: %v", i, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// fingerprintAt builds options for the seed, pins the worker count, and
+// fingerprints the run.
+func fingerprintAt(tb testing.TB, build BuildFunc, seed int64, workers int, horizon float64) []byte {
+	tb.Helper()
+	opts, err := build(seed)
+	if err != nil {
+		tb.Fatalf("fleettest: build options: %v", err)
+	}
+	opts.Workers = workers
+	return Fingerprint(tb, opts, horizon)
+}
+
+// AssertWorkerInvariance checks that the run's every recorded field is
+// bit-identical across WorkerCounts: node stepping may be parallelised
+// arbitrarily without changing results.
+func AssertWorkerInvariance(tb testing.TB, build BuildFunc, seed int64, horizon float64) {
+	tb.Helper()
+	ref := fingerprintAt(tb, build, seed, WorkerCounts[0], horizon)
+	for _, w := range WorkerCounts[1:] {
+		if got := fingerprintAt(tb, build, seed, w, horizon); !bytes.Equal(ref, got) {
+			tb.Fatalf("fleettest: workers=%d diverged from workers=%d", w, WorkerCounts[0])
+		}
+	}
+}
+
+// AssertSeedDeterminism checks that the seed fully determines the run —
+// two runs on one seed are bit-identical — and actually matters: the
+// next seed produces a different run (a fleet whose noise sources are
+// all disabled would vacuously pass the first half).
+func AssertSeedDeterminism(tb testing.TB, build BuildFunc, seed int64, horizon float64) {
+	tb.Helper()
+	const workers = 4
+	a := fingerprintAt(tb, build, seed, workers, horizon)
+	b := fingerprintAt(tb, build, seed, workers, horizon)
+	if !bytes.Equal(a, b) {
+		tb.Fatal("fleettest: same seed produced different runs")
+	}
+	c := fingerprintAt(tb, build, seed+1, workers, horizon)
+	if bytes.Equal(a, c) {
+		tb.Fatal("fleettest: different seeds produced identical runs")
+	}
+}

@@ -1,0 +1,64 @@
+package fleettest_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hipster/internal/cluster"
+	"hipster/internal/core"
+	"hipster/internal/fleettest"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// tinyFleet is a heterogeneous two-node fleet (the different node
+// capacities make the choice of splitter observable).
+func tinyFleet(seed int64) (cluster.Options, error) {
+	spec := platform.JunoR1()
+	var defs []cluster.NodeOptions
+	for i, wl := range []*workload.Model{workload.Memcached(), workload.WebSearch()} {
+		pol, err := core.New(core.In, spec, core.DefaultParams(), seed+int64(i))
+		if err != nil {
+			return cluster.Options{}, err
+		}
+		defs = append(defs, cluster.NodeOptions{Spec: spec, Workload: wl, Policy: pol})
+	}
+	return cluster.Options{
+		Nodes:   defs,
+		Pattern: loadgen.Diurnal{Min: 0.2, Max: 0.8, PeriodSecs: 60},
+		Seed:    seed,
+	}, nil
+}
+
+func TestHarnessProperties(t *testing.T) {
+	fleettest.AssertWorkerInvariance(t, tinyFleet, 11, 40)
+	fleettest.AssertSeedDeterminism(t, tinyFleet, 11, 40)
+}
+
+// TestFingerprintCoversNodeTraces guards the harness itself: the
+// fingerprint must change when only a node-level field differs, so a
+// regression that corrupts per-node traces while leaving fleet
+// aggregates intact still trips the properties.
+func TestFingerprintCoversNodeTraces(t *testing.T) {
+	opts, err := tinyFleet(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fleettest.Fingerprint(t, opts, 40)
+	if len(a) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+
+	// Same seed, different splitter: fleet-level demand is identical,
+	// but the per-node split differs, so the fingerprints must too.
+	opts, err = tinyFleet(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Splitter = cluster.RoundRobin{}
+	b := fleettest.Fingerprint(t, opts, 40)
+	if bytes.Equal(a, b) {
+		t.Fatal("fingerprint blind to the per-node routing")
+	}
+}

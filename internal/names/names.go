@@ -1,0 +1,33 @@
+// Package names standardises the error every name-keyed constructor in
+// the repository returns for an unrecognised name: a wrapped sentinel
+// (so callers can errors.Is for it) whose message lists the valid
+// options, instead of a silent nil/default that lets a typo'd flag run
+// the wrong configuration.
+package names
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnknown is the sentinel wrapped by every unknown-name error.
+var ErrUnknown = errors.New("unknown")
+
+// Unknown builds the error for an unrecognised name: pkg is the
+// reporting package's prefix, kind what was being looked up, got the
+// offending name, and valid the registered names in presentation order.
+func Unknown(pkg, kind, got string, valid []string) error {
+	return fmt.Errorf("%s: %w %s %q (want %s)", pkg, ErrUnknown, kind, got, List(valid))
+}
+
+// List renders the valid names as "a, b or c".
+func List(valid []string) string {
+	switch len(valid) {
+	case 0:
+		return "nothing; no names are registered"
+	case 1:
+		return valid[0]
+	}
+	return strings.Join(valid[:len(valid)-1], ", ") + " or " + valid[len(valid)-1]
+}

@@ -161,10 +161,26 @@ func (ft *FleetTrace) PeakStragglers() int {
 	return peak
 }
 
+// NodeIntervals sums the active node count over every recorded
+// interval — the node-intervals the fleet consumed. For a static fleet
+// this is nodes × intervals; an autoscaled fleet consumes fewer, which
+// is exactly what elasticity saves.
+func (ft *FleetTrace) NodeIntervals() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Nodes
+	}
+	return n
+}
+
 // FleetSummary holds a cluster run's headline metrics.
 type FleetSummary struct {
-	Intervals       int
-	Nodes           int
+	Intervals int
+	// Nodes is the peak active-node count over the run (the constant
+	// fleet size when autoscaling is off).
+	Nodes int
+	// NodeIntervals is the active node-intervals consumed over the run.
+	NodeIntervals   int
 	QoSAttainment   float64
 	TotalEnergyJ    float64
 	MeanPowerW      float64
@@ -178,6 +194,7 @@ type FleetSummary struct {
 func (ft *FleetTrace) Summarize() FleetSummary {
 	sum := FleetSummary{
 		Intervals:       ft.Len(),
+		NodeIntervals:   ft.NodeIntervals(),
 		QoSAttainment:   ft.QoSAttainment(),
 		TotalEnergyJ:    ft.TotalEnergyJ(),
 		MeanPowerW:      ft.MeanPowerW(),
@@ -185,11 +202,13 @@ func (ft *FleetTrace) Summarize() FleetSummary {
 		PeakStragglers:  ft.PeakStragglers(),
 	}
 	if len(ft.Samples) > 0 {
-		sum.Nodes = ft.Samples[0].Nodes
 		var off, ach float64
 		for _, s := range ft.Samples {
 			off += s.OfferedRPS
 			ach += s.AchievedRPS
+			if s.Nodes > sum.Nodes {
+				sum.Nodes = s.Nodes
+			}
 		}
 		sum.MeanOfferedRPS = off / float64(len(ft.Samples))
 		sum.MeanAchievedRPS = ach / float64(len(ft.Samples))

@@ -107,4 +107,41 @@ func TestFleetTraceAggregates(t *testing.T) {
 	if sum.MeanOfferedRPS != 300 {
 		t.Fatalf("mean offered = %v", sum.MeanOfferedRPS)
 	}
+	if sum.NodeIntervals != 4 {
+		t.Fatalf("node-intervals = %d, want 2 nodes x 2 intervals", sum.NodeIntervals)
+	}
+}
+
+// TestFleetTraceElasticNodeCount covers an autoscaled run: the active
+// node count varies per interval, node-intervals sum it, and the
+// summary's Nodes is the peak.
+func TestFleetTraceElasticNodeCount(t *testing.T) {
+	var ft FleetTrace
+	ft.Add(MergeInterval([]Sample{
+		nodeSample(1, 0.008, 0.010, 2, 2, 100),
+	}, 0))
+	ft.Add(MergeInterval([]Sample{
+		nodeSample(2, 0.008, 0.010, 2, 4, 100),
+		nodeSample(2, 0.009, 0.010, 2, 4, 100),
+		nodeSample(2, 0.009, 0.010, 2, 4, 100),
+	}, 0))
+	ft.Add(MergeInterval([]Sample{
+		nodeSample(3, 0.008, 0.010, 2, 6, 100),
+		nodeSample(3, 0.012, 0.010, 2, 6, 100),
+	}, 0))
+
+	if got := ft.NodeIntervals(); got != 6 {
+		t.Fatalf("node-intervals = %d, want 1+3+2", got)
+	}
+	sum := ft.Summarize()
+	if sum.Nodes != 3 {
+		t.Fatalf("summary nodes = %d, want the peak 3", sum.Nodes)
+	}
+	if sum.NodeIntervals != 6 {
+		t.Fatalf("summary node-intervals = %d", sum.NodeIntervals)
+	}
+	// Attainment is over node-intervals: 5 of 6 met.
+	if want := 5.0 / 6.0; math.Abs(sum.QoSAttainment-want) > 1e-12 {
+		t.Fatalf("attainment = %v, want %v", sum.QoSAttainment, want)
+	}
 }

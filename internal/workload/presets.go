@@ -1,6 +1,9 @@
 package workload
 
-import "hipster/internal/platform"
+import (
+	"hipster/internal/names"
+	"hipster/internal/platform"
+)
 
 // Memcached returns the model of the paper's Memcached deployment: a
 // Twitter-like in-memory caching workload (1.3 GB dataset) with a
@@ -88,12 +91,23 @@ func Presets() []*Model {
 	return []*Model{Memcached(), WebSearch()}
 }
 
-// ByName returns a preset by name, or nil.
-func ByName(name string) *Model {
+// PresetNames lists the built-in workload names.
+func PresetNames() []string {
+	presets := Presets()
+	out := make([]string, len(presets))
+	for i, m := range presets {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// ByName returns a preset by name, or an error (wrapping
+// names.ErrUnknown) listing the valid names.
+func ByName(name string) (*Model, error) {
 	for _, m := range Presets() {
 		if m.Name == name {
-			return m
+			return m, nil
 		}
 	}
-	return nil
+	return nil, names.Unknown("workload", "workload", name, PresetNames())
 }

@@ -1,10 +1,12 @@
 package workload
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"hipster/internal/names"
 	"hipster/internal/platform"
 	"hipster/internal/sim"
 )
@@ -15,11 +17,14 @@ func TestPresetsValidate(t *testing.T) {
 			t.Errorf("preset %s invalid: %v", m.Name, err)
 		}
 	}
-	if ByName("memcached") == nil || ByName("websearch") == nil {
-		t.Fatal("presets must be addressable by name")
+	for _, name := range PresetNames() {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("preset %s not addressable by name: %v", name, err)
+		}
 	}
-	if ByName("nope") != nil {
-		t.Fatal("unknown preset should be nil")
+	if _, err := ByName("nope"); !errors.Is(err, names.ErrUnknown) {
+		t.Fatalf("unknown preset error = %v, want names.ErrUnknown", err)
 	}
 }
 
