@@ -77,8 +77,20 @@ func run(in, format, baseline, out, gate string, maxReg float64, update bool, no
 	}
 	sort.Strings(names)
 	fmt.Printf("parsed %d benchmark runs (%d distinct benchmarks)\n", len(results), len(summary))
+	nsOnly := make(map[string]float64, len(summary))
+	observedAllocs := make(map[string]float64)
+	observedBytes := make(map[string]float64)
 	for _, name := range names {
-		fmt.Printf("  %-60s %14.0f ns/op\n", name, summary[name])
+		s := summary[name]
+		nsOnly[name] = s.NsPerOp
+		if s.HasMem {
+			observedAllocs[name] = s.AllocsPerOp
+			observedBytes[name] = s.BytesPerOp
+			fmt.Printf("  %-60s %14.0f ns/op %12.0f B/op %8.0f allocs/op\n",
+				name, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp)
+		} else {
+			fmt.Printf("  %-60s %14.0f ns/op\n", name, s.NsPerOp)
+		}
 	}
 
 	if out != "" {
@@ -86,7 +98,14 @@ func run(in, format, baseline, out, gate string, maxReg float64, update bool, no
 		if err != nil {
 			return err
 		}
-		report := benchparse.Baseline{Note: "benchgate run report", Benchmarks: summary}
+		// The report reuses the baseline schema; its alloc_budgets carry
+		// the observed allocs/op of this run, not hand-set ceilings.
+		report := benchparse.Baseline{
+			Note:         "benchgate run report (alloc_budgets = observed allocs/op)",
+			Benchmarks:   nsOnly,
+			AllocBudgets: observedAllocs,
+			BytesPerOp:   observedBytes,
+		}
 		if err := report.WriteBaseline(f); err != nil {
 			f.Close()
 			return err
@@ -104,11 +123,21 @@ func run(in, format, baseline, out, gate string, maxReg float64, update bool, no
 		return nil
 	}
 	if update {
+		// Refresh the ns/op reference but keep the hand-set allocation
+		// budgets from the previous baseline, if one exists.
+		b := benchparse.Baseline{Note: note, Benchmarks: nsOnly}
+		if prev, err := os.Open(baseline); err == nil {
+			old, rerr := benchparse.ReadBaseline(prev)
+			prev.Close()
+			if rerr != nil {
+				return fmt.Errorf("existing baseline unreadable (fix or remove it): %w", rerr)
+			}
+			b.AllocBudgets = old.AllocBudgets
+		}
 		f, err := os.Create(baseline)
 		if err != nil {
 			return err
 		}
-		b := benchparse.Baseline{Note: note, Benchmarks: summary}
 		if err := b.WriteBaseline(f); err != nil {
 			f.Close()
 			return err
@@ -130,13 +159,16 @@ func run(in, format, baseline, out, gate string, maxReg float64, update bool, no
 		return err
 	}
 	regressions, err := benchparse.Gate(summary, base, gate, maxReg)
+	// Print whatever regressions were detected even when the gate
+	// itself errors (e.g. a vacuous budget gate must not hide a real
+	// ns/op regression found in the same run).
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
 	if err != nil {
 		return err
 	}
 	if len(regressions) > 0 {
-		for _, r := range regressions {
-			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
-		}
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", len(regressions), 100*maxReg, baseline)
 	}
 	fmt.Printf("gate %q passed (limit +%.0f%% vs %s)\n", gate, 100*maxReg, baseline)

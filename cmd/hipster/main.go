@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -58,12 +60,65 @@ func main() {
 		csvPath      = flag.String("csv", "", "write the per-interval trace as CSV to this path")
 		series       = flag.Bool("series", true, "print sparkline time series")
 	)
+	prof := profileFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*workloadName, *policyName, *patternName, *duration, *seed, *batchList, *csvPath, *series); err != nil {
+	err := prof.around(func() error {
+		return run(*workloadName, *policyName, *patternName, *duration, *seed, *batchList, *csvPath, *series)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hipster:", err)
 		os.Exit(1)
 	}
+}
+
+// profiler wires the standard -cpuprofile/-memprofile flags into a
+// command, so perf investigations of the simulator need no ad-hoc
+// harness:
+//
+//	hipster -cpuprofile cpu.prof -duration 28800
+//	hipster cluster -nodes 64 -memprofile mem.prof
+//	go tool pprof cpu.prof
+type profiler struct {
+	cpu *string
+	mem *string
+}
+
+func profileFlags(fs *flag.FlagSet) *profiler {
+	return &profiler{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile of the run to this path"),
+		mem: fs.String("memprofile", "", "write an end-of-run heap profile to this path"),
+	}
+}
+
+// around runs f between profile start and teardown.
+func (p *profiler) around(f func() error) error {
+	if *p.cpu != "" {
+		cf, err := os.Create(*p.cpu)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := f(); err != nil {
+		return err
+	}
+	if *p.mem != "" {
+		mf, err := os.Create(*p.mem)
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		runtime.GC() // surface live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(workloadName, policyName, patternName string, duration float64, seed int64, batchList, csvPath string, series bool) error {
@@ -185,183 +240,188 @@ func runCluster(args []string) error {
 		scalePolicy  = fs.String("scale-policy", "target-utilization", "autoscale policy: target-utilization|qos-headroom")
 		cooldown     = fs.Int("cooldown", 0, "autoscale intervals between a scale event and the next scale-down (0 = default 5)")
 	)
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// Feature-dependent flags silently doing nothing would let a typo'd
-	// comparison measure the wrong fleet; surface them.
-	requireFeature := func(enabled bool, feature string, flags ...string) error {
-		if enabled {
+	// The flag variables stay in scope: the profiler wraps the body as
+	// a closure, exactly as main does for the single-node command.
+	return prof.around(func() error {
+		// Feature-dependent flags silently doing nothing would let a typo'd
+		// comparison measure the wrong fleet; surface them.
+		requireFeature := func(enabled bool, feature string, flags ...string) error {
+			if enabled {
+				return nil
+			}
+			var orphaned []string
+			fs.Visit(func(fl *flag.Flag) {
+				for _, name := range flags {
+					if fl.Name == name {
+						orphaned = append(orphaned, "-"+fl.Name)
+					}
+				}
+			})
+			if len(orphaned) > 0 {
+				return fmt.Errorf("%s require(s) %s", strings.Join(orphaned, ", "), feature)
+			}
 			return nil
 		}
-		var orphaned []string
-		fs.Visit(func(fl *flag.Flag) {
-			for _, name := range flags {
-				if fl.Name == name {
-					orphaned = append(orphaned, "-"+fl.Name)
+		if err := requireFeature(*federate, "-federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
+			return err
+		}
+		if err := requireFeature(*autoScale, "-autoscale", "min-nodes", "max-nodes", "scale-policy", "cooldown"); err != nil {
+			return err
+		}
+		if *dropout < 0 || *dropout >= 1 {
+			return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
+		}
+
+		spec := hipster.JunoR1()
+		wl, err := hipster.WorkloadByName(*workloadName)
+		if err != nil {
+			return err
+		}
+		pattern, err := parsePattern(*patternName)
+		if err != nil {
+			return err
+		}
+		splitter, err := hipster.SplitterByName(*splitterName)
+		if err != nil {
+			return err
+		}
+		defs, err := hipster.UniformClusterNodes(*nodes, spec, wl, func(nodeID int) (hipster.Policy, error) {
+			return buildPolicy(*policyName, spec, *seed+int64(nodeID))
+		})
+		if err != nil {
+			return err
+		}
+		if *batchList != "" {
+			var progs []hipster.BatchProgram
+			for _, name := range strings.Split(*batchList, ",") {
+				p, err := hipster.BatchProgramByName(strings.TrimSpace(name))
+				if err != nil {
+					return err
+				}
+				progs = append(progs, p)
+			}
+			for i := range defs {
+				runner, err := hipster.NewBatchRunner(progs)
+				if err != nil {
+					return err
+				}
+				defs[i].Batch = runner
+			}
+		}
+
+		opts := hipster.ClusterOptions{
+			Nodes:    defs,
+			Pattern:  pattern,
+			Splitter: splitter,
+			Workers:  *workers,
+			Seed:     *seed,
+		}
+		if *federate {
+			merge, err := hipster.MergePolicyByName(*mergeName)
+			if err != nil {
+				return err
+			}
+			opts.Federation = &hipster.FederationOptions{
+				SyncEvery:          *syncInterval,
+				Merge:              merge,
+				StalenessIntervals: *staleness,
+			}
+			if *dropout > 0 {
+				// A seeded hash of (node, interval) keeps the dropout
+				// pattern deterministic for a given -seed, preserving the
+				// cluster's reproducibility guarantees.
+				p, seedBits := *dropout, uint64(*seed)
+				opts.Federation.Participation = func(nodeID, interval int) bool {
+					h := seedBits ^ uint64(nodeID)<<32 ^ uint64(interval)
+					h ^= h >> 30
+					h *= 0xbf58476d1ce4e5b9
+					h ^= h >> 27
+					h *= 0x94d049bb133111eb
+					h ^= h >> 31
+					return float64(h%1000000)/1000000 >= p
 				}
 			}
-		})
-		if len(orphaned) > 0 {
-			return fmt.Errorf("%s require(s) %s", strings.Join(orphaned, ", "), feature)
+		}
+		if *autoScale {
+			pol, err := hipster.AutoscalePolicyByName(*scalePolicy)
+			if err != nil {
+				return err
+			}
+			opts.Autoscale = &hipster.AutoscaleOptions{
+				Policy:            pol,
+				MinNodes:          *minNodes,
+				MaxNodes:          *maxNodes,
+				CooldownIntervals: *cooldown,
+			}
+		}
+		cl, err := hipster.NewCluster(opts)
+		if err != nil {
+			return err
+		}
+		res, err := cl.Run(*duration)
+		if err != nil {
+			return err
+		}
+
+		sum := res.Summarize()
+		fmt.Printf("cluster nodes=%d workers=%d workload=%s policy=%s splitter=%s pattern=%s duration=%.0fs seed=%d\n",
+			*nodes, cl.Workers(), *workloadName, *policyName, splitter.Name(), *patternName, *duration, *seed)
+		fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(cl.CapacityRPS()))
+		fmt.Printf("  QoS attainment  : %s (%d node-intervals, %d nodes peak, %d intervals)\n",
+			report.Pct(sum.QoSAttainment*100), sum.NodeIntervals, sum.Nodes, sum.Intervals)
+		fmt.Printf("  fleet energy    : %s J (mean %s W)\n", report.F0(sum.TotalEnergyJ), report.F2(sum.MeanPowerW))
+		fmt.Printf("  stragglers      : %d node-intervals (peak %d in one interval)\n",
+			sum.TotalStragglers, sum.PeakStragglers)
+		fmt.Printf("  throughput      : %s RPS offered, %s RPS achieved (mean)\n",
+			report.F0(sum.MeanOfferedRPS), report.F0(sum.MeanAchievedRPS))
+		if st, ok := cl.FederationStats(); ok {
+			fmt.Printf("  federation      : %s merge, %d rounds, %d reports, %d cells merged (%d updates), %d stale deltas dropped\n",
+				*mergeName, st.Rounds, st.Reports, st.MergedCells, st.MergedVisits, st.StaleDropped)
+		}
+		if st, ok := cl.AutoscaleStats(); ok {
+			fmt.Printf("  autoscale       : %s policy, %d-%d active nodes, %d up / %d down events, %d of %d node-intervals consumed\n",
+				*scalePolicy, st.MinActive, st.PeakActive, st.Ups, st.Downs,
+				st.NodeIntervals, *nodes*sum.Intervals)
+			if st.WarmStarts > 0 || st.Flushes > 0 {
+				fmt.Printf("  warm starts     : %d nodes seeded from the fleet table, %d departure deltas flushed\n",
+					st.WarmStarts, st.Flushes)
+			}
+		}
+
+		fleet := res.Fleet
+		if *series && fleet.Len() > 1 {
+			width := 72
+			load := make([]float64, fleet.Len())
+			qos := make([]float64, fleet.Len())
+			strag := make([]float64, fleet.Len())
+			pow := make([]float64, fleet.Len())
+			active := make([]float64, fleet.Len())
+			for i, s := range fleet.Samples {
+				load[i] = s.OfferedRPS
+				qos[i] = s.QoSAttainment()
+				strag[i] = float64(s.Stragglers)
+				pow[i] = s.PowerW
+				active[i] = float64(s.Nodes)
+			}
+			fmt.Printf("  load       %s\n", report.Sparkline(load, width))
+			fmt.Printf("  qos        %s\n", report.Sparkline(qos, width))
+			fmt.Printf("  stragglers %s\n", report.Sparkline(strag, width))
+			fmt.Printf("  power      %s\n", report.Sparkline(pow, width))
+			if _, ok := cl.AutoscaleStats(); ok {
+				fmt.Printf("  active     %s\n", report.Sparkline(active, width))
+			}
+		}
+
+		fmt.Println("  per-node QoS guarantee:")
+		for i, tr := range res.Nodes {
+			fmt.Printf("    node %2d: %s\n", i, report.Pct(tr.QoSGuarantee()*100))
 		}
 		return nil
-	}
-	if err := requireFeature(*federate, "-federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
-		return err
-	}
-	if err := requireFeature(*autoScale, "-autoscale", "min-nodes", "max-nodes", "scale-policy", "cooldown"); err != nil {
-		return err
-	}
-	if *dropout < 0 || *dropout >= 1 {
-		return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
-	}
-
-	spec := hipster.JunoR1()
-	wl, err := hipster.WorkloadByName(*workloadName)
-	if err != nil {
-		return err
-	}
-	pattern, err := parsePattern(*patternName)
-	if err != nil {
-		return err
-	}
-	splitter, err := hipster.SplitterByName(*splitterName)
-	if err != nil {
-		return err
-	}
-	defs, err := hipster.UniformClusterNodes(*nodes, spec, wl, func(nodeID int) (hipster.Policy, error) {
-		return buildPolicy(*policyName, spec, *seed+int64(nodeID))
 	})
-	if err != nil {
-		return err
-	}
-	if *batchList != "" {
-		var progs []hipster.BatchProgram
-		for _, name := range strings.Split(*batchList, ",") {
-			p, err := hipster.BatchProgramByName(strings.TrimSpace(name))
-			if err != nil {
-				return err
-			}
-			progs = append(progs, p)
-		}
-		for i := range defs {
-			runner, err := hipster.NewBatchRunner(progs)
-			if err != nil {
-				return err
-			}
-			defs[i].Batch = runner
-		}
-	}
-
-	opts := hipster.ClusterOptions{
-		Nodes:    defs,
-		Pattern:  pattern,
-		Splitter: splitter,
-		Workers:  *workers,
-		Seed:     *seed,
-	}
-	if *federate {
-		merge, err := hipster.MergePolicyByName(*mergeName)
-		if err != nil {
-			return err
-		}
-		opts.Federation = &hipster.FederationOptions{
-			SyncEvery:          *syncInterval,
-			Merge:              merge,
-			StalenessIntervals: *staleness,
-		}
-		if *dropout > 0 {
-			// A seeded hash of (node, interval) keeps the dropout
-			// pattern deterministic for a given -seed, preserving the
-			// cluster's reproducibility guarantees.
-			p, seedBits := *dropout, uint64(*seed)
-			opts.Federation.Participation = func(nodeID, interval int) bool {
-				h := seedBits ^ uint64(nodeID)<<32 ^ uint64(interval)
-				h ^= h >> 30
-				h *= 0xbf58476d1ce4e5b9
-				h ^= h >> 27
-				h *= 0x94d049bb133111eb
-				h ^= h >> 31
-				return float64(h%1000000)/1000000 >= p
-			}
-		}
-	}
-	if *autoScale {
-		pol, err := hipster.AutoscalePolicyByName(*scalePolicy)
-		if err != nil {
-			return err
-		}
-		opts.Autoscale = &hipster.AutoscaleOptions{
-			Policy:            pol,
-			MinNodes:          *minNodes,
-			MaxNodes:          *maxNodes,
-			CooldownIntervals: *cooldown,
-		}
-	}
-	cl, err := hipster.NewCluster(opts)
-	if err != nil {
-		return err
-	}
-	res, err := cl.Run(*duration)
-	if err != nil {
-		return err
-	}
-
-	sum := res.Summarize()
-	fmt.Printf("cluster nodes=%d workers=%d workload=%s policy=%s splitter=%s pattern=%s duration=%.0fs seed=%d\n",
-		*nodes, cl.Workers(), *workloadName, *policyName, splitter.Name(), *patternName, *duration, *seed)
-	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(cl.CapacityRPS()))
-	fmt.Printf("  QoS attainment  : %s (%d node-intervals, %d nodes peak, %d intervals)\n",
-		report.Pct(sum.QoSAttainment*100), sum.NodeIntervals, sum.Nodes, sum.Intervals)
-	fmt.Printf("  fleet energy    : %s J (mean %s W)\n", report.F0(sum.TotalEnergyJ), report.F2(sum.MeanPowerW))
-	fmt.Printf("  stragglers      : %d node-intervals (peak %d in one interval)\n",
-		sum.TotalStragglers, sum.PeakStragglers)
-	fmt.Printf("  throughput      : %s RPS offered, %s RPS achieved (mean)\n",
-		report.F0(sum.MeanOfferedRPS), report.F0(sum.MeanAchievedRPS))
-	if st, ok := cl.FederationStats(); ok {
-		fmt.Printf("  federation      : %s merge, %d rounds, %d reports, %d cells merged (%d updates), %d stale deltas dropped\n",
-			*mergeName, st.Rounds, st.Reports, st.MergedCells, st.MergedVisits, st.StaleDropped)
-	}
-	if st, ok := cl.AutoscaleStats(); ok {
-		fmt.Printf("  autoscale       : %s policy, %d-%d active nodes, %d up / %d down events, %d of %d node-intervals consumed\n",
-			*scalePolicy, st.MinActive, st.PeakActive, st.Ups, st.Downs,
-			st.NodeIntervals, *nodes*sum.Intervals)
-		if st.WarmStarts > 0 || st.Flushes > 0 {
-			fmt.Printf("  warm starts     : %d nodes seeded from the fleet table, %d departure deltas flushed\n",
-				st.WarmStarts, st.Flushes)
-		}
-	}
-
-	fleet := res.Fleet
-	if *series && fleet.Len() > 1 {
-		width := 72
-		load := make([]float64, fleet.Len())
-		qos := make([]float64, fleet.Len())
-		strag := make([]float64, fleet.Len())
-		pow := make([]float64, fleet.Len())
-		active := make([]float64, fleet.Len())
-		for i, s := range fleet.Samples {
-			load[i] = s.OfferedRPS
-			qos[i] = s.QoSAttainment()
-			strag[i] = float64(s.Stragglers)
-			pow[i] = s.PowerW
-			active[i] = float64(s.Nodes)
-		}
-		fmt.Printf("  load       %s\n", report.Sparkline(load, width))
-		fmt.Printf("  qos        %s\n", report.Sparkline(qos, width))
-		fmt.Printf("  stragglers %s\n", report.Sparkline(strag, width))
-		fmt.Printf("  power      %s\n", report.Sparkline(pow, width))
-		if _, ok := cl.AutoscaleStats(); ok {
-			fmt.Printf("  active     %s\n", report.Sparkline(active, width))
-		}
-	}
-
-	fmt.Println("  per-node QoS guarantee:")
-	for i, tr := range res.Nodes {
-		fmt.Printf("    node %2d: %s\n", i, report.Pct(tr.QoSGuarantee()*100))
-	}
-	return nil
 }
 
 func parsePattern(name string) (hipster.Pattern, error) {

@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hipster"
 )
@@ -59,15 +61,18 @@ func runFleet(elastic bool) (*hipster.Cluster, hipster.ClusterResult, error) {
 	return cl, res, err
 }
 
-func main() {
-	fmt.Printf("elastic vs static fleet: %d-node roster, bursty day (0.3 base, 0.8 burst), seed %d\n\n", rosterNodes, seed)
+// run executes the example and writes the report; the golden-file test
+// replays it against testdata/output.golden, so the output format is
+// part of the example's contract.
+func run(w io.Writer) error {
+	fmt.Fprintf(w, "elastic vs static fleet: %d-node roster, bursty day (0.3 base, 0.8 burst), seed %d\n\n", rosterNodes, seed)
 
 	report := func(name string, cl *hipster.Cluster, res hipster.ClusterResult) int {
 		sum := res.Summarize()
-		fmt.Printf("%-8s QoS attainment %5.2f%%  node-intervals %5d  energy %6.0f J\n",
+		fmt.Fprintf(w, "%-8s QoS attainment %5.2f%%  node-intervals %5d  energy %6.0f J\n",
 			name, sum.QoSAttainment*100, sum.NodeIntervals, sum.TotalEnergyJ)
 		if st, ok := cl.AutoscaleStats(); ok {
-			fmt.Printf("         %d-%d nodes active, %d up / %d down events, %d warm starts, %d departure flushes\n",
+			fmt.Fprintf(w, "         %d-%d nodes active, %d up / %d down events, %d warm starts, %d departure flushes\n",
 				st.MinActive, st.PeakActive, st.Ups, st.Downs, st.WarmStarts, st.Flushes)
 		}
 		return sum.NodeIntervals
@@ -75,20 +80,27 @@ func main() {
 
 	staticCl, staticRes, err := runFleet(false)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ni := report("static", staticCl, staticRes)
 
 	elasticCl, elasticRes, err := runFleet(true)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	nie := report("elastic", elasticCl, elasticRes)
 
 	if nie < ni {
-		fmt.Printf("\nelastic fleet served the same day with %.1f%% fewer node-intervals\n",
+		fmt.Fprintf(w, "\nelastic fleet served the same day with %.1f%% fewer node-intervals\n",
 			100*(1-float64(nie)/float64(ni)))
 	} else {
-		fmt.Println("\nwarning: elasticity saved nothing on this configuration")
+		fmt.Fprintln(w, "\nwarning: elasticity saved nothing on this configuration")
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

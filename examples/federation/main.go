@@ -11,8 +11,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"hipster"
 )
@@ -106,20 +108,23 @@ func convergedAt(ft *hipster.FleetTrace) int {
 	return last + 1
 }
 
-func main() {
-	fmt.Printf("federated RL table sharing: %d HipsterIn nodes, %.0f s day, learn %d s, target %.0f%% attainment over %d intervals\n\n",
+// run executes the example and writes the report; the golden-file test
+// replays it against testdata/output.golden, so the output format is
+// part of the example's contract.
+func run(w io.Writer) error {
+	fmt.Fprintf(w, "federated RL table sharing: %d HipsterIn nodes, %.0f s day, learn %d s, target %.0f%% attainment over %d intervals\n\n",
 		nodes, day, learnSecs, threshold*100, window)
 
 	_, indep, err := runFleet(nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fedCl, fed, err := runFleet(&hipster.FederationOptions{
 		SyncEvery: 5,
 		Merge:     hipster.MergeVisitWeighted,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	report := func(name string, res hipster.ClusterResult) int {
@@ -129,7 +134,7 @@ func main() {
 		if conv >= 0 {
 			at = fmt.Sprintf("interval %d", conv)
 		}
-		fmt.Printf("%-12s converged %-13s attainment %5.2f%%  energy %6.0f J\n",
+		fmt.Fprintf(w, "%-12s converged %-13s attainment %5.2f%%  energy %6.0f J\n",
 			name, at, sum.QoSAttainment*100, sum.TotalEnergyJ)
 		return conv
 	}
@@ -137,7 +142,7 @@ func main() {
 	cf := report("federated", fed)
 
 	if st, ok := fedCl.FederationStats(); ok {
-		fmt.Printf("\nfederation: %d sync rounds, %d reports, %d cells merged (%d table updates pooled)\n",
+		fmt.Fprintf(w, "\nfederation: %d sync rounds, %d reports, %d cells merged (%d table updates pooled)\n",
 			st.Rounds, st.Reports, st.MergedCells, st.MergedVisits)
 	}
 	switch {
@@ -146,8 +151,15 @@ func main() {
 		if ci >= 0 {
 			gain = fmt.Sprintf("%d intervals sooner", ci-cf)
 		}
-		fmt.Printf("\nfederated learners reached the QoS target %s\n", gain)
+		fmt.Fprintf(w, "\nfederated learners reached the QoS target %s\n", gain)
 	default:
-		fmt.Println("\nwarning: federation did not converge faster on this configuration")
+		fmt.Fprintln(w, "\nwarning: federation did not converge faster on this configuration")
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -25,6 +25,11 @@ type Result struct {
 	Iters int `json:"iters"`
 	// NsPerOp is the reported ns/op.
 	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp carry the -benchmem columns; HasMem
+	// reports whether the line included them.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem,omitempty"`
 }
 
 // testEvent is the subset of the `go test -json` envelope we need.
@@ -39,9 +44,10 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 
 // parseLine parses one benchmark result line, e.g.
 //
-//	BenchmarkCluster16Nodes/workers=1-8   3   49812345 ns/op   97.5 fleet-qos%
+//	BenchmarkCluster16Nodes/workers=1-8   3   49812345 ns/op   512 B/op   7 allocs/op
 //
-// returning ok=false for any other output line.
+// returning ok=false for any other output line. The -benchmem columns
+// (B/op, allocs/op) are optional.
 func parseLine(line string) (Result, bool) {
 	line = strings.TrimSpace(line)
 	if !strings.HasPrefix(line, "Benchmark") {
@@ -56,21 +62,39 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
+	res := Result{Name: procsSuffix.ReplaceAllString(fields[0], ""), Iters: iters}
+	sawNs := false
 	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] != "ns/op" {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			// Not a value/unit pair (e.g. a stray word); a malformed
+			// ns/op value still rejects the line below.
 			continue
 		}
-		ns, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
+		switch unit := fields[i+1]; unit {
+		case "ns/op", "B/op", "allocs/op":
+			if v < 0 {
+				// go test never reports negative costs; reject the
+				// line as corrupt rather than gate against nonsense.
+				return Result{}, false
+			}
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = v
+				sawNs = true
+			case "B/op":
+				res.BytesPerOp = v
+				res.HasMem = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasMem = true
+			}
 		}
-		return Result{
-			Name:    procsSuffix.ReplaceAllString(fields[0], ""),
-			Iters:   iters,
-			NsPerOp: ns,
-		}, true
 	}
-	return Result{}, false
+	if !sawNs {
+		return Result{}, false
+	}
+	return res, true
 }
 
 // ParseText parses plain `go test -bench` output.
@@ -132,15 +156,36 @@ func ParseJSON(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
+// Summary is the per-benchmark collapse of repeated runs: minimum
+// ns/op, and minimum B/op / allocs/op when any run carried -benchmem
+// columns.
+type Summary struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	HasMem      bool
+}
+
 // Summarize collapses repeated runs (go test -count N) into the
-// minimum ns/op per benchmark name — the least-noisy estimate of the
+// minimum per benchmark name — the least-noisy estimate of the
 // benchmark's true cost, as benchstat and friends use.
-func Summarize(results []Result) map[string]float64 {
-	out := make(map[string]float64, len(results))
+func Summarize(results []Result) map[string]Summary {
+	out := make(map[string]Summary, len(results))
 	for _, r := range results {
-		if best, ok := out[r.Name]; !ok || r.NsPerOp < best {
-			out[r.Name] = r.NsPerOp
+		s, ok := out[r.Name]
+		if !ok || r.NsPerOp < s.NsPerOp {
+			s.NsPerOp = r.NsPerOp
 		}
+		if r.HasMem {
+			if !s.HasMem || r.BytesPerOp < s.BytesPerOp {
+				s.BytesPerOp = r.BytesPerOp
+			}
+			if !s.HasMem || r.AllocsPerOp < s.AllocsPerOp {
+				s.AllocsPerOp = r.AllocsPerOp
+			}
+			s.HasMem = true
+		}
+		out[r.Name] = s
 	}
 	return out
 }
@@ -152,6 +197,17 @@ type Baseline struct {
 	// Benchmarks maps benchmark name (procs suffix stripped) to the
 	// reference min ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// AllocBudgets maps benchmark name to the maximum allowed
+	// allocs/op. Unlike the ns/op reference, a budget is a hand-set
+	// ceiling: the bench job must run with -benchmem, and any budgeted
+	// benchmark allocating more than its budget fails the gate.
+	// benchgate -update-baseline refreshes Benchmarks but preserves
+	// these budgets.
+	AllocBudgets map[string]float64 `json:"alloc_budgets,omitempty"`
+	// BytesPerOp is informational: benchgate's run reports record the
+	// observed B/op here. It is not gated and a committed baseline
+	// need not carry it.
+	BytesPerOp map[string]float64 `json:"bytes_per_op,omitempty"`
 }
 
 // ReadBaseline decodes a baseline file.
@@ -170,13 +226,17 @@ func (b Baseline) WriteBaseline(w io.Writer) error {
 	return enc.Encode(b)
 }
 
-// Gate compares the summarized current run against the baseline for
-// every baseline benchmark whose name starts with prefix. It returns
-// human-readable regression messages (current ns/op more than
-// maxRegress above baseline, e.g. 0.20 = +20%) and an error when the
-// gate is vacuous — no gated baseline benchmark appears in the current
-// run, so a regression could never be detected.
-func Gate(current map[string]float64, base Baseline, prefix string, maxRegress float64) ([]string, error) {
+// Gate compares the summarized current run against the baseline: the
+// ns/op of every baseline benchmark whose name starts with prefix
+// (current more than maxRegress above baseline fails, e.g. 0.20 =
+// +20%), plus every allocation budget in the baseline regardless of
+// prefix (allocs/op above the budget fails; budgets are exempt from
+// maxRegress since allocation counts are near-deterministic). It
+// returns human-readable regression messages and an error when either
+// gate is vacuous — no gated benchmark appears in the current run (or,
+// for budgets, ran without -benchmem), so a regression could never be
+// detected.
+func Gate(current map[string]Summary, base Baseline, prefix string, maxRegress float64) ([]string, error) {
 	var names []string
 	for name := range base.Benchmarks {
 		if strings.HasPrefix(name, prefix) {
@@ -198,14 +258,44 @@ func Gate(current map[string]float64, base Baseline, prefix string, maxRegress f
 		}
 		compared++
 		ref := base.Benchmarks[name]
-		if ref > 0 && cur > ref*(1+maxRegress) {
+		if ref > 0 && cur.NsPerOp > ref*(1+maxRegress) {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit %+.0f%%)",
-				name, cur, ref, 100*(cur/ref-1), 100*maxRegress))
+				name, cur.NsPerOp, ref, 100*(cur.NsPerOp/ref-1), 100*maxRegress))
 		}
 	}
 	if compared == 0 {
 		return nil, fmt.Errorf("benchparse: none of the %d gated baseline benchmarks ran; gate would be vacuous", len(names))
+	}
+
+	var budgeted []string
+	for name := range base.AllocBudgets {
+		budgeted = append(budgeted, name)
+	}
+	sort.Strings(budgeted)
+	var unchecked []string
+	for _, name := range budgeted {
+		cur, ok := current[name]
+		if !ok || !cur.HasMem {
+			// Unlike the ns gate, a budgeted benchmark that did not run
+			// with -benchmem is an error, not a skip: budgets name
+			// machine-independent benchmarks, so an absence means a
+			// rename, a deleted benchmark, or a bench command missing
+			// -benchmem — each of which would otherwise retire the
+			// budget silently while CI stays green.
+			unchecked = append(unchecked, name)
+			continue
+		}
+		if budget := base.AllocBudgets[name]; cur.AllocsPerOp > budget {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op over budget %.0f",
+				name, cur.AllocsPerOp, budget))
+		}
+	}
+	if len(unchecked) > 0 {
+		// Return the ns/op regressions found so far alongside the
+		// error, so a vacuous budget gate cannot hide a real one.
+		return regressions, fmt.Errorf("benchparse: allocation-budgeted benchmark(s) %s did not run with -benchmem; fix the bench command or remove the stale budget", strings.Join(unchecked, ", "))
 	}
 	return regressions, nil
 }

@@ -9,7 +9,8 @@ import (
 const sampleText = `goos: linux
 goarch: amd64
 pkg: hipster
-BenchmarkEngineStep-8   	       3	     21042 ns/op
+BenchmarkEngineStep-8   	       3	     21042 ns/op	     464 B/op	       7 allocs/op
+BenchmarkEngineStep-8   	       3	     22000 ns/op	     512 B/op	       5 allocs/op
 BenchmarkCluster16Nodes/workers=1-8         	       3	  49812345 ns/op	        97.53 fleet-qos%
 BenchmarkCluster16Nodes/workers=8-8         	       3	  12345678 ns/op	        97.53 fleet-qos%
 BenchmarkCluster16Nodes/workers=1-8         	       3	  51000000 ns/op	        97.53 fleet-qos%
@@ -23,17 +24,28 @@ func TestParseTextAndSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
 	}
-	// The -8 procs suffix is stripped so runs compare across machines.
-	if results[0].Name != "BenchmarkEngineStep" || results[0].NsPerOp != 21042 || results[0].Iters != 3 {
-		t.Fatalf("first result = %+v", results[0])
+	// The -8 procs suffix is stripped so runs compare across machines,
+	// and the -benchmem columns ride along.
+	want := Result{Name: "BenchmarkEngineStep", Iters: 3, NsPerOp: 21042, BytesPerOp: 464, AllocsPerOp: 7, HasMem: true}
+	if results[0] != want {
+		t.Fatalf("first result = %+v, want %+v", results[0], want)
+	}
+	// A custom-metric line without -benchmem columns parses with
+	// HasMem unset.
+	if results[2].HasMem {
+		t.Fatalf("fleet-qos line claims mem columns: %+v", results[2])
 	}
 	sum := Summarize(results)
-	// Repeated -count runs collapse to the min.
-	if got := sum["BenchmarkCluster16Nodes/workers=1"]; got != 49812345 {
+	// Repeated -count runs collapse to the min, per column.
+	if got := sum["BenchmarkCluster16Nodes/workers=1"].NsPerOp; got != 49812345 {
 		t.Fatalf("summarized workers=1 = %v, want the min 49812345", got)
+	}
+	es := sum["BenchmarkEngineStep"]
+	if !es.HasMem || es.NsPerOp != 21042 || es.BytesPerOp != 464 || es.AllocsPerOp != 5 {
+		t.Fatalf("summarized EngineStep = %+v", es)
 	}
 	if len(sum) != 3 {
 		t.Fatalf("summarized %d benchmarks, want 3", len(sum))
@@ -120,9 +132,9 @@ func TestGate(t *testing.T) {
 	// Within the limit: no regressions. The workers=16 sub-benchmark
 	// is absent on this "runner" and is skipped, and the ungated
 	// EngineStep regression is ignored.
-	current := map[string]float64{
-		"BenchmarkCluster16Nodes/workers=1": 115,
-		"BenchmarkEngineStep":               99,
+	current := map[string]Summary{
+		"BenchmarkCluster16Nodes/workers=1": {NsPerOp: 115},
+		"BenchmarkEngineStep":               {NsPerOp: 99},
 	}
 	regs, err := Gate(current, base, "BenchmarkCluster16Nodes", 0.20)
 	if err != nil {
@@ -133,7 +145,7 @@ func TestGate(t *testing.T) {
 	}
 
 	// Past the limit: reported.
-	current["BenchmarkCluster16Nodes/workers=1"] = 121
+	current["BenchmarkCluster16Nodes/workers=1"] = Summary{NsPerOp: 121}
 	regs, err = Gate(current, base, "BenchmarkCluster16Nodes", 0.20)
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +161,67 @@ func TestGate(t *testing.T) {
 
 	// A gate where no gated benchmark ran must fail rather than pass
 	// silently.
-	if _, err := Gate(map[string]float64{}, base, "BenchmarkCluster16Nodes", 0.20); err == nil {
+	if _, err := Gate(map[string]Summary{}, base, "BenchmarkCluster16Nodes", 0.20); err == nil {
 		t.Fatal("want error for vacuous gate")
+	}
+}
+
+func TestGateAllocBudgets(t *testing.T) {
+	base := Baseline{
+		Benchmarks: map[string]float64{"BenchmarkCluster16Nodes/workers=1": 100},
+		AllocBudgets: map[string]float64{
+			"BenchmarkEngineStep":               8,
+			"BenchmarkCluster16Nodes/workers=1": 1000,
+		},
+	}
+	current := map[string]Summary{
+		"BenchmarkCluster16Nodes/workers=1": {NsPerOp: 100, AllocsPerOp: 900, HasMem: true},
+		"BenchmarkEngineStep":               {NsPerOp: 10, AllocsPerOp: 8, HasMem: true},
+	}
+
+	// At or under budget: clean. Budgets apply beyond the ns prefix
+	// (EngineStep is budget-gated even though only Cluster* is
+	// ns-gated).
+	regs, err := Gate(current, base, "BenchmarkCluster16Nodes", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Over budget: reported, with no percentage slack.
+	current["BenchmarkEngineStep"] = Summary{NsPerOp: 10, AllocsPerOp: 9, HasMem: true}
+	regs, err = Gate(current, base, "BenchmarkCluster16Nodes", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op over budget") {
+		t.Fatalf("regressions = %v", regs)
+	}
+
+	// Budgets without -benchmem data are a vacuous gate: the run
+	// cannot have been checked.
+	noMem := map[string]Summary{
+		"BenchmarkCluster16Nodes/workers=1": {NsPerOp: 100},
+		"BenchmarkEngineStep":               {NsPerOp: 10},
+	}
+	if _, err := Gate(noMem, base, "BenchmarkCluster16Nodes", 0.20); err == nil {
+		t.Fatal("want error when no budgeted benchmark ran with -benchmem")
+	}
+
+	// A single budgeted benchmark missing from the run (renamed or
+	// deleted) must also fail loudly — a stale budget is not a skip —
+	// and the ns/op regressions found in the same run must ride along
+	// with the error rather than being hidden by it.
+	oneMissing := map[string]Summary{
+		"BenchmarkCluster16Nodes/workers=1": {NsPerOp: 130, AllocsPerOp: 900, HasMem: true},
+	}
+	regs, err = Gate(oneMissing, base, "BenchmarkCluster16Nodes", 0.20)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkEngineStep") {
+		t.Fatalf("want stale-budget error naming BenchmarkEngineStep, got %v", err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "workers=1") {
+		t.Fatalf("ns regressions lost alongside the budget error: %v", regs)
 	}
 }

@@ -98,8 +98,11 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("Summarize has %d names, runs had %d", len(sum), len(mins))
 		}
 		for name, v := range sum {
-			if v != mins[name] {
-				t.Fatalf("Summarize[%s] = %v, want the min %v", name, v, mins[name])
+			if v.NsPerOp != mins[name] {
+				t.Fatalf("Summarize[%s] = %v, want the min ns/op %v", name, v.NsPerOp, mins[name])
+			}
+			if v.HasMem && (v.AllocsPerOp < 0 || v.BytesPerOp < 0) {
+				t.Fatalf("Summarize[%s] has negative mem columns: %+v", name, v)
 			}
 		}
 	})

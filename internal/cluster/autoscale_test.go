@@ -44,6 +44,7 @@ func TestAutoscaleElasticFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cl.Close()
 	res, err := cl.Run(horizon)
 	if err != nil {
 		t.Fatal(err)
@@ -318,6 +319,7 @@ func TestAutoscaleColdStartWithoutFederation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cl.Close()
 	if _, err := cl.Run(60); err != nil {
 		t.Fatal(err)
 	}
@@ -355,6 +357,7 @@ func TestAutoscaleValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cl.Close()
 	if _, ok := cl.AutoscaleStats(); ok {
 		t.Fatal("stats reported without autoscaling")
 	}

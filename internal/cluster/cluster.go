@@ -136,10 +136,11 @@ type Cluster struct {
 	nodes    []*node
 	fleetCap float64
 
-	clock *sim.Clock
-	fleet *telemetry.FleetTrace
-	fed   *fedState
-	as    *asState
+	clock  *sim.Clock
+	fleet  *telemetry.FleetTrace
+	merger telemetry.Merger
+	fed    *fedState
+	as     *asState
 
 	// active is the active-node count: the active set is always the
 	// roster prefix nodes[:active] (the whole roster without
@@ -155,6 +156,39 @@ type Cluster struct {
 	states  []NodeState
 	samples []telemetry.Sample
 	errs    []error
+
+	// Persistent worker pool: rather than spawning one goroutine per
+	// worker per Step, the pool is started once (lazily, on the first
+	// parallel Step) and woken each interval. Workers claim node
+	// indices from an atomic counter and write only their node's slot
+	// of the scratch slices, so scheduling order cannot affect results
+	// (worker-invariance is unchanged from the spawn-per-step design).
+	pool *workerPool
+	// batch is the per-interval work description handed to the pool;
+	// reused every Step.
+	batch stepBatch
+}
+
+// workerPool is the detached part of the pool: worker goroutines hold
+// only this struct, never the Cluster, so a cluster that is dropped
+// without Close does not stay reachable through its own workers — the
+// runtime cleanup registered in ensurePool retires them when the
+// Cluster is collected.
+type workerPool struct {
+	stop   chan struct{}   // closed exactly once to retire the workers
+	kick   chan *stepBatch // one send per worker per interval
+	once   sync.Once       // guards close(stop): Close vs GC cleanup
+	exited sync.WaitGroup  // worker goroutine lifetimes
+}
+
+// stepBatch describes one interval's fan-out. Workers claim node
+// indices from next and write only their own slots of samples/errs.
+type stepBatch struct {
+	nodes   []*node
+	samples []telemetry.Sample
+	errs    []error
+	next    atomic.Int64
+	done    sync.WaitGroup
 }
 
 // New validates options and builds a cluster.
@@ -361,7 +395,7 @@ func (c *Cluster) Step() (telemetry.FleetSample, error) {
 			return c.fail(err)
 		}
 	}
-	fs := telemetry.MergeInterval(c.samples[:c.active], c.opts.StragglerFactor)
+	fs := c.merger.MergeInterval(c.samples[:c.active], c.opts.StragglerFactor)
 	// A node activated mid-run carries a local clock that lags fleet
 	// time (it does not tick while asleep), so the fleet sample is
 	// stamped with the fleet clock rather than any node's.
@@ -395,39 +429,97 @@ func (c *Cluster) FederationStats() (stats federation.Stats, ok bool) {
 	return c.fed.coord.Stats(), true
 }
 
-// stepNodes steps every node once, fanning out across the worker pool.
-// Each node is touched by exactly one goroutine per interval and writes
-// only its own slot of the scratch slices, and every node's stochastic
-// state lives in its own engine, so scheduling order cannot affect
-// results.
+// stepNodes steps every node once, fanning out across the persistent
+// worker pool. Each node is touched by exactly one goroutine per
+// interval and writes only its own slot of the scratch slices, and
+// every node's stochastic state lives in its own engine, so scheduling
+// order cannot affect results.
 func (c *Cluster) stepNodes() {
 	active := c.nodes[:c.active]
-	w := c.workers
-	if w > len(active) {
-		w = len(active)
-	}
-	if w <= 1 {
+	if c.workers <= 1 || len(active) <= 1 {
 		for i, n := range active {
 			c.samples[i], c.errs[i] = n.eng.Step()
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(active) {
-					return
-				}
-				c.samples[i], c.errs[i] = active[i].eng.Step()
-			}
-		}()
+	c.ensurePool()
+	b := &c.batch
+	b.nodes = active
+	b.samples = c.samples
+	b.errs = c.errs
+	b.next.Store(0)
+	b.done.Add(c.workers)
+	for k := 0; k < c.workers; k++ {
+		c.pool.kick <- b
 	}
-	wg.Wait()
+	b.done.Wait()
+}
+
+// ensurePool starts the worker goroutines if they are not running —
+// either because this is the first parallel Step, or because Close
+// retired an earlier pool and the cluster is being stepped again. A
+// runtime cleanup retires the pool of a cluster that is dropped
+// without Close, so abandoned clusters leak nothing.
+func (c *Cluster) ensurePool() {
+	if c.pool != nil {
+		return
+	}
+	p := &workerPool{
+		stop: make(chan struct{}),
+		kick: make(chan *stepBatch),
+	}
+	for k := 0; k < c.workers; k++ {
+		p.exited.Add(1)
+		go p.worker()
+	}
+	c.pool = p
+	runtime.AddCleanup(c, func(p *workerPool) { p.retire(false) }, p)
+}
+
+// worker serves one pool goroutine: wait for an interval kick, claim
+// node indices until the batch is exhausted, report completion, repeat
+// until retired. It deliberately references only the pool and the
+// batches it is handed.
+func (p *workerPool) worker() {
+	defer p.exited.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case b := <-p.kick:
+			for {
+				i := int(b.next.Add(1)) - 1
+				if i >= len(b.nodes) {
+					break
+				}
+				b.samples[i], b.errs[i] = b.nodes[i].eng.Step()
+			}
+			b.done.Done()
+		}
+	}
+}
+
+// retire stops the workers; wait additionally blocks until they have
+// exited (the GC cleanup signals without waiting).
+func (p *workerPool) retire(wait bool) {
+	p.once.Do(func() { close(p.stop) })
+	if wait {
+		p.exited.Wait()
+	}
+}
+
+// Close retires the worker pool. It is idempotent and safe to call on a
+// never-parallelised cluster; Run closes the pool itself, so an
+// explicit Close is only needed when driving the cluster Step by Step —
+// and even then a dropped cluster's pool is retired by the garbage
+// collector. A closed cluster may be stepped again: the next parallel
+// Step simply starts a fresh pool.
+func (c *Cluster) Close() {
+	if c.pool == nil {
+		return
+	}
+	c.pool.retire(true)
+	c.pool = nil
 }
 
 // Result bundles a finished cluster run: the merged fleet trace plus
@@ -441,7 +533,8 @@ type Result struct {
 func (r Result) Summarize() telemetry.FleetSummary { return r.Fleet.Summarize() }
 
 // Run executes the cluster for the given horizon (seconds); a zero
-// horizon uses the pattern's natural duration.
+// horizon uses the pattern's natural duration. Run retires the worker
+// pool on return (a further Run or Step transparently restarts it).
 func (c *Cluster) Run(horizon float64) (Result, error) {
 	if horizon <= 0 {
 		horizon = c.opts.Pattern.Duration()
@@ -449,6 +542,7 @@ func (c *Cluster) Run(horizon float64) (Result, error) {
 	if horizon <= 0 {
 		return Result{}, errors.New("cluster: no horizon (unbounded pattern and no explicit duration)")
 	}
+	defer c.Close()
 	for c.clock.Now() < horizon {
 		if _, err := c.Step(); err != nil {
 			return Result{}, err

@@ -57,6 +57,79 @@ func TestClusterRunRace(t *testing.T) {
 	}
 }
 
+// TestWorkerPoolLifecycle drives the persistent worker pool through its
+// full lifecycle: Step starts it lazily, Close retires it (idempotently,
+// also on a never-parallelised cluster), stepping a closed cluster
+// restarts it, and Run closes it on return — with results identical to
+// an uninterrupted run throughout.
+func TestWorkerPoolLifecycle(t *testing.T) {
+	build := func() *Cluster {
+		cl, err := New(Options{
+			Nodes:    testFleet(t, 8, 3),
+			Pattern:  loadgen.DefaultDiurnal(),
+			Splitter: WeightedByCapacity{},
+			Workers:  4,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	ref, err := build().Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := build()
+	cl.Close() // close before any Step: must be a no-op
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.pool == nil {
+		t.Fatal("parallel Step did not start the worker pool")
+	}
+	cl.Close()
+	cl.Close() // idempotent
+	if cl.pool != nil {
+		t.Fatal("Close left the pool marked running")
+	}
+	for i := 0; i < 10; i++ { // stepping after Close restarts the pool
+		if _, err := cl.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cl.Run(30) // Run continues from interval 20 and closes the pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.pool != nil {
+		t.Fatal("Run left the pool running")
+	}
+	if got, want := res.Fleet.Len(), ref.Fleet.Len(); got != want {
+		t.Fatalf("interleaved run recorded %d intervals, want %d", got, want)
+	}
+	for i, s := range res.Fleet.Samples {
+		if s != ref.Fleet.Samples[i] {
+			t.Fatalf("interval %d diverged from the uninterrupted run:\n%+v\n%+v", i, s, ref.Fleet.Samples[i])
+		}
+	}
+
+	// A serial cluster never starts a pool; Close must still be safe.
+	serial := build()
+	serial.workers = 1
+	if _, err := serial.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if serial.pool != nil {
+		t.Fatal("serial stepping started a pool")
+	}
+	serial.Close()
+}
+
 func TestClusterAggregates(t *testing.T) {
 	res := runFleet(t, 0, 42, WeightedByCapacity{}, 120)
 	if res.Fleet.Len() != 120 {

@@ -93,6 +93,21 @@ type Engine struct {
 	cpuidleOff     bool
 	trace          *telemetry.Trace
 	batchSuspended bool
+
+	// desRunner holds the discrete-event evaluation scratch for the
+	// UseDES path; nil on the analytic path.
+	desRunner *workload.DESRunner
+
+	// Per-interval scratch, sized once in New and reused every Step so
+	// the steady-state step loop allocates nothing: the core-ID lists
+	// of each cluster and the per-core instruction / utilisation
+	// vectors handed to the perf-counter and power models (neither of
+	// which retains them).
+	bigIDs       []platform.CoreID
+	smallIDs     []platform.CoreID
+	instrScratch []float64
+	bigUtils     []float64
+	smallUtils   []float64
 }
 
 // New validates options and builds an engine.
@@ -153,6 +168,14 @@ func New(opts Options) (*Engine, error) {
 	if err := e.cfg.Validate(opts.Spec); err != nil {
 		return nil, fmt.Errorf("engine: initial config: %w", err)
 	}
+	if opts.UseDES {
+		e.desRunner = &workload.DESRunner{}
+	}
+	e.bigIDs = e.topo.CoresOf(platform.Big)
+	e.smallIDs = e.topo.CoresOf(platform.Small)
+	e.instrScratch = make([]float64, e.topo.NumCores())
+	e.bigUtils = make([]float64, opts.Spec.Big.Cores)
+	e.smallUtils = make([]float64, opts.Spec.Small.Cores)
 	e.trace = &telemetry.Trace{}
 	return e, nil
 }
@@ -268,8 +291,8 @@ func (e *Engine) Step() (telemetry.Sample, error) {
 	}
 	var out workload.IntervalOutput
 	var err error
-	if e.opts.UseDES {
-		out, err = e.wl.IntervalDES(e.spec, wlIn,
+	if e.desRunner != nil {
+		out, err = e.desRunner.Interval(e.wl, e.spec, wlIn,
 			sim.SubSeed(e.opts.Seed, "des")+int64(e.clock.Steps()))
 	} else {
 		out, err = e.wl.Interval(e.spec, wlIn)
@@ -386,17 +409,20 @@ func (e *Engine) Run(horizon float64) (*telemetry.Trace, error) {
 // perCoreInstr distributes this interval's instructions across cores:
 // LC instructions proportionally to each allocated core's service rate,
 // batch instructions per the runner's per-core rates, idle cores zero.
+// The returned slice is engine-owned scratch, valid until the next Step.
 func (e *Engine) perCoreInstr(out workload.IntervalOutput, bres batch.StepResult, grant batch.Grant, dt float64) []float64 {
-	n := e.topo.NumCores()
-	instr := make([]float64, n)
+	instr := e.instrScratch
+	for i := range instr {
+		instr[i] = 0
+	}
 
 	bigRate := e.wl.CoreRate(e.spec, platform.Big, e.cfg.BigFreq)
 	smallRate := e.wl.CoreRate(e.spec, platform.Small, e.spec.Small.MaxFreq())
 	totRate := float64(e.cfg.NBig)*bigRate + float64(e.cfg.NSmall)*smallRate
 	lcInstr := out.DeliveredIPS * dt
 
-	bigIDs := e.topo.CoresOf(platform.Big)
-	smallIDs := e.topo.CoresOf(platform.Small)
+	bigIDs := e.bigIDs
+	smallIDs := e.smallIDs
 	if totRate > 0 {
 		for i := 0; i < e.cfg.NBig; i++ {
 			instr[bigIDs[i]] = lcInstr * bigRate / totRate
@@ -438,13 +464,17 @@ func (e *Engine) anyCoreIdle(out workload.IntervalOutput, grant batch.Grant) boo
 
 // clusterUtils builds the per-core utilisation vector of one cluster:
 // LC cores run at the workload's power utilisation, batch cores at full
-// utilisation, the rest idle.
+// utilisation, the rest idle. The returned slice is engine-owned
+// scratch, valid until the next Step.
 func (e *Engine) clusterUtils(kind platform.CoreKind, out workload.IntervalOutput, grant batch.Grant) []float64 {
-	cl := e.spec.Cluster(kind)
-	utils := make([]float64, cl.Cores)
+	utils := e.smallUtils
 	lc, bt := e.cfg.NSmall, grant.NSmall
 	if kind == platform.Big {
+		utils = e.bigUtils
 		lc, bt = e.cfg.NBig, grant.NBig
+	}
+	for i := range utils {
+		utils[i] = 0
 	}
 	for i := 0; i < lc && i < len(utils); i++ {
 		utils[i] = out.PowerUtil

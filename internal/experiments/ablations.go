@@ -158,6 +158,7 @@ func QueueingValidation(seed int64) ([]QueueValidationRow, float64, error) {
 
 	var rows []QueueValidationRow
 	var maxErr float64
+	var sim queueing.Simulator // one scratch arena across the whole sweep
 	for pi, pool := range pools {
 		mu := queueing.TotalRate(pool)
 		for _, rho := range rhos {
@@ -166,7 +167,7 @@ func QueueingValidation(seed int64) ([]QueueValidationRow, float64, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			des, err := queueing.SimulateDES(queueing.DESConfig{
+			des, err := sim.Run(queueing.DESConfig{
 				Servers:  pool,
 				Lambda:   lambda,
 				CV:       cv,

@@ -101,12 +101,17 @@ func (p *PerfCounters) CPUIdleDisabled() bool { return p.cpuidleDisabled }
 
 // Tick records one interval. instrPerCore is indexed by CoreID; anyIdle
 // reports whether any core entered an idle state during the interval.
+// The counter reuses one internal reading buffer, so a PerfReading
+// obtained from LastInterval is valid until the next Tick.
 func (p *PerfCounters) Tick(instrPerCore []float64, anyIdle bool) {
 	if len(instrPerCore) != p.topo.NumCores() {
 		panic(fmt.Sprintf("platform: perf tick with %d cores, topology has %d",
 			len(instrPerCore), p.topo.NumCores()))
 	}
-	reading := PerfReading{InstrPerCore: make([]float64, len(instrPerCore))}
+	if p.last.InstrPerCore == nil {
+		p.last.InstrPerCore = make([]float64, len(instrPerCore))
+	}
+	reading := PerfReading{InstrPerCore: p.last.InstrPerCore}
 	if anyIdle && !p.cpuidleDisabled {
 		// Erratum: all cores read garbage for this interval.
 		reading.Garbage = true

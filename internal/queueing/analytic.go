@@ -33,6 +33,50 @@ func TotalRate(servers []Server) float64 {
 	return s
 }
 
+// ServerGroup is a run of N servers sharing one service rate. A Hipster
+// configuration only ever yields two distinct rates (big cores at the
+// configured DVFS point, small cores at their maximum), so the group
+// form carries a whole pool in two entries with no per-server slice.
+type ServerGroup struct {
+	Rate float64
+	N    int
+}
+
+// TotalRateGroups sums the pool's service capacity. It accumulates each
+// group's rate N times in group order, so it is bit-identical to
+// TotalRate over the expanded per-server list.
+func TotalRateGroups(groups []ServerGroup) float64 {
+	var s float64
+	for _, g := range groups {
+		for i := 0; i < g.N; i++ {
+			s += g.Rate
+		}
+	}
+	return s
+}
+
+// groupScratchSize is the stack-array capacity Analyze uses to group a
+// pool without allocating; pools with more distinct consecutive rates
+// fall back to an allocation (none of the simulator's pools do).
+const groupScratchSize = 8
+
+// groupConsecutive run-length-encodes consecutive equal rates into dst,
+// preserving server order, and returns the groups. The per-server sums
+// inside AnalyzeGroups replay each group N times, so grouping changes
+// no arithmetic as long as order is preserved — which run-length
+// encoding of the ordered pool guarantees.
+func groupConsecutive(dst []ServerGroup, servers []Server) []ServerGroup {
+	dst = dst[:0]
+	for _, sv := range servers {
+		if k := len(dst); k > 0 && dst[k-1].Rate == sv.Rate {
+			dst[k-1].N++
+			continue
+		}
+		dst = append(dst, ServerGroup{Rate: sv.Rate, N: 1})
+	}
+	return dst
+}
+
 // satClamp is the utilisation beyond which the analytic model declares
 // saturation: queueing delay is unbounded and the caller must account
 // for backlog growth instead.
@@ -73,70 +117,140 @@ func Analyze(servers []Server, lambda, pct, cv float64) (Result, error) {
 	if len(servers) == 0 {
 		return Result{}, ErrNoServers
 	}
+	var scratch [groupScratchSize]ServerGroup
+	return AnalyzeGroups(groupConsecutive(scratch[:0], servers), lambda, pct, cv)
+}
+
+// AnalyzeGroups is Analyze over a pool in group form. It allocates
+// nothing and is bit-identical to Analyze over the expanded per-server
+// list: every per-server sum is accumulated by adding the group's term
+// N times in group order (see TotalRateGroups), and the per-server
+// mixture is evaluated through stats.GroupedMixtureQuantile, which
+// carries the same guarantee.
+func AnalyzeGroups(groups []ServerGroup, lambda, pct, cv float64) (Result, error) {
+	p, err := PreparePool(groups, pct, cv)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Eval(lambda)
+}
+
+// PoolAnalysis is the arrival-rate-independent part of Analyze: the
+// pool's total rate, the mean and pct-quantile of its service-time
+// mixture, and the constants Eval needs. Splitting it out lets callers
+// that re-evaluate one pool at many arrival rates — every noisy
+// monitoring interval re-analyzes the same configuration at a freshly
+// jittered load — pay the mixture-quantile bisection once per pool
+// instead of once per interval.
+type PoolAnalysis struct {
+	Mu    float64 // total service rate
+	MeanS float64 // mean service time of the mixture
+	STail float64 // pct-quantile of the service-time mixture
+	C     int     // server count
+	Pct   float64
+	CV    float64
+}
+
+// PreparePool validates a pool in group form and computes its
+// arrival-rate-independent analysis.
+func PreparePool(groups []ServerGroup, pct, cv float64) (PoolAnalysis, error) {
+	n := 0
+	for _, g := range groups {
+		if g.N < 0 {
+			return PoolAnalysis{}, errors.New("queueing: negative server group count")
+		}
+		n += g.N
+	}
+	if n == 0 {
+		return PoolAnalysis{}, ErrNoServers
+	}
 	if pct <= 0 || pct >= 1 {
-		return Result{}, errors.New("queueing: percentile out of (0,1)")
+		return PoolAnalysis{}, errors.New("queueing: percentile out of (0,1)")
 	}
 	if cv < 0 {
-		return Result{}, errors.New("queueing: negative cv")
+		return PoolAnalysis{}, errors.New("queueing: negative cv")
 	}
-	mu := TotalRate(servers)
+	mu := TotalRateGroups(groups)
 	if mu <= 0 {
-		return Result{}, errors.New("queueing: zero service capacity")
+		return PoolAnalysis{}, errors.New("queueing: zero service capacity")
 	}
+
+	// Service-time mixture: a busy pool completes requests from each
+	// server in proportion to its rate. One mixture component per
+	// distinct rate; the lognormal parameters and the per-server mean
+	// term are computed once per group and accumulated N times. Pools
+	// with more distinct rates than the stack scratch holds (none of
+	// the simulator's pools) fall back to an allocation.
+	var scratch [groupScratchSize]stats.WeightedGroup
+	parts := scratch[:0]
+	if len(groups) > groupScratchSize {
+		parts = make([]stats.WeightedGroup, 0, len(groups))
+	}
+	parts = parts[:len(groups)]
+	var meanS float64
+	for gi, g := range groups {
+		if g.N == 0 {
+			parts[gi] = stats.WeightedGroup{}
+			continue
+		}
+		if g.Rate <= 0 {
+			return PoolAnalysis{}, errors.New("queueing: non-positive server rate")
+		}
+		m := 1 / g.Rate
+		parts[gi] = stats.WeightedGroup{
+			Weight: g.Rate,
+			N:      g.N,
+			Dist:   stats.LogNormalFromMeanCV(m, cv),
+		}
+		t := (g.Rate / mu) * m
+		for i := 0; i < g.N; i++ {
+			meanS += t
+		}
+	}
+	sTail := stats.GroupedMixtureQuantile(parts, pct)
+	return PoolAnalysis{Mu: mu, MeanS: meanS, STail: sTail, C: n, Pct: pct, CV: cv}, nil
+}
+
+// Eval completes the analysis for one arrival rate. Chaining
+// PreparePool and Eval performs exactly the arithmetic of Analyze, in
+// the same order, so results are bit-identical however the two halves
+// are cached.
+func (p PoolAnalysis) Eval(lambda float64) (Result, error) {
 	if lambda < 0 {
 		return Result{}, errors.New("queueing: negative arrival rate")
 	}
-
-	res := Result{Rho: lambda / mu}
-	// Service-time mixture: a busy pool completes requests from each
-	// server in proportion to its rate.
-	parts := make([]stats.WeightedDist, 0, len(servers))
-	var meanS float64
-	for _, sv := range servers {
-		if sv.Rate <= 0 {
-			return Result{}, errors.New("queueing: non-positive server rate")
-		}
-		m := 1 / sv.Rate
-		parts = append(parts, stats.WeightedDist{
-			Weight: sv.Rate,
-			Dist:   stats.LogNormalFromMeanCV(m, cv),
-		})
-		meanS += (sv.Rate / mu) * m
-	}
-	sTail := stats.MixtureQuantile(parts, pct)
-
+	res := Result{Rho: lambda / p.Mu}
 	if lambda == 0 {
-		res.MeanLatency = meanS
-		res.TailLatency = sTail
+		res.MeanLatency = p.MeanS
+		res.TailLatency = p.STail
 		return res, nil
 	}
 	if res.Rho >= satClamp {
 		res.Saturated = true
 		res.PWait = 1
-		res.Throughput = mu
+		res.Throughput = p.Mu
 		res.MeanLatency = math.Inf(1)
 		res.TailLatency = math.Inf(1)
 		return res, nil
 	}
 
-	c := len(servers)
-	a := lambda / (mu / float64(c)) // offered load in erlangs
-	pWait := ErlangC(c, a)
-	drain := mu - lambda
-	gg := (1 + cv*cv) / 2 // G/G correction on the queueing term
+	a := lambda / (p.Mu / float64(p.C)) // offered load in erlangs
+	pWait := ErlangC(p.C, a)
+	drain := p.Mu - lambda
+	gg := (1 + p.CV*p.CV) / 2 // G/G correction on the queueing term
 	meanWait := pWait / drain * gg
 
 	// Tail of the waiting time: exponential with rate drain/gg beyond
 	// the queueing probability mass.
 	var tailWait float64
-	if pWait > 1-pct {
-		tailWait = math.Log(pWait/(1-pct)) * gg / drain
+	if pWait > 1-p.Pct {
+		tailWait = math.Log(pWait/(1-p.Pct)) * gg / drain
 	}
 
 	res.PWait = pWait
 	res.Throughput = lambda
-	res.MeanLatency = meanS + meanWait
-	res.TailLatency = sTail + tailWait
+	res.MeanLatency = p.MeanS + meanWait
+	res.TailLatency = p.STail + tailWait
 	return res, nil
 }
 

@@ -1,10 +1,10 @@
 package queueing
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 	"math/rand"
+	"sort"
 
 	"hipster/internal/stats"
 )
@@ -13,6 +13,8 @@ import (
 // pool: Poisson arrivals at Lambda req/s, lognormal service demands with
 // the given CV, fastest-idle-server-first dispatch, single FIFO queue.
 type DESConfig struct {
+	// Servers is read during the run only and never retained; callers
+	// may reuse the slice across calls.
 	Servers  []Server
 	Lambda   float64
 	CV       float64
@@ -59,23 +61,107 @@ type desEvent struct {
 	server int // completing server index
 }
 
-type eventHeap []desEvent
+// Simulator owns the discrete-event simulation's scratch state — the
+// completion-event heap, the FIFO arrival ring, per-server distributions
+// and busy-time accumulators, and the sojourn sample buffer — so
+// repeated Run calls (one per monitoring interval on the engine's DES
+// path) reuse the buffers instead of reallocating them per call. The
+// zero value is ready to use. A Simulator is not safe for concurrent
+// use; each goroutine needs its own.
+//
+// The event heap is a specialized non-boxing min-heap that replicates
+// container/heap's sift order exactly, and the FIFO is a ring buffer
+// with the same pop order as the queue = queue[1:] original, so Run is
+// bit-identical to the reference implementation for any seed.
+type Simulator struct {
+	dists    []stats.LogNormal
+	idle     []bool
+	busyTime []float64
+	events   []desEvent // binary min-heap on .t
+	queue    []float64  // FIFO ring of arrival timestamps; len is a power of two
+	qHead    int
+	qLen     int
+	sojourns []float64
+}
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(desEvent)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+// heapPush appends e and sifts it up, mirroring container/heap.Push.
+func (s *Simulator) heapPush(e desEvent) {
+	h := append(s.events, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].t < h[i].t) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	s.events = h
+}
+
+// heapPop removes and returns the earliest event, mirroring
+// container/heap.Pop: swap the root with the last element, sift the new
+// root down over the shortened heap, then detach the old root.
+func (s *Simulator) heapPop() desEvent {
+	h := s.events
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].t < h[j1].t {
+			j = j2
+		}
+		if !(h[j].t < h[i].t) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	e := h[n]
+	s.events = h[:n]
 	return e
 }
 
-// SimulateDES runs the discrete-event simulation and summarises the
-// sojourn-time distribution. It is deterministic for a given seed.
-func SimulateDES(cfg DESConfig) (DESummary, error) {
+// qPush appends an arrival timestamp to the FIFO ring.
+func (s *Simulator) qPush(v float64) {
+	if s.qLen == len(s.queue) {
+		s.qGrow()
+	}
+	s.queue[(s.qHead+s.qLen)&(len(s.queue)-1)] = v
+	s.qLen++
+}
+
+// qPop removes the oldest arrival timestamp.
+func (s *Simulator) qPop() float64 {
+	v := s.queue[s.qHead]
+	s.qHead = (s.qHead + 1) & (len(s.queue) - 1)
+	s.qLen--
+	return v
+}
+
+// qGrow doubles the ring storage, linearizing the live window so the
+// power-of-two masking stays valid.
+func (s *Simulator) qGrow() {
+	n := 2 * len(s.queue)
+	if n == 0 {
+		n = 1024
+	}
+	buf := make([]float64, n)
+	k := copy(buf, s.queue[s.qHead:])
+	copy(buf[k:], s.queue[:s.qHead])
+	s.queue = buf
+	s.qHead = 0
+}
+
+// Run executes the discrete-event simulation and summarises the
+// sojourn-time distribution. It is deterministic for a given seed and
+// independent of any previous Run on the same Simulator.
+func (s *Simulator) Run(cfg DESConfig) (DESummary, error) {
 	if len(cfg.Servers) == 0 {
 		return DESummary{}, ErrNoServers
 	}
@@ -85,16 +171,28 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := len(cfg.Servers)
 
+	// Reset scratch. The slices keep their capacity across runs.
+	if cap(s.dists) < n {
+		s.dists = make([]stats.LogNormal, n)
+		s.idle = make([]bool, n)
+		s.busyTime = make([]float64, n)
+	}
+	s.dists = s.dists[:n]
+	s.idle = s.idle[:n]
+	s.busyTime = s.busyTime[:n]
+	s.events = s.events[:0]
+	s.qHead, s.qLen = 0, 0
+	s.sojourns = s.sojourns[:0]
+
 	// Per-server lognormal service-time distributions.
-	dists := make([]stats.LogNormal, n)
 	for i, sv := range cfg.Servers {
 		if sv.Rate <= 0 {
 			return DESummary{}, errors.New("queueing: non-positive server rate")
 		}
-		dists[i] = stats.LogNormalFromMeanCV(1/sv.Rate, cfg.CV)
+		s.dists[i] = stats.LogNormalFromMeanCV(1/sv.Rate, cfg.CV)
 	}
 	sample := func(server int) float64 {
-		d := dists[server]
+		d := s.dists[server]
 		if d.Sigma == 0 {
 			return 1 / cfg.Servers[server].Rate
 		}
@@ -103,13 +201,13 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 
 	// Idle servers kept as a list scanned for the fastest (n is tiny:
 	// at most 6 cores on Juno).
-	idle := make([]bool, n)
-	for i := range idle {
-		idle[i] = true
+	for i := range s.idle {
+		s.idle[i] = true
+		s.busyTime[i] = 0
 	}
 	fastestIdle := func() int {
 		best := -1
-		for i, ok := range idle {
+		for i, ok := range s.idle {
 			if !ok {
 				continue
 			}
@@ -121,11 +219,6 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 	}
 
 	horizon := cfg.Warmup + cfg.Duration
-	var completions eventHeap
-	queue := make([]float64, 0, 1024) // arrival timestamps
-	busyTime := make([]float64, n)
-
-	var sojourns []float64
 	dropped := 0
 	completed := 0
 
@@ -137,13 +230,13 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 	}
 
 	startService := func(server int, arrival, now float64) {
-		idle[server] = false
-		s := sample(server)
-		busyTime[server] += s
-		done := now + s
-		heap.Push(&completions, desEvent{t: done, server: server})
+		s.idle[server] = false
+		d := sample(server)
+		s.busyTime[server] += d
+		done := now + d
+		s.heapPush(desEvent{t: done, server: server})
 		if arrival >= cfg.Warmup && done <= horizon {
-			sojourns = append(sojourns, done-arrival)
+			s.sojourns = append(s.sojourns, done-arrival)
 			completed++
 		}
 	}
@@ -151,18 +244,17 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 	// waiting arrival with the freed server.
 	for {
 		var now float64
-		if len(completions) > 0 && completions[0].t <= nextArrival {
-			ev := heap.Pop(&completions).(desEvent)
+		if len(s.events) > 0 && s.events[0].t <= nextArrival {
+			ev := s.heapPop()
 			now = ev.t
 			if now > horizon {
 				break
 			}
-			if len(queue) > 0 {
-				arr := queue[0]
-				queue = queue[1:]
+			if s.qLen > 0 {
+				arr := s.qPop()
 				startService(ev.server, arr, now)
 			} else {
-				idle[ev.server] = true
+				s.idle[ev.server] = true
 			}
 			continue
 		}
@@ -171,26 +263,31 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 			break
 		}
 		nextArrival = now + rng.ExpFloat64()/cfg.Lambda
-		if s := fastestIdle(); s >= 0 {
-			startService(s, now, now)
-		} else if cfg.MaxQueue > 0 && len(queue) >= cfg.MaxQueue {
+		if srv := fastestIdle(); srv >= 0 {
+			startService(srv, now, now)
+		} else if cfg.MaxQueue > 0 && s.qLen >= cfg.MaxQueue {
 			dropped++
 		} else {
-			queue = append(queue, now)
+			s.qPush(now)
 		}
 	}
 
 	sum := DESummary{Completed: completed, Dropped: dropped}
 	if completed > 0 {
-		sum.Mean, _ = stats.Mean(sojourns)
-		sum.P50, _ = stats.Percentile(sojourns, 0.50)
-		sum.P90, _ = stats.Percentile(sojourns, 0.90)
-		sum.P95, _ = stats.Percentile(sojourns, 0.95)
-		sum.P99, _ = stats.Percentile(sojourns, 0.99)
+		// The mean sums in completion order (before the sort) so it
+		// matches the reference implementation bit for bit; the
+		// percentiles then share one in-place sort instead of
+		// copy-and-sorting per percentile.
+		sum.Mean, _ = stats.Mean(s.sojourns)
+		sort.Float64s(s.sojourns)
+		sum.P50, _ = stats.PercentileSorted(s.sojourns, 0.50)
+		sum.P90, _ = stats.PercentileSorted(s.sojourns, 0.90)
+		sum.P95, _ = stats.PercentileSorted(s.sojourns, 0.95)
+		sum.P99, _ = stats.PercentileSorted(s.sojourns, 0.99)
 		sum.Throughput = float64(completed) / cfg.Duration
 	}
 	var busy float64
-	for _, b := range busyTime {
+	for _, b := range s.busyTime {
 		busy += b
 	}
 	sum.Utilization = busy / (horizon * float64(n))
@@ -198,6 +295,15 @@ func SimulateDES(cfg DESConfig) (DESummary, error) {
 		sum.Utilization = 1
 	}
 	return sum, nil
+}
+
+// SimulateDES runs the discrete-event simulation and summarises the
+// sojourn-time distribution. It is deterministic for a given seed.
+// Callers evaluating many configurations should hold a Simulator and
+// call Run instead, which reuses the simulation scratch across calls.
+func SimulateDES(cfg DESConfig) (DESummary, error) {
+	var s Simulator
+	return s.Run(cfg)
 }
 
 func lognormSample(rng *rand.Rand, d stats.LogNormal) float64 {

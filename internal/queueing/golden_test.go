@@ -1,0 +1,109 @@
+package queueing
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden files from this implementation")
+
+// goldenDESConfigs spans the regimes the simulator is used in:
+// homogeneous and heterogeneous pools, low and near-saturation load,
+// deterministic (CV=0) and heavy-tailed demands, bounded queues.
+func goldenDESConfigs() []DESConfig {
+	return []DESConfig{
+		{Servers: []Server{{Rate: 100}, {Rate: 100}}, Lambda: 60, CV: 1, Duration: 80, Warmup: 10, Seed: 1},
+		{Servers: []Server{{Rate: 300}, {Rate: 100}, {Rate: 100}, {Rate: 100}}, Lambda: 540, CV: 1, Duration: 60, Warmup: 5, Seed: 2},
+		{Servers: []Server{{Rate: 500}, {Rate: 500}, {Rate: 160}, {Rate: 160}}, Lambda: 1180, CV: 1.2, Duration: 40, Warmup: 5, Seed: 3},
+		{Servers: []Server{{Rate: 40}}, Lambda: 36, CV: 0.7, Duration: 200, Warmup: 20, Seed: 4},
+		{Servers: []Server{{Rate: 50}, {Rate: 20}}, Lambda: 10, CV: 0, Duration: 120, Warmup: 0, Seed: 5},
+		{Servers: []Server{{Rate: 10}}, Lambda: 50, CV: 0.5, Duration: 100, Warmup: 0, Seed: 6, MaxQueue: 5},
+		{Servers: []Server{{Rate: 120}, {Rate: 120}, {Rate: 40}, {Rate: 40}, {Rate: 40}, {Rate: 40}}, Lambda: 380, CV: 1.2, Duration: 50, Warmup: 5, Seed: 7},
+		{Servers: []Server{{Rate: 80}, {Rate: 80}}, Lambda: 0, CV: 1, Duration: 30, Warmup: 0, Seed: 8},
+	}
+}
+
+func renderDES(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, cfg := range goldenDESConfigs() {
+		sum, err := SimulateDES(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		fmt.Fprintf(&buf, "des %d completed=%d dropped=%d mean=%.17g p50=%.17g p90=%.17g p95=%.17g p99=%.17g util=%.17g thr=%.17g\n",
+			i, sum.Completed, sum.Dropped, sum.Mean, sum.P50, sum.P90, sum.P95, sum.P99, sum.Utilization, sum.Throughput)
+	}
+	return buf.Bytes()
+}
+
+func renderAnalytic(t *testing.T) []byte {
+	t.Helper()
+	pools := [][]Server{
+		{{Rate: 100}},
+		{{Rate: 100}, {Rate: 100}},
+		{{Rate: 300}, {Rate: 100}, {Rate: 100}, {Rate: 100}},
+		{{Rate: 500}, {Rate: 500}, {Rate: 160}, {Rate: 160}},
+		{{Rate: 120}, {Rate: 120}, {Rate: 40}, {Rate: 40}, {Rate: 40}, {Rate: 40}},
+	}
+	rhos := []float64{0, 0.3, 0.6, 0.9, 1.1}
+	var buf bytes.Buffer
+	for pi, pool := range pools {
+		mu := TotalRate(pool)
+		fmt.Fprintf(&buf, "pool %d mu=%.17g\n", pi, mu)
+		for _, cv := range []float64{0, 0.7, 1.2} {
+			for _, rho := range rhos {
+				res, err := Analyze(pool, rho*mu, 0.95, cv)
+				if err != nil {
+					t.Fatalf("pool %d rho %v cv %v: %v", pi, rho, cv, err)
+				}
+				fmt.Fprintf(&buf, "analyze %d cv=%.17g rho=%.17g pwait=%.17g mean=%.17g tail=%.17g thr=%.17g sat=%v\n",
+					pi, cv, res.Rho, res.PWait, res.MeanLatency, res.TailLatency, res.Throughput, res.Saturated)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenAgainstReference pins SimulateDES and Analyze to the outputs
+// of the original reference implementation (container/heap DES, per-
+// server mixture quantile). The golden files were generated BEFORE the
+// specialized heap / grouped-mixture rewrite, so a diff here means the
+// fast path is no longer bit-identical to the model it replaced. Do not
+// regenerate lightly: -update re-pins to the current implementation.
+func TestGoldenAgainstReference(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		render func(*testing.T) []byte
+	}{
+		{"des.golden", renderDES},
+		{"analytic.golden", renderAnalytic},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.render(t)
+			golden := filepath.Join("testdata", tc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("golden file %s regenerated", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("output no longer bit-identical to the reference implementation (%s)\n--- want ---\n%s--- got ---\n%s",
+					golden, want, got)
+			}
+		})
+	}
+}

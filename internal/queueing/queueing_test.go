@@ -128,6 +128,32 @@ func TestAnalyzeFasterPoolIsFaster(t *testing.T) {
 	}
 }
 
+func TestAnalyzeManyDistinctRates(t *testing.T) {
+	// More distinct rates than the no-alloc group scratch holds must
+	// fall back to an allocation, not an error.
+	pool := make([]Server, groupScratchSize+3)
+	groups := make([]ServerGroup, len(pool))
+	for i := range pool {
+		pool[i] = Server{Rate: 50 + 10*float64(i)}
+		groups[i] = ServerGroup{Rate: pool[i].Rate, N: 1}
+	}
+	lambda := 0.7 * TotalRate(pool)
+	res, err := Analyze(pool, lambda, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TailLatency <= 0 || math.IsInf(res.TailLatency, 0) {
+		t.Fatalf("implausible tail %v", res.TailLatency)
+	}
+	viaGroups, err := AnalyzeGroups(groups, lambda, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != viaGroups {
+		t.Fatalf("Analyze and AnalyzeGroups disagree:\n%+v\n%+v", res, viaGroups)
+	}
+}
+
 func TestDESDeterministic(t *testing.T) {
 	cfg := DESConfig{
 		Servers:  []Server{{Rate: 100}, {Rate: 40}},

@@ -10,9 +10,12 @@ import (
 	"math/rand"
 )
 
-// NewRNG returns a deterministic random source for the given seed.
+// NewRNG returns a deterministic random source for the given seed. The
+// stream is bit-identical to rand.New(rand.NewSource(seed)); repeated
+// requests for one seed clone a cached template instead of re-running
+// the expensive seed expansion (see rngtemplate.go).
 func NewRNG(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
+	return rand.New(newFibSource(seed))
 }
 
 // SubSeed derives a stable child seed from a parent seed and a label.

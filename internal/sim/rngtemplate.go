@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"sync"
+)
+
+// Seeding a math/rand source is surprisingly expensive: NewSource runs
+// ~1900 rounds of a Lehmer LCG to expand the seed into the generator's
+// 607-word state, which dominates fleet construction (every node builds
+// several independent streams). Since the expanded state is a pure
+// function of the seed, sim keeps a template cache: the first request
+// for a seed pays the expansion once, later requests memcpy the
+// template. fibSource replicates math/rand's additive lagged-Fibonacci
+// generator exactly — same seed expansion (see rngcooked.go), same
+// Int63/Uint64 recurrence, and it implements rand.Source64 so
+// rand.Rand drives it through the same code paths — making every
+// stream bit-identical to rand.New(rand.NewSource(seed)).
+
+const (
+	rngLen      = 607
+	rngTap      = 273
+	rngMask     = 1<<63 - 1
+	rngInt32Max = 1<<31 - 1
+
+	// Lehmer LCG constants of the seed expansion.
+	rngSeedA = 48271
+	rngSeedQ = 44488
+	rngSeedR = 3399
+)
+
+// seedrand is one round of the seed-expansion LCG: x = (48271*x) mod
+// (2^31-1), in Schrage's overflow-free form.
+func seedrand(x int32) int32 {
+	hi := x / rngSeedQ
+	lo := x % rngSeedQ
+	x = rngSeedA*lo - rngSeedR*hi
+	if x < 0 {
+		x += rngInt32Max
+	}
+	return x
+}
+
+// fibSource is the additive lagged-Fibonacci generator F(607, 273, +).
+type fibSource struct {
+	tap, feed int
+	vec       [rngLen]int64
+}
+
+// seed expands seed into the generator state.
+func (s *fibSource) seed(seed int64) {
+	s.tap = 0
+	s.feed = rngLen - rngTap
+	seed = seed % rngInt32Max
+	if seed < 0 {
+		seed += rngInt32Max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	x := int32(seed)
+	for i := -20; i < rngLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := uint64(x) << 40
+			x = seedrand(x)
+			u ^= uint64(x) << 20
+			x = seedrand(x)
+			u ^= uint64(x)
+			u ^= uint64(rngCooked[i])
+			s.vec[i] = int64(u)
+		}
+	}
+}
+
+// Uint64 implements rand.Source64.
+func (s *fibSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 implements rand.Source.
+func (s *fibSource) Int63() int64 { return int64(s.Uint64() & rngMask) }
+
+// Seed implements rand.Source.
+func (s *fibSource) Seed(seed int64) { s.seed(seed) }
+
+// rngTemplateCap bounds the template cache (~5 KB per entry). A process
+// only ever builds streams for a bounded set of (seed, label) pairs;
+// past the cap, requests for new seeds simply pay the expansion.
+const rngTemplateCap = 512
+
+var (
+	rngTemplateMu sync.Mutex
+	rngTemplates  = make(map[int64]*fibSource)
+)
+
+// newFibSource returns a freshly seeded generator, cloning a cached
+// template when one exists. Templates are immutable once published.
+func newFibSource(seed int64) *fibSource {
+	rngTemplateMu.Lock()
+	t, ok := rngTemplates[seed]
+	if !ok {
+		t = &fibSource{}
+		t.seed(seed)
+		if len(rngTemplates) < rngTemplateCap {
+			rngTemplates[seed] = t
+		}
+	}
+	rngTemplateMu.Unlock()
+	clone := *t
+	return &clone
+}

@@ -137,6 +137,96 @@ func MixtureQuantile(parts []WeightedDist, p float64) float64 {
 	return (lo + hi) / 2
 }
 
+// WeightedGroup is a run of N identical mixture components. It is the
+// group form of WeightedDist: a heterogeneous server pool only ever has
+// a handful of distinct speeds, so representing the mixture as (weight,
+// count, dist) groups avoids expanding one component per server.
+type WeightedGroup struct {
+	Weight float64
+	N      int
+	Dist   LogNormal
+}
+
+// GroupedMixtureQuantile returns the p-quantile of a weighted lognormal
+// mixture given in group form. It is bit-identical to MixtureQuantile
+// over the expanded per-component list: every sum a group contributes
+// (weight normalisation, mixture CDF) is accumulated by adding the
+// per-component term N times in component order, so the floating-point
+// rounding matches the expanded evaluation exactly while the expensive
+// per-component work (the lognormal CDF) is done once per group.
+func GroupedMixtureQuantile(groups []WeightedGroup, p float64) float64 {
+	total := 0
+	for _, g := range groups {
+		if g.Weight < 0 {
+			panic("stats: negative mixture weight")
+		}
+		if g.N < 0 {
+			panic("stats: negative mixture group count")
+		}
+		total += g.N
+	}
+	if total == 0 {
+		panic("stats: empty mixture")
+	}
+	if p <= 0 || p >= 1 {
+		panic("stats: GroupedMixtureQuantile requires 0 < p < 1")
+	}
+	var wsum float64
+	for _, g := range groups {
+		for i := 0; i < g.N; i++ {
+			wsum += g.Weight
+		}
+	}
+	if wsum == 0 {
+		panic("stats: zero-weight mixture")
+	}
+	if total == 1 {
+		for _, g := range groups {
+			if g.N > 0 {
+				return g.Dist.Quantile(p)
+			}
+		}
+	}
+	cdf := func(x float64) float64 {
+		var s float64
+		for _, g := range groups {
+			if g.N == 0 {
+				continue
+			}
+			t := g.Weight * g.Dist.CDF(x)
+			for i := 0; i < g.N; i++ {
+				s += t
+			}
+		}
+		return s / wsum
+	}
+	// Bracket the quantile with the component quantiles.
+	lo, hi := math.Inf(1), 0.0
+	for _, g := range groups {
+		if g.Weight == 0 || g.N == 0 {
+			continue
+		}
+		q := g.Dist.Quantile(p)
+		lo = math.Min(lo, q)
+		hi = math.Max(hi, q)
+	}
+	if lo == hi {
+		return lo
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*math.Max(1, hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
 // Percentile returns the p-quantile (0<=p<=1) of the sample using linear
 // interpolation between closest ranks. The input slice is not modified.
 func Percentile(xs []float64, p float64) (float64, error) {
@@ -144,21 +234,37 @@ func Percentile(xs []float64, p float64) (float64, error) {
 		return 0, ErrEmpty
 	}
 	if p < 0 || p > 1 {
-		return 0, errors.New("stats: percentile p out of [0,1]")
+		return 0, errPercentileRange
 	}
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0], nil
+	return PercentileSorted(s, p)
+}
+
+var errPercentileRange = errors.New("stats: percentile p out of [0,1]")
+
+// PercentileSorted returns the p-quantile of an ascending-sorted sample
+// with the same closest-rank interpolation as Percentile, without
+// copying or sorting. Callers reading several percentiles from one
+// sample should sort once and use this.
+func PercentileSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmpty
 	}
-	pos := p * float64(len(s)-1)
+	if p < 0 || p > 1 {
+		return 0, errPercentileRange
+	}
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p * float64(len(sorted)-1)
 	i := int(math.Floor(pos))
 	frac := pos - float64(i)
-	if i+1 >= len(s) {
-		return s[len(s)-1], nil
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1], nil
 	}
-	return s[i]*(1-frac) + s[i+1]*frac, nil
+	return sorted[i]*(1-frac) + sorted[i+1]*frac, nil
 }
 
 // Mean returns the arithmetic mean of xs.

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"sort"
+
 	"hipster/internal/stats"
 )
 
@@ -50,6 +52,20 @@ func (f FleetSample) QoSAttainment() float64 {
 // so fleet aggregates are identical however node stepping was
 // parallelised.
 func MergeInterval(samples []Sample, stragglerFactor float64) FleetSample {
+	var m Merger
+	return m.MergeInterval(samples, stragglerFactor)
+}
+
+// Merger computes interval merges through a reusable scratch buffer, so
+// a coordinator merging every interval of a long run does not allocate
+// per interval. The zero value is ready to use; a Merger is not safe
+// for concurrent use.
+type Merger struct {
+	tails []float64
+}
+
+// MergeInterval is MergeInterval through the Merger's scratch.
+func (m *Merger) MergeInterval(samples []Sample, stragglerFactor float64) FleetSample {
 	if stragglerFactor <= 0 {
 		stragglerFactor = DefaultStragglerFactor
 	}
@@ -59,7 +75,10 @@ func MergeInterval(samples []Sample, stragglerFactor float64) FleetSample {
 	}
 	fs.T = samples[0].T
 
-	tails := make([]float64, len(samples))
+	if cap(m.tails) < len(samples) {
+		m.tails = make([]float64, len(samples))
+	}
+	tails := m.tails[:len(samples)]
 	for i, s := range samples {
 		tails[i] = s.TailLatency
 		fs.OfferedRPS += s.OfferedRPS
@@ -80,7 +99,10 @@ func MergeInterval(samples []Sample, stragglerFactor float64) FleetSample {
 		}
 	}
 	fs.MeanTardiness /= float64(len(samples))
-	median, err := stats.Percentile(tails, 0.5)
+	// The median sorts the scratch in place — same values, same sort,
+	// same result as the copying stats.Percentile.
+	sort.Float64s(tails)
+	median, err := stats.PercentileSorted(tails, 0.5)
 	if err == nil {
 		fs.MedianTail = median
 	}

@@ -24,6 +24,24 @@ import (
 // analytic path; transition penalties and the tail cap are applied
 // identically.
 func (m *Model) IntervalDES(spec *platform.Spec, in IntervalInput, seed int64) (IntervalOutput, error) {
+	var r DESRunner
+	return r.Interval(m, spec, in, seed)
+}
+
+// DESRunner owns the discrete-event evaluation scratch — the queueing
+// Simulator's event/queue/sample buffers and the expanded server pool —
+// so a caller stepping a workload interval after interval (the engine's
+// UseDES path) reuses the buffers instead of reallocating them every
+// monitoring interval. The zero value is ready to use; a DESRunner is
+// not safe for concurrent use.
+type DESRunner struct {
+	sim     queueing.Simulator
+	servers []queueing.Server
+}
+
+// Interval evaluates one monitoring interval of m by discrete-event
+// simulation, exactly as Model.IntervalDES does.
+func (r *DESRunner) Interval(m *Model, spec *platform.Spec, in IntervalInput, seed int64) (IntervalOutput, error) {
 	if in.Dt <= 0 {
 		return IntervalOutput{}, fmt.Errorf("workload %s: non-positive interval", m.Name)
 	}
@@ -33,7 +51,8 @@ func (m *Model) IntervalDES(spec *platform.Spec, in IntervalInput, seed int64) (
 	if err := in.Config.Validate(spec); err != nil {
 		return IntervalOutput{}, err
 	}
-	servers := m.Servers(spec, in.Config, in.DemandInflation)
+	r.servers = m.appendServers(r.servers[:0], spec, in.Config, in.DemandInflation)
+	servers := r.servers
 	mu := queueing.TotalRate(servers)
 	effLambda := in.OfferedRPS + in.Backlog/in.Dt
 
@@ -45,7 +64,7 @@ func (m *Model) IntervalDES(spec *platform.Spec, in IntervalInput, seed int64) (
 		duration = 400 / effLambda
 	}
 	const maxQueueFactor = 4 // bounds overload memory, mirroring BacklogCapSecs
-	sum, err := queueing.SimulateDES(queueing.DESConfig{
+	sum, err := r.sim.Run(queueing.DESConfig{
 		Servers:  servers,
 		Lambda:   effLambda,
 		CV:       m.DemandCV,

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipster/internal/platform"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden file from this implementation")
+
+// renderModelGolden evaluates the deterministic model surface — Interval
+// (analytic and DES), TailAt, MeetsQoS and CapacityRPS — over a grid of
+// configurations and operating points, rendering every output at full
+// float precision.
+func renderModelGolden(t *testing.T) []byte {
+	t.Helper()
+	spec := platform.JunoR1()
+	var buf bytes.Buffer
+	configs := []platform.Config{
+		{NBig: 2, BigFreq: spec.Big.MaxFreq()},
+		{NBig: 1, BigFreq: spec.Big.MinFreq()},
+		{NSmall: 4},
+		{NSmall: 1},
+		{NBig: 1, NSmall: 2, BigFreq: spec.Big.MinFreq()},
+		{NBig: 2, NSmall: 4, BigFreq: spec.Big.MaxFreq()},
+	}
+	for _, m := range []*Model{Memcached(), WebSearch()} {
+		for ci, cfg := range configs {
+			fmt.Fprintf(&buf, "capacity %s %d %.17g\n", m.Name, ci, m.CapacityRPS(spec, cfg))
+			for _, frac := range []float64{0.1, 0.4, 0.7, 0.95} {
+				rps := m.RPSAt(frac)
+				fmt.Fprintf(&buf, "tailat %s %d f=%.2f %.17g meets=%v\n",
+					m.Name, ci, frac, m.TailAt(spec, cfg, rps), m.MeetsQoS(spec, cfg, rps))
+			}
+			for ii, in := range []IntervalInput{
+				{Config: cfg, OfferedRPS: m.RPSAt(0.5), Dt: 1, DemandInflation: 1},
+				{Config: cfg, OfferedRPS: m.RPSAt(0.8), Dt: 1, Backlog: m.RPSAt(0.1), DemandInflation: 1.07},
+				{Config: cfg, OfferedRPS: m.RPSAt(1.2), Dt: 1, DemandInflation: 1},
+				{Config: cfg, OfferedRPS: m.RPSAt(0.6), Dt: 1, MigratedCores: 2, DemandInflation: 1},
+				{Config: cfg, OfferedRPS: m.RPSAt(0.6), Dt: 1, DVFSChanged: true, DemandInflation: 1},
+			} {
+				out, err := m.Interval(spec, in)
+				if err != nil {
+					t.Fatalf("%s config %d input %d: %v", m.Name, ci, ii, err)
+				}
+				fmt.Fprintf(&buf, "interval %s %d %d tail=%.17g mean=%.17g ach=%.17g backlog=%.17g util=%.17g putil=%.17g ips=%.17g sat=%v\n",
+					m.Name, ci, ii, out.TailLatency, out.MeanLatency, out.AchievedRPS, out.EndBacklog,
+					out.CoreUtil, out.PowerUtil, out.DeliveredIPS, out.Saturated)
+			}
+			// The DES path exercises Servers -> SimulateDES end to end.
+			des, err := m.IntervalDES(spec, IntervalInput{
+				Config: cfg, OfferedRPS: m.RPSAt(0.6), Dt: 1, DemandInflation: 1,
+			}, 42+int64(ci))
+			if err != nil {
+				t.Fatalf("%s config %d DES: %v", m.Name, ci, err)
+			}
+			fmt.Fprintf(&buf, "des %s %d tail=%.17g mean=%.17g ach=%.17g util=%.17g sat=%v\n",
+				m.Name, ci, des.TailLatency, des.MeanLatency, des.AchievedRPS, des.CoreUtil, des.Saturated)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenAgainstReference pins the model's deterministic outputs to
+// the original reference implementation (per-server []Server expansion,
+// uncached Analyze). The golden file was generated BEFORE the grouped
+// server representation and the memo cache landed, so a diff here means
+// the optimized path is no longer bit-identical. Do not regenerate
+// lightly: -update re-pins to the current implementation.
+func TestGoldenAgainstReference(t *testing.T) {
+	got := renderModelGolden(t)
+	golden := filepath.Join("testdata", "model.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file %s regenerated", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output no longer bit-identical to the reference implementation (%s)\n--- want ---\n%s--- got ---\n%s",
+			golden, want, got)
+	}
+}

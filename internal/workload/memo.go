@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"sync"
+
+	"hipster/internal/platform"
+	"hipster/internal/queueing"
+)
+
+// memoMaxEntries bounds each memo map. The deterministic sweeps that
+// the cache exists for (Fig. 2/3 config searches, MeetsQoS grids, RL
+// reward shaping) revisit a few thousand exact points; noisy runs
+// produce a stream of unique keys instead, so without a bound the maps
+// would grow with the run. When a map reaches the bound it is cleared —
+// cached values equal recomputed values, so eviction can never change a
+// result, only its cost.
+const memoMaxEntries = 1 << 15
+
+// The memo keys carry the platform spec by pointer: rates depend on the
+// spec's cluster parameters, and pointer identity is the one equality
+// that can never conflate two differently-calibrated specs.
+type analyzeKey struct {
+	spec      *platform.Spec
+	cfg       platform.Config
+	lambda    float64
+	inflation float64
+}
+
+type analyzeVal struct {
+	mu  float64
+	res queueing.Result
+}
+
+type poolKey struct {
+	spec      *platform.Spec
+	cfg       platform.Config
+	inflation float64
+}
+
+type tailAtKey struct {
+	spec *platform.Spec
+	cfg  platform.Config
+	rps  float64
+}
+
+type capacityKey struct {
+	spec *platform.Spec
+	cfg  platform.Config
+}
+
+// modelMemo holds the Model's memo maps behind one RWMutex: lookups
+// (the common case once a sweep warms up) share the read lock, inserts
+// take the write lock. Losing an insert race is harmless — both racers
+// computed the same value.
+type modelMemo struct {
+	mu       sync.RWMutex
+	analyze  map[analyzeKey]analyzeVal
+	pool     map[poolKey]queueing.PoolAnalysis
+	tailAt   map[tailAtKey]float64
+	capacity map[capacityKey]float64
+}
+
+func newModelMemo() *modelMemo {
+	return &modelMemo{
+		analyze:  make(map[analyzeKey]analyzeVal),
+		pool:     make(map[poolKey]queueing.PoolAnalysis),
+		tailAt:   make(map[tailAtKey]float64),
+		capacity: make(map[capacityKey]float64),
+	}
+}
+
+// getMemo returns the Model's memo, initialising it on first use. Models
+// built as struct literals (tests, custom workloads) get theirs lazily;
+// the CompareAndSwap makes concurrent first calls agree on one instance.
+func (m *Model) getMemo() *modelMemo {
+	if p := m.memo.Load(); p != nil {
+		return p
+	}
+	p := newModelMemo()
+	if m.memo.CompareAndSwap(nil, p) {
+		return p
+	}
+	return m.memo.Load()
+}
+
+func (mm *modelMemo) lookupAnalyze(k analyzeKey) (analyzeVal, bool) {
+	mm.mu.RLock()
+	v, ok := mm.analyze[k]
+	mm.mu.RUnlock()
+	return v, ok
+}
+
+func (mm *modelMemo) storeAnalyze(k analyzeKey, v analyzeVal) {
+	mm.mu.Lock()
+	if len(mm.analyze) >= memoMaxEntries {
+		clear(mm.analyze)
+	}
+	mm.analyze[k] = v
+	mm.mu.Unlock()
+}
+
+func (mm *modelMemo) lookupPool(k poolKey) (queueing.PoolAnalysis, bool) {
+	mm.mu.RLock()
+	v, ok := mm.pool[k]
+	mm.mu.RUnlock()
+	return v, ok
+}
+
+func (mm *modelMemo) storePool(k poolKey, v queueing.PoolAnalysis) {
+	mm.mu.Lock()
+	if len(mm.pool) >= memoMaxEntries {
+		clear(mm.pool)
+	}
+	mm.pool[k] = v
+	mm.mu.Unlock()
+}
+
+func (mm *modelMemo) lookupTailAt(k tailAtKey) (float64, bool) {
+	mm.mu.RLock()
+	v, ok := mm.tailAt[k]
+	mm.mu.RUnlock()
+	return v, ok
+}
+
+func (mm *modelMemo) storeTailAt(k tailAtKey, v float64) {
+	mm.mu.Lock()
+	if len(mm.tailAt) >= memoMaxEntries {
+		clear(mm.tailAt)
+	}
+	mm.tailAt[k] = v
+	mm.mu.Unlock()
+}
+
+func (mm *modelMemo) lookupCapacity(k capacityKey) (float64, bool) {
+	mm.mu.RLock()
+	v, ok := mm.capacity[k]
+	mm.mu.RUnlock()
+	return v, ok
+}
+
+func (mm *modelMemo) storeCapacity(k capacityKey, v float64) {
+	mm.mu.Lock()
+	if len(mm.capacity) >= memoMaxEntries {
+		clear(mm.capacity)
+	}
+	mm.capacity[k] = v
+	mm.mu.Unlock()
+}

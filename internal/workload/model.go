@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"hipster/internal/platform"
 	"hipster/internal/queueing"
 	"hipster/internal/sim"
-	"hipster/internal/stats"
 )
 
 // Model describes one latency-critical application.
@@ -72,6 +72,15 @@ type Model struct {
 	// BacklogCapSecs caps the carried backlog at this many seconds of
 	// full-pool service capacity (finite outstanding requests).
 	BacklogCapSecs float64
+
+	// memo caches the deterministic analytic evaluations (Analyze,
+	// service-time tail, TailAt, CapacityRPS), which the Fig. 2/3
+	// config searches, MeetsQoS and RL reward shaping re-evaluate at
+	// identical points thousands of times. Cached values are the exact
+	// computed results, so hits are bit-identical to recomputation.
+	// Lazily initialised; safe for concurrent use (a fleet's nodes
+	// share one Model).
+	memo atomic.Pointer[modelMemo]
 }
 
 // Validate checks the model parameters.
@@ -105,31 +114,68 @@ func (m *Model) CoreRate(spec *platform.Spec, k platform.CoreKind, f platform.Fr
 	return c.CoreIPS(f) * m.Affinity[k] / m.DemandInstr
 }
 
-// Servers expands a configuration into the heterogeneous server pool it
-// provides, with rates divided by the demand-inflation factor (>= 1)
-// caused by co-runner interference.
-func (m *Model) Servers(spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
+// serverGroups collapses a configuration into its (rate, count) server
+// groups — a configuration only ever has two distinct rates (big cores
+// at the configured DVFS point, small cores at their maximum) — with
+// rates divided by the demand-inflation factor (>= 1) caused by
+// co-runner interference. It allocates nothing; ng is the number of
+// groups used. Group order matches the Servers expansion (big first),
+// so grouped sums are bit-identical to per-server sums.
+func (m *Model) serverGroups(spec *platform.Spec, cfg platform.Config, inflation float64) (groups [2]queueing.ServerGroup, ng int) {
 	if inflation < 1 {
 		inflation = 1
 	}
 	if cfg.NBig > 0 && cfg.NSmall > 0 && m.CrossClusterPenalty > 1 {
 		inflation *= m.CrossClusterPenalty
 	}
-	servers := make([]queueing.Server, 0, cfg.Cores())
-	bigRate := m.CoreRate(spec, platform.Big, cfg.BigFreq) / inflation
-	smallRate := m.CoreRate(spec, platform.Small, spec.Small.MaxFreq()) / inflation
-	for i := 0; i < cfg.NBig; i++ {
-		servers = append(servers, queueing.Server{Rate: bigRate})
+	if cfg.NBig > 0 {
+		groups[ng] = queueing.ServerGroup{
+			Rate: m.CoreRate(spec, platform.Big, cfg.BigFreq) / inflation,
+			N:    cfg.NBig,
+		}
+		ng++
 	}
-	for i := 0; i < cfg.NSmall; i++ {
-		servers = append(servers, queueing.Server{Rate: smallRate})
+	if cfg.NSmall > 0 {
+		groups[ng] = queueing.ServerGroup{
+			Rate: m.CoreRate(spec, platform.Small, spec.Small.MaxFreq()) / inflation,
+			N:    cfg.NSmall,
+		}
+		ng++
 	}
-	return servers
+	return groups, ng
+}
+
+// appendServers expands a configuration's server pool onto dst (the
+// request-level DES needs individual servers) and returns the extended
+// slice.
+func (m *Model) appendServers(dst []queueing.Server, spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
+	groups, ng := m.serverGroups(spec, cfg, inflation)
+	for _, g := range groups[:ng] {
+		for i := 0; i < g.N; i++ {
+			dst = append(dst, queueing.Server{Rate: g.Rate})
+		}
+	}
+	return dst
+}
+
+// Servers expands a configuration into the heterogeneous server pool it
+// provides, with rates divided by the demand-inflation factor (>= 1)
+// caused by co-runner interference.
+func (m *Model) Servers(spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
+	return m.appendServers(make([]queueing.Server, 0, cfg.Cores()), spec, cfg, inflation)
 }
 
 // CapacityRPS returns the aggregate service capacity of a configuration.
 func (m *Model) CapacityRPS(spec *platform.Spec, cfg platform.Config) float64 {
-	return queueing.TotalRate(m.Servers(spec, cfg, 1))
+	memo := m.getMemo()
+	key := capacityKey{spec: spec, cfg: cfg}
+	if v, ok := memo.lookupCapacity(key); ok {
+		return v
+	}
+	groups, ng := m.serverGroups(spec, cfg, 1)
+	v := queueing.TotalRateGroups(groups[:ng])
+	memo.storeCapacity(key, v)
+	return v
 }
 
 // IntervalInput carries everything the model needs to evaluate one
@@ -177,11 +223,31 @@ func (m *Model) Interval(spec *platform.Spec, in IntervalInput) (IntervalOutput,
 	if err := in.Config.Validate(spec); err != nil {
 		return IntervalOutput{}, err
 	}
-	servers := m.Servers(spec, in.Config, in.DemandInflation)
-	mu := queueing.TotalRate(servers)
+	inflation := in.DemandInflation
+	if inflation < 1 {
+		inflation = 1
+	}
 	effLambda := in.OfferedRPS + in.Backlog/in.Dt
 
-	res, err := queueing.Analyze(servers, effLambda, m.QoSPercentile, m.DemandCV)
+	// Deterministic evaluations (config searches, MeetsQoS, reward
+	// shaping) revisit exact operating points and go through the
+	// full-result memo; a noisy interval (in.RNG set) carries a
+	// jittered, effectively unique arrival rate, so only the pool
+	// analysis — everything independent of the arrival rate — comes
+	// from the memo and the per-rate remainder is evaluated directly.
+	var mu float64
+	var res queueing.Result
+	var err error
+	if in.RNG == nil {
+		mu, res, err = m.analyzeCached(spec, in.Config, effLambda, inflation)
+	} else {
+		var pool queueing.PoolAnalysis
+		pool, err = m.poolCached(spec, in.Config, inflation)
+		if err == nil {
+			mu = pool.Mu
+			res, err = pool.Eval(effLambda)
+		}
+	}
 	if err != nil {
 		return IntervalOutput{}, err
 	}
@@ -205,7 +271,7 @@ func (m *Model) Interval(spec *platform.Spec, in IntervalInput) (IntervalOutput,
 		// plus the drain time of the queue seen by late completions,
 		// with a continuity term matching the analytic model at the
 		// saturation clamp.
-		sTail := m.serviceTailQuantile(servers)
+		sTail := m.serviceTailCached(spec, in.Config, inflation)
 		clampWait := math.Log(1/(1-m.QoSPercentile)) *
 			((1 + m.DemandCV*m.DemandCV) / 2) / (mu * 0.005)
 		tail := sTail + (in.Backlog+out.EndBacklog)/mu + clampWait
@@ -240,17 +306,57 @@ func (m *Model) Interval(spec *platform.Spec, in IntervalInput) (IntervalOutput,
 	return out, nil
 }
 
-// serviceTailQuantile returns the QoS-percentile of the service-time
-// mixture alone (no queueing).
-func (m *Model) serviceTailQuantile(servers []queueing.Server) float64 {
-	parts := make([]stats.WeightedDist, 0, len(servers))
-	for _, sv := range servers {
-		parts = append(parts, stats.WeightedDist{
-			Weight: sv.Rate,
-			Dist:   stats.LogNormalFromMeanCV(1/sv.Rate, m.DemandCV),
-		})
+// poolCached returns the arrival-rate-independent pool analysis — the
+// total rate, mean service time and service-time tail quantile of the
+// configuration's pool — through the memo. Configurations and inflation
+// factors form a small discrete key space, so this cache is effective
+// even on noisy runs whose arrival rates never repeat. inflation must
+// already be normalised to >= 1.
+func (m *Model) poolCached(spec *platform.Spec, cfg platform.Config, inflation float64) (queueing.PoolAnalysis, error) {
+	memo := m.getMemo()
+	key := poolKey{spec: spec, cfg: cfg, inflation: inflation}
+	if v, ok := memo.lookupPool(key); ok {
+		return v, nil
 	}
-	return stats.MixtureQuantile(parts, m.QoSPercentile)
+	groups, ng := m.serverGroups(spec, cfg, inflation)
+	pool, err := queueing.PreparePool(groups[:ng], m.QoSPercentile, m.DemandCV)
+	if err != nil {
+		return queueing.PoolAnalysis{}, err
+	}
+	memo.storePool(key, pool)
+	return pool, nil
+}
+
+// analyzeCached evaluates the analytic queueing model for one operating
+// point — the pool's total rate plus the Analyze result — through the
+// memo. inflation must already be normalised to >= 1 so equal operating
+// points share one key.
+func (m *Model) analyzeCached(spec *platform.Spec, cfg platform.Config, lambda, inflation float64) (float64, queueing.Result, error) {
+	memo := m.getMemo()
+	key := analyzeKey{spec: spec, cfg: cfg, lambda: lambda, inflation: inflation}
+	if v, ok := memo.lookupAnalyze(key); ok {
+		return v.mu, v.res, nil
+	}
+	pool, err := m.poolCached(spec, cfg, inflation)
+	if err != nil {
+		return 0, queueing.Result{}, err
+	}
+	res, err := pool.Eval(lambda)
+	if err != nil {
+		return 0, queueing.Result{}, err
+	}
+	memo.storeAnalyze(key, analyzeVal{mu: pool.Mu, res: res})
+	return pool.Mu, res, nil
+}
+
+// serviceTailCached returns the QoS-percentile of the service-time
+// mixture alone (no queueing): the pool analysis already carries it.
+func (m *Model) serviceTailCached(spec *platform.Spec, cfg platform.Config, inflation float64) float64 {
+	pool, err := m.poolCached(spec, cfg, inflation)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return pool.STail
 }
 
 // TailAt returns the deterministic steady-state tail latency of a
@@ -258,19 +364,23 @@ func (m *Model) serviceTailQuantile(servers []queueing.Server) float64 {
 // backlog, noise or transition penalties. Used by the Figure 2/3
 // config-search experiments.
 func (m *Model) TailAt(spec *platform.Spec, cfg platform.Config, rps float64) float64 {
+	memo := m.getMemo()
+	key := tailAtKey{spec: spec, cfg: cfg, rps: rps}
+	if v, ok := memo.lookupTailAt(key); ok {
+		return v
+	}
+	v := math.Inf(1)
 	out, err := m.Interval(spec, IntervalInput{
 		Config:          cfg,
 		OfferedRPS:      rps,
 		Dt:              1,
 		DemandInflation: 1,
 	})
-	if err != nil {
-		return math.Inf(1)
+	if err == nil && !out.Saturated {
+		v = out.TailLatency
 	}
-	if out.Saturated {
-		return math.Inf(1)
-	}
-	return out.TailLatency
+	memo.storeTailAt(key, v)
+	return v
 }
 
 // MeetsQoS reports whether cfg sustains the offered load within the
