@@ -415,6 +415,41 @@ func BenchmarkCluster16Nodes(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterDES16Nodes runs the request-level cluster DES over a
+// 16-node Web-Search fleet at 60% load for 120 simulated seconds with
+// hedged requests — every one of the ~57 000 requests is routed through
+// the splitter at arrival time, carries a hedge timer, and flows
+// through a per-node queue and server pool. Gated in CI alongside the
+// interval-mode cluster benchmarks (ns/op and the allocation budget vs
+// ci/bench_baseline.json), it keeps the fleet event loop's cost — heap
+// churn, request recycling, per-interval summaries — from regressing.
+func BenchmarkClusterDES16Nodes(b *testing.B) {
+	spec := platform.JunoR1()
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		nodes, err := hipster.UniformClusterDESNodes(16, spec, hipster.WebSearch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl, err := hipster.NewClusterDES(hipster.ClusterDESOptions{
+			Nodes:      nodes,
+			Pattern:    hipster.ConstantLoad{Frac: 0.6},
+			Mitigation: hipster.NewHedgedMitigation(0),
+			Workers:    runtime.GOMAXPROCS(0),
+			Seed:       42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fl.Run(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 = res.Latency.P99
+	}
+	b.ReportMetric(p99*1000, "p99-ms")
+}
+
 // BenchmarkClusterAutoscale steps a federated 16-node HipsterIn roster
 // under a bursty load with elastic sizing: the active set follows the
 // bursts, joining nodes are warm-started from the fleet table, and

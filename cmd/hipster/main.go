@@ -26,6 +26,16 @@
 //	hipster cluster -nodes 16 -autoscale -min-nodes 2 -pattern spike
 //	hipster cluster -nodes 16 -autoscale -scale-policy qos-headroom -cooldown 10
 //	hipster cluster -nodes 16 -autoscale -federate -sync-interval 5
+//
+// With -mode=des the fleet runs as one request-level discrete-event
+// simulation: requests are routed through the splitter at arrival time
+// and carry their latency end to end, enabling straggler mitigation
+// (-mitigation hedged|work-stealing), warm-up-aware autoscaling
+// (-warmup-intervals) and the queue-depth scaling signal:
+//
+//	hipster cluster -mode des -nodes 8 -workload websearch -pattern constant:0.6 -mitigation hedged
+//	hipster cluster -mode des -nodes 8 -workload websearch -mitigation work-stealing
+//	hipster cluster -mode des -nodes 8 -autoscale -scale-policy queue-depth -warmup-intervals 3
 package main
 
 import (
@@ -219,6 +229,7 @@ func run(workloadName, policyName, patternName string, duration float64, seed in
 func runCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	var (
+		mode         = fs.String("mode", "interval", "simulation granularity: interval (analytic per-node model) | des (request-level fleet DES)")
 		nodes        = fs.Int("nodes", 16, "number of simulated nodes")
 		workers      = fs.Int("workers", 0, "goroutines stepping nodes in parallel (0 = GOMAXPROCS)")
 		workloadName = fs.String("workload", "memcached", "latency-critical workload on every node: memcached|websearch")
@@ -229,6 +240,9 @@ func runCluster(args []string) error {
 		duration     = fs.Float64("duration", 1440, "simulated seconds")
 		seed         = fs.Int64("seed", 42, "fleet seed (node i uses seed+i)")
 		series       = fs.Bool("series", true, "print sparkline time series")
+		mitigation   = fs.String("mitigation", "none", "DES straggler mitigation: none|hedged|work-stealing")
+		hedgeQ       = fs.Float64("hedge-quantile", 0.95, "DES hedge delay as a quantile of last interval's latencies")
+		warmupIvs    = fs.Int("warmup-intervals", 0, "DES intervals an autoscale-activated node serves nothing while warming")
 		federate     = fs.Bool("federate", false, "share the per-node RL tables: periodically merge them into one fleet table and broadcast it back")
 		syncInterval = fs.Int("sync-interval", 10, "monitoring intervals between federation sync rounds")
 		mergeName    = fs.String("merge", "visit-weighted", "federation merge policy: visit-weighted|max-confidence|newest-wins")
@@ -237,7 +251,7 @@ func runCluster(args []string) error {
 		autoScale    = fs.Bool("autoscale", false, "grow/shrink the active node set with load instead of running the whole fleet")
 		minNodes     = fs.Int("min-nodes", 1, "autoscale lower bound on active nodes")
 		maxNodes     = fs.Int("max-nodes", 0, "autoscale upper bound on active nodes (0 = the full fleet)")
-		scalePolicy  = fs.String("scale-policy", "target-utilization", "autoscale policy: target-utilization|qos-headroom")
+		scalePolicy  = fs.String("scale-policy", "target-utilization", "autoscale policy: target-utilization|qos-headroom|queue-depth")
 		cooldown     = fs.Int("cooldown", 0, "autoscale intervals between a scale event and the next scale-down (0 = default 5)")
 	)
 	prof := profileFlags(fs)
@@ -266,14 +280,37 @@ func runCluster(args []string) error {
 			}
 			return nil
 		}
+		if *mode != "interval" && *mode != "des" {
+			return fmt.Errorf("unknown -mode %q (want interval or des)", *mode)
+		}
+		if err := requireFeature(*mode == "des", "-mode=des", "mitigation", "hedge-quantile", "warmup-intervals"); err != nil {
+			return err
+		}
+		if err := requireFeature(*mode == "interval", "-mode=interval",
+			"policy", "batch", "federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
+			return err
+		}
 		if err := requireFeature(*federate, "-federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
 			return err
 		}
-		if err := requireFeature(*autoScale, "-autoscale", "min-nodes", "max-nodes", "scale-policy", "cooldown"); err != nil {
+		if err := requireFeature(*autoScale, "-autoscale", "min-nodes", "max-nodes", "scale-policy", "cooldown", "warmup-intervals"); err != nil {
 			return err
 		}
 		if *dropout < 0 || *dropout >= 1 {
 			return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
+		}
+		if err := requireFeature(*mitigation == "hedged", "-mitigation hedged", "hedge-quantile"); err != nil {
+			return err
+		}
+		if *mode == "des" {
+			return runClusterDES(desArgs{
+				nodes: *nodes, workers: *workers,
+				workload: *workloadName, splitter: *splitterName, pattern: *patternName,
+				duration: *duration, seed: *seed, series: *series,
+				mitigation: *mitigation, hedgeQuantile: *hedgeQ,
+				autoscale: *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
+				scalePolicy: *scalePolicy, cooldown: *cooldown, warmupIntervals: *warmupIvs,
+			})
 		}
 
 		spec := hipster.JunoR1()
@@ -422,6 +459,137 @@ func runCluster(args []string) error {
 		}
 		return nil
 	})
+}
+
+// desArgs carries the cluster flags that apply to -mode=des.
+type desArgs struct {
+	nodes, workers               int
+	workload, splitter, pattern  string
+	duration                     float64
+	seed                         int64
+	series                       bool
+	mitigation                   string
+	hedgeQuantile                float64
+	autoscale                    bool
+	minNodes, maxNodes, cooldown int
+	scalePolicy                  string
+	warmupIntervals              int
+}
+
+// runClusterDES runs the request-level fleet DES: requests are
+// generated fleet-wide, routed through the splitter at arrival time,
+// and carry their latency end to end through per-node queues — so the
+// report leads with the end-to-end latency distribution the interval
+// mode cannot produce.
+func runClusterDES(a desArgs) error {
+	spec := hipster.JunoR1()
+	wl, err := hipster.WorkloadByName(a.workload)
+	if err != nil {
+		return err
+	}
+	pattern, err := parsePattern(a.pattern)
+	if err != nil {
+		return err
+	}
+	splitter, err := hipster.SplitterByName(a.splitter)
+	if err != nil {
+		return err
+	}
+	mit, err := hipster.MitigationByName(a.mitigation)
+	if err != nil {
+		return err
+	}
+	if a.mitigation == "hedged" {
+		mit = hipster.NewHedgedMitigation(a.hedgeQuantile)
+	}
+	defs, err := hipster.UniformClusterDESNodes(a.nodes, spec, wl)
+	if err != nil {
+		return err
+	}
+	opts := hipster.ClusterDESOptions{
+		Nodes:      defs,
+		Pattern:    pattern,
+		Splitter:   splitter,
+		Mitigation: mit,
+		Workers:    a.workers,
+		Seed:       a.seed,
+	}
+	if a.autoscale {
+		pol, err := hipster.AutoscalePolicyByName(a.scalePolicy)
+		if err != nil {
+			return err
+		}
+		opts.Autoscale = &hipster.ClusterDESAutoscale{
+			Policy:            pol,
+			MinNodes:          a.minNodes,
+			MaxNodes:          a.maxNodes,
+			CooldownIntervals: a.cooldown,
+			WarmupIntervals:   a.warmupIntervals,
+		}
+	}
+	fl, err := hipster.NewClusterDES(opts)
+	if err != nil {
+		return err
+	}
+	res, err := fl.Run(a.duration)
+	if err != nil {
+		return err
+	}
+
+	sum := res.Summarize()
+	fmt.Printf("cluster mode=des nodes=%d workers=%d workload=%s splitter=%s mitigation=%s pattern=%s duration=%.0fs seed=%d\n",
+		a.nodes, fl.Workers(), a.workload, splitter.Name(), mit.Name(), a.pattern, a.duration, a.seed)
+	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(fl.CapacityRPS()))
+	lat := res.Latency
+	fmt.Printf("  requests        : %d completed, %d dropped\n", lat.Completed, lat.Dropped)
+	fmt.Printf("  latency         : p50 %s ms  p90 %s ms  p95 %s ms  p99 %s ms (end to end)\n",
+		report.F2(lat.P50*1000), report.F2(lat.P90*1000), report.F2(lat.P95*1000), report.F2(lat.P99*1000))
+	fmt.Printf("  QoS attainment  : %s (%d node-intervals, %d intervals)\n",
+		report.Pct(sum.QoSAttainment*100), sum.NodeIntervals, sum.Intervals)
+	fmt.Printf("  stragglers      : %d node-intervals (peak %d in one interval)\n",
+		sum.TotalStragglers, sum.PeakStragglers)
+	fmt.Printf("  fleet energy    : %s J (mean %s W)\n", report.F0(sum.TotalEnergyJ), report.F2(sum.MeanPowerW))
+	st := res.Stats
+	if st.Hedges > 0 {
+		fmt.Printf("  hedging         : %d hedges issued, %d won the race\n", st.Hedges, st.HedgeWins)
+	}
+	if st.Steals > 0 {
+		fmt.Printf("  work stealing   : %d requests stolen by idle nodes\n", st.Steals)
+	}
+	if a.autoscale {
+		firstUp := "never"
+		if st.FirstScaleUpInterval >= 0 {
+			firstUp = fmt.Sprintf("at interval %d", st.FirstScaleUpInterval)
+		}
+		fmt.Printf("  autoscale       : %s policy, %d-%d active nodes, %d up / %d down events, first scale-up %s\n",
+			a.scalePolicy, st.MinActive, st.PeakActive, st.Ups, st.Downs, firstUp)
+		if st.WarmupIntervals > 0 || st.Migrated > 0 {
+			fmt.Printf("  warm-up         : %d node-intervals spent warming, %d queued requests migrated off retiring nodes\n",
+				st.WarmupIntervals, st.Migrated)
+		}
+	}
+
+	fleet := res.Fleet
+	if a.series && fleet.Len() > 1 {
+		width := 72
+		load := make([]float64, fleet.Len())
+		tail := make([]float64, fleet.Len())
+		depth := make([]float64, fleet.Len())
+		active := make([]float64, fleet.Len())
+		for i, s := range fleet.Samples {
+			load[i] = s.OfferedRPS
+			tail[i] = s.WorstTail
+			depth[i] = s.Backlog
+			active[i] = float64(s.Nodes)
+		}
+		fmt.Printf("  load       %s\n", report.Sparkline(load, width))
+		fmt.Printf("  worsttail  %s\n", report.Sparkline(tail, width))
+		fmt.Printf("  queues     %s\n", report.Sparkline(depth, width))
+		if a.autoscale {
+			fmt.Printf("  active     %s\n", report.Sparkline(active, width))
+		}
+	}
+	return nil
 }
 
 func parsePattern(name string) (hipster.Pattern, error) {

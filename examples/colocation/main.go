@@ -7,16 +7,18 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hipster"
 )
 
-func run(label string, pol hipster.Policy, progs []hipster.BatchProgram) *hipster.Trace {
+func runPolicy(w io.Writer, label string, pol hipster.Policy, progs []hipster.BatchProgram) (*hipster.Trace, error) {
 	spec := hipster.JunoR1()
 	runner, err := hipster.NewBatchRunner(progs)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	sim, err := hipster.NewSimulation(hipster.SimOptions{
 		Spec:     spec,
@@ -27,46 +29,70 @@ func run(label string, pol hipster.Policy, progs []hipster.BatchProgram) *hipste
 		Seed:     42,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	full, err := sim.Run(2 * 1440)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	day2 := full.Slice(1440, 2*1440+1)
 	sum := day2.Summarize()
-	fmt.Printf("%-12s QoS %5.1f%%  batch %6.2f GIPS mean  energy(total run) %6.0f J  migrations %d\n",
+	fmt.Fprintf(w, "%-12s QoS %5.1f%%  batch %6.2f GIPS mean  energy(total run) %6.0f J  migrations %d\n",
 		label, sum.QoSGuarantee*100, sum.MeanBatchIPS/1e9, full.TotalEnergyJ(), sum.MigrationEvents)
-	return day2
+	return day2, nil
 }
 
-func main() {
+// run executes the example and writes the report; the golden-file test
+// replays it against testdata/output.golden, so the output format is
+// part of the example's contract.
+func run(w io.Writer) error {
 	spec := hipster.JunoR1()
 
 	// A mixed batch: one compute-bound, one memory-bound program.
-	calculix, _ := hipster.BatchProgramByName("calculix")
-	lbm, _ := hipster.BatchProgramByName("lbm")
+	calculix, err := hipster.BatchProgramByName("calculix")
+	if err != nil {
+		return err
+	}
+	lbm, err := hipster.BatchProgramByName("lbm")
+	if err != nil {
+		return err
+	}
 	mix := []hipster.BatchProgram{calculix, lbm}
 
-	fmt.Println("Web-Search collocated with calculix+lbm (day 2 of 2, diurnal load)")
+	fmt.Fprintln(w, "Web-Search collocated with calculix+lbm (day 2 of 2, diurnal load)")
 
-	static := run("static", hipster.NewStaticBig(spec), mix)
+	static, err := runPolicy(w, "static", hipster.NewStaticBig(spec), mix)
+	if err != nil {
+		return err
+	}
 
 	om, err := hipster.NewOctopusMan(spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	run("octopus-man", om, mix)
+	if _, err := runPolicy(w, "octopus-man", om, mix); err != nil {
+		return err
+	}
 
 	hc, err := hipster.NewHipsterCo(spec, hipster.DefaultParams(), 42)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	hipsterTrace := run("hipster-co", hc, mix)
+	hipsterTrace, err := runPolicy(w, "hipster-co", hc, mix)
+	if err != nil {
+		return err
+	}
 
 	if s := static.Summarize(); s.MeanBatchIPS > 0 {
 		h := hipsterTrace.Summarize()
-		fmt.Printf("\nHipsterCo batch throughput vs static partitioning: %.2fx\n",
+		fmt.Fprintf(w, "\nHipsterCo batch throughput vs static partitioning: %.2fx\n",
 			h.MeanBatchIPS/s.MeanBatchIPS)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

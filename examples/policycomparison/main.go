@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"hipster"
 )
@@ -26,7 +28,10 @@ func buildPolicy(name string, spec *hipster.Spec, seed int64) (hipster.Policy, e
 	}
 }
 
-func main() {
+// run executes the example and writes the report; the golden-file test
+// replays it against testdata/output.golden, so the output format is
+// part of the example's contract.
+func run(w io.Writer) error {
 	spec := hipster.JunoR1()
 	policies := []string{
 		"static-big", "static-small", "hipster-heuristic", "octopus-man", "hipster-in",
@@ -34,16 +39,16 @@ func main() {
 	const day = 1440.0
 
 	for _, wl := range []*hipster.Workload{hipster.Memcached(), hipster.WebSearch()} {
-		fmt.Printf("\n=== %s (target: p%.0f <= %v s) ===\n",
+		fmt.Fprintf(w, "\n=== %s (target: p%.0f <= %v s) ===\n",
 			wl.Name, wl.QoSPercentile*100, wl.TargetLatency)
-		fmt.Printf("%-18s %8s %10s %10s %11s\n",
+		fmt.Fprintf(w, "%-18s %8s %10s %10s %11s\n",
 			"policy", "QoS", "tardiness", "energy J", "migrations")
 
 		var baseline float64
 		for _, name := range policies {
 			pol, err := buildPolicy(name, spec, 42)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			sim, err := hipster.NewSimulation(hipster.SimOptions{
 				Spec:     spec,
@@ -53,13 +58,13 @@ func main() {
 				Seed:     42,
 			})
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			// Two days; score the second so Hipster is in its
 			// exploitation phase (the paper's methodology).
 			full, err := sim.Run(2 * day)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			day2 := full.Slice(day, 2*day+1)
 			sum := day2.Summarize()
@@ -67,12 +72,19 @@ func main() {
 			if name == "static-big" {
 				baseline = energy
 			}
-			fmt.Printf("%-18s %7.1f%% %10.2f %10.0f %11d",
+			fmt.Fprintf(w, "%-18s %7.1f%% %10.2f %10.0f %11d",
 				name, sum.QoSGuarantee*100, sum.MeanTardiness, energy, sum.MigrationEvents)
 			if baseline > 0 && name != "static-big" {
-				fmt.Printf("   (%.1f%% energy saved)", (1-energy/baseline)*100)
+				fmt.Fprintf(w, "   (%.1f%% energy saved)", (1-energy/baseline)*100)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

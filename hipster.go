@@ -38,6 +38,7 @@ import (
 	"hipster/internal/autoscale"
 	"hipster/internal/batch"
 	"hipster/internal/cluster"
+	"hipster/internal/clusterdes"
 	"hipster/internal/core"
 	"hipster/internal/engine"
 	"hipster/internal/federation"
@@ -53,8 +54,8 @@ import (
 
 // ErrUnknownName is wrapped by every name-keyed constructor
 // (WorkloadByName, SplitterByName, MergePolicyByName,
-// AutoscalePolicyByName, BatchProgramByName) when the name is not
-// registered; the error message lists the valid options.
+// AutoscalePolicyByName, MitigationByName, BatchProgramByName) when the
+// name is not registered; the error message lists the valid options.
 var ErrUnknownName = names.ErrUnknown
 
 // Platform types.
@@ -242,6 +243,80 @@ type (
 	AutoscaleStats = autoscale.Stats
 )
 
+// Cluster DES types: the request-level counterpart of the interval
+// cluster. A ClusterDES generates requests fleet-wide from the load
+// pattern, routes each one through the configured LoadSplitter at
+// arrival time, and carries its latency end to end through per-node
+// queues — so cross-node queueing and tail amplification, which the
+// interval model collapses into one aggregate number per node, are
+// simulated request by request. On top of that visibility it offers
+// straggler mitigation on in-flight requests (hedged requests,
+// cross-node work stealing), node warm-up after autoscale activations,
+// and the queue-depth scaling signal. Runs are bit-identical for a
+// given seed at any worker count, like the interval cluster.
+type (
+	// ClusterDES is the fleet-wide discrete-event simulator.
+	ClusterDES = clusterdes.Fleet
+	// ClusterDESOptions configure a cluster DES run.
+	ClusterDESOptions = clusterdes.Options
+	// ClusterDESNode describes one node of the DES fleet (spec,
+	// workload, fixed configuration).
+	ClusterDESNode = clusterdes.NodeConfig
+	// ClusterDESAutoscale configures elastic sizing with warm-up on a
+	// cluster DES.
+	ClusterDESAutoscale = clusterdes.AutoscaleOptions
+	// ClusterDESResult bundles a DES run: fleet trace, node traces, the
+	// end-to-end latency distribution, and mitigation/scaling stats.
+	ClusterDESResult = clusterdes.Result
+	// RequestLatency is the end-to-end request-latency distribution of
+	// a cluster DES run.
+	RequestLatency = clusterdes.LatencySummary
+	// ClusterDESStats counts a DES run's mitigation and scaling
+	// activity.
+	ClusterDESStats = clusterdes.Stats
+	// Mitigation is a straggler-mitigation policy applied to in-flight
+	// requests at the DES front-end.
+	Mitigation = clusterdes.Mitigation
+)
+
+// NewClusterDES builds a fleet discrete-event simulation from options.
+func NewClusterDES(opts ClusterDESOptions) (*ClusterDES, error) { return clusterdes.New(opts) }
+
+// UniformClusterDESNodes builds n identical DES node definitions over
+// one spec and workload at the default (all big cores, maximum DVFS)
+// configuration.
+func UniformClusterDESNodes(n int, spec *Spec, wl *Workload) ([]ClusterDESNode, error) {
+	return clusterdes.Uniform(n, spec, wl)
+}
+
+// NewHedgedMitigation returns the hedged-requests mitigation: re-issue
+// a request to a second node once it has been outstanding longer than
+// the given quantile of recently observed latencies, first response
+// wins (quantile <= 0 uses the 0.95 default).
+func NewHedgedMitigation(quantile float64) Mitigation {
+	if quantile <= 0 {
+		return clusterdes.Hedged{}
+	}
+	return clusterdes.Hedged{Quantile: quantile}
+}
+
+// NewWorkStealingMitigation returns the cross-node work-stealing
+// mitigation with its defaults: an idle node pulls the oldest request
+// from the deepest queue in the fleet.
+func NewWorkStealingMitigation() Mitigation { return clusterdes.WorkStealing{} }
+
+// MitigationByName returns a built-in straggler mitigation ("none",
+// "hedged" or "work-stealing").
+func MitigationByName(name string) (Mitigation, error) { return clusterdes.MitigationByName(name) }
+
+// NewQueueDepthPolicy returns the queue-depth scaling policy with its
+// default thresholds: add a node as soon as the mean per-node queue
+// depth crosses the threshold, reclaim only when queues are empty. The
+// leading-indicator signal needs request-level visibility, so it is
+// most meaningful under the cluster DES mode (the interval cluster
+// feeds it the carried backlog instead).
+func NewQueueDepthPolicy() AutoscalePolicy { return autoscale.QueueDepth{} }
+
 // NewTargetUtilizationPolicy returns the load-following scaling policy:
 // size the active set so demand lands at the target fraction of active
 // capacity (target <= 0 uses the 0.7 default).
@@ -256,7 +331,7 @@ func NewTargetUtilizationPolicy(target float64) AutoscalePolicy {
 func NewQoSHeadroomPolicy() AutoscalePolicy { return autoscale.QoSHeadroom{} }
 
 // AutoscalePolicyByName returns a built-in scaling policy
-// ("target-utilization" or "qos-headroom").
+// ("target-utilization", "qos-headroom" or "queue-depth").
 func AutoscalePolicyByName(name string) (AutoscalePolicy, error) {
 	return autoscale.PolicyByName(name)
 }

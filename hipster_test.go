@@ -92,8 +92,12 @@ func TestByNameConstructors(t *testing.T) {
 			_, err := hipster.MergePolicyByName(n)
 			return err
 		}},
-		{"autoscale policy", []string{"target-utilization", "qos-headroom"}, func(n string) error {
+		{"autoscale policy", []string{"target-utilization", "qos-headroom", "queue-depth"}, func(n string) error {
 			_, err := hipster.AutoscalePolicyByName(n)
+			return err
+		}},
+		{"mitigation", []string{"none", "hedged", "work-stealing"}, func(n string) error {
+			_, err := hipster.MitigationByName(n)
 			return err
 		}},
 		{"batch program", []string{
@@ -222,6 +226,50 @@ func TestClusterFacade(t *testing.T) {
 		if _, err := hipster.SplitterByName(name); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestClusterDESFacade(t *testing.T) {
+	spec := hipster.JunoR1()
+	nodes, err := hipster.UniformClusterDESNodes(4, spec, hipster.WebSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := hipster.NewClusterDES(hipster.ClusterDESOptions{
+		Nodes:      nodes,
+		Pattern:    hipster.ConstantLoad{Frac: 0.6},
+		Splitter:   hipster.NewCapacitySplitter(),
+		Mitigation: hipster.NewHedgedMitigation(0),
+		Workers:    4,
+		Seed:       42,
+		Autoscale: &hipster.ClusterDESAutoscale{
+			Policy:          hipster.NewQueueDepthPolicy(),
+			MinNodes:        2,
+			WarmupIntervals: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fl.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fleet.Len() != 60 || len(res.Nodes) != 4 {
+		t.Fatalf("fleet intervals = %d, node traces = %d", res.Fleet.Len(), len(res.Nodes))
+	}
+	if res.Latency.Completed == 0 || res.Latency.P99 <= res.Latency.P50 {
+		t.Fatalf("implausible latency summary: %+v", res.Latency)
+	}
+	sum := res.Summarize()
+	if sum.QoSAttainment <= 0 || sum.TotalEnergyJ <= 0 {
+		t.Fatalf("implausible fleet summary: %+v", sum)
+	}
+	if _, err := hipster.MitigationByName("work-stealing"); err != nil {
+		t.Fatal(err)
+	}
+	if hipster.NewWorkStealingMitigation().Name() != "work-stealing" {
+		t.Fatal("work-stealing constructor name mismatch")
 	}
 }
 

@@ -30,6 +30,14 @@ type NodeInfo struct {
 	LastOfferedRPS  float64
 	LastTailLatency float64
 	LastTarget      float64
+	// LastQueueDepth is the node's request queue depth at the end of
+	// the previous interval. The cluster-scale DES reports the actual
+	// per-node queue length; the interval-granularity cluster reports
+	// the carried backlog, its closest analogue. Queue depth is the
+	// leading indicator of the two tail signals: a queue is visible the
+	// interval it builds, while the measured tail only crosses the
+	// target once that queue's waiting time has already reached it.
+	LastQueueDepth float64
 }
 
 // Violated reports whether the node missed its QoS target last interval.
@@ -158,9 +166,59 @@ func (p QoSHeadroom) Desired(ctx Context) int {
 	return ctx.Active
 }
 
+// QueueDepth scales on the per-node request queue depth instead of a
+// utilisation proxy or the measured tail: capacity is added as soon as
+// the mean queued requests per active node crosses UpDepth, and
+// reclaimed only when the queues are empty and the demand would fit the
+// smaller set below DownUtil. A building queue is visible the interval
+// it forms — before its waiting time has pushed the measured tail over
+// the target, and before a warming (recently woken, degraded-rate)
+// node's overload shows in any utilisation ratio computed from nominal
+// capacities — so this signal leads the tail-based policies by the
+// intervals the queue takes to become a latency violation. It needs
+// request-level visibility (NodeInfo.LastQueueDepth) and is therefore
+// most meaningful under the cluster DES mode.
+type QueueDepth struct {
+	// UpDepth is the mean queued requests per active node above which
+	// capacity is added (default 4).
+	UpDepth float64
+	// DownUtil is the utilisation the shrunken active set must stay
+	// under for a scale-down to be proposed, evaluated only when the
+	// queues are empty (default 0.55).
+	DownUtil float64
+}
+
+// Name implements Policy.
+func (QueueDepth) Name() string { return "queue-depth" }
+
+// Desired implements Policy.
+func (p QueueDepth) Desired(ctx Context) int {
+	up := p.UpDepth
+	if up <= 0 {
+		up = 4
+	}
+	down := p.DownUtil
+	if down <= 0 || down >= 1 {
+		down = 0.55
+	}
+	var depth float64
+	for _, n := range ctx.Nodes[:ctx.Active] {
+		depth += n.LastQueueDepth
+	}
+	switch {
+	case depth > up*float64(ctx.Active):
+		return ctx.Active + 1
+	case ctx.Active > 1 && depth == 0 && ctx.OfferedRPS <= down*ctx.PrefixCapacity(ctx.Active-1):
+		return ctx.Active - 1
+	}
+	return ctx.Active
+}
+
 // PolicyNames lists the built-in scaling policies as accepted by
 // PolicyByName.
-func PolicyNames() []string { return []string{"target-utilization", "qos-headroom"} }
+func PolicyNames() []string {
+	return []string{"target-utilization", "qos-headroom", "queue-depth"}
+}
 
 // PolicyByName returns a built-in scaling policy with its defaults, or
 // an error (wrapping names.ErrUnknown) listing the valid names.
@@ -170,6 +228,8 @@ func PolicyByName(name string) (Policy, error) {
 		return TargetUtilization{}, nil
 	case "qos-headroom":
 		return QoSHeadroom{}, nil
+	case "queue-depth":
+		return QueueDepth{}, nil
 	}
 	return nil, names.Unknown("autoscale", "scaling policy", name, PolicyNames())
 }

@@ -167,6 +167,55 @@ func TestControllerValidation(t *testing.T) {
 	}
 }
 
+func TestQueueDepthDesired(t *testing.T) {
+	p := QueueDepth{}
+
+	// Empty queues at low demand shed a node.
+	ctx := roster(8, 1000, 400, 2)
+	if got := p.Desired(ctx); got != 1 {
+		t.Fatalf("idle fleet: desired = %d, want 1", got)
+	}
+
+	// Empty queues but demand too high for the smaller set: hold.
+	ctx = roster(8, 1000, 900, 2)
+	if got := p.Desired(ctx); got != 2 {
+		t.Fatalf("busy fleet: desired = %d, want 2", got)
+	}
+
+	// Mean depth at the default threshold: hold; just past it: grow.
+	ctx = roster(8, 1000, 900, 2)
+	ctx.Nodes[0].LastQueueDepth = 8
+	if got := p.Desired(ctx); got != 2 {
+		t.Fatalf("depth at threshold: desired = %d, want 2", got)
+	}
+	ctx.Nodes[1].LastQueueDepth = 1
+	if got := p.Desired(ctx); got != 3 {
+		t.Fatalf("depth past threshold: desired = %d, want 3", got)
+	}
+
+	// Any queued request blocks a scale-down regardless of demand.
+	ctx = roster(8, 1000, 100, 2)
+	ctx.Nodes[1].LastQueueDepth = 1
+	if got := p.Desired(ctx); got != 2 {
+		t.Fatalf("queued request: desired = %d, want 2", got)
+	}
+
+	// Sleeping nodes' (stale, zeroed) depths are ignored.
+	ctx = roster(8, 1000, 900, 2)
+	ctx.Nodes[5].LastQueueDepth = 100
+	if got := p.Desired(ctx); got != 2 {
+		t.Fatalf("sleeping node depth counted: desired = %d, want 2", got)
+	}
+
+	// Custom thresholds.
+	q := QueueDepth{UpDepth: 1, DownUtil: 0.1}
+	ctx = roster(8, 1000, 900, 2)
+	ctx.Nodes[0].LastQueueDepth = 3
+	if got := q.Desired(ctx); got != 3 {
+		t.Fatalf("custom UpDepth: desired = %d, want 3", got)
+	}
+}
+
 func TestPolicyByName(t *testing.T) {
 	for _, name := range PolicyNames() {
 		p, err := PolicyByName(name)

@@ -108,6 +108,10 @@ func (a *asState) context(c *Cluster, t, totalRPS float64) autoscale.Context {
 			LastOfferedRPS:  st.LastOfferedRPS,
 			LastTailLatency: st.LastTailLatency,
 			LastTarget:      st.LastTarget,
+			// The interval model has no per-request queue; the carried
+			// backlog is its queue-depth analogue, so the queue-depth
+			// scaling policy degrades gracefully outside DES mode.
+			LastQueueDepth: st.LastBacklog,
 		}
 	}
 	return autoscale.Context{

@@ -1,0 +1,1239 @@
+// Package clusterdes is the request-level counterpart of the
+// interval-granularity cluster layer: one discrete-event simulation
+// spanning the whole fleet. Requests are generated fleet-wide from the
+// datacenter load pattern, routed to a node at arrival time through the
+// same pluggable splitters the interval mode uses, and carry their
+// latency end to end through per-node queues and server pools — so
+// cross-node queueing, which the interval model collapses into one
+// aggregate tail number per node, is visible request by request. That
+// visibility is what enables the three features the interval mode
+// cannot express: straggler mitigation on in-flight requests (hedged
+// requests and cross-node work stealing), node warm-up after an
+// autoscale activation (a woken node serving nothing, or at a degraded
+// rate, for k intervals while its queue builds), and a queue-depth
+// autoscale signal that sees the queue forming instead of waiting for
+// last interval's tail to cross the target.
+//
+// The whole event loop runs serially in event-time order — routing,
+// hedging and stealing decisions happen at deterministic points of one
+// totally ordered event sequence — so a run is a pure function of its
+// seed. Workers only parallelise the per-node interval summaries
+// (sorting sojourns, power evaluation) at interval boundaries, where
+// each node's summary is an independent pure computation writing its
+// own slot; results are therefore bit-identical at any worker count,
+// the same two invariants the interval-mode cluster guarantees.
+package clusterdes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hipster/internal/autoscale"
+	"hipster/internal/cluster"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/queueing"
+	"hipster/internal/sim"
+	"hipster/internal/stats"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// NodeConfig describes one node of the DES fleet. Unlike the interval
+// mode there is no per-node policy loop: the DES answers routing and
+// queueing questions at a fixed configuration per node, which keeps
+// every latency difference attributable to the front-end decision under
+// study (splitter, mitigation, scaling signal) rather than to DVFS
+// reactions.
+type NodeConfig struct {
+	Spec     *platform.Spec
+	Workload *workload.Model
+	// Config is the node's fixed core/DVFS configuration (default: all
+	// big cores at maximum DVFS).
+	Config *platform.Config
+}
+
+// AutoscaleOptions enable elastic sizing of the DES fleet, reusing the
+// interval mode's controller (bounds, cooldown, hysteresis) and scaling
+// policies. Two things differ from the interval mode, both only
+// expressible at request granularity. First, the policy's OfferedRPS is
+// the MEASURED arrival rate of the previous interval, not the pattern's
+// demand for the coming one — the DES autoscaler is an observer, not
+// clairvoyant. Second, activation is not free: a woken node spends
+// WarmupIntervals intervals degraded to WarmupFactor of its service
+// rate (0 = serves nothing) while the splitter, which routes by nominal
+// capacity, keeps sending it traffic — the queue that builds is the
+// transient CloudCoaster-style schedulers plan around, and mitigation
+// policies act on.
+type AutoscaleOptions struct {
+	// Policy proposes the desired active count each interval (default
+	// autoscale.TargetUtilization{}).
+	Policy autoscale.Policy
+	// MinNodes and MaxNodes bound the active count (defaults 1 and the
+	// roster size).
+	MinNodes, MaxNodes int
+	// InitialNodes is the active count before the first interval
+	// (default MinNodes). Initial nodes start warm.
+	InitialNodes int
+	// CooldownIntervals and DownAfterIntervals are the controller's
+	// scale-down cooldown and hysteresis (defaults 5 and 3).
+	CooldownIntervals, DownAfterIntervals int
+	// WarmupIntervals is how many intervals an activated node serves
+	// degraded (default 0 = joins warm, matching the interval mode).
+	WarmupIntervals int
+	// WarmupFactor is the fraction of its service rate a warming node
+	// retains, in [0, 1): 0 means a warming node serves nothing and
+	// only queues (default 0).
+	WarmupFactor float64
+}
+
+// Options configure a cluster-scale discrete-event run.
+type Options struct {
+	// Nodes is the fleet definition; at least one node.
+	Nodes []NodeConfig
+
+	// Pattern is the datacenter-level offered load as a fraction of
+	// total fleet capacity (the sum of node configuration capacities).
+	Pattern loadgen.Pattern
+
+	// Splitter carves the fleet arrival rate into per-node routing
+	// weights each interval; each request then picks its node by one
+	// draw over those weights (default cluster.WeightedByCapacity).
+	Splitter cluster.Splitter
+
+	// Mitigation is the straggler-mitigation policy (default None).
+	Mitigation Mitigation
+
+	// Workers parallelises the per-node interval summaries; 0 means
+	// GOMAXPROCS. Results do not depend on this value.
+	Workers int
+
+	// IntervalSecs is the monitoring interval (default 1 s).
+	IntervalSecs float64
+
+	// Seed fully determines the run (arrival, routing and service-time
+	// streams are derived sub-streams).
+	Seed int64
+
+	// StragglerFactor is forwarded to the fleet telemetry merge
+	// (default telemetry.DefaultStragglerFactor).
+	StragglerFactor float64
+
+	// Autoscale, when non-nil, grows and shrinks the active node set.
+	Autoscale *AutoscaleOptions
+
+	// MaxQueue bounds each node's request queue; arrivals beyond it are
+	// dropped and counted (0 derives a bound from the workload's
+	// BacklogCapSecs, mirroring the single-node DES).
+	MaxQueue int
+}
+
+// LatencySummary is the end-to-end request-latency distribution of a
+// run — the number the interval mode cannot produce, since it never
+// sees an individual request cross the splitter.
+type LatencySummary struct {
+	Completed int
+	Dropped   int
+	Mean      float64
+	P50       float64
+	P90       float64
+	P95       float64
+	P99       float64
+}
+
+// Stats counts the DES fleet's mitigation and scaling activity.
+type Stats struct {
+	// Hedges counts hedge copies issued; HedgeWins how many completed
+	// before the primary.
+	Hedges, HedgeWins int
+	// Steals counts cross-node work steals.
+	Steals int
+	// Migrated counts queued requests re-routed off a deactivating node.
+	Migrated int
+	// Ups/Downs/NodesAdded/NodesRemoved count autoscale events.
+	Ups, Downs, NodesAdded, NodesRemoved int
+	// FirstScaleUpInterval is the monitoring interval of the first
+	// scale-up (-1 if the fleet never grew) — what the queue-depth vs
+	// tail-signal comparison measures.
+	FirstScaleUpInterval int
+	// WarmupIntervals is the node-intervals spent warming.
+	WarmupIntervals int
+	// PeakActive and MinActive bracket the active count.
+	PeakActive, MinActive int
+	// NodeIntervals is the active node-intervals consumed.
+	NodeIntervals int
+}
+
+// Result bundles a finished DES run.
+type Result struct {
+	Fleet   *telemetry.FleetTrace
+	Nodes   []*telemetry.Trace
+	Latency LatencySummary
+	Stats   Stats
+}
+
+// Summarize computes the fleet's headline metrics.
+func (r Result) Summarize() telemetry.FleetSummary { return r.Fleet.Summarize() }
+
+// Event kinds of the fleet event loop. Fleet arrivals and interval
+// ticks are not heap events — each is a single strictly increasing
+// scalar next-time, merged into the loop by comparison.
+const (
+	evCompletion = iota // node a, server b
+	evHedge             // request a
+)
+
+type event struct {
+	kind int8
+	a, b int32
+}
+
+// hedgeVoid marks a request whose hedge race lost its meaning — a
+// scale-down migrated the primary copy onto the hedge node, so a
+// completion there proves nothing about hedging.
+const hedgeVoid = -2
+
+// request is one in-flight request. A request id is recycled through a
+// free list once every reference to it (queue slots, serving servers,
+// the pending hedge timer) has been released.
+type request struct {
+	arrival   float64
+	node      int32 // primary node
+	hedgeNode int32 // node the hedge copy went to; -1 none, hedgeVoid disabled
+	refs      int8
+	done      bool
+}
+
+// desNode is one node's simulation state.
+type desNode struct {
+	id   int
+	spec *platform.Spec
+	wl   *workload.Model
+	cfg  platform.Config
+
+	servers   []queueing.Server
+	dists     []stats.LogNormal
+	idle      []bool
+	serving   []int32
+	busy      []float64 // busy seconds attributed to this interval
+	busyUntil []float64 // absolute end time of each server's current service
+	busyCount int
+	queue     queueing.Ring[int32]
+	capacity  float64
+	maxQueue  int
+
+	warmLeft int
+
+	// Per-interval accumulators.
+	arrived   int
+	completed int
+	sojourns  []float64
+
+	meter       platform.EnergyMeter
+	lastEnergyJ float64
+	trace       *telemetry.Trace
+	state       cluster.NodeState
+
+	bigUtils   []float64
+	smallUtils []float64
+}
+
+// Fleet is the cluster-scale discrete-event simulator. It is not safe
+// for concurrent use.
+type Fleet struct {
+	opts     Options
+	splitter cluster.Splitter
+	workers  int
+	dt       float64
+	nodes    []*desNode
+	fleetCap float64
+	clock    *sim.Clock
+
+	// Mitigation, resolved.
+	hedging   bool
+	hedgeQ    float64
+	stealing  bool
+	minDepth  int
+	hedgeWait float64 // current hedge delay; +Inf until first estimate
+
+	arrRNG   *rand.Rand
+	routeRNG *rand.Rand
+	svcRNG   *rand.Rand
+
+	events queueing.TimeHeap[event]
+	reqs   []request
+	free   []int32
+
+	lambda      float64
+	nextArrival float64
+	tickEnd     float64 // end of the current interval
+	shares      []float64
+	shareSum    float64
+	active      int
+
+	// Per-interval fleet scratch.
+	intervalSojourns []float64
+	sortScratch      []float64
+	hedges           int
+	hedgeWins        int
+	steals           int
+	primaries        int
+	dropped          int
+
+	// End-to-end latency record. Storing every sojourn of a
+	// memcached-scale day would need gigabytes, so the sample is a
+	// deterministic systematic one: every latStride-th winning
+	// completion is kept, and when the buffer reaches latSampleCap it
+	// is decimated in place and the stride doubled. Below the cap
+	// (every Web-Search-scale run) the record is exact. The count and
+	// mean are always exact.
+	latSample []float64
+	latStride int64
+	latSeen   int64
+	latSum    float64
+
+	states  []cluster.NodeState
+	samples []telemetry.Sample
+	fleet   *telemetry.FleetTrace
+	merger  telemetry.Merger
+
+	ctl        *autoscale.Controller
+	roster     []autoscale.NodeInfo
+	warmupIvs  int
+	warmFactor float64
+
+	stats  Stats
+	failed error
+}
+
+// New validates options and builds the fleet simulator.
+func New(opts Options) (*Fleet, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, errors.New("clusterdes: no nodes")
+	}
+	if opts.Pattern == nil {
+		return nil, errors.New("clusterdes: nil load pattern")
+	}
+	if opts.Workers < 0 {
+		return nil, errors.New("clusterdes: negative worker count")
+	}
+	if opts.MaxQueue < 0 {
+		return nil, errors.New("clusterdes: negative queue bound")
+	}
+	f := &Fleet{
+		opts:      opts,
+		splitter:  opts.Splitter,
+		workers:   opts.Workers,
+		fleet:     &telemetry.FleetTrace{},
+		hedgeWait: math.Inf(1),
+		latStride: 1,
+	}
+	if f.splitter == nil {
+		f.splitter = cluster.WeightedByCapacity{}
+	}
+	if f.workers == 0 {
+		f.workers = runtime.GOMAXPROCS(0)
+	}
+	f.dt = opts.IntervalSecs
+	if f.dt == 0 {
+		f.dt = 1
+	}
+	if f.dt < 0 {
+		return nil, errors.New("clusterdes: negative interval")
+	}
+	f.clock = sim.NewClock(f.dt)
+
+	switch m := opts.Mitigation.(type) {
+	case nil, None:
+	case Hedged:
+		q := m.Quantile
+		if q == 0 {
+			q = 0.95
+		}
+		if q <= 0 || q >= 1 {
+			return nil, fmt.Errorf("clusterdes: hedge quantile %v out of (0, 1)", m.Quantile)
+		}
+		f.hedging = true
+		f.hedgeQ = q
+	case WorkStealing:
+		f.stealing = true
+		f.minDepth = m.MinDepth
+		if f.minDepth <= 0 {
+			f.minDepth = 2
+		}
+	default:
+		return nil, fmt.Errorf("clusterdes: unsupported mitigation %q", opts.Mitigation.Name())
+	}
+
+	f.arrRNG = sim.SubRNG(opts.Seed, "des-arrival")
+	f.routeRNG = sim.SubRNG(opts.Seed, "des-route")
+	f.svcRNG = sim.SubRNG(opts.Seed, "des-service")
+
+	for i, nc := range opts.Nodes {
+		n, err := newNode(i, nc, opts.MaxQueue)
+		if err != nil {
+			return nil, err
+		}
+		f.nodes = append(f.nodes, n)
+		f.fleetCap += n.capacity
+	}
+
+	f.active = len(f.nodes)
+	if opts.Autoscale != nil {
+		if err := f.initAutoscale(*opts.Autoscale); err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range f.nodes {
+		n.state.Active = i < f.active
+	}
+	f.stats.FirstScaleUpInterval = -1
+	f.stats.PeakActive, f.stats.MinActive = f.active, f.active
+	f.states = make([]cluster.NodeState, len(f.nodes))
+	f.samples = make([]telemetry.Sample, len(f.nodes))
+	f.shares = make([]float64, len(f.nodes))
+	return f, nil
+}
+
+func newNode(id int, nc NodeConfig, maxQueue int) (*desNode, error) {
+	if nc.Spec == nil {
+		return nil, fmt.Errorf("clusterdes: node %d: nil platform spec", id)
+	}
+	if nc.Workload == nil {
+		return nil, fmt.Errorf("clusterdes: node %d: nil workload", id)
+	}
+	if err := nc.Workload.Validate(); err != nil {
+		return nil, fmt.Errorf("clusterdes: node %d: %w", id, err)
+	}
+	cfg := platform.Config{NBig: nc.Spec.Big.Cores, BigFreq: nc.Spec.Big.MaxFreq()}
+	if nc.Config != nil {
+		cfg = nc.Config.Normalize(nc.Spec)
+	}
+	if err := cfg.Validate(nc.Spec); err != nil {
+		return nil, fmt.Errorf("clusterdes: node %d: %w", id, err)
+	}
+	n := &desNode{
+		id:    id,
+		spec:  nc.Spec,
+		wl:    nc.Workload,
+		cfg:   cfg,
+		trace: &telemetry.Trace{},
+	}
+	n.servers = nc.Workload.AppendServers(nil, nc.Spec, cfg, 1)
+	n.capacity = queueing.TotalRate(n.servers)
+	n.dists = make([]stats.LogNormal, len(n.servers))
+	for i, sv := range n.servers {
+		n.dists[i] = stats.LogNormalFromMeanCV(1/sv.Rate, nc.Workload.DemandCV)
+	}
+	n.idle = make([]bool, len(n.servers))
+	for i := range n.idle {
+		n.idle[i] = true
+	}
+	n.serving = make([]int32, len(n.servers))
+	for i := range n.serving {
+		n.serving[i] = -1
+	}
+	n.busy = make([]float64, len(n.servers))
+	n.busyUntil = make([]float64, len(n.servers))
+	n.maxQueue = maxQueue
+	if n.maxQueue == 0 {
+		n.maxQueue = int(math.Max(64, nc.Workload.BacklogCapSecs*n.capacity*4))
+	}
+	n.bigUtils = make([]float64, nc.Spec.Big.Cores)
+	n.smallUtils = make([]float64, nc.Spec.Small.Cores)
+	n.state = cluster.NodeState{ID: id, CapacityRPS: n.capacity}
+	return n, nil
+}
+
+func (f *Fleet) initAutoscale(opts AutoscaleOptions) error {
+	pol := opts.Policy
+	if pol == nil {
+		pol = autoscale.TargetUtilization{}
+	}
+	lo := opts.MinNodes
+	if lo == 0 {
+		lo = 1
+	}
+	hi := opts.MaxNodes
+	if hi == 0 {
+		hi = len(f.nodes)
+	}
+	if hi > len(f.nodes) {
+		return fmt.Errorf("clusterdes: autoscale max nodes %d exceeds the %d-node roster", hi, len(f.nodes))
+	}
+	initial := opts.InitialNodes
+	if initial == 0 {
+		initial = lo
+	}
+	ctl, err := autoscale.NewController(autoscale.Config{
+		Policy:             pol,
+		Min:                lo,
+		Max:                hi,
+		CooldownIntervals:  opts.CooldownIntervals,
+		DownAfterIntervals: opts.DownAfterIntervals,
+	})
+	if err != nil {
+		return err
+	}
+	if initial < lo || initial > hi {
+		return fmt.Errorf("clusterdes: autoscale initial nodes %d outside [%d, %d]", initial, lo, hi)
+	}
+	if opts.WarmupIntervals < 0 {
+		return fmt.Errorf("clusterdes: negative warm-up %d", opts.WarmupIntervals)
+	}
+	if opts.WarmupFactor < 0 || opts.WarmupFactor >= 1 {
+		return fmt.Errorf("clusterdes: warm-up factor %v out of [0, 1)", opts.WarmupFactor)
+	}
+	f.ctl = ctl
+	f.roster = make([]autoscale.NodeInfo, len(f.nodes))
+	f.warmupIvs = opts.WarmupIntervals
+	f.warmFactor = opts.WarmupFactor
+	f.active = initial
+	return nil
+}
+
+// NumNodes returns the roster size.
+func (f *Fleet) NumNodes() int { return len(f.nodes) }
+
+// ActiveNodes returns the current active-node count.
+func (f *Fleet) ActiveNodes() int { return f.active }
+
+// Workers returns the resolved summary-worker count (never zero).
+func (f *Fleet) Workers() int { return f.workers }
+
+// CapacityRPS returns the total roster capacity at the configured
+// per-node configurations.
+func (f *Fleet) CapacityRPS() float64 { return f.fleetCap }
+
+// alloc takes a request id from the free list or grows the table.
+func (f *Fleet) alloc(t float64, node int32) int32 {
+	if n := len(f.free); n > 0 {
+		id := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.reqs[id] = request{arrival: t, node: node, hedgeNode: -1}
+		return id
+	}
+	f.reqs = append(f.reqs, request{arrival: t, node: node, hedgeNode: -1})
+	return int32(len(f.reqs) - 1)
+}
+
+// release drops one reference; a finished request with no references
+// left returns to the free list.
+func (f *Fleet) release(id int32) {
+	r := &f.reqs[id]
+	r.refs--
+	if r.refs == 0 && r.done {
+		f.free = append(f.free, id)
+	}
+}
+
+// svcSample draws a service duration for server s of node n.
+func (f *Fleet) svcSample(n *desNode, s int) float64 {
+	d := n.dists[s]
+	if d.Sigma == 0 {
+		return 1 / n.servers[s].Rate
+	}
+	return math.Exp(d.Mu + d.Sigma*f.svcRNG.NormFloat64())
+}
+
+// startService puts request id on server s of node n. A warming node's
+// service is stretched by 1/WarmupFactor; callers never start service
+// on a warming node when the factor is 0. Busy time is charged to the
+// current interval only up to its boundary; finishInterval carries the
+// remainder of a spanning service into the following intervals, so
+// utilisation and power land in the interval the server was actually
+// busy.
+func (f *Fleet) startService(n *desNode, s int, id int32, t float64) {
+	n.idle[s] = false
+	n.busyCount++
+	n.serving[s] = id
+	f.reqs[id].refs++
+	d := f.svcSample(n, s)
+	if n.warmLeft > 0 {
+		d /= f.warmFactor
+	}
+	end := t + d
+	n.busyUntil[s] = end
+	n.busy[s] += math.Min(end, f.tickEnd) - t
+	f.events.Push(end, event{kind: evCompletion, a: int32(n.id), b: int32(s)})
+}
+
+// fastestIdle returns the idle server with the highest rate, -1 if all
+// are busy (pools are tiny: at most 6 cores on Juno).
+func (n *desNode) fastestIdle() int {
+	best := -1
+	for i, ok := range n.idle {
+		if !ok {
+			continue
+		}
+		if best == -1 || n.servers[i].Rate > n.servers[best].Rate {
+			best = i
+		}
+	}
+	return best
+}
+
+// dispatch routes one copy of request id to node n: straight to the
+// fastest idle server when one exists (and the node is serving), else
+// onto the queue. It reports false when the queue bound drops the copy.
+func (f *Fleet) dispatch(n *desNode, id int32, t float64) bool {
+	if n.warmLeft == 0 || f.warmFactor > 0 {
+		if s := n.fastestIdle(); s >= 0 {
+			f.startService(n, s, id, t)
+			return true
+		}
+	}
+	if n.queue.Len() >= n.maxQueue {
+		return false
+	}
+	n.queue.Push(id)
+	f.reqs[id].refs++
+	return true
+}
+
+// popLocal pops the oldest live request off n's queue, lazily
+// discarding entries whose request already completed elsewhere (a won
+// hedge race or a steal). Returns -1 on an empty queue.
+func (f *Fleet) popLocal(n *desNode) int32 {
+	for n.queue.Len() > 0 {
+		id := n.queue.Pop()
+		f.release(id)
+		if !f.reqs[id].done {
+			return id
+		}
+	}
+	return -1
+}
+
+// steal pulls the oldest request from the deepest queue in the active
+// set (at least minDepth deep), -1 when nothing is worth stealing.
+// Warming victims are fair game — their queue is exactly the transient
+// stealing exists to drain.
+func (f *Fleet) steal(thief *desNode) int32 {
+	best := -1
+	depth := f.minDepth - 1
+	for _, v := range f.nodes[:f.active] {
+		if v == thief {
+			continue
+		}
+		if v.queue.Len() > depth {
+			depth = v.queue.Len()
+			best = v.id
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return f.popLocal(f.nodes[best])
+}
+
+// pullWork hands server s of node n its next request after a
+// completion: local queue first, then a cross-node steal when the
+// mitigation allows. Warming and deactivated nodes do not pull.
+func (f *Fleet) pullWork(n *desNode, s int, t float64) {
+	serving := n.id < f.active && (n.warmLeft == 0 || f.warmFactor > 0)
+	if serving {
+		if id := f.popLocal(n); id >= 0 {
+			f.startService(n, s, id, t)
+			return
+		}
+		if f.stealing && n.warmLeft == 0 {
+			if id := f.steal(n); id >= 0 {
+				f.steals++
+				f.startService(n, s, id, t)
+				return
+			}
+		}
+	}
+	n.idle[s] = true
+}
+
+// kickIdle lets node n's idle servers pick up work outside the
+// completion path: after a warm-up expires (the queue built while every
+// server sat idle) and, with stealing on, at interval boundaries so a
+// fully idle node — which sees no completion events — still rescues a
+// drowning peer.
+func (f *Fleet) kickIdle(n *desNode, t float64) {
+	for s := range n.idle {
+		if !n.idle[s] {
+			continue
+		}
+		f.pullWork(n, s, t)
+		if n.idle[s] {
+			break // nothing left to pull; further servers won't find work either
+		}
+	}
+}
+
+// handleArrival processes one fleet-level arrival at the pending
+// arrival time and draws the next one.
+func (f *Fleet) handleArrival() {
+	t := f.nextArrival
+	f.nextArrival = t + f.arrRNG.ExpFloat64()/f.lambda
+	// Route by one draw over the interval's splitter weights.
+	var n *desNode
+	if f.shareSum > 0 {
+		u := f.routeRNG.Float64() * f.shareSum
+		acc := 0.0
+		for i := 0; i < f.active; i++ {
+			acc += f.shares[i]
+			if u < acc || i == f.active-1 {
+				n = f.nodes[i]
+				break
+			}
+		}
+	} else {
+		n = f.nodes[f.primaries%f.active]
+	}
+	f.primaries++
+	id := f.alloc(t, int32(n.id))
+	n.arrived++
+	if !f.dispatch(n, id, t) {
+		f.reqs[id].done = true
+		f.free = append(f.free, id)
+		f.dropped++
+		return
+	}
+	if f.hedging && !math.IsInf(f.hedgeWait, 1) && f.active > 1 {
+		f.reqs[id].refs++
+		f.events.Push(t+f.hedgeWait, event{kind: evHedge, a: id})
+	}
+}
+
+// handleCompletion finishes the request on server b of node a. Only the
+// first copy to finish records the sojourn; late copies just free their
+// server.
+func (f *Fleet) handleCompletion(t float64, ev event) {
+	n := f.nodes[ev.a]
+	s := int(ev.b)
+	id := n.serving[s]
+	n.serving[s] = -1
+	n.busyCount--
+	r := &f.reqs[id]
+	if !r.done {
+		r.done = true
+		soj := t - r.arrival
+		n.completed++
+		n.sojourns = append(n.sojourns, soj)
+		f.intervalSojourns = append(f.intervalSojourns, soj)
+		f.recordLatency(soj)
+		if r.hedgeNode == int32(n.id) {
+			f.hedgeWins++
+		}
+	}
+	f.release(id)
+	f.pullWork(n, s, t)
+}
+
+// handleHedge fires a request's hedge timer: if it is still in flight,
+// issue one copy to the least-committed other active node.
+func (f *Fleet) handleHedge(t float64, ev event) {
+	id := ev.a
+	r := &f.reqs[id]
+	if !r.done && r.hedgeNode == -1 {
+		var target *desNode
+		bestLoad := 0
+		for _, v := range f.nodes[:f.active] {
+			if int32(v.id) == r.node || v.warmLeft > 0 {
+				continue
+			}
+			load := v.queue.Len() + v.busyCount
+			if target == nil || load < bestLoad {
+				target, bestLoad = v, load
+			}
+		}
+		if target != nil {
+			r.hedgeNode = int32(target.id)
+			if f.dispatch(target, id, t) {
+				target.arrived++
+				f.hedges++
+			}
+		}
+	}
+	f.release(id)
+	// The timer can be a request's last reference: a scale-down
+	// migration that failed re-dispatch leaves the request alive only
+	// for this re-issue (see autoscaleStep). If the re-issue also
+	// failed — no eligible second node, or its queue full — the request
+	// is truly lost and must be counted and recycled, not leaked.
+	if r.refs == 0 && !r.done {
+		r.done = true
+		f.dropped++
+		f.free = append(f.free, id)
+	}
+}
+
+// latSampleCap bounds the end-to-end latency sample. 1<<22 float64s is
+// 32 MB — far above any Web-Search-scale run (those stay exact), and a
+// systematic every-k-th sample of the completion stream beyond it.
+const latSampleCap = 1 << 22
+
+// recordLatency folds one winning sojourn into the end-to-end record.
+func (f *Fleet) recordLatency(soj float64) {
+	f.latSeen++
+	f.latSum += soj
+	if f.latSeen%f.latStride == 0 {
+		f.latSample = append(f.latSample, soj)
+		if len(f.latSample) >= latSampleCap {
+			// Decimate in place: keeping every 2nd kept element turns a
+			// stride-k systematic sample into a stride-2k one.
+			half := len(f.latSample) / 2
+			for i := 0; i < half; i++ {
+				f.latSample[i] = f.latSample[2*i+1]
+			}
+			f.latSample = f.latSample[:half]
+			f.latStride *= 2
+		}
+	}
+}
+
+// refreshInterval recomputes the fleet arrival rate and routing weights
+// for the interval starting at t.
+func (f *Fleet) refreshInterval(t float64) error {
+	f.lambda = f.opts.Pattern.LoadAt(t) * f.fleetCap
+	if f.lambda < 0 {
+		return fmt.Errorf("clusterdes: pattern returned negative load at t=%v", t)
+	}
+	if f.lambda > 0 && math.IsInf(f.nextArrival, 1) {
+		f.nextArrival = t + f.arrRNG.ExpFloat64()/f.lambda
+	}
+	for i, n := range f.nodes[:f.active] {
+		f.states[i] = n.state
+	}
+	shares := f.splitter.Split(cluster.SplitContext{
+		Interval: f.clock.Steps(),
+		T:        t,
+		TotalRPS: f.lambda,
+		Nodes:    f.states[:f.active],
+	})
+	if len(shares) != f.active {
+		return fmt.Errorf("clusterdes: splitter %q returned %d shares for %d active nodes",
+			f.splitter.Name(), len(shares), f.active)
+	}
+	f.shareSum = 0
+	for i, s := range shares {
+		if s < 0 {
+			return fmt.Errorf("clusterdes: splitter %q returned negative share %v for node %d",
+				f.splitter.Name(), s, i)
+		}
+		f.shares[i] = s
+		f.shareSum += s
+	}
+	return nil
+}
+
+// finishInterval produces node n's telemetry sample for the interval
+// ending at t and resets its per-interval scratch. It touches only the
+// node's own state plus pure model evaluations, so the coordinator runs
+// it for all nodes in parallel.
+func (n *desNode) finishInterval(t, dt float64) telemetry.Sample {
+	tail := 0.0
+	if len(n.sojourns) > 0 {
+		sort.Float64s(n.sojourns)
+		tail, _ = stats.PercentileSorted(n.sojourns, n.wl.QoSPercentile)
+	} else if n.queue.Len() > 0 || n.busyCount > 0 {
+		// Work in flight but nothing completed: the load generator
+		// observes timeouts, not silence — report the tail cap so a
+		// warming node drowning under its queue reads as the straggler
+		// it is instead of a vacuous QoS pass.
+		tail = n.wl.TailCapFactor * n.wl.TargetLatency
+	}
+	if cap := n.wl.TailCapFactor * n.wl.TargetLatency; tail > cap {
+		tail = cap
+	}
+
+	for i := range n.bigUtils {
+		n.bigUtils[i] = 0
+	}
+	for i := range n.smallUtils {
+		n.smallUtils[i] = 0
+	}
+	// Server expansion order is big cores first (workload.AppendServers).
+	for s := range n.busy {
+		u := n.busy[s] / dt
+		if u > 1 {
+			u = 1
+		}
+		if s < n.cfg.NBig {
+			n.bigUtils[s] = u
+		} else {
+			n.smallUtils[s-n.cfg.NBig] = u
+		}
+	}
+	bigF := n.cfg.BigFreq
+	if n.cfg.NBig == 0 {
+		bigF = n.spec.Big.MinFreq()
+	}
+	breakdown := platform.SystemPower(n.spec, platform.Load{
+		BigFreq:      bigF,
+		SmallFreq:    n.spec.Small.MaxFreq(),
+		BigUtils:     n.bigUtils,
+		SmallUtils:   n.smallUtils,
+		DeliveredIPS: float64(n.completed) * n.wl.DemandInstr / dt,
+	})
+	n.meter.Add(breakdown, dt)
+	n.lastEnergyJ = n.meter.TotalJ()
+
+	s := telemetry.Sample{
+		T:           t,
+		LoadFrac:    float64(n.arrived) / dt / n.capacity,
+		OfferedRPS:  float64(n.arrived) / dt,
+		AchievedRPS: float64(n.completed) / dt,
+		Backlog:     float64(n.queue.Len()),
+		TailLatency: tail,
+		Target:      n.wl.TargetLatency,
+		NBig:        n.cfg.NBig,
+		NSmall:      n.cfg.NSmall,
+		BigFreqMHz:  int(n.cfg.BigFreq),
+		BigW:        breakdown.BigW,
+		SmallW:      breakdown.SmallW,
+		RestW:       breakdown.RestW,
+		EnergyJ:     n.meter.TotalJ(),
+	}
+	n.trace.Add(s)
+
+	n.state.Stepped = true
+	n.state.LastOfferedRPS = s.OfferedRPS
+	n.state.LastAchievedRPS = s.AchievedRPS
+	n.state.LastBacklog = s.Backlog
+	n.state.LastTailLatency = s.TailLatency
+	n.state.LastTarget = s.Target
+
+	n.arrived, n.completed = 0, 0
+	n.sojourns = n.sojourns[:0]
+	// A service spanning the boundary charges the next interval the
+	// part of its duration that falls there (possibly the whole dt:
+	// warm-up-stretched services can span several intervals).
+	for i := range n.busy {
+		n.busy[i] = 0
+		if n.busyUntil[i] > t {
+			n.busy[i] = math.Min(n.busyUntil[i]-t, dt)
+		}
+	}
+	return s
+}
+
+// summarize runs finishInterval for every active node, in parallel when
+// workers allow. Each node writes only its own slot and its own state,
+// so results are independent of the worker count. Goroutines are
+// spawned per tick rather than held in a persistent pool (the cluster
+// layer's design): a DES interval summary sorts a few thousand floats
+// per node, a fraction of the serial event loop's cost, so pool
+// lifecycle machinery would buy nothing measurable here.
+func (f *Fleet) summarize(t float64) {
+	act := f.nodes[:f.active]
+	if f.workers <= 1 || len(act) <= 1 {
+		for i, n := range act {
+			f.samples[i] = n.finishInterval(t, f.dt)
+		}
+		return
+	}
+	w := f.workers
+	if w > len(act) {
+		w = len(act)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(act) {
+					return
+				}
+				f.samples[i] = act[i].finishInterval(t, f.dt)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// autoscaleStep runs one scaling decision on the previous interval's
+// measurements and applies it.
+func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
+	for i, n := range f.nodes {
+		f.roster[i] = autoscale.NodeInfo{
+			ID:              i,
+			CapacityRPS:     n.capacity,
+			Active:          n.state.Active,
+			Stepped:         n.state.Stepped,
+			LastOfferedRPS:  n.state.LastOfferedRPS,
+			LastTailLatency: n.state.LastTailLatency,
+			LastTarget:      n.state.LastTarget,
+			LastQueueDepth:  float64(n.queue.Len()),
+		}
+	}
+	d := f.ctl.Decide(autoscale.Context{
+		Interval:   f.clock.Steps(),
+		T:          t,
+		OfferedRPS: measuredRPS,
+		Nodes:      f.roster,
+		Active:     f.active,
+	})
+	if !d.Scaled {
+		return
+	}
+	if d.Target > f.active {
+		for id := f.active; id < d.Target; id++ {
+			n := f.nodes[id]
+			n.state.Active = true
+			n.warmLeft = f.warmupIvs
+			// Discard interval residue from the node's deactivation era:
+			// requests that were in service when it powered down
+			// completed into these accumulators with nobody to report
+			// them, and must not pollute the first interval back.
+			n.arrived, n.completed = 0, 0
+			n.sojourns = n.sojourns[:0]
+			for i := range n.busy {
+				n.busy[i] = 0
+			}
+		}
+		if f.stats.FirstScaleUpInterval < 0 {
+			f.stats.FirstScaleUpInterval = f.clock.Steps()
+		}
+		f.stats.Ups++
+		f.stats.NodesAdded += d.Target - f.active
+	} else {
+		oldActive := f.active
+		f.active = d.Target // shrink first so migrations only target survivors
+		for id := d.Target; id < oldActive; id++ {
+			n := f.nodes[id]
+			n.state.Active = false
+			n.warmLeft = 0
+			// A powered-off node does not keep a request queue alive:
+			// its queued requests move to the least-committed surviving
+			// nodes (in FIFO order) rather than vanishing or surfacing
+			// as phantom latency when the node rejoins.
+			for {
+				id2 := f.popLocal(n)
+				if id2 < 0 {
+					break
+				}
+				target := f.nodes[0]
+				for _, v := range f.nodes[1:f.active] {
+					if v.queue.Len()+v.busyCount < target.queue.Len()+target.busyCount {
+						target = v
+					}
+				}
+				r := &f.reqs[id2]
+				if f.dispatch(target, id2, t) {
+					// Track each copy to its new node so a pending
+					// hedge timer keeps avoiding the primary's node and
+					// hedge-win attribution stays honest; the two
+					// copies landing on one node voids the race — a
+					// completion there proves nothing about hedging.
+					// (A queued copy is the primary iff it sat on the
+					// primary's node: stolen requests are never
+					// re-queued, and stealing excludes hedging anyway.)
+					if int32(n.id) == r.node {
+						r.node = int32(target.id)
+						if r.hedgeNode == r.node {
+							r.hedgeNode = hedgeVoid
+						}
+					} else if r.hedgeNode == int32(n.id) {
+						if int32(target.id) == r.node {
+							r.hedgeNode = hedgeVoid
+						} else {
+							r.hedgeNode = int32(target.id)
+						}
+					}
+					f.stats.Migrated++
+				} else if r.refs == 0 {
+					// No other copy in service and no pending hedge
+					// timer: the request is truly lost. (With refs > 0
+					// a surviving copy — or a hedge timer that will
+					// re-issue one — still completes it.)
+					r.done = true
+					f.free = append(f.free, id2)
+					f.dropped++
+				}
+			}
+			n.state.Stepped = false
+			n.state.LastOfferedRPS = 0
+			n.state.LastAchievedRPS = 0
+			n.state.LastBacklog = 0
+			n.state.LastTailLatency = 0
+			n.state.LastTarget = 0
+		}
+		f.stats.Downs++
+		f.stats.NodesRemoved += oldActive - d.Target
+	}
+	f.active = d.Target
+	if f.active > f.stats.PeakActive {
+		f.stats.PeakActive = f.active
+	}
+	if f.active < f.stats.MinActive {
+		f.stats.MinActive = f.active
+	}
+}
+
+// tick closes the interval ending at the clock's next boundary:
+// summarise every active node, merge the fleet sample, re-estimate the
+// hedge delay, run the scaling decision, and set up the next interval.
+func (f *Fleet) tick() error {
+	warming := 0
+	for _, n := range f.nodes[:f.active] {
+		if n.warmLeft > 0 {
+			warming++
+		}
+	}
+	tEnd := f.clock.Now() + f.dt
+	f.summarize(tEnd)
+
+	fs := f.merger.MergeInterval(f.samples[:f.active], f.opts.StragglerFactor)
+	fs.T = tEnd
+	var energy float64
+	for _, n := range f.nodes {
+		energy += n.lastEnergyJ
+	}
+	fs.EnergyJ = energy
+	fs.Hedges = f.hedges
+	fs.HedgeWins = f.hedgeWins
+	fs.Steals = f.steals
+	fs.Warming = warming
+	f.fleet.Add(fs)
+	f.stats.Hedges += f.hedges
+	f.stats.HedgeWins += f.hedgeWins
+	f.stats.Steals += f.steals
+	f.stats.WarmupIntervals += warming
+	f.stats.NodeIntervals += f.active
+
+	// Hedge delay for the next interval: the configured quantile of the
+	// interval that just ended (carried forward through empty intervals).
+	if f.hedging && len(f.intervalSojourns) > 0 {
+		f.sortScratch = append(f.sortScratch[:0], f.intervalSojourns...)
+		sort.Float64s(f.sortScratch)
+		if q, err := stats.PercentileSorted(f.sortScratch, f.hedgeQ); err == nil {
+			f.hedgeWait = q
+		}
+	}
+	measuredRPS := float64(f.primaries) / f.dt
+	f.intervalSojourns = f.intervalSojourns[:0]
+	f.hedges, f.hedgeWins, f.steals, f.primaries = 0, 0, 0, 0
+
+	// Warm-up bookkeeping: a node activated at THIS boundary starts its
+	// full warm-up next interval; nodes that just spent an interval
+	// warming count it down here, before the scaling decision.
+	for _, n := range f.nodes[:f.active] {
+		if n.warmLeft > 0 {
+			n.warmLeft--
+		}
+	}
+
+	f.clock.Tick()
+	t := f.clock.Now()
+	// Services started from here on (migrations, idle kicks) belong to
+	// the interval that begins now.
+	f.tickEnd = t + f.dt
+	if f.ctl != nil {
+		f.autoscaleStep(t, measuredRPS)
+	}
+	// Idle servers pick up queues outside the completion path: warm-up
+	// expiries, freshly migrated requests, and (with stealing) fully
+	// idle nodes rescuing a deep peer.
+	for _, n := range f.nodes[:f.active] {
+		if n.warmLeft == 0 || f.warmFactor > 0 {
+			f.kickIdle(n, t)
+		}
+	}
+	return f.refreshInterval(t)
+}
+
+// Run executes the fleet DES for the given horizon (seconds); a zero
+// horizon uses the pattern's natural duration.
+func (f *Fleet) Run(horizon float64) (Result, error) {
+	if f.failed != nil {
+		return Result{}, f.failed
+	}
+	if horizon <= 0 {
+		horizon = f.opts.Pattern.Duration()
+	}
+	if horizon <= 0 {
+		return Result{}, errors.New("clusterdes: no horizon (unbounded pattern and no explicit duration)")
+	}
+	fail := func(err error) (Result, error) {
+		f.failed = err
+		return Result{}, err
+	}
+	if f.clock.Steps() == 0 && f.fleet.Len() == 0 {
+		f.nextArrival = math.Inf(1)
+		if err := f.refreshInterval(0); err != nil {
+			return fail(err)
+		}
+	}
+	for f.clock.Now() < horizon {
+		tTick := f.clock.Now() + f.dt
+		f.tickEnd = tTick
+		for {
+			tEv := math.Inf(1)
+			if et, ok := f.events.PeekTime(); ok {
+				tEv = et
+			}
+			if tEv <= f.nextArrival {
+				if tEv >= tTick {
+					break
+				}
+				t, ev := f.events.Pop()
+				if ev.kind == evCompletion {
+					f.handleCompletion(t, ev)
+				} else {
+					f.handleHedge(t, ev)
+				}
+			} else {
+				if f.nextArrival >= tTick {
+					break
+				}
+				f.handleArrival()
+			}
+		}
+		if err := f.tick(); err != nil {
+			return fail(err)
+		}
+	}
+	return f.result(), nil
+}
+
+// result assembles the run's record, computing the end-to-end latency
+// distribution over every completed request.
+func (f *Fleet) result() Result {
+	res := Result{
+		Fleet: f.fleet,
+		Nodes: make([]*telemetry.Trace, len(f.nodes)),
+		Stats: f.stats,
+	}
+	for i, n := range f.nodes {
+		res.Nodes[i] = n.trace
+	}
+	res.Latency.Completed = int(f.latSeen)
+	res.Latency.Dropped = f.dropped
+	if len(f.latSample) > 0 {
+		res.Latency.Mean = f.latSum / float64(f.latSeen)
+		sort.Float64s(f.latSample)
+		res.Latency.P50, _ = stats.PercentileSorted(f.latSample, 0.50)
+		res.Latency.P90, _ = stats.PercentileSorted(f.latSample, 0.90)
+		res.Latency.P95, _ = stats.PercentileSorted(f.latSample, 0.95)
+		res.Latency.P99, _ = stats.PercentileSorted(f.latSample, 0.99)
+	}
+	return res
+}
+
+// Uniform builds n identical node definitions over one spec and
+// workload at the default configuration.
+func Uniform(n int, spec *platform.Spec, wl *workload.Model) ([]NodeConfig, error) {
+	if n <= 0 {
+		return nil, errors.New("clusterdes: non-positive node count")
+	}
+	nodes := make([]NodeConfig, n)
+	for i := range nodes {
+		nodes[i] = NodeConfig{Spec: spec, Workload: wl}
+	}
+	return nodes, nil
+}

@@ -1,0 +1,74 @@
+package clusterdes
+
+import "hipster/internal/names"
+
+// Mitigation selects the straggler-mitigation policy the cluster DES
+// front-end applies to in-flight requests. Unlike the interval-mode
+// splitters, which can only steer the NEXT interval's load away from a
+// straggler, a mitigation acts on individual requests while they wait —
+// the re-issue/steal decisions run inside the deterministically-ordered
+// event loop, so runs stay bit-identical for a given seed.
+type Mitigation interface {
+	Name() string
+}
+
+// None disables straggler mitigation: requests stay where the splitter
+// routed them. This is the baseline the hedging example compares
+// against.
+type None struct{}
+
+// Name implements Mitigation.
+func (None) Name() string { return "none" }
+
+// Hedged re-issues a request to a second node when it has been
+// outstanding longer than a quantile of recently observed latencies,
+// and takes whichever copy completes first (speculative replication,
+// the classic "tied request" / hedged-request defense; cf. START,
+// arXiv:2111.10241). The hedge delay is re-estimated every monitoring
+// interval as the Quantile of the previous interval's fleet-wide
+// sojourn times, so hedging self-regulates: in a healthy fleet only the
+// slowest ~(1-Quantile) of requests spawn a copy.
+type Hedged struct {
+	// Quantile of the previous interval's latency distribution used as
+	// the hedge delay, in (0, 1) (default 0.95).
+	Quantile float64
+}
+
+// Name implements Mitigation.
+func (Hedged) Name() string { return "hedged" }
+
+// WorkStealing lets an idle node pull the oldest waiting request from
+// the deepest queue in the fleet: whenever a server finishes with an
+// empty local queue (and at every interval boundary, so fully idle
+// nodes participate too), it steals from the active node with the most
+// queued requests. Stealing drains the queue a cold or straggling node
+// has built instead of duplicating work the way hedging does.
+type WorkStealing struct {
+	// MinDepth is the minimum victim queue length worth stealing from
+	// (default 2): single-request queues are about to be served locally
+	// anyway, and stealing them would just bounce requests around.
+	MinDepth int
+}
+
+// Name implements Mitigation.
+func (WorkStealing) Name() string { return "work-stealing" }
+
+// MitigationNames lists the built-in mitigations as accepted by
+// MitigationByName.
+func MitigationNames() []string {
+	return []string{"none", "hedged", "work-stealing"}
+}
+
+// MitigationByName returns a built-in mitigation with its defaults, or
+// an error (wrapping names.ErrUnknown) listing the valid names.
+func MitigationByName(name string) (Mitigation, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "hedged":
+		return Hedged{}, nil
+	case "work-stealing":
+		return WorkStealing{}, nil
+	}
+	return nil, names.Unknown("clusterdes", "mitigation", name, MitigationNames())
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hipster/internal/autoscale"
+	"hipster/internal/clusterdes"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// ClusterDESOpts parameterise the request-level cluster experiments.
+// The zero value selects the defaults below. Web-Search is the
+// workload: its tens of requests per second keep event counts tractable
+// while its 500 ms p90 target leaves room between "queue is building"
+// and "tail has crossed the target" — the window the queue-depth
+// scaling signal exploits.
+type ClusterDESOpts struct {
+	// Nodes is the roster size (default 8).
+	Nodes int
+	// Seed drives every variant identically (default DefaultSeed).
+	Seed int64
+	// Horizon is the simulated duration in seconds (default 600).
+	Horizon float64
+	// LoadFrac is the steady offered load for the mitigation comparison
+	// (default 0.6 of fleet capacity).
+	LoadFrac float64
+	// HedgeQuantile is the hedged variant's delay quantile (default the
+	// mitigation's own 0.95).
+	HedgeQuantile float64
+}
+
+func (o ClusterDESOpts) withDefaults() ClusterDESOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 600
+	}
+	if o.LoadFrac == 0 {
+		o.LoadFrac = 0.6
+	}
+	return o
+}
+
+// HedgingTailRow is one mitigation variant of the comparison.
+type HedgingTailRow struct {
+	Mitigation string
+	// End-to-end request-latency distribution (seconds).
+	P50, P99 float64
+	// Completed requests and fleet QoS attainment.
+	Completed     int
+	QoSAttainment float64
+	// Mitigation activity.
+	Hedges, HedgeWins, Steals int
+	// Straggler node-intervals (the signal mitigation acts on).
+	Stragglers int
+}
+
+// HedgingTail runs the same fleet, load and seed through each
+// straggler-mitigation policy and reports the end-to-end latency
+// distribution of every variant: the experiment behind
+// examples/hedging, quantifying how much fleet P99 the splitter-level
+// mitigations recover from cross-node queueing that the
+// interval-granularity model cannot even see.
+func HedgingTail(o ClusterDESOpts) ([]HedgingTailRow, error) {
+	o = o.withDefaults()
+	spec := platform.JunoR1()
+	wl := workload.WebSearch()
+	var rows []HedgingTailRow
+	for _, name := range clusterdes.MitigationNames() {
+		mit, err := clusterdes.MitigationByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if h, ok := mit.(clusterdes.Hedged); ok && o.HedgeQuantile != 0 {
+			h.Quantile = o.HedgeQuantile
+			mit = h
+		}
+		nodes, err := clusterdes.Uniform(o.Nodes, spec, wl)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := clusterdes.New(clusterdes.Options{
+			Nodes:      nodes,
+			Pattern:    loadgen.Constant{Frac: o.LoadFrac},
+			Mitigation: mit,
+			Seed:       o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := fl.Run(o.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		sum := res.Summarize()
+		rows = append(rows, HedgingTailRow{
+			Mitigation:    name,
+			P50:           res.Latency.P50,
+			P99:           res.Latency.P99,
+			Completed:     res.Latency.Completed,
+			QoSAttainment: sum.QoSAttainment,
+			Hedges:        res.Stats.Hedges,
+			HedgeWins:     res.Stats.HedgeWins,
+			Steals:        res.Stats.Steals,
+			Stragglers:    sum.TotalStragglers,
+		})
+	}
+	return rows, nil
+}
+
+// WarmupSignalOpts parameterise the scaling-signal race. The zero
+// value selects the defaults below: a fleet idling at a low base load
+// whose burst pushes the minimum active set close to (but not past)
+// saturation — the regime where a queue builds for several intervals
+// before the measured tail crosses the target.
+type WarmupSignalOpts struct {
+	// Nodes and MinNodes shape the roster (defaults 8 and 2).
+	Nodes, MinNodes int
+	// Seed (default DefaultSeed) and Horizon (default 300 s).
+	Seed    int64
+	Horizon float64
+	// BaseFrac and PeakFrac are the bursty day's load levels as
+	// fractions of roster capacity (defaults 0.15 and 0.25); the burst
+	// fires every BurstEverySecs for BurstSecs (defaults 100 and 40).
+	BaseFrac, PeakFrac        float64
+	BurstEverySecs, BurstSecs float64
+	// WarmupIntervals is the activation warm-up (default 3).
+	WarmupIntervals int
+}
+
+func (o WarmupSignalOpts) withDefaults() WarmupSignalOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.MinNodes == 0 {
+		o.MinNodes = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 300
+	}
+	if o.BaseFrac == 0 {
+		o.BaseFrac = 0.15
+	}
+	if o.PeakFrac == 0 {
+		o.PeakFrac = 0.25
+	}
+	if o.BurstEverySecs == 0 {
+		o.BurstEverySecs = 100
+	}
+	if o.BurstSecs == 0 {
+		o.BurstSecs = 40
+	}
+	if o.WarmupIntervals == 0 {
+		o.WarmupIntervals = 3
+	}
+	return o
+}
+
+// tailSignal is the distilled "last interval's tail" scaling signal
+// the ROADMAP describes: one more node whenever any active node missed
+// its tail-latency target last interval, one fewer when the fleet is
+// clean and the demand would fit the smaller set comfortably. It is
+// qos-headroom without the utilisation backstop — the backstop reacts
+// to measured demand, which would mask the race between the two
+// latency signals under comparison.
+type tailSignal struct{}
+
+// Name implements autoscale.Policy.
+func (tailSignal) Name() string { return "tail-violation" }
+
+// Desired implements autoscale.Policy.
+func (tailSignal) Desired(ctx autoscale.Context) int {
+	for _, n := range ctx.Nodes[:ctx.Active] {
+		if n.Violated() {
+			return ctx.Active + 1
+		}
+	}
+	if ctx.Active > 1 && ctx.OfferedRPS <= 0.55*ctx.PrefixCapacity(ctx.Active-1) {
+		return ctx.Active - 1
+	}
+	return ctx.Active
+}
+
+// WarmupSignalResult compares the two autoscale signals on the same
+// bursty day and seed.
+type WarmupSignalResult struct {
+	// FirstScaleUp is the monitoring interval of each signal's first
+	// activation (-1 = never scaled).
+	TailFirstScaleUp, QueueFirstScaleUp int
+	// End-to-end P99 and fleet QoS attainment under each signal.
+	TailP99, QueueP99 float64
+	TailQoS, QueueQoS float64
+	// Node-intervals consumed (the cost side).
+	TailNodeIntervals, QueueNodeIntervals int
+}
+
+// WarmupSignal races the queue-depth scaling signal against the
+// tail-violation signal on the same bursty day, same seed, same
+// warm-up: the burst drives the minimum active set near saturation, so
+// a queue builds for several intervals before the measured tail
+// crosses the 500 ms target. The tail-violation policy (see tailSignal)
+// cannot move until the damage is visible; the queue-depth policy sees
+// the queue the interval it forms and wakes the node earlier — which
+// matters precisely because a woken node spends WarmupIntervals warming
+// before it helps.
+func WarmupSignal(o WarmupSignalOpts) (WarmupSignalResult, error) {
+	o = o.withDefaults()
+	run := func(pol autoscale.Policy) (clusterdes.Result, error) {
+		nodes, err := clusterdes.Uniform(o.Nodes, platform.JunoR1(), workload.WebSearch())
+		if err != nil {
+			return clusterdes.Result{}, err
+		}
+		fl, err := clusterdes.New(clusterdes.Options{
+			Nodes: nodes,
+			Pattern: loadgen.Spike{
+				Base: o.BaseFrac, Peak: o.PeakFrac,
+				EverySecs: o.BurstEverySecs, SpikeSecs: o.BurstSecs,
+				Horizon: o.Horizon,
+			},
+			Seed: o.Seed,
+			Autoscale: &clusterdes.AutoscaleOptions{
+				Policy:          pol,
+				MinNodes:        o.MinNodes,
+				WarmupIntervals: o.WarmupIntervals,
+			},
+		})
+		if err != nil {
+			return clusterdes.Result{}, err
+		}
+		return fl.Run(o.Horizon)
+	}
+	tail, err := run(tailSignal{})
+	if err != nil {
+		return WarmupSignalResult{}, fmt.Errorf("tail-signal run: %w", err)
+	}
+	queue, err := run(autoscale.QueueDepth{})
+	if err != nil {
+		return WarmupSignalResult{}, fmt.Errorf("queue-signal run: %w", err)
+	}
+	return WarmupSignalResult{
+		TailFirstScaleUp:   tail.Stats.FirstScaleUpInterval,
+		QueueFirstScaleUp:  queue.Stats.FirstScaleUpInterval,
+		TailP99:            tail.Latency.P99,
+		QueueP99:           queue.Latency.P99,
+		TailQoS:            tail.Summarize().QoSAttainment,
+		QueueQoS:           queue.Summarize().QoSAttainment,
+		TailNodeIntervals:  tail.Stats.NodeIntervals,
+		QueueNodeIntervals: queue.Stats.NodeIntervals,
+	}, nil
+}

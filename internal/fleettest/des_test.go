@@ -1,0 +1,62 @@
+package fleettest_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hipster/internal/cluster"
+	"hipster/internal/clusterdes"
+	"hipster/internal/fleettest"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// tinyDESFleet is a small hedged DES fleet; hedging exercises the
+// cross-node event paths the harness must fingerprint, and the
+// heterogeneous node configurations make the choice of splitter
+// observable (round-robin and capacity-weighted would split a uniform
+// fleet identically).
+func tinyDESFleet(seed int64) (clusterdes.Options, error) {
+	nodes, err := clusterdes.Uniform(3, platform.JunoR1(), workload.WebSearch())
+	if err != nil {
+		return clusterdes.Options{}, err
+	}
+	small := platform.Config{NSmall: 4}
+	nodes[2].Config = &small
+	return clusterdes.Options{
+		Nodes:      nodes,
+		Pattern:    loadgen.Constant{Frac: 0.6},
+		Mitigation: clusterdes.Hedged{},
+		Seed:       seed,
+	}, nil
+}
+
+func TestDESHarnessProperties(t *testing.T) {
+	fleettest.AssertDESWorkerInvariance(t, tinyDESFleet, 11, 30)
+	fleettest.AssertDESSeedDeterminism(t, tinyDESFleet, 11, 30)
+}
+
+// TestDESFingerprintCoversRouting guards the DES harness itself: the
+// fingerprint must change when only the routing differs on the same
+// seed and demand.
+func TestDESFingerprintCoversRouting(t *testing.T) {
+	opts, err := tinyDESFleet(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fleettest.FingerprintDES(t, opts, 30)
+	if len(a) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+
+	opts, err = tinyDESFleet(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Splitter = cluster.RoundRobin{}
+	b := fleettest.FingerprintDES(t, opts, 30)
+	if bytes.Equal(a, b) {
+		t.Fatal("fingerprint blind to the per-request routing")
+	}
+}

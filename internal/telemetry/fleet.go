@@ -35,6 +35,15 @@ type FleetSample struct {
 	// Power and energy summed across nodes.
 	PowerW  float64 `json:"power_w"`
 	EnergyJ float64 `json:"energy_j"` // cumulative
+
+	// Straggler-mitigation and warm-up activity, recorded by the
+	// cluster-scale DES (always zero in the interval-granularity mode):
+	// hedge requests issued and won, cross-node steals, and nodes that
+	// spent this interval warming up after activation.
+	Hedges    int `json:"hedges,omitempty"`
+	HedgeWins int `json:"hedge_wins,omitempty"`
+	Steals    int `json:"steals,omitempty"`
+	Warming   int `json:"warming,omitempty"`
 }
 
 // QoSAttainment returns the fraction of nodes meeting QoS this interval.
@@ -172,6 +181,36 @@ func (ft *FleetTrace) TotalStragglers() int {
 	return n
 }
 
+// TotalHedges sums the hedge requests issued over the run; the second
+// value is how many of them won their race (completed before the
+// primary copy).
+func (ft *FleetTrace) TotalHedges() (issued, won int) {
+	for _, s := range ft.Samples {
+		issued += s.Hedges
+		won += s.HedgeWins
+	}
+	return issued, won
+}
+
+// TotalSteals sums the cross-node work steals over the run.
+func (ft *FleetTrace) TotalSteals() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Steals
+	}
+	return n
+}
+
+// WarmupIntervals sums the node-intervals spent warming up after an
+// activation — capacity that was powered and billed but degraded.
+func (ft *FleetTrace) WarmupIntervals() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Warming
+	}
+	return n
+}
+
 // PeakStragglers returns the worst single-interval straggler count.
 func (ft *FleetTrace) PeakStragglers() int {
 	peak := 0
@@ -210,6 +249,8 @@ type FleetSummary struct {
 	PeakStragglers  int
 	MeanOfferedRPS  float64
 	MeanAchievedRPS float64
+	// Mitigation and warm-up totals (cluster DES mode; zero otherwise).
+	Hedges, HedgeWins, Steals, WarmupIntervals int
 }
 
 // Summarize computes the headline fleet metrics.
@@ -222,7 +263,10 @@ func (ft *FleetTrace) Summarize() FleetSummary {
 		MeanPowerW:      ft.MeanPowerW(),
 		TotalStragglers: ft.TotalStragglers(),
 		PeakStragglers:  ft.PeakStragglers(),
+		Steals:          ft.TotalSteals(),
+		WarmupIntervals: ft.WarmupIntervals(),
 	}
+	sum.Hedges, sum.HedgeWins = ft.TotalHedges()
 	if len(ft.Samples) > 0 {
 		var off, ach float64
 		for _, s := range ft.Samples {

@@ -51,7 +51,7 @@ func (r *DESRunner) Interval(m *Model, spec *platform.Spec, in IntervalInput, se
 	if err := in.Config.Validate(spec); err != nil {
 		return IntervalOutput{}, err
 	}
-	r.servers = m.appendServers(r.servers[:0], spec, in.Config, in.DemandInflation)
+	r.servers = m.AppendServers(r.servers[:0], spec, in.Config, in.DemandInflation)
 	servers := r.servers
 	mu := queueing.TotalRate(servers)
 	effLambda := in.OfferedRPS + in.Backlog/in.Dt

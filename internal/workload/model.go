@@ -145,10 +145,14 @@ func (m *Model) serverGroups(spec *platform.Spec, cfg platform.Config, inflation
 	return groups, ng
 }
 
-// appendServers expands a configuration's server pool onto dst (the
+// AppendServers expands a configuration's server pool onto dst (the
 // request-level DES needs individual servers) and returns the extended
-// slice.
-func (m *Model) appendServers(dst []queueing.Server, spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
+// slice. Expansion order is big cores first, so server index i < NBig
+// is a big core — the cluster-scale DES relies on this to attribute
+// per-server busy time to the right power cluster. Callers that
+// re-expand pools repeatedly (warm-up transitions rescale every rate)
+// pass dst[:0] to reuse the backing array.
+func (m *Model) AppendServers(dst []queueing.Server, spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
 	groups, ng := m.serverGroups(spec, cfg, inflation)
 	for _, g := range groups[:ng] {
 		for i := 0; i < g.N; i++ {
@@ -162,7 +166,7 @@ func (m *Model) appendServers(dst []queueing.Server, spec *platform.Spec, cfg pl
 // provides, with rates divided by the demand-inflation factor (>= 1)
 // caused by co-runner interference.
 func (m *Model) Servers(spec *platform.Spec, cfg platform.Config, inflation float64) []queueing.Server {
-	return m.appendServers(make([]queueing.Server, 0, cfg.Cores()), spec, cfg, inflation)
+	return m.AppendServers(make([]queueing.Server, 0, cfg.Cores()), spec, cfg, inflation)
 }
 
 // CapacityRPS returns the aggregate service capacity of a configuration.
