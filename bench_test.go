@@ -450,6 +450,59 @@ func BenchmarkClusterDES16Nodes(b *testing.B) {
 	b.ReportMetric(p99*1000, "p99-ms")
 }
 
+// BenchmarkClusterDES256Nodes runs the request-level cluster DES over
+// a 256-node Web-Search fleet at 30% load with work stealing for 60
+// simulated seconds. 30% is typical datacenter utilisation and the
+// regime where the serial event loop scales worst: most completions
+// leave a node idle, and every idle node triggers an O(fleet) steal
+// scan on top of the per-arrival routing-share walk. The sharded
+// variant partitions the roster into 8 routing domains that exchange
+// cross-domain effects only at interval boundaries, shrinking both
+// scans to one domain each; results stay a pure function of
+// (seed, domain count), so the speedup is purely algorithmic on a
+// single core, and on multi-core hosts the domains additionally step
+// in parallel on the worker pool. Sub-benchmark names are
+// machine-independent ("serial", "domains=8") because the CI
+// regression gate matches them against the committed baseline.
+func BenchmarkClusterDES256Nodes(b *testing.B) {
+	spec := platform.JunoR1()
+	for _, bc := range []struct {
+		name    string
+		domains int
+	}{
+		{"serial", 0},
+		{"domains=8", 8},
+	} {
+		domains := bc.domains
+		b.Run(bc.name, func(b *testing.B) {
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				nodes, err := hipster.UniformClusterDESNodes(256, spec, hipster.WebSearch())
+				if err != nil {
+					b.Fatal(err)
+				}
+				fl, err := hipster.NewClusterDES(hipster.ClusterDESOptions{
+					Nodes:      nodes,
+					Pattern:    hipster.ConstantLoad{Frac: 0.3},
+					Mitigation: hipster.NewWorkStealingMitigation(),
+					Workers:    runtime.GOMAXPROCS(0),
+					Domains:    domains,
+					Seed:       42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := fl.Run(60)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p99 = res.Latency.P99
+			}
+			b.ReportMetric(p99*1000, "p99-ms")
+		})
+	}
+}
+
 // BenchmarkClusterAutoscale steps a federated 16-node HipsterIn roster
 // under a bursty load with elastic sizing: the active set follows the
 // bursts, joining nodes are warm-started from the fleet table, and

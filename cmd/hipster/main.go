@@ -36,6 +36,13 @@
 //	hipster cluster -mode des -nodes 8 -workload websearch -pattern constant:0.6 -mitigation hedged
 //	hipster cluster -mode des -nodes 8 -workload websearch -mitigation work-stealing
 //	hipster cluster -mode des -nodes 8 -autoscale -scale-policy queue-depth -warmup-intervals 3
+//
+// Large DES fleets can be sharded into routing domains that step in
+// parallel between interval boundaries; the run stays bit-identical
+// for a fixed seed and domain count no matter how many workers step
+// the domains:
+//
+//	hipster cluster -mode des -nodes 256 -domains 8 -workers 8 -pattern constant:0.6
 package main
 
 import (
@@ -241,6 +248,7 @@ func runCluster(args []string) error {
 		seed         = fs.Int64("seed", 42, "fleet seed (node i uses seed+i)")
 		series       = fs.Bool("series", true, "print sparkline time series")
 		mitigation   = fs.String("mitigation", "none", "DES straggler mitigation: none|hedged|work-stealing")
+		domains      = fs.Int("domains", 0, "DES routing domains stepped in parallel (0 = serial event loop)")
 		hedgeQ       = fs.Float64("hedge-quantile", 0.95, "DES hedge delay as a quantile of last interval's latencies")
 		warmupIvs    = fs.Int("warmup-intervals", 0, "DES intervals an autoscale-activated node serves nothing while warming")
 		federate     = fs.Bool("federate", false, "share the per-node RL tables: periodically merge them into one fleet table and broadcast it back")
@@ -283,7 +291,7 @@ func runCluster(args []string) error {
 		if *mode != "interval" && *mode != "des" {
 			return fmt.Errorf("unknown -mode %q (want interval or des)", *mode)
 		}
-		if err := requireFeature(*mode == "des", "-mode=des", "mitigation", "hedge-quantile", "warmup-intervals"); err != nil {
+		if err := requireFeature(*mode == "des", "-mode=des", "mitigation", "hedge-quantile", "warmup-intervals", "domains"); err != nil {
 			return err
 		}
 		if err := requireFeature(*mode == "interval", "-mode=interval",
@@ -307,7 +315,7 @@ func runCluster(args []string) error {
 				nodes: *nodes, workers: *workers,
 				workload: *workloadName, splitter: *splitterName, pattern: *patternName,
 				duration: *duration, seed: *seed, series: *series,
-				mitigation: *mitigation, hedgeQuantile: *hedgeQ,
+				mitigation: *mitigation, hedgeQuantile: *hedgeQ, domains: *domains,
 				autoscale: *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
 				scalePolicy: *scalePolicy, cooldown: *cooldown, warmupIntervals: *warmupIvs,
 			})
@@ -470,6 +478,7 @@ type desArgs struct {
 	series                       bool
 	mitigation                   string
 	hedgeQuantile                float64
+	domains                      int
 	autoscale                    bool
 	minNodes, maxNodes, cooldown int
 	scalePolicy                  string
@@ -512,6 +521,7 @@ func runClusterDES(a desArgs) error {
 		Splitter:   splitter,
 		Mitigation: mit,
 		Workers:    a.workers,
+		Domains:    a.domains,
 		Seed:       a.seed,
 	}
 	if a.autoscale {
@@ -537,8 +547,8 @@ func runClusterDES(a desArgs) error {
 	}
 
 	sum := res.Summarize()
-	fmt.Printf("cluster mode=des nodes=%d workers=%d workload=%s splitter=%s mitigation=%s pattern=%s duration=%.0fs seed=%d\n",
-		a.nodes, fl.Workers(), a.workload, splitter.Name(), mit.Name(), a.pattern, a.duration, a.seed)
+	fmt.Printf("cluster mode=des nodes=%d domains=%d workers=%d workload=%s splitter=%s mitigation=%s pattern=%s duration=%.0fs seed=%d\n",
+		a.nodes, a.domains, fl.Workers(), a.workload, splitter.Name(), mit.Name(), a.pattern, a.duration, a.seed)
 	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(fl.CapacityRPS()))
 	lat := res.Latency
 	fmt.Printf("  requests        : %d completed, %d dropped\n", lat.Completed, lat.Dropped)

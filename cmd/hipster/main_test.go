@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterOrphanFlags pins the guard that refuses feature-dependent
+// flags when their feature is off — a typo'd invocation must fail
+// loudly instead of silently measuring the wrong fleet.
+func TestClusterOrphanFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // substrings the error must mention
+	}{
+		{
+			name: "domains-without-des",
+			args: []string{"-domains", "4"},
+			want: []string{"-domains", "-mode=des"},
+		},
+		{
+			name: "domains-with-interval-mode",
+			args: []string{"-mode", "interval", "-domains", "2"},
+			want: []string{"-domains", "-mode=des"},
+		},
+		{
+			name: "mitigation-without-des",
+			args: []string{"-mitigation", "hedged"},
+			want: []string{"-mitigation", "-mode=des"},
+		},
+		{
+			name: "policy-under-des",
+			args: []string{"-mode", "des", "-policy", "octopus-man"},
+			want: []string{"-policy", "-mode=interval"},
+		},
+		{
+			name: "hedge-quantile-without-hedging",
+			args: []string{"-mode", "des", "-hedge-quantile", "0.9"},
+			want: []string{"-hedge-quantile", "-mitigation hedged"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runCluster(tc.args)
+			if err == nil {
+				t.Fatalf("runCluster(%v) accepted orphaned flags", tc.args)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("runCluster(%v) error %q does not mention %q", tc.args, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterDomainsValidation checks that a domain count the engine
+// rejects surfaces as a command error rather than a crash.
+func TestClusterDomainsValidation(t *testing.T) {
+	err := runCluster([]string{"-mode", "des", "-nodes", "4", "-domains", "8",
+		"-pattern", "constant:0.5", "-duration", "2", "-series=false"})
+	if err == nil {
+		t.Fatal("runCluster accepted more domains than nodes")
+	}
+}
+
+// TestClusterDESDomainsRun smoke-tests a sharded DES invocation end to
+// end through the CLI path.
+func TestClusterDESDomainsRun(t *testing.T) {
+	err := runCluster([]string{"-mode", "des", "-nodes", "4", "-domains", "2",
+		"-pattern", "constant:0.5", "-duration", "5", "-series=false"})
+	if err != nil {
+		t.Fatalf("sharded DES run failed: %v", err)
+	}
+}

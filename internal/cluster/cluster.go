@@ -14,8 +14,6 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"hipster/internal/batch"
 	"hipster/internal/engine"
@@ -157,38 +155,18 @@ type Cluster struct {
 	samples []telemetry.Sample
 	errs    []error
 
-	// Persistent worker pool: rather than spawning one goroutine per
-	// worker per Step, the pool is started once (lazily, on the first
-	// parallel Step) and woken each interval. Workers claim node
-	// indices from an atomic counter and write only their node's slot
-	// of the scratch slices, so scheduling order cannot affect results
-	// (worker-invariance is unchanged from the spawn-per-step design).
-	pool *workerPool
-	// batch is the per-interval work description handed to the pool;
-	// reused every Step.
-	batch stepBatch
-}
-
-// workerPool is the detached part of the pool: worker goroutines hold
-// only this struct, never the Cluster, so a cluster that is dropped
-// without Close does not stay reachable through its own workers — the
-// runtime cleanup registered in ensurePool retires them when the
-// Cluster is collected.
-type workerPool struct {
-	stop   chan struct{}   // closed exactly once to retire the workers
-	kick   chan *stepBatch // one send per worker per interval
-	once   sync.Once       // guards close(stop): Close vs GC cleanup
-	exited sync.WaitGroup  // worker goroutine lifetimes
-}
-
-// stepBatch describes one interval's fan-out. Workers claim node
-// indices from next and write only their own slots of samples/errs.
-type stepBatch struct {
-	nodes   []*node
-	samples []telemetry.Sample
-	errs    []error
-	next    atomic.Int64
-	done    sync.WaitGroup
+	// Persistent worker pool (see Pool): rather than spawning one
+	// goroutine per worker per Step, the pool is started once (lazily,
+	// on the first parallel Step) and woken each interval. Workers
+	// claim node indices from an atomic counter and write only their
+	// node's slot of the scratch slices, so scheduling order cannot
+	// affect results (worker-invariance is unchanged from the
+	// spawn-per-step design).
+	pool *Pool
+	// stepFn is the per-node step closure handed to the pool; built
+	// once so the hot Step path allocates nothing per interval.
+	stepFn     func(i int)
+	stepActive []*node
 }
 
 // New validates options and builds a cluster.
@@ -442,70 +420,16 @@ func (c *Cluster) stepNodes() {
 		}
 		return
 	}
-	c.ensurePool()
-	b := &c.batch
-	b.nodes = active
-	b.samples = c.samples
-	b.errs = c.errs
-	b.next.Store(0)
-	b.done.Add(c.workers)
-	for k := 0; k < c.workers; k++ {
-		c.pool.kick <- b
+	c.stepActive = active
+	if c.pool == nil {
+		c.pool = NewPool(c.workers)
 	}
-	b.done.Wait()
-}
-
-// ensurePool starts the worker goroutines if they are not running —
-// either because this is the first parallel Step, or because Close
-// retired an earlier pool and the cluster is being stepped again. A
-// runtime cleanup retires the pool of a cluster that is dropped
-// without Close, so abandoned clusters leak nothing.
-func (c *Cluster) ensurePool() {
-	if c.pool != nil {
-		return
-	}
-	p := &workerPool{
-		stop: make(chan struct{}),
-		kick: make(chan *stepBatch),
-	}
-	for k := 0; k < c.workers; k++ {
-		p.exited.Add(1)
-		go p.worker()
-	}
-	c.pool = p
-	runtime.AddCleanup(c, func(p *workerPool) { p.retire(false) }, p)
-}
-
-// worker serves one pool goroutine: wait for an interval kick, claim
-// node indices until the batch is exhausted, report completion, repeat
-// until retired. It deliberately references only the pool and the
-// batches it is handed.
-func (p *workerPool) worker() {
-	defer p.exited.Done()
-	for {
-		select {
-		case <-p.stop:
-			return
-		case b := <-p.kick:
-			for {
-				i := int(b.next.Add(1)) - 1
-				if i >= len(b.nodes) {
-					break
-				}
-				b.samples[i], b.errs[i] = b.nodes[i].eng.Step()
-			}
-			b.done.Done()
+	if c.stepFn == nil {
+		c.stepFn = func(i int) {
+			c.samples[i], c.errs[i] = c.stepActive[i].eng.Step()
 		}
 	}
-}
-
-// retire stops the workers; wait additionally blocks until they have
-// exited (the GC cleanup signals without waiting).
-func (p *workerPool) retire(wait bool) {
-	p.once.Do(func() { close(p.stop) })
-	if wait {
-		p.exited.Wait()
-	}
+	c.pool.Do(len(active), c.stepFn)
 }
 
 // Close retires the worker pool. It is idempotent and safe to call on a
@@ -515,11 +439,10 @@ func (p *workerPool) retire(wait bool) {
 // collector. A closed cluster may be stepped again: the next parallel
 // Step simply starts a fresh pool.
 func (c *Cluster) Close() {
-	if c.pool == nil {
-		return
+	if c.pool != nil {
+		c.pool.Close()
+		c.pool = nil
 	}
-	c.pool.retire(true)
-	c.pool = nil
 }
 
 // Result bundles a finished cluster run: the merged fleet trace plus

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for deterministic index fan-outs: the
+// coordinator layers (the interval-mode cluster, the sharded cluster
+// DES) repeatedly run "apply fn to every index 0..n-1, each exactly
+// once, each writing only its own slot" and must not pay a
+// goroutine-spawn per interval for it. Workers claim indices from an
+// atomic counter, so scheduling order cannot affect results as long as
+// fn(i) touches only index i's state — the worker-invariance contract
+// every caller in this repository already obeys.
+//
+// A Pool is lazily started on the first parallel Do and may be Closed
+// and reused; a Pool dropped without Close is retired by a runtime
+// cleanup, so abandoned coordinators leak no goroutines. Do must not be
+// called concurrently with itself or Close.
+type Pool struct {
+	workers int
+	state   *poolState
+	// task is the fan-out descriptor reused across Do calls (Do is
+	// never concurrent with itself), so the per-interval hot path of a
+	// long run allocates nothing. Workers reference it only while a
+	// fan-out is in flight.
+	task poolTask
+}
+
+// poolState is the detached part of the pool: worker goroutines hold
+// only this struct, never the Pool's owner, so a coordinator dropped
+// without Close does not stay reachable through its own workers.
+type poolState struct {
+	stop   chan struct{}  // closed exactly once to retire the workers
+	kick   chan *poolTask // one send per worker per fan-out
+	once   sync.Once      // guards close(stop): Close vs GC cleanup
+	exited sync.WaitGroup // worker goroutine lifetimes
+}
+
+// poolTask describes one fan-out. Workers claim indices from next and
+// call fn for each, then report completion.
+type poolTask struct {
+	fn   func(i int)
+	n    int
+	next atomic.Int64
+	done sync.WaitGroup
+}
+
+// NewPool sizes a pool; 0 means GOMAXPROCS. Workers are not started
+// until the first parallel Do.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the resolved worker count (never zero).
+func (p *Pool) Workers() int { return p.workers }
+
+// Do runs fn(i) for every i in [0, n), each exactly once, and returns
+// when all calls have finished. With one worker (or one index) it runs
+// inline, avoiding all synchronisation; results are identical either
+// way provided fn(i) writes only index i's state.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if p.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.ensureStarted()
+	t := &p.task
+	t.fn = fn
+	t.n = n
+	t.next.Store(0)
+	t.done.Add(p.workers)
+	for k := 0; k < p.workers; k++ {
+		p.state.kick <- t
+	}
+	t.done.Wait()
+	t.fn = nil // do not pin the closure's captures between fan-outs
+}
+
+// ensureStarted starts the worker goroutines if they are not running —
+// either because this is the first parallel Do, or because Close
+// retired an earlier generation and the pool is being used again.
+func (p *Pool) ensureStarted() {
+	if p.state != nil {
+		return
+	}
+	s := &poolState{
+		stop: make(chan struct{}),
+		kick: make(chan *poolTask),
+	}
+	for k := 0; k < p.workers; k++ {
+		s.exited.Add(1)
+		go s.worker()
+	}
+	p.state = s
+	runtime.AddCleanup(p, func(s *poolState) { s.retire(false) }, s)
+}
+
+// worker serves one pool goroutine: wait for a fan-out kick, claim
+// indices until the task is exhausted, report completion, repeat until
+// retired. It deliberately references only the pool state and the tasks
+// it is handed.
+func (s *poolState) worker() {
+	defer s.exited.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case t := <-s.kick:
+			for {
+				i := int(t.next.Add(1)) - 1
+				if i >= t.n {
+					break
+				}
+				t.fn(i)
+			}
+			t.done.Done()
+		}
+	}
+}
+
+// retire stops the workers; wait additionally blocks until they have
+// exited (the GC cleanup signals without waiting).
+func (s *poolState) retire(wait bool) {
+	s.once.Do(func() { close(s.stop) })
+	if wait {
+		s.exited.Wait()
+	}
+}
+
+// Close retires the workers. It is idempotent and safe on a
+// never-parallelised pool; a closed pool may be used again — the next
+// parallel Do simply starts a fresh worker generation.
+func (p *Pool) Close() {
+	if p.state == nil {
+		return
+	}
+	p.state.retire(true)
+	p.state = nil
+}

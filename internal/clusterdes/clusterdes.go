@@ -30,7 +30,6 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -110,9 +109,22 @@ type Options struct {
 	// Mitigation is the straggler-mitigation policy (default None).
 	Mitigation Mitigation
 
-	// Workers parallelises the per-node interval summaries; 0 means
-	// GOMAXPROCS. Results do not depend on this value.
+	// Workers parallelises the per-node interval summaries and, in a
+	// sharded run, the per-domain event loops; 0 means GOMAXPROCS.
+	// Results do not depend on this value.
 	Workers int
+
+	// Domains shards the roster into this many routing domains, each a
+	// contiguous block of nodes with its own event loop and RNG streams
+	// (derived from Seed+domain). Domains step in parallel on the
+	// worker pool; cross-domain effects — steals, hedge copies landing
+	// in another domain, autoscale roster changes — are exchanged only
+	// at interval boundaries, so the run is a pure function of (Seed,
+	// Domains) at any worker count. 0 runs the classic serial loop;
+	// 1 runs the sharded machinery over a single fleet-wide domain,
+	// which is bit-identical to the serial loop. Must not exceed the
+	// roster size.
+	Domains int
 
 	// IntervalSecs is the monitoring interval (default 1 s).
 	IntervalSecs float64
@@ -149,11 +161,21 @@ type LatencySummary struct {
 
 // Stats counts the DES fleet's mitigation and scaling activity.
 type Stats struct {
+	// Requests counts primary arrivals admitted to the fleet (every
+	// request is eventually completed or counted dropped — the
+	// conservation law the sharded equivalence tests assert).
+	Requests int
 	// Hedges counts hedge copies issued; HedgeWins how many completed
 	// before the primary.
 	Hedges, HedgeWins int
 	// Steals counts cross-node work steals.
 	Steals int
+	// CrossDomainHedges, CrossDomainSteals and CrossDomainMigrations
+	// count the boundary exchanges of a sharded run: hedge copies
+	// placed in another routing domain, steals across a domain
+	// boundary, and scale-down migrations that moved a request between
+	// domains. Always zero in a serial (Domains <= 1) run.
+	CrossDomainHedges, CrossDomainSteals, CrossDomainMigrations int
 	// Migrated counts queued requests re-routed off a deactivating node.
 	Migrated int
 	// Ups/Downs/NodesAdded/NodesRemoved count autoscale events.
@@ -199,15 +221,46 @@ type event struct {
 // completion there proves nothing about hedging.
 const hedgeVoid = -2
 
+// hedgeCross marks a request whose hedge copy lives in another routing
+// domain (sharded runs only): the copy is a mirror entry in the target
+// domain's request table, linked through crossDom/crossRef.
+const hedgeCross = -3
+
 // request is one in-flight request. A request id is recycled through a
 // free list once every reference to it (queue slots, serving servers,
 // the pending hedge timer) has been released.
+//
+// The cross-domain fields are used only by sharded runs and stay zero
+// in the serial loop. When a hedge copy is placed in another domain,
+// both entries of the pair defer their completion record (deferRec) to
+// the coordinator's boundary reconciliation — only there are both
+// domains' completions visible, so only there can the race be decided
+// without double-counting. Each entry of a pair holds one extra
+// reference on behalf of the link, released at reconciliation, so
+// neither id can be recycled while its partner might still name it.
 type request struct {
 	arrival   float64
 	node      int32 // primary node
 	hedgeNode int32 // node the hedge copy went to; -1 none, hedgeVoid disabled
 	refs      int8
 	done      bool
+	deferRec  bool  // record at boundary reconciliation, not at completion
+	mirror    bool  // this entry is the hedge-copy side of a cross pair
+	copyGone  bool  // this copy was discarded (failed scale-down migration)
+	crossDom  int32 // partner entry's domain
+	crossRef  int32 // partner entry's request id in that domain
+}
+
+// crossEvent is one completion of a cross-domain request pair, queued
+// for the coordinator's boundary reconciliation. dom/id name the ORIGIN
+// (primary) entry of the pair regardless of which copy completed, so
+// the two domains' events for one request collide on the same key.
+type crossEvent struct {
+	dom    int32
+	id     int32
+	t      float64 // completion time
+	node   int32   // node that completed this copy
+	mirror bool    // the completing copy was the mirror (hedge) side
 }
 
 // desNode is one node's simulation state.
@@ -244,23 +297,48 @@ type desNode struct {
 	smallUtils []float64
 }
 
-// Fleet is the cluster-scale discrete-event simulator. It is not safe
-// for concurrent use.
-type Fleet struct {
-	opts     Options
-	splitter cluster.Splitter
-	workers  int
-	dt       float64
-	nodes    []*desNode
-	fleetCap float64
-	clock    *sim.Clock
+// latRecorder is the end-to-end latency record. Storing every sojourn
+// of a memcached-scale day would need gigabytes, so the sample is a
+// deterministic systematic one: every stride-th winning completion is
+// kept, and when the buffer reaches latSampleCap it is decimated in
+// place and the stride doubled. Below the cap (every Web-Search-scale
+// run) the record is exact. The count and mean are always exact.
+type latRecorder struct {
+	sample []float64
+	stride int64
+	seen   int64
+	sum    float64
+}
+
+// loop is one routing domain's event loop: the request table, event
+// heap, RNG streams, arrival process and per-interval counters for a
+// contiguous slice of the roster. The serial Fleet embeds a single
+// loop spanning the whole roster (lo = 0, rosterActive = active); a
+// sharded run builds one loop per domain and steps them in parallel,
+// exchanging cross-domain effects only at interval boundaries. All
+// methods on loop touch only the loop's own state, which is exactly
+// what makes the parallel step deterministic.
+type loop struct {
+	id int // domain id; 0 for the serial fleet
+	lo int // global id of this loop's first node
+
+	nodes        []*desNode
+	active       int // active nodes in this loop (a prefix of nodes)
+	rosterActive int // fleet-wide active count (== active when serial)
 
 	// Mitigation, resolved.
 	hedging   bool
-	hedgeQ    float64
 	stealing  bool
 	minDepth  int
 	hedgeWait float64 // current hedge delay; +Inf until first estimate
+
+	// deferCross lets a hedge with no in-domain target park the
+	// re-issue for the coordinator instead of giving up; false in the
+	// serial loop and in single-domain sharded runs, where "no target
+	// in this domain" already means "no target anywhere".
+	deferCross bool
+
+	warmFactor float64
 
 	arrRNG   *rand.Rand
 	routeRNG *rand.Rand
@@ -275,38 +353,58 @@ type Fleet struct {
 	tickEnd     float64 // end of the current interval
 	shares      []float64
 	shareSum    float64
-	active      int
 
-	// Per-interval fleet scratch.
+	// Per-interval scratch.
 	intervalSojourns []float64
-	sortScratch      []float64
 	hedges           int
 	hedgeWins        int
 	steals           int
 	primaries        int
 	dropped          int
 
-	// End-to-end latency record. Storing every sojourn of a
-	// memcached-scale day would need gigabytes, so the sample is a
-	// deterministic systematic one: every latStride-th winning
-	// completion is kept, and when the buffer reaches latSampleCap it
-	// is decimated in place and the stride doubled. Below the cap
-	// (every Web-Search-scale run) the record is exact. The count and
-	// mean are always exact.
-	latSample []float64
-	latStride int64
-	latSeen   int64
-	latSum    float64
+	lat latRecorder
+
+	// Boundary outboxes (sharded runs only): hedge re-issues with no
+	// in-domain target, and completions of cross-domain pairs awaiting
+	// reconciliation.
+	deferredHedges []int32
+	crossDone      []crossEvent
+}
+
+// node maps a global node id to this loop's slice (a domain owns the
+// contiguous id range starting at lo; the serial loop has lo == 0).
+func (l *loop) node(id int32) *desNode { return l.nodes[int(id)-l.lo] }
+
+// Fleet is the cluster-scale discrete-event simulator. It is not safe
+// for concurrent use.
+type Fleet struct {
+	// loop is the serial event loop spanning the whole roster. A
+	// sharded run (Options.Domains > 1) leaves it idle — sh owns
+	// per-domain loops instead — but keeps nodes/active current so the
+	// accessors stay truthful either way.
+	loop
+
+	opts     Options
+	splitter cluster.Splitter
+	workers  int
+	dt       float64
+	fleetCap float64
+	clock    *sim.Clock
+
+	hedgeQ float64
+
+	sortScratch []float64
 
 	states  []cluster.NodeState
 	samples []telemetry.Sample
 	fleet   *telemetry.FleetTrace
 	merger  telemetry.Merger
 
-	ctl        *autoscale.Controller
-	roster     []autoscale.NodeInfo
-	warmupIvs  int
-	warmFactor float64
+	ctl       *autoscale.Controller
+	roster    []autoscale.NodeInfo
+	warmupIvs int
+
+	sh *sharded // non-nil when Options.Domains > 1
 
 	stats  Stats
 	failed error
@@ -326,13 +424,21 @@ func New(opts Options) (*Fleet, error) {
 	if opts.MaxQueue < 0 {
 		return nil, errors.New("clusterdes: negative queue bound")
 	}
+	if opts.Domains < 0 {
+		return nil, errors.New("clusterdes: negative domain count")
+	}
+	if opts.Domains > len(opts.Nodes) {
+		return nil, fmt.Errorf("clusterdes: %d domains exceed the %d-node roster", opts.Domains, len(opts.Nodes))
+	}
 	f := &Fleet{
-		opts:      opts,
-		splitter:  opts.Splitter,
-		workers:   opts.Workers,
-		fleet:     &telemetry.FleetTrace{},
-		hedgeWait: math.Inf(1),
-		latStride: 1,
+		loop: loop{
+			hedgeWait: math.Inf(1),
+			lat:       latRecorder{stride: 1},
+		},
+		opts:     opts,
+		splitter: opts.Splitter,
+		workers:  opts.Workers,
+		fleet:    &telemetry.FleetTrace{},
 	}
 	if f.splitter == nil {
 		f.splitter = cluster.WeightedByCapacity{}
@@ -390,6 +496,7 @@ func New(opts Options) (*Fleet, error) {
 			return nil, err
 		}
 	}
+	f.rosterActive = f.active
 	for i, n := range f.nodes {
 		n.state.Active = i < f.active
 	}
@@ -398,6 +505,9 @@ func New(opts Options) (*Fleet, error) {
 	f.states = make([]cluster.NodeState, len(f.nodes))
 	f.samples = make([]telemetry.Sample, len(f.nodes))
 	f.shares = make([]float64, len(f.nodes))
+	if opts.Domains >= 1 {
+		f.sh = newSharded(f, opts.Domains)
+	}
 	return f, nil
 }
 
@@ -512,34 +622,34 @@ func (f *Fleet) Workers() int { return f.workers }
 func (f *Fleet) CapacityRPS() float64 { return f.fleetCap }
 
 // alloc takes a request id from the free list or grows the table.
-func (f *Fleet) alloc(t float64, node int32) int32 {
-	if n := len(f.free); n > 0 {
-		id := f.free[n-1]
-		f.free = f.free[:n-1]
-		f.reqs[id] = request{arrival: t, node: node, hedgeNode: -1}
+func (l *loop) alloc(t float64, node int32) int32 {
+	if n := len(l.free); n > 0 {
+		id := l.free[n-1]
+		l.free = l.free[:n-1]
+		l.reqs[id] = request{arrival: t, node: node, hedgeNode: -1}
 		return id
 	}
-	f.reqs = append(f.reqs, request{arrival: t, node: node, hedgeNode: -1})
-	return int32(len(f.reqs) - 1)
+	l.reqs = append(l.reqs, request{arrival: t, node: node, hedgeNode: -1})
+	return int32(len(l.reqs) - 1)
 }
 
 // release drops one reference; a finished request with no references
 // left returns to the free list.
-func (f *Fleet) release(id int32) {
-	r := &f.reqs[id]
+func (l *loop) release(id int32) {
+	r := &l.reqs[id]
 	r.refs--
 	if r.refs == 0 && r.done {
-		f.free = append(f.free, id)
+		l.free = append(l.free, id)
 	}
 }
 
 // svcSample draws a service duration for server s of node n.
-func (f *Fleet) svcSample(n *desNode, s int) float64 {
+func (l *loop) svcSample(n *desNode, s int) float64 {
 	d := n.dists[s]
 	if d.Sigma == 0 {
 		return 1 / n.servers[s].Rate
 	}
-	return math.Exp(d.Mu + d.Sigma*f.svcRNG.NormFloat64())
+	return math.Exp(d.Mu + d.Sigma*l.svcRNG.NormFloat64())
 }
 
 // startService puts request id on server s of node n. A warming node's
@@ -549,19 +659,19 @@ func (f *Fleet) svcSample(n *desNode, s int) float64 {
 // remainder of a spanning service into the following intervals, so
 // utilisation and power land in the interval the server was actually
 // busy.
-func (f *Fleet) startService(n *desNode, s int, id int32, t float64) {
+func (l *loop) startService(n *desNode, s int, id int32, t float64) {
 	n.idle[s] = false
 	n.busyCount++
 	n.serving[s] = id
-	f.reqs[id].refs++
-	d := f.svcSample(n, s)
+	l.reqs[id].refs++
+	d := l.svcSample(n, s)
 	if n.warmLeft > 0 {
-		d /= f.warmFactor
+		d /= l.warmFactor
 	}
 	end := t + d
 	n.busyUntil[s] = end
-	n.busy[s] += math.Min(end, f.tickEnd) - t
-	f.events.Push(end, event{kind: evCompletion, a: int32(n.id), b: int32(s)})
+	n.busy[s] += math.Min(end, l.tickEnd) - t
+	l.events.Push(end, event{kind: evCompletion, a: int32(n.id), b: int32(s)})
 }
 
 // fastestIdle returns the idle server with the highest rate, -1 if all
@@ -582,10 +692,10 @@ func (n *desNode) fastestIdle() int {
 // dispatch routes one copy of request id to node n: straight to the
 // fastest idle server when one exists (and the node is serving), else
 // onto the queue. It reports false when the queue bound drops the copy.
-func (f *Fleet) dispatch(n *desNode, id int32, t float64) bool {
-	if n.warmLeft == 0 || f.warmFactor > 0 {
+func (l *loop) dispatch(n *desNode, id int32, t float64) bool {
+	if n.warmLeft == 0 || l.warmFactor > 0 {
 		if s := n.fastestIdle(); s >= 0 {
-			f.startService(n, s, id, t)
+			l.startService(n, s, id, t)
 			return true
 		}
 	}
@@ -593,32 +703,34 @@ func (f *Fleet) dispatch(n *desNode, id int32, t float64) bool {
 		return false
 	}
 	n.queue.Push(id)
-	f.reqs[id].refs++
+	l.reqs[id].refs++
 	return true
 }
 
 // popLocal pops the oldest live request off n's queue, lazily
 // discarding entries whose request already completed elsewhere (a won
 // hedge race or a steal). Returns -1 on an empty queue.
-func (f *Fleet) popLocal(n *desNode) int32 {
+func (l *loop) popLocal(n *desNode) int32 {
 	for n.queue.Len() > 0 {
 		id := n.queue.Pop()
-		f.release(id)
-		if !f.reqs[id].done {
+		l.release(id)
+		if !l.reqs[id].done {
 			return id
 		}
 	}
 	return -1
 }
 
-// steal pulls the oldest request from the deepest queue in the active
-// set (at least minDepth deep), -1 when nothing is worth stealing.
-// Warming victims are fair game — their queue is exactly the transient
-// stealing exists to drain.
-func (f *Fleet) steal(thief *desNode) int32 {
+// steal pulls the oldest request from the deepest queue in the loop's
+// active set (at least minDepth deep), -1 when nothing is worth
+// stealing. Warming victims are fair game — their queue is exactly the
+// transient stealing exists to drain. Mid-interval steals stay inside
+// the loop's own domain; cross-domain steals happen only at interval
+// boundaries, through the coordinator.
+func (l *loop) steal(thief *desNode) int32 {
 	best := -1
-	depth := f.minDepth - 1
-	for _, v := range f.nodes[:f.active] {
+	depth := l.minDepth - 1
+	for _, v := range l.nodes[:l.active] {
 		if v == thief {
 			continue
 		}
@@ -630,23 +742,25 @@ func (f *Fleet) steal(thief *desNode) int32 {
 	if best < 0 {
 		return -1
 	}
-	return f.popLocal(f.nodes[best])
+	return l.popLocal(l.node(int32(best)))
 }
 
 // pullWork hands server s of node n its next request after a
 // completion: local queue first, then a cross-node steal when the
-// mitigation allows. Warming and deactivated nodes do not pull.
-func (f *Fleet) pullWork(n *desNode, s int, t float64) {
-	serving := n.id < f.active && (n.warmLeft == 0 || f.warmFactor > 0)
+// mitigation allows. Warming and deactivated nodes do not pull. (The
+// active check is against the fleet-wide roster — node ids are global
+// and the active set is a roster prefix.)
+func (l *loop) pullWork(n *desNode, s int, t float64) {
+	serving := n.id < l.rosterActive && (n.warmLeft == 0 || l.warmFactor > 0)
 	if serving {
-		if id := f.popLocal(n); id >= 0 {
-			f.startService(n, s, id, t)
+		if id := l.popLocal(n); id >= 0 {
+			l.startService(n, s, id, t)
 			return
 		}
-		if f.stealing && n.warmLeft == 0 {
-			if id := f.steal(n); id >= 0 {
-				f.steals++
-				f.startService(n, s, id, t)
+		if l.stealing && n.warmLeft == 0 {
+			if id := l.steal(n); id >= 0 {
+				l.steals++
+				l.startService(n, s, id, t)
 				return
 			}
 		}
@@ -659,87 +773,105 @@ func (f *Fleet) pullWork(n *desNode, s int, t float64) {
 // server sat idle) and, with stealing on, at interval boundaries so a
 // fully idle node — which sees no completion events — still rescues a
 // drowning peer.
-func (f *Fleet) kickIdle(n *desNode, t float64) {
+func (l *loop) kickIdle(n *desNode, t float64) {
 	for s := range n.idle {
 		if !n.idle[s] {
 			continue
 		}
-		f.pullWork(n, s, t)
+		l.pullWork(n, s, t)
 		if n.idle[s] {
 			break // nothing left to pull; further servers won't find work either
 		}
 	}
 }
 
-// handleArrival processes one fleet-level arrival at the pending
+// handleArrival processes one domain-level arrival at the pending
 // arrival time and draws the next one.
-func (f *Fleet) handleArrival() {
-	t := f.nextArrival
-	f.nextArrival = t + f.arrRNG.ExpFloat64()/f.lambda
+func (l *loop) handleArrival() {
+	t := l.nextArrival
+	l.nextArrival = t + l.arrRNG.ExpFloat64()/l.lambda
 	// Route by one draw over the interval's splitter weights.
 	var n *desNode
-	if f.shareSum > 0 {
-		u := f.routeRNG.Float64() * f.shareSum
+	if l.shareSum > 0 {
+		u := l.routeRNG.Float64() * l.shareSum
 		acc := 0.0
-		for i := 0; i < f.active; i++ {
-			acc += f.shares[i]
-			if u < acc || i == f.active-1 {
-				n = f.nodes[i]
+		for i := 0; i < l.active; i++ {
+			acc += l.shares[i]
+			if u < acc || i == l.active-1 {
+				n = l.nodes[i]
 				break
 			}
 		}
 	} else {
-		n = f.nodes[f.primaries%f.active]
+		n = l.nodes[l.primaries%l.active]
 	}
-	f.primaries++
-	id := f.alloc(t, int32(n.id))
+	l.primaries++
+	id := l.alloc(t, int32(n.id))
 	n.arrived++
-	if !f.dispatch(n, id, t) {
-		f.reqs[id].done = true
-		f.free = append(f.free, id)
-		f.dropped++
+	if !l.dispatch(n, id, t) {
+		l.reqs[id].done = true
+		l.free = append(l.free, id)
+		l.dropped++
 		return
 	}
-	if f.hedging && !math.IsInf(f.hedgeWait, 1) && f.active > 1 {
-		f.reqs[id].refs++
-		f.events.Push(t+f.hedgeWait, event{kind: evHedge, a: id})
+	// The hedge gate is fleet-wide: with one active node in this domain
+	// but more elsewhere, the timer still arms — the coordinator can
+	// place the copy across the boundary.
+	if l.hedging && !math.IsInf(l.hedgeWait, 1) && l.rosterActive > 1 {
+		l.reqs[id].refs++
+		l.events.Push(t+l.hedgeWait, event{kind: evHedge, a: id})
 	}
 }
 
 // handleCompletion finishes the request on server b of node a. Only the
 // first copy to finish records the sojourn; late copies just free their
-// server.
-func (f *Fleet) handleCompletion(t float64, ev event) {
-	n := f.nodes[ev.a]
+// server. A copy of a cross-domain pair records nothing here — the
+// partner copy may have finished earlier in its own domain, so the race
+// is decided at the coordinator's boundary reconciliation, where both
+// domains' completions are visible.
+func (l *loop) handleCompletion(t float64, ev event) {
+	n := l.node(ev.a)
 	s := int(ev.b)
 	id := n.serving[s]
 	n.serving[s] = -1
 	n.busyCount--
-	r := &f.reqs[id]
-	if !r.done {
+	r := &l.reqs[id]
+	switch {
+	case r.done:
+	case r.deferRec:
+		ce := crossEvent{dom: int32(l.id), id: id, t: t, node: int32(n.id), mirror: r.mirror}
+		if r.mirror {
+			ce.dom, ce.id = r.crossDom, r.crossRef
+		}
+		l.crossDone = append(l.crossDone, ce)
+	default:
 		r.done = true
 		soj := t - r.arrival
 		n.completed++
 		n.sojourns = append(n.sojourns, soj)
-		f.intervalSojourns = append(f.intervalSojourns, soj)
-		f.recordLatency(soj)
+		l.intervalSojourns = append(l.intervalSojourns, soj)
+		l.lat.record(soj)
 		if r.hedgeNode == int32(n.id) {
-			f.hedgeWins++
+			l.hedgeWins++
 		}
 	}
-	f.release(id)
-	f.pullWork(n, s, t)
+	l.release(id)
+	l.pullWork(n, s, t)
 }
 
 // handleHedge fires a request's hedge timer: if it is still in flight,
-// issue one copy to the least-committed other active node.
-func (f *Fleet) handleHedge(t float64, ev event) {
+// issue one copy to the least-committed other active node of this
+// domain. With deferCross set (multi-domain runs) and no in-domain
+// candidate, the re-issue is parked in the boundary outbox instead —
+// the coordinator can place the copy in another domain, paying at most
+// one interval of extra delay for not sharing mid-interval state.
+func (l *loop) handleHedge(t float64, ev event) {
 	id := ev.a
-	r := &f.reqs[id]
+	r := &l.reqs[id]
 	if !r.done && r.hedgeNode == -1 {
 		var target *desNode
 		bestLoad := 0
-		for _, v := range f.nodes[:f.active] {
+		for _, v := range l.nodes[:l.active] {
 			if int32(v.id) == r.node || v.warmLeft > 0 {
 				continue
 			}
@@ -750,13 +882,17 @@ func (f *Fleet) handleHedge(t float64, ev event) {
 		}
 		if target != nil {
 			r.hedgeNode = int32(target.id)
-			if f.dispatch(target, id, t) {
+			if l.dispatch(target, id, t) {
 				target.arrived++
-				f.hedges++
+				l.hedges++
 			}
+		} else if l.deferCross {
+			// The timer's reference rides along into the outbox.
+			l.deferredHedges = append(l.deferredHedges, id)
+			return
 		}
 	}
-	f.release(id)
+	l.release(id)
 	// The timer can be a request's last reference: a scale-down
 	// migration that failed re-dispatch leaves the request alive only
 	// for this re-issue (see autoscaleStep). If the re-issue also
@@ -764,8 +900,8 @@ func (f *Fleet) handleHedge(t float64, ev event) {
 	// is truly lost and must be counted and recycled, not leaked.
 	if r.refs == 0 && !r.done {
 		r.done = true
-		f.dropped++
-		f.free = append(f.free, id)
+		l.dropped++
+		l.free = append(l.free, id)
 	}
 }
 
@@ -774,21 +910,52 @@ func (f *Fleet) handleHedge(t float64, ev event) {
 // systematic every-k-th sample of the completion stream beyond it.
 const latSampleCap = 1 << 22
 
-// recordLatency folds one winning sojourn into the end-to-end record.
-func (f *Fleet) recordLatency(soj float64) {
-	f.latSeen++
-	f.latSum += soj
-	if f.latSeen%f.latStride == 0 {
-		f.latSample = append(f.latSample, soj)
-		if len(f.latSample) >= latSampleCap {
+// record folds one winning sojourn into the end-to-end record.
+func (lr *latRecorder) record(soj float64) {
+	lr.seen++
+	lr.sum += soj
+	if lr.seen%lr.stride == 0 {
+		lr.sample = append(lr.sample, soj)
+		if len(lr.sample) >= latSampleCap {
 			// Decimate in place: keeping every 2nd kept element turns a
 			// stride-k systematic sample into a stride-2k one.
-			half := len(f.latSample) / 2
+			half := len(lr.sample) / 2
 			for i := 0; i < half; i++ {
-				f.latSample[i] = f.latSample[2*i+1]
+				lr.sample[i] = lr.sample[2*i+1]
 			}
-			f.latSample = f.latSample[:half]
-			f.latStride *= 2
+			lr.sample = lr.sample[:half]
+			lr.stride *= 2
+		}
+	}
+}
+
+// runInterval drains the loop's event heap and arrival process up to
+// the interval boundary tTick, in event-time order. This is the whole
+// of a domain's work between two boundaries: it reads and writes only
+// the loop's own state, which is what lets a sharded run step every
+// domain in parallel.
+func (l *loop) runInterval(tTick float64) {
+	l.tickEnd = tTick
+	for {
+		tEv := math.Inf(1)
+		if et, ok := l.events.PeekTime(); ok {
+			tEv = et
+		}
+		if tEv <= l.nextArrival {
+			if tEv >= tTick {
+				return
+			}
+			t, ev := l.events.Pop()
+			if ev.kind == evCompletion {
+				l.handleCompletion(t, ev)
+			} else {
+				l.handleHedge(t, ev)
+			}
+		} else {
+			if l.nextArrival >= tTick {
+				return
+			}
+			l.handleArrival()
 		}
 	}
 }
@@ -835,7 +1002,7 @@ func (f *Fleet) refreshInterval(t float64) error {
 func (n *desNode) finishInterval(t, dt float64) telemetry.Sample {
 	tail := 0.0
 	if len(n.sojourns) > 0 {
-		sort.Float64s(n.sojourns)
+		stats.SortFloats(n.sojourns)
 		tail, _ = stats.PercentileSorted(n.sojourns, n.wl.QoSPercentile)
 	} else if n.queue.Len() > 0 || n.busyCount > 0 {
 		// Work in flight but nothing completed: the load generator
@@ -1004,6 +1171,7 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
 	} else {
 		oldActive := f.active
 		f.active = d.Target // shrink first so migrations only target survivors
+		f.rosterActive = d.Target
 		for id := d.Target; id < oldActive; id++ {
 			n := f.nodes[id]
 			n.state.Active = false
@@ -1067,6 +1235,7 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
 		f.stats.NodesRemoved += oldActive - d.Target
 	}
 	f.active = d.Target
+	f.rosterActive = d.Target
 	if f.active > f.stats.PeakActive {
 		f.stats.PeakActive = f.active
 	}
@@ -1110,12 +1279,13 @@ func (f *Fleet) tick() error {
 	// interval that just ended (carried forward through empty intervals).
 	if f.hedging && len(f.intervalSojourns) > 0 {
 		f.sortScratch = append(f.sortScratch[:0], f.intervalSojourns...)
-		sort.Float64s(f.sortScratch)
+		stats.SortFloats(f.sortScratch)
 		if q, err := stats.PercentileSorted(f.sortScratch, f.hedgeQ); err == nil {
 			f.hedgeWait = q
 		}
 	}
 	measuredRPS := float64(f.primaries) / f.dt
+	f.stats.Requests += f.primaries
 	f.intervalSojourns = f.intervalSojourns[:0]
 	f.hedges, f.hedgeWins, f.steals, f.primaries = 0, 0, 0, 0
 
@@ -1163,6 +1333,12 @@ func (f *Fleet) Run(horizon float64) (Result, error) {
 		f.failed = err
 		return Result{}, err
 	}
+	if f.sh != nil {
+		if err := f.sh.run(horizon); err != nil {
+			return fail(err)
+		}
+		return f.sh.result(), nil
+	}
 	if f.clock.Steps() == 0 && f.fleet.Len() == 0 {
 		f.nextArrival = math.Inf(1)
 		if err := f.refreshInterval(0); err != nil {
@@ -1170,30 +1346,7 @@ func (f *Fleet) Run(horizon float64) (Result, error) {
 		}
 	}
 	for f.clock.Now() < horizon {
-		tTick := f.clock.Now() + f.dt
-		f.tickEnd = tTick
-		for {
-			tEv := math.Inf(1)
-			if et, ok := f.events.PeekTime(); ok {
-				tEv = et
-			}
-			if tEv <= f.nextArrival {
-				if tEv >= tTick {
-					break
-				}
-				t, ev := f.events.Pop()
-				if ev.kind == evCompletion {
-					f.handleCompletion(t, ev)
-				} else {
-					f.handleHedge(t, ev)
-				}
-			} else {
-				if f.nextArrival >= tTick {
-					break
-				}
-				f.handleArrival()
-			}
-		}
+		f.runInterval(f.clock.Now() + f.dt)
 		if err := f.tick(); err != nil {
 			return fail(err)
 		}
@@ -1212,15 +1365,15 @@ func (f *Fleet) result() Result {
 	for i, n := range f.nodes {
 		res.Nodes[i] = n.trace
 	}
-	res.Latency.Completed = int(f.latSeen)
+	res.Latency.Completed = int(f.lat.seen)
 	res.Latency.Dropped = f.dropped
-	if len(f.latSample) > 0 {
-		res.Latency.Mean = f.latSum / float64(f.latSeen)
-		sort.Float64s(f.latSample)
-		res.Latency.P50, _ = stats.PercentileSorted(f.latSample, 0.50)
-		res.Latency.P90, _ = stats.PercentileSorted(f.latSample, 0.90)
-		res.Latency.P95, _ = stats.PercentileSorted(f.latSample, 0.95)
-		res.Latency.P99, _ = stats.PercentileSorted(f.latSample, 0.99)
+	if len(f.lat.sample) > 0 {
+		res.Latency.Mean = f.lat.sum / float64(f.lat.seen)
+		stats.SortFloats(f.lat.sample)
+		res.Latency.P50, _ = stats.PercentileSorted(f.lat.sample, 0.50)
+		res.Latency.P90, _ = stats.PercentileSorted(f.lat.sample, 0.90)
+		res.Latency.P95, _ = stats.PercentileSorted(f.lat.sample, 0.95)
+		res.Latency.P99, _ = stats.PercentileSorted(f.lat.sample, 0.99)
 	}
 	return res
 }

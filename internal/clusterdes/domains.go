@@ -1,0 +1,37 @@
+package clusterdes
+
+// PartitionDomains splits a roster of n nodes into d contiguous,
+// non-empty domains, as evenly as possible: the first n%d domains get
+// one extra node. It returns the start index of each domain plus a
+// trailing n, so domain k owns the node-id range
+// [starts[k], starts[k+1]). d is clamped to [1, n] — a caller asking
+// for more domains than nodes gets one node per domain, never an empty
+// domain; every node lands in exactly one domain.
+//
+// Contiguity is load-bearing twice over: the active set is always a
+// roster prefix, so each domain's active set is a prefix of its own
+// slice; and a global node id maps to its domain's local slice by a
+// subtraction, so events can carry global ids.
+func PartitionDomains(n, d int) []int {
+	if n < 1 {
+		return nil
+	}
+	if d < 1 {
+		d = 1
+	}
+	if d > n {
+		d = n
+	}
+	starts := make([]int, d+1)
+	base, extra := n/d, n%d
+	pos := 0
+	for k := 0; k < d; k++ {
+		starts[k] = pos
+		pos += base
+		if k < extra {
+			pos++
+		}
+	}
+	starts[d] = n
+	return starts
+}

@@ -1,0 +1,87 @@
+package clusterdes_test
+
+import (
+	"testing"
+
+	"hipster/internal/clusterdes"
+)
+
+func TestPartitionDomains(t *testing.T) {
+	for _, tc := range []struct {
+		n, d int
+		want []int
+	}{
+		{n: 8, d: 1, want: []int{0, 8}},
+		{n: 8, d: 2, want: []int{0, 4, 8}},
+		{n: 8, d: 3, want: []int{0, 3, 6, 8}},
+		{n: 3, d: 2, want: []int{0, 2, 3}},
+		{n: 3, d: 8, want: []int{0, 1, 2, 3}},
+		{n: 1, d: 1, want: []int{0, 1}},
+		{n: 5, d: 0, want: []int{0, 5}},
+	} {
+		got := clusterdes.PartitionDomains(tc.n, tc.d)
+		if len(got) != len(tc.want) {
+			t.Errorf("PartitionDomains(%d, %d) = %v, want %v", tc.n, tc.d, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("PartitionDomains(%d, %d) = %v, want %v", tc.n, tc.d, got, tc.want)
+				break
+			}
+		}
+	}
+	if got := clusterdes.PartitionDomains(0, 3); got != nil {
+		t.Errorf("PartitionDomains(0, 3) = %v, want nil", got)
+	}
+}
+
+// FuzzPartitionDomains checks the partition invariants the sharded
+// engine's correctness rests on: no empty domain, every node in
+// exactly one domain, and near-even sizes, for arbitrary inputs.
+func FuzzPartitionDomains(f *testing.F) {
+	f.Add(8, 3)
+	f.Add(1, 1)
+	f.Add(256, 8)
+	f.Add(5, 9)
+	f.Add(17, 16)
+	f.Add(3, -2)
+	f.Fuzz(func(t *testing.T, n, d int) {
+		if n < 1 || n > 1<<16 {
+			t.Skip()
+		}
+		starts := clusterdes.PartitionDomains(n, d)
+		want := d
+		if want < 1 {
+			want = 1
+		}
+		if want > n {
+			want = n
+		}
+		if len(starts) != want+1 {
+			t.Fatalf("PartitionDomains(%d, %d): %d boundaries, want %d", n, d, len(starts), want+1)
+		}
+		if starts[0] != 0 || starts[len(starts)-1] != n {
+			t.Fatalf("PartitionDomains(%d, %d) = %v: does not cover [0, %d)", n, d, starts, n)
+		}
+		// Strictly increasing boundaries mean no domain is empty, and
+		// together with exact coverage, that every node id belongs to
+		// exactly one domain.
+		lo, hi := n, 0
+		for k := 0; k+1 < len(starts); k++ {
+			size := starts[k+1] - starts[k]
+			if size < 1 {
+				t.Fatalf("PartitionDomains(%d, %d) = %v: domain %d is empty", n, d, starts, k)
+			}
+			if size < lo {
+				lo = size
+			}
+			if size > hi {
+				hi = size
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("PartitionDomains(%d, %d) = %v: uneven split (sizes %d..%d)", n, d, starts, lo, hi)
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package fleettest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// ShardedDomainCounts are the multi-domain configurations
+// AssertShardedEquivalence checks the invariance properties over, on
+// top of the mandatory serial-vs-one-domain identity.
+var ShardedDomainCounts = []int{2, 4}
+
+// FingerprintShardedDES fingerprints a sharded run: the builder's
+// options with the domain count and worker count pinned. The encoding
+// is FingerprintDES's, so sharded and serial fingerprints are directly
+// comparable.
+func FingerprintShardedDES(tb testing.TB, build DESBuildFunc, seed int64, domains, workers int, horizon float64) []byte {
+	tb.Helper()
+	opts, err := build(seed)
+	if err != nil {
+		tb.Fatalf("fleettest: build DES options: %v", err)
+	}
+	opts.Domains = domains
+	opts.Workers = workers
+	return FingerprintDES(tb, opts, horizon)
+}
+
+// AssertShardedEquivalence pins the sharded DES to the serial loop.
+// Two properties, checked per builder:
+//
+//  1. Identity at one domain: a Domains=1 run is bit-identical to the
+//     serial (Domains=0) loop at every worker count. This is the
+//     strongest statement the decomposition supports — the sharded
+//     coordinator's boundary sequence visits exactly the state the
+//     serial tick visits, in the same order, so nothing short of
+//     byte-equal fingerprints passes.
+//  2. Determinism at many domains: for every count in
+//     ShardedDomainCounts that fits the builder's roster, the run is
+//     bit-identical across WorkerCounts (domains may be stepped by any
+//     number of workers) and fully determined by the seed, with the
+//     next seed producing a different run.
+func AssertShardedEquivalence(tb testing.TB, build DESBuildFunc, seed int64, horizon float64) {
+	tb.Helper()
+	serial := fingerprintDESAt(tb, build, seed, 1, horizon)
+	for _, w := range WorkerCounts {
+		if got := FingerprintShardedDES(tb, build, seed, 1, w, horizon); !bytes.Equal(serial, got) {
+			tb.Fatalf("fleettest: Domains=1 (workers=%d) diverged from the serial loop", w)
+		}
+	}
+	opts, err := build(seed)
+	if err != nil {
+		tb.Fatalf("fleettest: build DES options: %v", err)
+	}
+	roster := len(opts.Nodes)
+	for _, d := range ShardedDomainCounts {
+		if d > roster {
+			continue
+		}
+		ref := FingerprintShardedDES(tb, build, seed, d, WorkerCounts[0], horizon)
+		for _, w := range WorkerCounts[1:] {
+			if got := FingerprintShardedDES(tb, build, seed, d, w, horizon); !bytes.Equal(ref, got) {
+				tb.Fatalf("fleettest: Domains=%d workers=%d diverged from workers=%d", d, w, WorkerCounts[0])
+			}
+		}
+		again := FingerprintShardedDES(tb, build, seed, d, 4, horizon)
+		if twice := FingerprintShardedDES(tb, build, seed, d, 4, horizon); !bytes.Equal(again, twice) {
+			tb.Fatalf("fleettest: Domains=%d: same seed produced different runs", d)
+		}
+		if other := FingerprintShardedDES(tb, build, seed+1, d, 4, horizon); bytes.Equal(again, other) {
+			tb.Fatalf("fleettest: Domains=%d: different seeds produced identical runs", d)
+		}
+	}
+}

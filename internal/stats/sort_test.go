@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortFloats checks the radix sort against the standard library on
+// both sides of the fallback threshold, over magnitudes spanning the
+// full exponent range plus negatives and zeros.
+func TestSortFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 17, radixSortMin - 1, radixSortMin, radixSortMin + 1, 4096, 100000} {
+		x := make([]float64, n)
+		for i := range x {
+			switch rng.Intn(6) {
+			case 0:
+				x[i] = 0
+			case 1:
+				x[i] = -rng.ExpFloat64()
+			case 2:
+				x[i] = rng.ExpFloat64() * 1e-300
+			case 3:
+				x[i] = rng.ExpFloat64() * 1e300
+			default:
+				x[i] = rng.NormFloat64()
+			}
+		}
+		want := append([]float64(nil), x...)
+		sort.Float64s(want)
+		SortFloats(x)
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("n=%d: SortFloats[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSortFloatsConstant covers the equal-byte pass skip: a constant
+// slice exercises every pass's early-out.
+func TestSortFloatsConstant(t *testing.T) {
+	x := make([]float64, radixSortMin*2)
+	for i := range x {
+		x[i] = 3.25
+	}
+	SortFloats(x)
+	for i := range x {
+		if x[i] != 3.25 {
+			t.Fatalf("constant slice disturbed at %d: %v", i, x[i])
+		}
+	}
+}

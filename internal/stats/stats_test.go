@@ -236,3 +236,68 @@ func TestAggregateMinMax(t *testing.T) {
 		t.Fatal("empty aggregate should be zero-valued")
 	}
 }
+
+// TestGroupedMixtureQuantileMatchesExpanded checks the documented
+// bit-identity: the group form must return exactly what
+// MixtureQuantile returns over the expanded per-component list.
+func TestGroupedMixtureQuantileMatchesExpanded(t *testing.T) {
+	groups := []WeightedGroup{
+		{Weight: 2.0, N: 3, Dist: LogNormalFromMeanCV(1.5, 0.6)},
+		{Weight: 0.5, N: 5, Dist: LogNormalFromMeanCV(4.0, 1.1)},
+		{Weight: 1.0, N: 1, Dist: LogNormalFromMeanCV(0.8, 0.3)},
+	}
+	var parts []WeightedDist
+	for _, g := range groups {
+		for i := 0; i < g.N; i++ {
+			parts = append(parts, WeightedDist{Weight: g.Weight, Dist: g.Dist})
+		}
+	}
+	for _, p := range []float64{0.05, 0.5, 0.95, 0.99} {
+		got := GroupedMixtureQuantile(groups, p)
+		want := MixtureQuantile(parts, p)
+		if got != want {
+			t.Errorf("p=%v: grouped %v != expanded %v", p, got, want)
+		}
+	}
+}
+
+// TestGroupedMixtureQuantilePanics covers the argument validation the
+// expanded form shares.
+func TestGroupedMixtureQuantilePanics(t *testing.T) {
+	for name, call := range map[string]func(){
+		"empty": func() { GroupedMixtureQuantile(nil, 0.5) },
+		"zero components": func() {
+			GroupedMixtureQuantile([]WeightedGroup{{Weight: 1, N: 0, Dist: LogNormalFromMeanCV(1, 0.5)}}, 0.5)
+		},
+		"negative weight": func() {
+			GroupedMixtureQuantile([]WeightedGroup{{Weight: -1, N: 2, Dist: LogNormalFromMeanCV(1, 0.5)}}, 0.5)
+		},
+		"negative count": func() {
+			GroupedMixtureQuantile([]WeightedGroup{{Weight: 1, N: -2, Dist: LogNormalFromMeanCV(1, 0.5)}}, 0.5)
+		},
+		"p out of range": func() {
+			GroupedMixtureQuantile([]WeightedGroup{{Weight: 1, N: 2, Dist: LogNormalFromMeanCV(1, 0.5)}}, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+func TestAggregateCount(t *testing.T) {
+	var a Aggregate
+	if a.Count() != 0 {
+		t.Fatalf("empty Count = %d", a.Count())
+	}
+	a.Add(1)
+	a.Add(2)
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+}
