@@ -450,6 +450,44 @@ func BenchmarkClusterDES16Nodes(b *testing.B) {
 	b.ReportMetric(p99*1000, "p99-ms")
 }
 
+// BenchmarkClusterDESLearn16Nodes runs the learn-enabled request-level
+// cluster DES: a 16-node Web-Search fleet at 60% load for 120 simulated
+// seconds with every node's HipsterIn manager deciding its operating
+// point at each interval boundary from the measured request tail, and
+// federation syncing the tables every 10 intervals. Gated in CI (ns/op
+// and the allocation budget vs ci/bench_baseline.json), it keeps the
+// serial-section learning step — observation assembly, table updates,
+// reconfiguration drains, federation rounds — from regressing the event
+// loop it rides on.
+func BenchmarkClusterDESLearn16Nodes(b *testing.B) {
+	spec := platform.JunoR1()
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		nodes, err := hipster.UniformClusterDESNodes(16, spec, hipster.WebSearch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl, err := hipster.NewClusterDES(hipster.ClusterDESOptions{
+			Nodes:   nodes,
+			Pattern: hipster.ConstantLoad{Frac: 0.6},
+			Workers: runtime.GOMAXPROCS(0),
+			Seed:    42,
+			Learn: &hipster.ClusterDESLearn{
+				Federation: &hipster.FederationOptions{SyncEvery: 10},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fl.Run(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 = res.Latency.P99
+	}
+	b.ReportMetric(p99*1000, "p99-ms")
+}
+
 // BenchmarkClusterDES256Nodes runs the request-level cluster DES over
 // a 256-node Web-Search fleet at 30% load with work stealing for 60
 // simulated seconds. 30% is typical datacenter utilisation and the

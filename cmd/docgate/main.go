@@ -1,0 +1,83 @@
+// Command docgate fails when a Go source file declares an exported
+// symbol without a doc comment. It guards the library facade
+// (hipster.go): every type alias, constant, variable and function a
+// user can reach must say what it is — the godoc IS the reference
+// documentation for the reproduction, so an undocumented export is a
+// regression the same way a failing test is.
+//
+//	docgate [file.go ...]    # defaults to hipster.go
+//
+// A spec inside a grouped declaration counts as documented if either
+// the spec itself or the enclosing declaration carries a comment (the
+// usual Go idiom for grouped constants); a function must carry its own.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"hipster.go"}
+	}
+	bad := 0
+	for _, f := range files {
+		missing, err := undocumented(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docgate: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Printf("%s: exported %s has no doc comment\n", f, m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("docgate: %d undocumented export(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// undocumented returns the exported symbols of one file that lack doc
+// comments, in source order.
+func undocumented(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			// Methods ride on their receiver type's documentation only
+			// if they are unexported; exported ones still need a doc.
+			if d.Name.IsExported() && d.Doc.Text() == "" {
+				missing = append(missing, "func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc.Text() != ""
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+						missing = append(missing, "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					documented := groupDoc || s.Doc.Text() != "" || s.Comment.Text() != ""
+					for _, name := range s.Names {
+						if name.IsExported() && !documented {
+							missing = append(missing, "value "+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing, nil
+}

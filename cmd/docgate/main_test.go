@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestUndocumented pins the documented/undocumented classification the
+// CI docs-lint step relies on: grouped declarations count their group
+// comment, specs count their own or trailing comments, functions must
+// carry their own, and unexported names never trip the gate.
+func TestUndocumented(t *testing.T) {
+	path := write(t, `package p
+
+// Documented.
+func Documented() {}
+
+func Missing() {}
+
+func unexported() {}
+
+// Group doc covers both.
+const (
+	A = 1
+	B = 2
+)
+
+var (
+	// Own doc.
+	C = 3
+	D = 4 // trailing comment counts
+	E = 5
+)
+
+type (
+	// F is documented.
+	F int
+	G int
+)
+`)
+	got, err := undocumented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"func Missing", "value E", "type G"}
+	if len(got) != len(want) {
+		t.Fatalf("undocumented = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("undocumented[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUndocumentedParseError surfaces unparseable input as an error.
+func TestUndocumentedParseError(t *testing.T) {
+	if _, err := undocumented(write(t, "not go")); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}
+
+// TestFacadeIsDocumented runs the gate over the real library facade —
+// the same invocation CI uses — so an undocumented export fails here
+// before it fails in CI.
+func TestFacadeIsDocumented(t *testing.T) {
+	missing, err := undocumented(filepath.Join("..", "..", "hipster.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("hipster.go has undocumented exports: %v", missing)
+	}
+}

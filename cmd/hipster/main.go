@@ -43,6 +43,17 @@
 // the domains:
 //
 //	hipster cluster -mode des -nodes 256 -domains 8 -workers 8 -pattern constant:0.6
+//
+// With -learn the DES closes Hipster's RL loop on measured request
+// tails: every node's -policy picks its operating point each interval
+// boundary, rewarded by the latencies of the requests it actually
+// served rather than the interval mode's analytic estimate. Federation
+// and autoscaling compose with it, and the run stays a pure function of
+// (seed, domain count):
+//
+//	hipster cluster -mode des -learn -nodes 8 -workload websearch -pattern spike
+//	hipster cluster -mode des -learn -alpha 0.5 -gamma 0.85 -learn-secs 300
+//	hipster cluster -mode des -learn -federate -sync-interval 5 -autoscale -warmup-intervals 3
 package main
 
 import (
@@ -151,7 +162,7 @@ func run(workloadName, policyName, patternName string, duration float64, seed in
 		return err
 	}
 
-	pol, err := buildPolicy(policyName, spec, seed)
+	pol, err := buildPolicy(policyName, spec, seed, hipster.DefaultParams())
 	if err != nil {
 		return err
 	}
@@ -251,6 +262,11 @@ func runCluster(args []string) error {
 		domains      = fs.Int("domains", 0, "DES routing domains stepped in parallel (0 = serial event loop)")
 		hedgeQ       = fs.Float64("hedge-quantile", 0.95, "DES hedge delay as a quantile of last interval's latencies")
 		warmupIvs    = fs.Int("warmup-intervals", 0, "DES intervals an autoscale-activated node serves nothing while warming")
+		learn        = fs.Bool("learn", false, "DES: close the RL loop — every node's -policy picks its operating point each interval from measured request tails")
+		alpha        = fs.Float64("alpha", 0.6, "learning rate of the RL table update (paper: 0.6)")
+		gamma        = fs.Float64("gamma", 0.9, "discount factor of the RL table update (paper: 0.9)")
+		bucketFrac   = fs.Float64("bucket-frac", 0.05, "load-bucket width of the RL state space (paper sweep optimum: 0.05)")
+		learnSecs    = fs.Float64("learn-secs", 500, "initial learning-phase duration in simulated seconds (paper: 500)")
 		federate     = fs.Bool("federate", false, "share the per-node RL tables: periodically merge them into one fleet table and broadcast it back")
 		syncInterval = fs.Int("sync-interval", 10, "monitoring intervals between federation sync rounds")
 		mergeName    = fs.String("merge", "visit-weighted", "federation merge policy: visit-weighted|max-confidence|newest-wins")
@@ -291,11 +307,22 @@ func runCluster(args []string) error {
 		if *mode != "interval" && *mode != "des" {
 			return fmt.Errorf("unknown -mode %q (want interval or des)", *mode)
 		}
-		if err := requireFeature(*mode == "des", "-mode=des", "mitigation", "hedge-quantile", "warmup-intervals", "domains"); err != nil {
+		if err := requireFeature(*mode == "des", "-mode=des",
+			"mitigation", "hedge-quantile", "warmup-intervals", "domains", "learn"); err != nil {
 			return err
 		}
-		if err := requireFeature(*mode == "interval", "-mode=interval",
-			"policy", "batch", "federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
+		// Policies and federation run in both modes — interval always,
+		// DES once -learn closes the loop; only batch collocation stays
+		// interval-only.
+		learning := *mode == "des" && *learn
+		if err := requireFeature(*mode == "interval", "-mode=interval", "batch"); err != nil {
+			return err
+		}
+		if err := requireFeature(*mode == "interval" || learning, "-mode=interval or -mode=des -learn",
+			"policy", "federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
+			return err
+		}
+		if err := requireFeature(learning, "-learn", "alpha", "gamma", "bucket-frac", "learn-secs"); err != nil {
 			return err
 		}
 		if err := requireFeature(*federate, "-federate", "sync-interval", "merge", "staleness", "sync-dropout"); err != nil {
@@ -310,7 +337,40 @@ func runCluster(args []string) error {
 		if err := requireFeature(*mitigation == "hedged", "-mitigation hedged", "hedge-quantile"); err != nil {
 			return err
 		}
+		// Federation is built once and shared by both modes: the interval
+		// cluster syncs at its monitoring boundaries, the learn-enabled
+		// DES at the same boundaries of its serial section.
+		var fedOpts *hipster.FederationOptions
+		if *federate {
+			merge, err := hipster.MergePolicyByName(*mergeName)
+			if err != nil {
+				return err
+			}
+			fedOpts = &hipster.FederationOptions{
+				SyncEvery:          *syncInterval,
+				Merge:              merge,
+				StalenessIntervals: *staleness,
+			}
+			if *dropout > 0 {
+				// A seeded hash of (node, interval) keeps the dropout
+				// pattern deterministic for a given -seed, preserving the
+				// cluster's reproducibility guarantees.
+				p, seedBits := *dropout, uint64(*seed)
+				fedOpts.Participation = func(nodeID, interval int) bool {
+					h := seedBits ^ uint64(nodeID)<<32 ^ uint64(interval)
+					h ^= h >> 30
+					h *= 0xbf58476d1ce4e5b9
+					h ^= h >> 27
+					h *= 0x94d049bb133111eb
+					h ^= h >> 31
+					return float64(h%1000000)/1000000 >= p
+				}
+			}
+		}
 		if *mode == "des" {
+			params := hipster.DefaultParams()
+			params.Alpha, params.Gamma = *alpha, *gamma
+			params.BucketFrac, params.LearnSecs = *bucketFrac, *learnSecs
 			return runClusterDES(desArgs{
 				nodes: *nodes, workers: *workers,
 				workload: *workloadName, splitter: *splitterName, pattern: *patternName,
@@ -318,6 +378,8 @@ func runCluster(args []string) error {
 				mitigation: *mitigation, hedgeQuantile: *hedgeQ, domains: *domains,
 				autoscale: *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
 				scalePolicy: *scalePolicy, cooldown: *cooldown, warmupIntervals: *warmupIvs,
+				learn: *learn, policy: *policyName, params: params,
+				federation: fedOpts, mergeName: *mergeName,
 			})
 		}
 
@@ -335,7 +397,7 @@ func runCluster(args []string) error {
 			return err
 		}
 		defs, err := hipster.UniformClusterNodes(*nodes, spec, wl, func(nodeID int) (hipster.Policy, error) {
-			return buildPolicy(*policyName, spec, *seed+int64(nodeID))
+			return buildPolicy(*policyName, spec, *seed+int64(nodeID), hipster.DefaultParams())
 		})
 		if err != nil {
 			return err
@@ -365,32 +427,7 @@ func runCluster(args []string) error {
 			Workers:  *workers,
 			Seed:     *seed,
 		}
-		if *federate {
-			merge, err := hipster.MergePolicyByName(*mergeName)
-			if err != nil {
-				return err
-			}
-			opts.Federation = &hipster.FederationOptions{
-				SyncEvery:          *syncInterval,
-				Merge:              merge,
-				StalenessIntervals: *staleness,
-			}
-			if *dropout > 0 {
-				// A seeded hash of (node, interval) keeps the dropout
-				// pattern deterministic for a given -seed, preserving the
-				// cluster's reproducibility guarantees.
-				p, seedBits := *dropout, uint64(*seed)
-				opts.Federation.Participation = func(nodeID, interval int) bool {
-					h := seedBits ^ uint64(nodeID)<<32 ^ uint64(interval)
-					h ^= h >> 30
-					h *= 0xbf58476d1ce4e5b9
-					h ^= h >> 27
-					h *= 0x94d049bb133111eb
-					h ^= h >> 31
-					return float64(h%1000000)/1000000 >= p
-				}
-			}
-		}
+		opts.Federation = fedOpts
 		if *autoScale {
 			pol, err := hipster.AutoscalePolicyByName(*scalePolicy)
 			if err != nil {
@@ -483,6 +520,11 @@ type desArgs struct {
 	minNodes, maxNodes, cooldown int
 	scalePolicy                  string
 	warmupIntervals              int
+	learn                        bool
+	policy                       string
+	params                       hipster.Params
+	federation                   *hipster.FederationOptions
+	mergeName                    string
 }
 
 // runClusterDES runs the request-level fleet DES: requests are
@@ -537,6 +579,14 @@ func runClusterDES(a desArgs) error {
 			WarmupIntervals:   a.warmupIntervals,
 		}
 	}
+	if a.learn {
+		opts.Learn = &hipster.ClusterDESLearn{
+			BuildPolicy: func(nodeID int) (hipster.Policy, error) {
+				return buildPolicy(a.policy, spec, a.seed+int64(nodeID), a.params)
+			},
+			Federation: a.federation,
+		}
+	}
 	fl, err := hipster.NewClusterDES(opts)
 	if err != nil {
 		return err
@@ -547,8 +597,12 @@ func runClusterDES(a desArgs) error {
 	}
 
 	sum := res.Summarize()
-	fmt.Printf("cluster mode=des nodes=%d domains=%d workers=%d workload=%s splitter=%s mitigation=%s pattern=%s duration=%.0fs seed=%d\n",
-		a.nodes, a.domains, fl.Workers(), a.workload, splitter.Name(), mit.Name(), a.pattern, a.duration, a.seed)
+	learnTag := ""
+	if a.learn {
+		learnTag = fmt.Sprintf(" learn=%s", a.policy)
+	}
+	fmt.Printf("cluster mode=des%s nodes=%d domains=%d workers=%d workload=%s splitter=%s mitigation=%s pattern=%s duration=%.0fs seed=%d\n",
+		learnTag, a.nodes, a.domains, fl.Workers(), a.workload, splitter.Name(), mit.Name(), a.pattern, a.duration, a.seed)
 	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(fl.CapacityRPS()))
 	lat := res.Latency
 	fmt.Printf("  requests        : %d completed, %d dropped\n", lat.Completed, lat.Dropped)
@@ -565,6 +619,18 @@ func runClusterDES(a desArgs) error {
 	}
 	if st.Steals > 0 {
 		fmt.Printf("  work stealing   : %d requests stolen by idle nodes\n", st.Steals)
+	}
+	if a.learn {
+		fmt.Printf("  learning        : %s policy, %d decisions, %d core migrations, %d dvfs changes, %d learning-phase intervals\n",
+			a.policy, st.LearnDecisions, st.CoreMigrations, st.DVFSChanges, sum.LearningIntervals)
+		if fst, ok := fl.FederationStats(); ok {
+			fmt.Printf("  federation      : %s merge, %d rounds, %d reports, %d cells merged (%d updates), %d stale deltas dropped\n",
+				a.mergeName, fst.Rounds, fst.Reports, fst.MergedCells, fst.MergedVisits, fst.StaleDropped)
+			if st.WarmStarts > 0 || st.Flushes > 0 {
+				fmt.Printf("  warm starts     : %d nodes seeded from the fleet table, %d departure deltas flushed\n",
+					st.WarmStarts, st.Flushes)
+			}
+		}
 	}
 	if a.autoscale {
 		firstUp := "never"
@@ -624,12 +690,12 @@ func parsePattern(name string) (hipster.Pattern, error) {
 // the switch below so the error message cannot drift from the cases.
 var policyNames = []string{"hipster-in", "hipster-co", "octopus-man", "hipster-heuristic", "static-big", "static-small"}
 
-func buildPolicy(name string, spec *hipster.Spec, seed int64) (hipster.Policy, error) {
+func buildPolicy(name string, spec *hipster.Spec, seed int64, params hipster.Params) (hipster.Policy, error) {
 	switch name {
 	case "hipster-in":
-		return hipster.NewHipsterIn(spec, hipster.DefaultParams(), seed)
+		return hipster.NewHipsterIn(spec, params, seed)
 	case "hipster-co":
-		return hipster.NewHipsterCo(spec, hipster.DefaultParams(), seed)
+		return hipster.NewHipsterCo(spec, params, seed)
 	case "octopus-man":
 		return hipster.NewOctopusMan(spec)
 	case "hipster-heuristic":

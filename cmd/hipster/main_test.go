@@ -39,6 +39,36 @@ func TestClusterOrphanFlags(t *testing.T) {
 			args: []string{"-mode", "des", "-hedge-quantile", "0.9"},
 			want: []string{"-hedge-quantile", "-mitigation hedged"},
 		},
+		{
+			name: "learn-without-des",
+			args: []string{"-learn"},
+			want: []string{"-learn", "-mode=des"},
+		},
+		{
+			name: "learn-under-interval-mode",
+			args: []string{"-mode", "interval", "-learn"},
+			want: []string{"-learn", "-mode=des"},
+		},
+		{
+			name: "alpha-without-learn",
+			args: []string{"-mode", "des", "-alpha", "0.5"},
+			want: []string{"-alpha", "-learn"},
+		},
+		{
+			name: "learn-secs-without-learn",
+			args: []string{"-learn-secs", "100"},
+			want: []string{"-learn-secs", "-learn"},
+		},
+		{
+			name: "federate-under-des-without-learn",
+			args: []string{"-mode", "des", "-federate"},
+			want: []string{"-federate", "-mode=interval or -mode=des -learn"},
+		},
+		{
+			name: "batch-under-des-learn",
+			args: []string{"-mode", "des", "-learn", "-batch", "calculix"},
+			want: []string{"-batch", "-mode=interval"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -72,5 +102,29 @@ func TestClusterDESDomainsRun(t *testing.T) {
 		"-pattern", "constant:0.5", "-duration", "5", "-series=false"})
 	if err != nil {
 		t.Fatalf("sharded DES run failed: %v", err)
+	}
+}
+
+// TestClusterDESLearnRun smoke-tests the learn-enabled DES through the
+// CLI path with hyperparameter overrides, federation, autoscaling and
+// sharding all composed — the full surface the -learn flag unlocks.
+func TestClusterDESLearnRun(t *testing.T) {
+	err := runCluster([]string{"-mode", "des", "-learn", "-nodes", "4", "-domains", "2",
+		"-alpha", "0.5", "-gamma", "0.85", "-learn-secs", "10", "-bucket-frac", "0.1",
+		"-federate", "-sync-interval", "3", "-autoscale", "-min-nodes", "2", "-warmup-intervals", "1",
+		"-workload", "websearch", "-pattern", "constant:0.5", "-duration", "20", "-series=false"})
+	if err != nil {
+		t.Fatalf("learn-enabled DES run failed: %v", err)
+	}
+}
+
+// TestClusterDESLearnPolicies checks every named policy can drive the
+// learning loop (the loop only requires a Policy, not an RL table).
+func TestClusterDESLearnPolicies(t *testing.T) {
+	for _, pol := range []string{"octopus-man", "static-big"} {
+		if err := runCluster([]string{"-mode", "des", "-learn", "-policy", pol, "-nodes", "2",
+			"-pattern", "constant:0.5", "-duration", "5", "-series=false"}); err != nil {
+			t.Fatalf("learn with -policy %s failed: %v", pol, err)
+		}
 	}
 }

@@ -277,6 +277,18 @@ type (
 	// Mitigation is a straggler-mitigation policy applied to in-flight
 	// requests at the DES front-end.
 	Mitigation = clusterdes.Mitigation
+	// ClusterDESLearn closes Hipster's RL loop inside the cluster DES:
+	// with it set on ClusterDESOptions, every node consults its own
+	// policy at each interval boundary — in the coordinator's serial
+	// section, after the interval's measured per-request tail is final —
+	// and applies the returned configuration to the next interval. The
+	// reward is computed from measured request latencies, the signal the
+	// paper's testbed used, where the interval cluster can only offer
+	// its analytic tail estimate. Learning preserves the DES determinism
+	// contract: runs stay a pure function of (Seed, Domains) at any
+	// worker count. See examples/deslearning for a DES-trained vs
+	// interval-trained comparison.
+	ClusterDESLearn = clusterdes.LearnOptions
 )
 
 // NewClusterDES builds a fleet discrete-event simulation from options.

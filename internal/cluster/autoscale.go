@@ -139,7 +139,7 @@ func (c *Cluster) autoscaleStep(t, totalRPS float64) error {
 		var bc federation.Broadcast
 		for id := c.active; id < d.Target; id++ {
 			if c.fed != nil {
-				warmed, err := c.fed.warmStart(id, interval, &bc)
+				warmed, err := c.fed.WarmStart(id, interval, &bc)
 				if err != nil {
 					return fmt.Errorf("cluster: autoscale warm-start of node %d: %w", id, err)
 				}
@@ -154,7 +154,7 @@ func (c *Cluster) autoscaleStep(t, totalRPS float64) error {
 	} else {
 		for id := d.Target; id < c.active; id++ {
 			if c.fed != nil {
-				flushed, err := c.fed.flush(id, interval)
+				flushed, err := c.fed.Flush(id, interval)
 				if err != nil {
 					return fmt.Errorf("cluster: autoscale flush of node %d: %w", id, err)
 				}

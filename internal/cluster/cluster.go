@@ -137,7 +137,7 @@ type Cluster struct {
 	clock  *sim.Clock
 	fleet  *telemetry.FleetTrace
 	merger telemetry.Merger
-	fed    *fedState
+	fed    *Federation
 	as     *asState
 
 	// active is the active-node count: the active set is always the
@@ -249,7 +249,11 @@ func New(opts Options) (*Cluster, error) {
 		c.fleetCap += cap
 	}
 	if opts.Federation != nil {
-		fed, err := newFedState(*opts.Federation, opts.Nodes)
+		pols := make([]policy.Policy, len(opts.Nodes))
+		for i, def := range opts.Nodes {
+			pols[i] = def.Policy
+		}
+		fed, err := NewFederation(*opts.Federation, pols)
 		if err != nil {
 			return nil, err
 		}
@@ -368,8 +372,8 @@ func (c *Cluster) Step() (telemetry.FleetSample, error) {
 	// results stay independent of the worker count. Sleeping nodes sit
 	// the round out — they flushed their delta on deactivation and are
 	// re-seeded from the fleet table when they rejoin.
-	if c.fed != nil && c.fed.due(c.clock.Steps()) {
-		if err := c.fed.sync(c.clock.Steps(), c.isActive); err != nil {
+	if c.fed != nil && c.fed.Due(c.clock.Steps()) {
+		if err := c.fed.Sync(c.clock.Steps(), c.isActive); err != nil {
 			return c.fail(err)
 		}
 	}
@@ -404,7 +408,7 @@ func (c *Cluster) FederationStats() (stats federation.Stats, ok bool) {
 	if c.fed == nil {
 		return federation.Stats{}, false
 	}
-	return c.fed.coord.Stats(), true
+	return c.fed.Stats(), true
 }
 
 // stepNodes steps every node once, fanning out across the persistent

@@ -41,9 +41,14 @@ type FederationOptions struct {
 	Participation func(nodeID, interval int) bool
 }
 
-// fedState is the cluster's federation machinery: the coordinator, the
-// federated node set, and each node's delta checkpoint.
-type fedState struct {
+// Federation is the coordinator-side federation machinery shared by the
+// interval-mode cluster and the request-level DES: the federation
+// coordinator, the federated node set (every node whose policy exposes
+// a live RL table), and each node's delta checkpoint. All methods run
+// in the owning coordinator's serial section — they are not safe for
+// concurrent use, and callers must not be stepping nodes while a round
+// runs.
+type Federation struct {
 	syncEvery   int
 	participate func(nodeID, interval int) bool
 	coord       *federation.Coordinator
@@ -53,11 +58,12 @@ type fedState struct {
 	index       map[int]int            // node ID -> position in the slices above
 }
 
-// newFedState resolves the options against the fleet: every node whose
-// policy exposes a live table joins the federation; their tables must
-// agree on shape and action space.
-func newFedState(opts FederationOptions, defs []NodeOptions) (*fedState, error) {
-	f := &fedState{syncEvery: opts.SyncEvery, participate: opts.Participation}
+// NewFederation resolves the options against the fleet's per-node
+// policies (indexed by node id): every policy implementing
+// policy.TableProvider joins the federation; their tables must agree on
+// shape and action space. A nil entry is a node with no policy.
+func NewFederation(opts FederationOptions, pols []policy.Policy) (*Federation, error) {
+	f := &Federation{syncEvery: opts.SyncEvery, participate: opts.Participation}
 	if f.syncEvery == 0 {
 		f.syncEvery = 10
 	}
@@ -72,8 +78,8 @@ func newFedState(opts FederationOptions, defs []NodeOptions) (*fedState, error) 
 	var ref *rl.Table
 	var refID int
 	f.index = make(map[int]int)
-	for i, def := range defs {
-		prov, ok := def.Policy.(policy.TableProvider)
+	for i, pol := range pols {
+		prov, ok := pol.(policy.TableProvider)
 		if !ok {
 			continue
 		}
@@ -93,7 +99,7 @@ func newFedState(opts FederationOptions, defs []NodeOptions) (*fedState, error) 
 	}
 
 	coord, err := federation.New(federation.Config{
-		Nodes:          len(defs),
+		Nodes:          len(pols),
 		States:         ref.NumStates(),
 		Actions:        ref.NumActions(),
 		Merge:          opts.Merge,
@@ -118,13 +124,13 @@ func sameActions(a, b *rl.Table) bool {
 	return true
 }
 
-// due reports whether a sync round runs after the given (1-based)
+// Due reports whether a sync round runs after the given (1-based)
 // completed interval.
-func (f *fedState) due(interval int) bool {
+func (f *Federation) Due(interval int) bool {
 	return interval%f.syncEvery == 0
 }
 
-// sync runs one federation round: extract each participating node's
+// Sync runs one federation round: extract each participating node's
 // delta since its checkpoint, merge, broadcast the fleet table back,
 // and re-checkpoint. Absent nodes (Participation false) and nodes the
 // autoscaler has deactivated are skipped on both legs — an absent node
@@ -133,7 +139,7 @@ func (f *fedState) due(interval int) bool {
 // flushed its delta on departure and is re-seeded on activation. Runs
 // strictly serially; the caller must not be stepping nodes
 // concurrently.
-func (f *fedState) sync(interval int, active func(nodeID int) bool) error {
+func (f *Federation) Sync(interval int, active func(nodeID int) bool) error {
 	in := func(id int) bool {
 		return active(id) && (f.participate == nil || f.participate(id, interval))
 	}
@@ -169,7 +175,7 @@ func (f *fedState) sync(interval int, active func(nodeID int) bool) error {
 	return nil
 }
 
-// warmStart seeds an activating node's policy with the coordinator's
+// WarmStart seeds an activating node's policy with the coordinator's
 // current fleet table, so a node joining the fleet exploits the whole
 // fleet's experience instead of learning from zero. The node's
 // staleness clock resets too: holding a fresh copy of the fleet table
@@ -182,7 +188,7 @@ func (f *fedState) sync(interval int, active func(nodeID int) bool) error {
 // copy is also skipped entirely when no activating node is federated.
 // Returns false when the node is not federated (no table-bearing
 // policy): it cold-starts with whatever table it holds.
-func (f *fedState) warmStart(id, interval int, bc *federation.Broadcast) (bool, error) {
+func (f *Federation) WarmStart(id, interval int, bc *federation.Broadcast) (bool, error) {
 	k, ok := f.index[id]
 	if !ok {
 		return false, nil
@@ -201,14 +207,14 @@ func (f *fedState) warmStart(id, interval int, bc *federation.Broadcast) (bool, 
 	return true, nil
 }
 
-// flush folds a departing node's unsynced table delta into the
+// Flush folds a departing node's unsynced table delta into the
 // coordinator before deactivation, so the experience it gathered since
 // its last sync round is not lost with it. The single-report round
 // counts toward federation.Stats like any other (and the staleness
 // bound applies: a node that went dark past K intervals has its final
 // delta discarded too). Returns whether a non-empty delta was handed
 // to the coordinator.
-func (f *fedState) flush(id, interval int) (bool, error) {
+func (f *Federation) Flush(id, interval int) (bool, error) {
 	k, ok := f.index[id]
 	if !ok {
 		return false, nil
@@ -227,3 +233,9 @@ func (f *fedState) flush(id, interval int) (bool, error) {
 	}
 	return true, nil
 }
+
+// Stats returns the coordinator-side federation counters.
+func (f *Federation) Stats() federation.Stats { return f.coord.Stats() }
+
+// Table returns a copy of the coordinator's current fleet table.
+func (f *Federation) Table() federation.Broadcast { return f.coord.Table() }

@@ -22,6 +22,17 @@
 // each node's summary is an independent pure computation writing its
 // own slot; results are therefore bit-identical at any worker count,
 // the same two invariants the interval-mode cluster guarantees.
+//
+// With Options.Learn set, the DES additionally closes Hipster's RL
+// loop at request granularity: each node consults a per-node policy
+// (by default the hybrid heuristic+RL manager) at every interval
+// boundary, in the coordinator's serial section, observing the
+// interval's MEASURED tail latency — not the analytic estimate the
+// interval mode trains against — and reconfigures its core mapping and
+// DVFS for the next interval. Reconfiguration uses a fixed-slot server
+// layout: disabled cores drain their in-flight request and then stop
+// pulling work, so no event is ever invalidated and the learning runs
+// keep the exact determinism contract of fixed-configuration runs.
 package clusterdes
 
 import (
@@ -35,8 +46,10 @@ import (
 
 	"hipster/internal/autoscale"
 	"hipster/internal/cluster"
+	"hipster/internal/federation"
 	"hipster/internal/loadgen"
 	"hipster/internal/platform"
+	"hipster/internal/policy"
 	"hipster/internal/queueing"
 	"hipster/internal/sim"
 	"hipster/internal/stats"
@@ -44,12 +57,14 @@ import (
 	"hipster/internal/workload"
 )
 
-// NodeConfig describes one node of the DES fleet. Unlike the interval
-// mode there is no per-node policy loop: the DES answers routing and
-// queueing questions at a fixed configuration per node, which keeps
-// every latency difference attributable to the front-end decision under
-// study (splitter, mitigation, scaling signal) rather than to DVFS
-// reactions.
+// NodeConfig describes one node of the DES fleet. Without
+// Options.Learn there is no per-node policy loop: the DES answers
+// routing and queueing questions at a fixed configuration per node,
+// which keeps every latency difference attributable to the front-end
+// decision under study (splitter, mitigation, scaling signal) rather
+// than to DVFS reactions. With Options.Learn set, Config is only the
+// starting configuration — each node's policy re-picks its operating
+// point every interval.
 type NodeConfig struct {
 	Spec     *platform.Spec
 	Workload *workload.Model
@@ -144,6 +159,13 @@ type Options struct {
 	// dropped and counted (0 derives a bound from the workload's
 	// BacklogCapSecs, mirroring the single-node DES).
 	MaxQueue int
+
+	// Learn, when non-nil, closes the RL loop inside the DES: each node
+	// consults its own policy at every interval boundary (in the
+	// coordinator's serial section) and reconfigures for the next
+	// interval, learning from the interval's measured request tail. The
+	// run stays a pure function of (Seed, Domains) at any worker count.
+	Learn *LearnOptions
 }
 
 // LatencySummary is the end-to-end request-latency distribution of a
@@ -190,6 +212,16 @@ type Stats struct {
 	PeakActive, MinActive int
 	// NodeIntervals is the active node-intervals consumed.
 	NodeIntervals int
+	// LearnDecisions counts per-node policy decisions taken at interval
+	// boundaries (Learn enabled; zero otherwise). CoreMigrations counts
+	// decisions that changed the core mapping (NBig/NSmall);
+	// DVFSChanges counts decisions that only changed frequency.
+	LearnDecisions, CoreMigrations, DVFSChanges int
+	// SyncRounds, WarmStarts and Flushes count federation activity when
+	// Learn.Federation is set: boundary sync rounds run, activating
+	// nodes seeded from the fleet table, and departing nodes folding
+	// their delta in.
+	SyncRounds, WarmStarts, Flushes int
 }
 
 // Result bundles a finished DES run.
@@ -270,16 +302,30 @@ type desNode struct {
 	wl   *workload.Model
 	cfg  platform.Config
 
-	servers   []queueing.Server
-	dists     []stats.LogNormal
-	idle      []bool
-	serving   []int32
-	busy      []float64 // busy seconds attributed to this interval
-	busyUntil []float64 // absolute end time of each server's current service
-	busyCount int
-	queue     queueing.Ring[int32]
-	capacity  float64
-	maxQueue  int
+	// The server pool uses a fixed-slot layout: every node always
+	// allocates spec.Big.Cores + spec.Small.Cores slots — big slots
+	// first ([0, bigSlots)), small after — and the current
+	// configuration enables a prefix of each kind. Reconfiguring (the
+	// learning loop) flips enabled flags and rates; a disabled slot
+	// finishes its in-flight service at the already-drawn completion
+	// time and then stops pulling work, so no heap event is ever
+	// invalidated and fixed-configuration runs are bit-identical to the
+	// pre-slot layout.
+	servers    []queueing.Server
+	dists      []stats.LogNormal
+	enabled    []bool
+	bigSlots   int
+	idle       []bool
+	serving    []int32
+	busy       []float64 // busy seconds attributed to this interval
+	busyUntil  []float64 // absolute end time of each server's current service
+	busyCount  int
+	queue      queueing.Ring[int32]
+	capacity   float64 // total enabled service rate under the current config
+	nominalCap float64 // capacity of the construction-time config (routing weight)
+	maxQueue   int
+
+	pol policy.Policy // per-node operating-point policy; nil unless Options.Learn
 
 	warmLeft int
 
@@ -404,6 +450,17 @@ type Fleet struct {
 	roster    []autoscale.NodeInfo
 	warmupIvs int
 
+	// Learning-loop state (Options.Learn).
+	learning   bool
+	fed        *cluster.Federation
+	isActiveFn func(int) bool
+	svScratch  []queueing.Server
+	// Per-boundary learn telemetry, attached to the interval's fleet
+	// sample after the merge.
+	learnPhase     int
+	learnRewardSum float64
+	learnRewardN   int
+
 	sh *sharded // non-nil when Options.Domains > 1
 
 	stats  Stats
@@ -482,7 +539,7 @@ func New(opts Options) (*Fleet, error) {
 	f.svcRNG = sim.SubRNG(opts.Seed, "des-service")
 
 	for i, nc := range opts.Nodes {
-		n, err := newNode(i, nc, opts.MaxQueue)
+		n, err := newNode(i, nc, opts.MaxQueue, f)
 		if err != nil {
 			return nil, err
 		}
@@ -500,6 +557,11 @@ func New(opts Options) (*Fleet, error) {
 	for i, n := range f.nodes {
 		n.state.Active = i < f.active
 	}
+	if opts.Learn != nil {
+		if err := f.initLearn(*opts.Learn); err != nil {
+			return nil, err
+		}
+	}
 	f.stats.FirstScaleUpInterval = -1
 	f.stats.PeakActive, f.stats.MinActive = f.active, f.active
 	f.states = make([]cluster.NodeState, len(f.nodes))
@@ -511,7 +573,7 @@ func New(opts Options) (*Fleet, error) {
 	return f, nil
 }
 
-func newNode(id int, nc NodeConfig, maxQueue int) (*desNode, error) {
+func newNode(id int, nc NodeConfig, maxQueue int, f *Fleet) (*desNode, error) {
 	if nc.Spec == nil {
 		return nil, fmt.Errorf("clusterdes: node %d: nil platform spec", id)
 	}
@@ -535,13 +597,17 @@ func newNode(id int, nc NodeConfig, maxQueue int) (*desNode, error) {
 		cfg:   cfg,
 		trace: &telemetry.Trace{},
 	}
-	n.servers = nc.Workload.AppendServers(nil, nc.Spec, cfg, 1)
-	n.capacity = queueing.TotalRate(n.servers)
-	n.dists = make([]stats.LogNormal, len(n.servers))
-	for i, sv := range n.servers {
-		n.dists[i] = stats.LogNormalFromMeanCV(1/sv.Rate, nc.Workload.DemandCV)
-	}
-	n.idle = make([]bool, len(n.servers))
+	n.bigSlots = nc.Spec.Big.Cores
+	slots := nc.Spec.Big.Cores + nc.Spec.Small.Cores
+	n.servers = make([]queueing.Server, slots)
+	n.dists = make([]stats.LogNormal, slots)
+	// enabled and idle share one allocation; the fleet's AppendServers
+	// scratch is threaded through so per-node construction costs no
+	// extra allocations over the pre-reconfigurable layout.
+	bools := make([]bool, 2*slots)
+	n.enabled, n.idle = bools[:slots:slots], bools[slots:]
+	f.svScratch = n.applyConfig(cfg, f.svScratch)
+	n.nominalCap = n.capacity
 	for i := range n.idle {
 		n.idle[i] = true
 	}
@@ -674,12 +740,12 @@ func (l *loop) startService(n *desNode, s int, id int32, t float64) {
 	l.events.Push(end, event{kind: evCompletion, a: int32(n.id), b: int32(s)})
 }
 
-// fastestIdle returns the idle server with the highest rate, -1 if all
-// are busy (pools are tiny: at most 6 cores on Juno).
+// fastestIdle returns the idle enabled server with the highest rate,
+// -1 if all are busy (pools are tiny: at most 6 slots on Juno).
 func (n *desNode) fastestIdle() int {
 	best := -1
 	for i, ok := range n.idle {
-		if !ok {
+		if !ok || !n.enabled[i] {
 			continue
 		}
 		if best == -1 || n.servers[i].Rate > n.servers[best].Rate {
@@ -747,11 +813,13 @@ func (l *loop) steal(thief *desNode) int32 {
 
 // pullWork hands server s of node n its next request after a
 // completion: local queue first, then a cross-node steal when the
-// mitigation allows. Warming and deactivated nodes do not pull. (The
-// active check is against the fleet-wide roster — node ids are global
-// and the active set is a roster prefix.)
+// mitigation allows. Warming and deactivated nodes do not pull, and
+// neither does a slot the current configuration disabled — that is how
+// a reconfigured-away core drains. (The active check is against the
+// fleet-wide roster — node ids are global and the active set is a
+// roster prefix.)
 func (l *loop) pullWork(n *desNode, s int, t float64) {
-	serving := n.id < l.rosterActive && (n.warmLeft == 0 || l.warmFactor > 0)
+	serving := n.enabled[s] && n.id < l.rosterActive && (n.warmLeft == 0 || l.warmFactor > 0)
 	if serving {
 		if id := l.popLocal(n); id >= 0 {
 			l.startService(n, s, id, t)
@@ -775,7 +843,7 @@ func (l *loop) pullWork(n *desNode, s int, t float64) {
 // drowning peer.
 func (l *loop) kickIdle(n *desNode, t float64) {
 	for s := range n.idle {
-		if !n.idle[s] {
+		if !n.idle[s] || !n.enabled[s] {
 			continue
 		}
 		l.pullWork(n, s, t)
@@ -1021,16 +1089,18 @@ func (n *desNode) finishInterval(t, dt float64) telemetry.Sample {
 	for i := range n.smallUtils {
 		n.smallUtils[i] = 0
 	}
-	// Server expansion order is big cores first (workload.AppendServers).
+	// Slot layout is big cores first; a draining disabled slot still
+	// charges its core's utilisation here, because the core really is
+	// executing until the in-flight service completes.
 	for s := range n.busy {
 		u := n.busy[s] / dt
 		if u > 1 {
 			u = 1
 		}
-		if s < n.cfg.NBig {
+		if s < n.bigSlots {
 			n.bigUtils[s] = u
 		} else {
-			n.smallUtils[s-n.cfg.NBig] = u
+			n.smallUtils[s-n.bigSlots] = u
 		}
 	}
 	bigF := n.cfg.BigFreq
@@ -1124,12 +1194,14 @@ func (f *Fleet) summarize(t float64) {
 }
 
 // autoscaleStep runs one scaling decision on the previous interval's
-// measurements and applies it.
-func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
+// measurements and applies it. With federation enabled, activating
+// nodes warm-start from the fleet table and departing nodes flush
+// their delta — the same protocol the interval-mode cluster runs.
+func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) error {
 	for i, n := range f.nodes {
 		f.roster[i] = autoscale.NodeInfo{
 			ID:              i,
-			CapacityRPS:     n.capacity,
+			CapacityRPS:     n.nominalCap,
 			Active:          n.state.Active,
 			Stepped:         n.state.Stepped,
 			LastOfferedRPS:  n.state.LastOfferedRPS,
@@ -1146,11 +1218,22 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
 		Active:     f.active,
 	})
 	if !d.Scaled {
-		return
+		return nil
 	}
 	if d.Target > f.active {
+		// One fleet-table copy serves every activation of this event.
+		var bc federation.Broadcast
 		for id := f.active; id < d.Target; id++ {
 			n := f.nodes[id]
+			if f.fed != nil {
+				warmed, err := f.fed.WarmStart(id, f.clock.Steps(), &bc)
+				if err != nil {
+					return fmt.Errorf("clusterdes: autoscale warm-start of node %d: %w", id, err)
+				}
+				if warmed {
+					f.stats.WarmStarts++
+				}
+			}
 			n.state.Active = true
 			n.warmLeft = f.warmupIvs
 			// Discard interval residue from the node's deactivation era:
@@ -1174,6 +1257,21 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
 		f.rosterActive = d.Target
 		for id := d.Target; id < oldActive; id++ {
 			n := f.nodes[id]
+			if f.fed != nil {
+				flushed, err := f.fed.Flush(id, f.clock.Steps())
+				if err != nil {
+					return fmt.Errorf("clusterdes: autoscale flush of node %d: %w", id, err)
+				}
+				if flushed {
+					f.stats.Flushes++
+				}
+			}
+			// A dormant node's TD chain is cut: its next decision after
+			// reactivation must not bridge the gap with a reward computed
+			// from its first interval back.
+			if ep, ok := n.pol.(policy.Episodic); ok {
+				ep.EndEpisode()
+			}
 			n.state.Active = false
 			n.warmLeft = 0
 			// A powered-off node does not keep a request queue alive:
@@ -1242,6 +1340,7 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) {
 	if f.active < f.stats.MinActive {
 		f.stats.MinActive = f.active
 	}
+	return nil
 }
 
 // tick closes the interval ending at the clock's next boundary:
@@ -1256,6 +1355,15 @@ func (f *Fleet) tick() error {
 	}
 	tEnd := f.clock.Now() + f.dt
 	f.summarize(tEnd)
+	// The learning step runs here, in the serial section between the
+	// parallel summaries and the fleet merge: every node's measured
+	// sample for the closing interval is final, no events are in
+	// flight, and the decision order (ascending node id) is fixed — so
+	// learn-enabled runs keep the worker-invariance and seed-
+	// determinism contracts.
+	if err := f.learnStep(tEnd); err != nil {
+		return err
+	}
 
 	fs := f.merger.MergeInterval(f.samples[:f.active], f.opts.StragglerFactor)
 	fs.T = tEnd
@@ -1268,6 +1376,7 @@ func (f *Fleet) tick() error {
 	fs.HedgeWins = f.hedgeWins
 	fs.Steals = f.steals
 	fs.Warming = warming
+	f.annotateLearn(&fs)
 	f.fleet.Add(fs)
 	f.stats.Hedges += f.hedges
 	f.stats.HedgeWins += f.hedgeWins
@@ -1303,8 +1412,20 @@ func (f *Fleet) tick() error {
 	// Services started from here on (migrations, idle kicks) belong to
 	// the interval that begins now.
 	f.tickEnd = t + f.dt
+	// Federation runs in the serial section with the event loop
+	// quiescent, mirroring the interval-mode cluster: reading and
+	// rewriting per-node tables here cannot race with policy decisions,
+	// and results stay independent of the worker count.
+	if f.fed != nil && f.fed.Due(f.clock.Steps()) {
+		if err := f.fed.Sync(f.clock.Steps(), f.isActiveFn); err != nil {
+			return err
+		}
+		f.stats.SyncRounds++
+	}
 	if f.ctl != nil {
-		f.autoscaleStep(t, measuredRPS)
+		if err := f.autoscaleStep(t, measuredRPS); err != nil {
+			return err
+		}
 	}
 	// Idle servers pick up queues outside the completion path: warm-up
 	// expiries, freshly migrated requests, and (with stealing) fully

@@ -7,6 +7,8 @@ import (
 
 	"hipster/internal/autoscale"
 	"hipster/internal/cluster"
+	"hipster/internal/federation"
+	"hipster/internal/policy"
 	"hipster/internal/sim"
 	"hipster/internal/stats"
 	"hipster/internal/telemetry"
@@ -149,6 +151,14 @@ func (s *sharded) tick(tEnd float64) error {
 		}
 	}
 	s.pool.Do(f.active, s.sumFn)
+	// The learning step mirrors the serial loop exactly: strictly
+	// serial, ascending node id, after every domain's summaries are
+	// final and before the fleet merge — the same boundary slot where
+	// cross-domain exchanges and federation already run, so Domains=1
+	// stays bit-identical to the serial loop with learning on.
+	if err := f.learnStep(tEnd); err != nil {
+		return err
+	}
 
 	fs := f.merger.MergeInterval(f.samples[:f.active], f.opts.StragglerFactor)
 	fs.T = tEnd
@@ -168,6 +178,7 @@ func (s *sharded) tick(tEnd float64) error {
 	fs.HedgeWins = wins
 	fs.Steals = steals
 	fs.Warming = warming
+	f.annotateLearn(&fs)
 	f.fleet.Add(fs)
 	f.stats.Hedges += hedges
 	f.stats.HedgeWins += wins
@@ -212,8 +223,18 @@ func (s *sharded) tick(tEnd float64) error {
 	for _, l := range s.domains {
 		l.tickEnd = t + f.dt
 	}
+	// Federation mirrors the serial loop: a boundary sync round in the
+	// coordinator's serial section, with every domain quiescent.
+	if f.fed != nil && f.fed.Due(f.clock.Steps()) {
+		if err := f.fed.Sync(f.clock.Steps(), f.isActiveFn); err != nil {
+			return err
+		}
+		f.stats.SyncRounds++
+	}
 	if f.ctl != nil {
-		s.autoscaleStep(t, measuredRPS)
+		if err := s.autoscaleStep(t, measuredRPS); err != nil {
+			return err
+		}
 	}
 	s.placeHedges(t)
 	s.boundaryKick(t)
@@ -475,7 +496,7 @@ func (s *sharded) stealRefreshTop() {
 func (s *sharded) kickIdleFleet(n *desNode, t float64) {
 	l := s.domainOf(n.id)
 	for sv := range n.idle {
-		if !n.idle[sv] {
+		if !n.idle[sv] || !n.enabled[sv] {
 			continue
 		}
 		s.pullWorkFleet(l, n, sv, t)
@@ -492,7 +513,7 @@ func (s *sharded) kickIdleFleet(n *desNode, t float64) {
 // allocates its own.
 func (s *sharded) pullWorkFleet(l *loop, n *desNode, sv int, t float64) {
 	f := s.f
-	serving := n.id < f.active && (n.warmLeft == 0 || l.warmFactor > 0)
+	serving := n.enabled[sv] && n.id < f.active && (n.warmLeft == 0 || l.warmFactor > 0)
 	if serving {
 		if id := l.popLocal(n); id >= 0 {
 			l.startService(n, sv, id, t)
@@ -541,12 +562,12 @@ func (s *sharded) pullWorkFleet(l *loop, n *desNode, sv int, t float64) {
 // decision and activation sides are identical; the deactivation side
 // must drain queues across domain boundaries, which splits into three
 // cases in migrate.
-func (s *sharded) autoscaleStep(t, measuredRPS float64) {
+func (s *sharded) autoscaleStep(t, measuredRPS float64) error {
 	f := s.f
 	for i, n := range f.nodes {
 		f.roster[i] = autoscale.NodeInfo{
 			ID:              i,
-			CapacityRPS:     n.capacity,
+			CapacityRPS:     n.nominalCap,
 			Active:          n.state.Active,
 			Stepped:         n.state.Stepped,
 			LastOfferedRPS:  n.state.LastOfferedRPS,
@@ -563,11 +584,22 @@ func (s *sharded) autoscaleStep(t, measuredRPS float64) {
 		Active:     f.active,
 	})
 	if !d.Scaled {
-		return
+		return nil
 	}
 	if d.Target > f.active {
+		// One fleet-table copy serves every activation of this event.
+		var bc federation.Broadcast
 		for id := f.active; id < d.Target; id++ {
 			n := f.nodes[id]
+			if f.fed != nil {
+				warmed, err := f.fed.WarmStart(id, f.clock.Steps(), &bc)
+				if err != nil {
+					return fmt.Errorf("clusterdes: autoscale warm-start of node %d: %w", id, err)
+				}
+				if warmed {
+					f.stats.WarmStarts++
+				}
+			}
 			n.state.Active = true
 			n.warmLeft = f.warmupIvs
 			n.arrived, n.completed = 0, 0
@@ -588,6 +620,20 @@ func (s *sharded) autoscaleStep(t, measuredRPS float64) {
 		s.updateActive()
 		for id := d.Target; id < oldActive; id++ {
 			n := f.nodes[id]
+			if f.fed != nil {
+				flushed, err := f.fed.Flush(id, f.clock.Steps())
+				if err != nil {
+					return fmt.Errorf("clusterdes: autoscale flush of node %d: %w", id, err)
+				}
+				if flushed {
+					f.stats.Flushes++
+				}
+			}
+			// Cut the dormant node's TD chain, exactly like the serial
+			// loop.
+			if ep, ok := n.pol.(policy.Episodic); ok {
+				ep.EndEpisode()
+			}
 			victim := s.domainOf(n.id)
 			n.state.Active = false
 			n.warmLeft = 0
@@ -617,6 +663,7 @@ func (s *sharded) autoscaleStep(t, measuredRPS float64) {
 	if f.active < f.stats.MinActive {
 		f.stats.MinActive = f.active
 	}
+	return nil
 }
 
 // migrate re-homes one request popped off a deactivating node's queue.

@@ -153,6 +153,8 @@ type Manager struct {
 	started    bool
 	prevState  int
 	prevAction int
+	lastReward float64
+	hasReward  bool
 	phase      Phase
 	learnUntil float64
 	recentMet  []bool
@@ -282,6 +284,7 @@ func (m *Manager) Reset() {
 	m.started = false
 	m.prevState = -1
 	m.prevAction = -1
+	m.lastReward, m.hasReward = 0, false
 	m.phase = Learning
 	m.learnUntil = m.params.LearnSecs
 	m.recentMet = make([]bool, m.params.ReentryWindow)
@@ -344,6 +347,7 @@ func (m *Manager) Decide(obs policy.Observation) platform.Config {
 	if m.started && m.prevState >= 0 && m.prevAction >= 0 {
 		lam := m.reward(obs)
 		m.table.Update(m.prevState, m.prevAction, state, lam, m.params.Alpha, m.params.Gamma)
+		m.lastReward, m.hasReward = lam, true
 	}
 	m.noteQoS(obs.QoSMet())
 
@@ -414,6 +418,26 @@ func (m *Manager) SaveTable(w io.Writer) error { return m.table.Save(w) }
 // LoadTable restores a table written by SaveTable. The stored action
 // space must match this manager's configuration space exactly.
 func (m *Manager) LoadTable(r io.Reader) error { return m.table.Load(r) }
+
+// LastReward returns the reward applied by the most recent table
+// update; ok is false until at least one state-action-reward
+// transition has completed (the first Decide of a run, and the first
+// Decide after EndEpisode, update nothing). It implements
+// policy.RewardReporter.
+func (m *Manager) LastReward() (lam float64, ok bool) { return m.lastReward, m.hasReward }
+
+// EndEpisode cuts the temporal-difference chain at an episode boundary
+// without discarding anything learned: the pending previous
+// state/action pair is forgotten so the first decision of the next run
+// does not bridge two unrelated trajectories (e.g. a training run and
+// an evaluation run with different seeds). The table, phase, and QoS
+// history are kept. It implements policy.Episodic.
+func (m *Manager) EndEpisode() {
+	m.started = false
+	m.prevState = -1
+	m.prevAction = -1
+	m.lastReward, m.hasReward = 0, false
+}
 
 // StartExploiting skips the initial learning phase — used after
 // LoadTable to deploy with a previously learned table. The re-entry

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+// shortDESLearning shrinks the horizons so the determinism re-run stays
+// fast while still crossing from learning into exploitation and
+// covering several burst cycles per phase.
+func shortDESLearning() DESLearningOpts {
+	return DESLearningOpts{Nodes: 4, TrainSecs: 300, EvalSecs: 150, LearnSecs: 150}
+}
+
+// TestDESLearningClaim pins the headline result at the experiment's
+// default scale: tables trained inside the request-level DES — reward
+// computed from measured request tails — grade at least as well as
+// interval-trained tables on measured QoS, at no more energy, when both
+// are evaluated in the DES on a held-out seed.
+func TestDESLearningClaim(t *testing.T) {
+	res, err := DESLearning(DESLearningOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, iv := res.DESTrained, res.IntervalTrained
+	if d.QoSAttainment < iv.QoSAttainment {
+		t.Errorf("DES-trained QoS %.4f below interval-trained %.4f", d.QoSAttainment, iv.QoSAttainment)
+	}
+	if d.EnergyJ > iv.EnergyJ {
+		t.Errorf("DES-trained energy %.1fJ above interval-trained %.1fJ", d.EnergyJ, iv.EnergyJ)
+	}
+	if d.P99 <= 0 || iv.P99 <= 0 {
+		t.Errorf("non-positive evaluation P99: des %.4f interval %.4f", d.P99, iv.P99)
+	}
+	if d.CoreMigrations+d.DVFSChanges == 0 {
+		t.Error("DES-trained managers never changed a configuration during evaluation")
+	}
+	if d.Source != "des" || iv.Source != "interval" {
+		t.Errorf("row sources mislabelled: %q %q", d.Source, iv.Source)
+	}
+}
+
+// TestDESLearningDeterministic re-runs the whole train+evaluate
+// comparison and demands bit-identical rows: training in either
+// substrate and grading in the DES is a pure function of the options.
+func TestDESLearningDeterministic(t *testing.T) {
+	a, err := DESLearning(shortDESLearning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DESLearning(shortDESLearning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("results differ across identical runs:\n%+v\n%+v", a, b)
+	}
+}

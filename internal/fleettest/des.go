@@ -10,9 +10,10 @@ import (
 
 // DESBuildFunc returns cluster-DES options for one run at the given
 // seed. The harness overrides Options.Workers; everything else is the
-// caller's. The DES has no stateful per-node policies, so unlike the
-// interval-mode BuildFunc there is nothing a builder could accidentally
-// share between runs — but each call must still return fresh Options.
+// caller's. Each call must return fresh Options — and, when
+// Options.Learn carries a custom BuildPolicy, fresh policies: a
+// learn-enabled run mutates its policies' RL tables, so state shared
+// between calls leaks one run into the next (see AssertLearnedDES).
 type DESBuildFunc func(seed int64) (clusterdes.Options, error)
 
 // FingerprintDES runs the fleet DES to the horizon and renders

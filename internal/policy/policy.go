@@ -66,6 +66,25 @@ type Phaser interface {
 	Phase() string
 }
 
+// RewardReporter is implemented by learning policies that expose the
+// reward of their most recent table update, for per-interval telemetry
+// (clusterdes attaches the fleet-mean reward to each FleetSample).
+// ok is false until the policy has completed at least one
+// state-action-reward transition.
+type RewardReporter interface {
+	LastReward() (lam float64, ok bool)
+}
+
+// Episodic is implemented by learning policies whose temporal-
+// difference chain must be cut at an episode boundary (e.g. between a
+// training run and an evaluation run of a simulation): EndEpisode
+// forgets the pending previous state/action so the first decision of
+// the next run does not bridge unrelated trajectories, while keeping
+// everything learned so far.
+type Episodic interface {
+	EndEpisode()
+}
+
 // TableProvider is implemented by policies that learn a shareable RL
 // lookup table (Hipster's hybrid manager). Federation reads the live
 // table to extract per-node deltas and overwrites it with the merged

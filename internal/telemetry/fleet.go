@@ -44,6 +44,14 @@ type FleetSample struct {
 	HedgeWins int `json:"hedge_wins,omitempty"`
 	Steals    int `json:"steals,omitempty"`
 	Warming   int `json:"warming,omitempty"`
+
+	// In-DES learning activity (cluster DES mode with the RL loop
+	// enabled; zero otherwise): nodes whose policy reported the
+	// learning phase this interval, and the fleet-mean RL reward of the
+	// table updates applied at this boundary (zero until every policy
+	// has completed its first state-action-reward transition).
+	Learning   int     `json:"learning,omitempty"`
+	RewardMean float64 `json:"reward_mean,omitempty"`
 }
 
 // QoSAttainment returns the fraction of nodes meeting QoS this interval.
@@ -181,6 +189,17 @@ func (ft *FleetTrace) TotalStragglers() int {
 	return n
 }
 
+// LearningIntervals sums, over the run, the per-interval counts of
+// nodes whose policy was still in its learning phase (cluster DES mode
+// with learning enabled; zero otherwise).
+func (ft *FleetTrace) LearningIntervals() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Learning
+	}
+	return n
+}
+
 // TotalHedges sums the hedge requests issued over the run; the second
 // value is how many of them won their race (completed before the
 // primary copy).
@@ -251,6 +270,9 @@ type FleetSummary struct {
 	MeanAchievedRPS float64
 	// Mitigation and warm-up totals (cluster DES mode; zero otherwise).
 	Hedges, HedgeWins, Steals, WarmupIntervals int
+	// LearningIntervals is the node-intervals spent in the learning
+	// phase (cluster DES mode with learning enabled; zero otherwise).
+	LearningIntervals int
 }
 
 // Summarize computes the headline fleet metrics.
@@ -266,6 +288,7 @@ func (ft *FleetTrace) Summarize() FleetSummary {
 		Steals:          ft.TotalSteals(),
 		WarmupIntervals: ft.WarmupIntervals(),
 	}
+	sum.LearningIntervals = ft.LearningIntervals()
 	sum.Hedges, sum.HedgeWins = ft.TotalHedges()
 	if len(ft.Samples) > 0 {
 		var off, ach float64
