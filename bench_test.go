@@ -450,6 +450,51 @@ func BenchmarkClusterDES16Nodes(b *testing.B) {
 	b.ReportMetric(p99*1000, "p99-ms")
 }
 
+// BenchmarkClusterDESResilience16Nodes runs the request-level cluster
+// DES with the full resilience layer armed: a 16-node Web-Search fleet
+// at 60% load for 120 simulated seconds with hedged requests plus
+// per-attempt deadlines, bounded retries with backoff, per-node
+// circuit breakers and token-bucket admission, hedge budgets and
+// losing-copy cancellation. Against BenchmarkClusterDES16Nodes it
+// prices the resilience machinery itself — deadline timers on every
+// dispatch, admission checks on every route, the serial-section
+// breaker/budget roll. Gated in CI (ns/op and the allocation budget vs
+// ci/bench_baseline.json).
+func BenchmarkClusterDESResilience16Nodes(b *testing.B) {
+	spec := platform.JunoR1()
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		nodes, err := hipster.UniformClusterDESNodes(16, spec, hipster.WebSearch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl, err := hipster.NewClusterDES(hipster.ClusterDESOptions{
+			Nodes:      nodes,
+			Pattern:    hipster.ConstantLoad{Frac: 0.6},
+			Mitigation: hipster.NewHedgedMitigation(0),
+			Workers:    runtime.GOMAXPROCS(0),
+			Seed:       42,
+			Resilience: &hipster.ResilienceOptions{
+				MaxRetries:   2,
+				Timeout:      0.5,
+				Breaker:      &hipster.BreakerOptions{},
+				RateLimit:    &hipster.RateLimitOptions{RPS: 400},
+				CancelHedges: true,
+				HedgeBudget:  50,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fl.Run(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 = res.Latency.P99
+	}
+	b.ReportMetric(p99*1000, "p99-ms")
+}
+
 // BenchmarkClusterDESLearn16Nodes runs the learn-enabled request-level
 // cluster DES: a 16-node Web-Search fleet at 60% load for 120 simulated
 // seconds with every node's HipsterIn manager deciding its operating

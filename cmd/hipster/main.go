@@ -44,6 +44,16 @@
 //
 //	hipster cluster -mode des -nodes 256 -domains 8 -workers 8 -pattern constant:0.6
 //
+// The DES request path carries an optional resilience layer: bounded
+// retries with exponential backoff, per-attempt deadlines, per-node
+// token-bucket admission and circuit breakers, plus hedge budgets and
+// losing-copy cancellation on top of -mitigation hedged. All of it
+// stays deterministic for a fixed seed and domain count:
+//
+//	hipster cluster -mode des -nodes 8 -timeout 0.5 -retries 2 -breaker 0.5
+//	hipster cluster -mode des -nodes 8 -retries 3 -retry-backoff 0.05,1,0.1 -rate-limit 400
+//	hipster cluster -mode des -nodes 8 -mitigation hedged -hedge-cancel -hedge-budget 50
+//
 // With -learn the DES closes Hipster's RL loop on measured request
 // tails: every node's -policy picks its operating point each interval
 // boundary, rewarded by the latencies of the requests it actually
@@ -260,7 +270,14 @@ func runCluster(args []string) error {
 		series       = fs.Bool("series", true, "print sparkline time series")
 		mitigation   = fs.String("mitigation", "none", "DES straggler mitigation: none|hedged|work-stealing")
 		domains      = fs.Int("domains", 0, "DES routing domains stepped in parallel (0 = serial event loop)")
-		hedgeQ       = fs.Float64("hedge-quantile", 0.95, "DES hedge delay as a quantile of last interval's latencies")
+		hedgeQ       = fs.Float64("hedge-quantile", 0.95, "DES hedge delay as a quantile of last interval's latencies, in (0, 1)")
+		retries      = fs.Int("retries", 0, "DES resilience: re-issue a failed attempt up to this many times per request")
+		retryBackoff = fs.String("retry-backoff", "", "DES retry backoff as base,cap,jitter seconds (default 0.05,1,0.1)")
+		timeout      = fs.Float64("timeout", 0, "DES per-attempt deadline in seconds; expiry frees the server slot (0 = none)")
+		breakerThr   = fs.Float64("breaker", 0, "DES per-node circuit breaker: open past this windowed failure rate in (0, 1] (0 = off)")
+		rateLimit    = fs.Float64("rate-limit", 0, "DES per-node token-bucket admission in requests/second (0 = off)")
+		hedgeBudget  = fs.Int("hedge-budget", 0, "DES hedges a node may issue per monitoring interval (0 = unbounded)")
+		hedgeCancel  = fs.Bool("hedge-cancel", false, "DES: cancel the losing hedge copy once its sibling wins")
 		warmupIvs    = fs.Int("warmup-intervals", 0, "DES intervals an autoscale-activated node serves nothing while warming")
 		learn        = fs.Bool("learn", false, "DES: close the RL loop — every node's -policy picks its operating point each interval from measured request tails")
 		alpha        = fs.Float64("alpha", 0.6, "learning rate of the RL table update (paper: 0.6)")
@@ -308,7 +325,9 @@ func runCluster(args []string) error {
 			return fmt.Errorf("unknown -mode %q (want interval or des)", *mode)
 		}
 		if err := requireFeature(*mode == "des", "-mode=des",
-			"mitigation", "hedge-quantile", "warmup-intervals", "domains", "learn"); err != nil {
+			"mitigation", "hedge-quantile", "warmup-intervals", "domains", "learn",
+			"retries", "retry-backoff", "timeout", "breaker", "rate-limit",
+			"hedge-budget", "hedge-cancel"); err != nil {
 			return err
 		}
 		// Policies and federation run in both modes — interval always,
@@ -334,8 +353,18 @@ func runCluster(args []string) error {
 		if *dropout < 0 || *dropout >= 1 {
 			return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
 		}
-		if err := requireFeature(*mitigation == "hedged", "-mitigation hedged", "hedge-quantile"); err != nil {
+		if err := requireFeature(*mitigation == "hedged", "-mitigation hedged",
+			"hedge-quantile", "hedge-budget", "hedge-cancel"); err != nil {
 			return err
+		}
+		if err := requireFeature(*retries > 0, "-retries", "retry-backoff"); err != nil {
+			return err
+		}
+		// The engine cannot tell an explicit -hedge-quantile=0 from the
+		// unset zero value (it defaults the latter to 0.95); the CLI can,
+		// so reject out-of-range values here before they default silently.
+		if *hedgeQ <= 0 || *hedgeQ >= 1 {
+			return fmt.Errorf("-hedge-quantile %v out of (0, 1)", *hedgeQ)
 		}
 		// Federation is built once and shared by both modes: the interval
 		// cluster syncs at its monitoring boundaries, the learn-enabled
@@ -371,12 +400,18 @@ func runCluster(args []string) error {
 			params := hipster.DefaultParams()
 			params.Alpha, params.Gamma = *alpha, *gamma
 			params.BucketFrac, params.LearnSecs = *bucketFrac, *learnSecs
+			resil, err := buildResilience(*retries, *retryBackoff, *timeout,
+				*breakerThr, *rateLimit, *hedgeBudget, *hedgeCancel)
+			if err != nil {
+				return err
+			}
 			return runClusterDES(desArgs{
 				nodes: *nodes, workers: *workers,
 				workload: *workloadName, splitter: *splitterName, pattern: *patternName,
 				duration: *duration, seed: *seed, series: *series,
 				mitigation: *mitigation, hedgeQuantile: *hedgeQ, domains: *domains,
-				autoscale: *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
+				resilience: resil,
+				autoscale:  *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
 				scalePolicy: *scalePolicy, cooldown: *cooldown, warmupIntervals: *warmupIvs,
 				learn: *learn, policy: *policyName, params: params,
 				federation: fedOpts, mergeName: *mergeName,
@@ -516,6 +551,7 @@ type desArgs struct {
 	mitigation                   string
 	hedgeQuantile                float64
 	domains                      int
+	resilience                   *hipster.ResilienceOptions
 	autoscale                    bool
 	minNodes, maxNodes, cooldown int
 	scalePolicy                  string
@@ -525,6 +561,58 @@ type desArgs struct {
 	params                       hipster.Params
 	federation                   *hipster.FederationOptions
 	mergeName                    string
+}
+
+// buildResilience assembles the DES resilience options from the
+// cluster flags, or returns nil when every resilience knob is at its
+// off default (so plain runs carry no resilience layer at all).
+func buildResilience(retries int, backoff string, timeout, breakerThr, rateLimit float64,
+	hedgeBudget int, hedgeCancel bool) (*hipster.ResilienceOptions, error) {
+	r := &hipster.ResilienceOptions{
+		MaxRetries:   retries,
+		Timeout:      timeout,
+		HedgeBudget:  hedgeBudget,
+		CancelHedges: hedgeCancel,
+	}
+	if backoff != "" {
+		b, err := parseBackoff(backoff)
+		if err != nil {
+			return nil, err
+		}
+		r.Backoff = b
+	}
+	if breakerThr != 0 {
+		r.Breaker = &hipster.BreakerOptions{FailureThreshold: breakerThr}
+	}
+	if rateLimit != 0 {
+		r.RateLimit = &hipster.RateLimitOptions{RPS: rateLimit}
+	}
+	if !r.Enabled() {
+		return nil, nil
+	}
+	return r, nil
+}
+
+// parseBackoff parses -retry-backoff's base,cap,jitter form (jitter
+// optional, e.g. "0.05,1,0.1" or "0.1,2").
+func parseBackoff(s string) (hipster.RetryBackoff, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return hipster.RetryBackoff{}, fmt.Errorf("bad -retry-backoff %q: want base,cap[,jitter]", s)
+	}
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return hipster.RetryBackoff{}, fmt.Errorf("bad -retry-backoff %q: %w", s, err)
+		}
+		vals[i] = v
+	}
+	b := hipster.RetryBackoff{Base: vals[0], Cap: vals[1]}
+	if len(vals) == 3 {
+		b.Jitter = vals[2]
+	}
+	return b, nil
 }
 
 // runClusterDES runs the request-level fleet DES: requests are
@@ -565,6 +653,7 @@ func runClusterDES(a desArgs) error {
 		Workers:    a.workers,
 		Domains:    a.domains,
 		Seed:       a.seed,
+		Resilience: a.resilience,
 	}
 	if a.autoscale {
 		pol, err := hipster.AutoscalePolicyByName(a.scalePolicy)
@@ -605,7 +694,8 @@ func runClusterDES(a desArgs) error {
 		learnTag, a.nodes, a.domains, fl.Workers(), a.workload, splitter.Name(), mit.Name(), a.pattern, a.duration, a.seed)
 	fmt.Printf("  fleet capacity  : %s RPS\n", report.F0(fl.CapacityRPS()))
 	lat := res.Latency
-	fmt.Printf("  requests        : %d completed, %d dropped\n", lat.Completed, lat.Dropped)
+	fmt.Printf("  requests        : %d completed, %d dropped, %d timed out\n",
+		lat.Completed, lat.Dropped, lat.TimedOut)
 	fmt.Printf("  latency         : p50 %s ms  p90 %s ms  p95 %s ms  p99 %s ms (end to end)\n",
 		report.F2(lat.P50*1000), report.F2(lat.P90*1000), report.F2(lat.P95*1000), report.F2(lat.P99*1000))
 	fmt.Printf("  QoS attainment  : %s (%d node-intervals, %d intervals)\n",
@@ -619,6 +709,10 @@ func runClusterDES(a desArgs) error {
 	}
 	if st.Steals > 0 {
 		fmt.Printf("  work stealing   : %d requests stolen by idle nodes\n", st.Steals)
+	}
+	if a.resilience != nil {
+		fmt.Printf("  resilience      : %d retries, %d attempt timeouts, %d breaker opens, %d rate-limited, %d hedge cancels\n",
+			st.Retries, st.Timeouts, st.BreakerOpens, st.RateLimited, st.HedgeCancels)
 	}
 	if a.learn {
 		fmt.Printf("  learning        : %s policy, %d decisions, %d core migrations, %d dvfs changes, %d learning-phase intervals\n",

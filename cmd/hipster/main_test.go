@@ -40,6 +40,41 @@ func TestClusterOrphanFlags(t *testing.T) {
 			want: []string{"-hedge-quantile", "-mitigation hedged"},
 		},
 		{
+			name: "retries-without-des",
+			args: []string{"-retries", "2"},
+			want: []string{"-retries", "-mode=des"},
+		},
+		{
+			name: "timeout-without-des",
+			args: []string{"-timeout", "0.5"},
+			want: []string{"-timeout", "-mode=des"},
+		},
+		{
+			name: "breaker-without-des",
+			args: []string{"-mode", "interval", "-breaker", "0.5"},
+			want: []string{"-breaker", "-mode=des"},
+		},
+		{
+			name: "rate-limit-without-des",
+			args: []string{"-rate-limit", "100"},
+			want: []string{"-rate-limit", "-mode=des"},
+		},
+		{
+			name: "retry-backoff-without-retries",
+			args: []string{"-mode", "des", "-retry-backoff", "0.1,1"},
+			want: []string{"-retry-backoff", "-retries"},
+		},
+		{
+			name: "hedge-budget-without-hedging",
+			args: []string{"-mode", "des", "-hedge-budget", "10"},
+			want: []string{"-hedge-budget", "-mitigation hedged"},
+		},
+		{
+			name: "hedge-cancel-without-hedging",
+			args: []string{"-mode", "des", "-hedge-cancel"},
+			want: []string{"-hedge-cancel", "-mitigation hedged"},
+		},
+		{
 			name: "learn-without-des",
 			args: []string{"-learn"},
 			want: []string{"-learn", "-mode=des"},
@@ -82,6 +117,56 @@ func TestClusterOrphanFlags(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestClusterHedgeQuantileValidation pins the CLI-boundary rejection of
+// an explicit -hedge-quantile outside (0, 1): the engine cannot tell an
+// explicit zero from the unset zero value (it would silently default to
+// 0.95), so the command must refuse it before options are built.
+func TestClusterHedgeQuantileValidation(t *testing.T) {
+	for _, q := range []string{"0", "-0.5", "1", "1.5"} {
+		err := runCluster([]string{"-mode", "des", "-mitigation", "hedged",
+			"-hedge-quantile", q, "-pattern", "constant:0.5", "-duration", "2", "-series=false"})
+		if err == nil {
+			t.Fatalf("runCluster accepted -hedge-quantile=%s", q)
+		}
+		if !strings.Contains(err.Error(), "-hedge-quantile") {
+			t.Errorf("-hedge-quantile=%s error %q does not name the flag", q, err)
+		}
+	}
+}
+
+// TestClusterRetryBackoffParse pins the base,cap[,jitter] flag format.
+func TestClusterRetryBackoffParse(t *testing.T) {
+	for _, bad := range []string{"0.1", "a,b", "0.1,1,0.2,9", ""} {
+		if _, err := parseBackoff(bad); err == nil {
+			t.Errorf("parseBackoff(%q) accepted a malformed schedule", bad)
+		}
+	}
+	b, err := parseBackoff("0.1, 2, 0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base != 0.1 || b.Cap != 2 || b.Jitter != 0.25 {
+		t.Errorf("parseBackoff = %+v", b)
+	}
+	if b, err = parseBackoff("0.1,2"); err != nil || b.Jitter != 0 {
+		t.Errorf("two-field backoff = %+v, %v", b, err)
+	}
+}
+
+// TestClusterDESResilienceRun smoke-tests the full resilience surface
+// through the CLI path: retries with backoff, deadlines, breaker, rate
+// limiting, hedge budgets and cancellation, sharded.
+func TestClusterDESResilienceRun(t *testing.T) {
+	err := runCluster([]string{"-mode", "des", "-nodes", "4", "-domains", "2",
+		"-mitigation", "hedged", "-hedge-cancel", "-hedge-budget", "20",
+		"-retries", "2", "-retry-backoff", "0.05,1,0.1", "-timeout", "0.5",
+		"-breaker", "0.5", "-rate-limit", "500",
+		"-pattern", "constant:0.7", "-duration", "10", "-series=false"})
+	if err != nil {
+		t.Fatalf("resilience DES run failed: %v", err)
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 	"hipster/internal/octopusman"
 	"hipster/internal/platform"
 	"hipster/internal/policy"
+	"hipster/internal/resilience"
 	"hipster/internal/telemetry"
 	"hipster/internal/workload"
 )
@@ -289,6 +290,28 @@ type (
 	// worker count. See examples/deslearning for a DES-trained vs
 	// interval-trained comparison.
 	ClusterDESLearn = clusterdes.LearnOptions
+	// ResilienceOptions configure the DES request path's resilience
+	// layer (set on ClusterDESOptions.Resilience): bounded retries with
+	// exponential backoff, per-attempt deadlines that free server
+	// slots, per-node token-bucket admission, a per-node circuit
+	// breaker rolled at interval boundaries, losing-hedge cancellation,
+	// and per-node per-interval hedge budgets. All of it is
+	// deterministic: policy decisions happen inside the event loop or
+	// the coordinator's serial section, so runs stay a pure function of
+	// (Seed, Domains) at any worker count.
+	ResilienceOptions = resilience.Options
+	// RetryBackoff is the exponential-backoff schedule for DES retries
+	// (base doubling per attempt up to a cap, with seeded
+	// proportional jitter).
+	RetryBackoff = resilience.Backoff
+	// BreakerOptions configure the per-node circuit breaker: a
+	// windowed failure-rate threshold opens the breaker, a fixed
+	// open countdown leads to a half-open probe phase, and clean
+	// probes close it again.
+	BreakerOptions = resilience.BreakerOptions
+	// RateLimitOptions configure per-node token-bucket admission
+	// control (sustained requests/second plus a burst allowance).
+	RateLimitOptions = resilience.RateLimitOptions
 )
 
 // NewClusterDES builds a fleet discrete-event simulation from options.

@@ -51,6 +51,7 @@ import (
 	"hipster/internal/platform"
 	"hipster/internal/policy"
 	"hipster/internal/queueing"
+	"hipster/internal/resilience"
 	"hipster/internal/sim"
 	"hipster/internal/stats"
 	"hipster/internal/telemetry"
@@ -166,6 +167,18 @@ type Options struct {
 	// interval, learning from the interval's measured request tail. The
 	// run stays a pure function of (Seed, Domains) at any worker count.
 	Learn *LearnOptions
+
+	// Resilience, when non-nil with any feature enabled, adds
+	// request-path failure policies: bounded retries with seeded-jitter
+	// exponential backoff, per-attempt deadlines (a timed-out request
+	// frees its server slot and retries or counts timed out), per-node
+	// token-bucket admission limiting and circuit breakers, hedge-copy
+	// cancellation, and per-node hedge budgets. Every policy decision
+	// fires inside the event loop or the coordinator's serial section
+	// (breaker windows roll and hedge budgets reset only at interval
+	// boundaries), so resilience-enabled runs keep the pure-function-of-
+	// (Seed, Domains) contract at any worker count.
+	Resilience *resilience.Options
 }
 
 // LatencySummary is the end-to-end request-latency distribution of a
@@ -174,18 +187,22 @@ type Options struct {
 type LatencySummary struct {
 	Completed int
 	Dropped   int
-	Mean      float64
-	P50       float64
-	P90       float64
-	P95       float64
-	P99       float64
+	// TimedOut counts requests whose final attempt's deadline expired
+	// with no retry budget left (resilience timeouts only; always zero
+	// without them).
+	TimedOut int
+	Mean     float64
+	P50      float64
+	P90      float64
+	P95      float64
+	P99      float64
 }
 
 // Stats counts the DES fleet's mitigation and scaling activity.
 type Stats struct {
-	// Requests counts primary arrivals admitted to the fleet (every
-	// request is eventually completed or counted dropped — the
-	// conservation law the sharded equivalence tests assert).
+	// Requests counts primary arrivals offered to the fleet (every
+	// request is eventually completed, counted dropped, or counted
+	// timed out — the conservation law the fleettest battery asserts).
 	Requests int
 	// Hedges counts hedge copies issued; HedgeWins how many completed
 	// before the primary.
@@ -222,6 +239,15 @@ type Stats struct {
 	// nodes seeded from the fleet table, and departing nodes folding
 	// their delta in.
 	SyncRounds, WarmStarts, Flushes int
+	// Resilience activity (Options.Resilience; all zero without it).
+	// Retries counts re-issued attempts; Timeouts counts per-attempt
+	// deadline expiries (a request can time out several times before
+	// completing on a retry — requests finally lost to a deadline are
+	// Latency.TimedOut); BreakerOpens counts circuit-breaker open (and
+	// re-open) transitions; RateLimited counts token-bucket admission
+	// rejections; HedgeCancels counts losing hedge copies cancelled
+	// mid-service.
+	Retries, Timeouts, BreakerOpens, RateLimited, HedgeCancels int
 }
 
 // Result bundles a finished DES run.
@@ -239,13 +265,19 @@ func (r Result) Summarize() telemetry.FleetSummary { return r.Fleet.Summarize() 
 // ticks are not heap events — each is a single strictly increasing
 // scalar next-time, merged into the loop by comparison.
 const (
-	evCompletion = iota // node a, server b
+	evCompletion = iota // node a, server b, service sequence c
 	evHedge             // request a
+	evTimeout           // request a (per-attempt deadline expiry)
+	evRetry             // request a (backed-off re-issue due)
 )
 
 type event struct {
 	kind int8
 	a, b int32
+	// c carries an evCompletion's service sequence: cancelService bumps
+	// the slot's sequence, stranding any completion event issued for
+	// the abandoned service — the heap needs no deletions.
+	c int32
 }
 
 // hedgeVoid marks a request whose hedge race lost its meaning — a
@@ -275,6 +307,7 @@ type request struct {
 	node      int32 // primary node
 	hedgeNode int32 // node the hedge copy went to; -1 none, hedgeVoid disabled
 	refs      int8
+	attempts  int8 // retries already issued (resilience)
 	done      bool
 	deferRec  bool  // record at boundary reconciliation, not at completion
 	mirror    bool  // this entry is the hedge-copy side of a cross pair
@@ -288,11 +321,12 @@ type request struct {
 // (primary) entry of the pair regardless of which copy completed, so
 // the two domains' events for one request collide on the same key.
 type crossEvent struct {
-	dom    int32
-	id     int32
-	t      float64 // completion time
-	node   int32   // node that completed this copy
-	mirror bool    // the completing copy was the mirror (hedge) side
+	dom     int32
+	id      int32
+	t       float64 // completion (or expiry) time
+	node    int32   // node that completed this copy
+	mirror  bool    // the completing copy was the mirror (hedge) side
+	timeout bool    // deadline expiry, not a completion (origin side only)
 }
 
 // desNode is one node's simulation state.
@@ -317,6 +351,7 @@ type desNode struct {
 	bigSlots   int
 	idle       []bool
 	serving    []int32
+	svcSeq     []int32   // per-slot service sequence; bumped by cancelService
 	busy       []float64 // busy seconds attributed to this interval
 	busyUntil  []float64 // absolute end time of each server's current service
 	busyCount  int
@@ -326,6 +361,13 @@ type desNode struct {
 	maxQueue   int
 
 	pol policy.Policy // per-node operating-point policy; nil unless Options.Learn
+
+	// Resilience state (nil / zero unless Options.Resilience enables
+	// the feature). hedgeLeft is the node's remaining hedge-copy budget
+	// for the current interval, reset in the serial section.
+	breaker   *resilience.Breaker
+	bucket    *resilience.TokenBucket
+	hedgeLeft int
 
 	warmLeft int
 
@@ -384,11 +426,16 @@ type loop struct {
 	// in this domain" already means "no target anywhere".
 	deferCross bool
 
+	// resil is the fleet's resolved resilience policy; nil when the
+	// layer is off, in which case none of the new event kinds exist.
+	resil *resilience.Options
+
 	warmFactor float64
 
 	arrRNG   *rand.Rand
 	routeRNG *rand.Rand
 	svcRNG   *rand.Rand
+	retryRNG *rand.Rand // backoff jitter; its own stream so retries do not shift the others
 
 	events queueing.TimeHeap[event]
 	reqs   []request
@@ -400,13 +447,19 @@ type loop struct {
 	shares      []float64
 	shareSum    float64
 
-	// Per-interval scratch.
+	// Per-interval scratch. dropped and timedOut are cumulative over
+	// the run; the rest reset at every boundary.
 	intervalSojourns []float64
 	hedges           int
 	hedgeWins        int
 	steals           int
 	primaries        int
 	dropped          int
+	timedOut         int
+	retries          int
+	timeouts         int
+	rateLimited      int
+	hedgeCancels     int
 
 	lat latRecorder
 
@@ -449,6 +502,10 @@ type Fleet struct {
 	ctl       *autoscale.Controller
 	roster    []autoscale.NodeInfo
 	warmupIvs int
+
+	// breakerOpens counts the interval's breaker open transitions;
+	// rollResilience writes it, the boundary harvest resets it.
+	breakerOpens int
 
 	// Learning-loop state (Options.Learn).
 	learning   bool
@@ -525,18 +582,30 @@ func New(opts Options) (*Fleet, error) {
 		f.hedging = true
 		f.hedgeQ = q
 	case WorkStealing:
+		if m.MinDepth < 0 {
+			return nil, fmt.Errorf("clusterdes: negative work-stealing min depth %d", m.MinDepth)
+		}
 		f.stealing = true
 		f.minDepth = m.MinDepth
-		if f.minDepth <= 0 {
+		if f.minDepth == 0 {
 			f.minDepth = 2
 		}
 	default:
 		return nil, fmt.Errorf("clusterdes: unsupported mitigation %q", opts.Mitigation.Name())
 	}
 
+	if opts.Resilience.Enabled() {
+		r, err := resilience.Resolve(*opts.Resilience)
+		if err != nil {
+			return nil, fmt.Errorf("clusterdes: %w", err)
+		}
+		f.resil = &r
+	}
+
 	f.arrRNG = sim.SubRNG(opts.Seed, "des-arrival")
 	f.routeRNG = sim.SubRNG(opts.Seed, "des-route")
 	f.svcRNG = sim.SubRNG(opts.Seed, "des-service")
+	f.retryRNG = sim.SubRNG(opts.Seed, "des-retry")
 
 	for i, nc := range opts.Nodes {
 		n, err := newNode(i, nc, opts.MaxQueue, f)
@@ -614,6 +683,16 @@ func newNode(id int, nc NodeConfig, maxQueue int, f *Fleet) (*desNode, error) {
 	n.serving = make([]int32, len(n.servers))
 	for i := range n.serving {
 		n.serving[i] = -1
+	}
+	n.svcSeq = make([]int32, len(n.servers))
+	if r := f.resil; r != nil {
+		if r.Breaker != nil {
+			n.breaker = resilience.NewBreaker(*r.Breaker)
+		}
+		if r.RateLimit != nil {
+			n.bucket = resilience.NewTokenBucket(*r.RateLimit)
+		}
+		n.hedgeLeft = r.HedgeBudget
 	}
 	n.busy = make([]float64, len(n.servers))
 	n.busyUntil = make([]float64, len(n.servers))
@@ -737,7 +816,38 @@ func (l *loop) startService(n *desNode, s int, id int32, t float64) {
 	end := t + d
 	n.busyUntil[s] = end
 	n.busy[s] += math.Min(end, l.tickEnd) - t
-	l.events.Push(end, event{kind: evCompletion, a: int32(n.id), b: int32(s)})
+	l.events.Push(end, event{kind: evCompletion, a: int32(n.id), b: int32(s), c: n.svcSeq[s]})
+}
+
+// cancelService abandons the service in flight on server s of node n at
+// time t: the already-scheduled completion event is stranded by bumping
+// the slot's service sequence, the interval's busy charge is trimmed
+// back to the time actually served, and the freed server immediately
+// pulls its next request.
+func (l *loop) cancelService(n *desNode, s int, t float64) {
+	id := n.serving[s]
+	n.serving[s] = -1
+	n.svcSeq[s]++
+	n.busyCount--
+	if over := math.Min(n.busyUntil[s], l.tickEnd) - t; over > 0 {
+		n.busy[s] -= over
+	}
+	n.busyUntil[s] = t
+	l.release(id)
+	l.pullWork(n, s, t)
+}
+
+// cancelCopy cancels request id's in-service copy on node n, if one
+// exists; a queued copy needs no action — the entry's done flag voids
+// it lazily at popLocal. Reports whether a service was cancelled.
+func (l *loop) cancelCopy(n *desNode, id int32, t float64) bool {
+	for s, sid := range n.serving {
+		if sid == id {
+			l.cancelService(n, s, t)
+			return true
+		}
+	}
+	return false
 }
 
 // fastestIdle returns the idle enabled server with the highest rate,
@@ -828,6 +938,9 @@ func (l *loop) pullWork(n *desNode, s int, t float64) {
 		if l.stealing && n.warmLeft == 0 {
 			if id := l.steal(n); id >= 0 {
 				l.steals++
+				// The thief owns the copy now; a later deadline expiry
+				// must cancel the service where it actually runs.
+				l.reqs[id].node = int32(n.id)
 				l.startService(n, s, id, t)
 				return
 			}
@@ -853,6 +966,69 @@ func (l *loop) kickIdle(n *desNode, t float64) {
 	}
 }
 
+// routeDraw picks a node by one draw over the interval's routing
+// weights. The all-zero-weight fallback draws from the retry stream —
+// only re-issued attempts reach it; primary arrivals use their own
+// round-robin fallback so existing runs are untouched.
+func (l *loop) routeDraw() *desNode {
+	if l.shareSum > 0 {
+		u := l.routeRNG.Float64() * l.shareSum
+		acc := 0.0
+		for i := 0; i < l.active; i++ {
+			acc += l.shares[i]
+			if u < acc || i == l.active-1 {
+				return l.nodes[i]
+			}
+		}
+	}
+	return l.nodes[int(l.retryRNG.Int63n(int64(l.active)))]
+}
+
+// admit runs node n's admission policies for one attempt of request id
+// at time t; a refused attempt goes down the retry-or-drop path.
+func (l *loop) admit(n *desNode, id int32, t float64) bool {
+	if n.breaker != nil && !n.breaker.Allow() {
+		l.failAttempt(id, t)
+		return false
+	}
+	if n.bucket != nil && !n.bucket.Allow(t) {
+		l.rateLimited++
+		l.failAttempt(id, t)
+		return false
+	}
+	return true
+}
+
+// armDeadline schedules request id's per-attempt deadline.
+func (l *loop) armDeadline(id int32, t float64) {
+	if l.resil == nil || l.resil.Timeout <= 0 {
+		return
+	}
+	l.reqs[id].refs++
+	l.events.Push(t+l.resil.Timeout, event{kind: evTimeout, a: id})
+}
+
+// failAttempt resolves a failed delivery attempt (admission refusal or
+// queue-cap rejection) of request id at time t: schedule a backed-off
+// retry while the budget lasts, else the request is finally dropped.
+// The failed attempt must hold no references when called.
+func (l *loop) failAttempt(id int32, t float64) {
+	r := &l.reqs[id]
+	if l.resil != nil && int(r.attempts) < l.resil.MaxRetries {
+		d := l.resil.Backoff.Delay(int(r.attempts), l.retryRNG.Float64())
+		r.attempts++
+		r.refs++
+		l.retries++
+		l.events.Push(t+d, event{kind: evRetry, a: id})
+		return
+	}
+	r.done = true
+	l.dropped++
+	if r.refs == 0 {
+		l.free = append(l.free, id)
+	}
+}
+
 // handleArrival processes one domain-level arrival at the pending
 // arrival time and draws the next one.
 func (l *loop) handleArrival() {
@@ -861,27 +1037,30 @@ func (l *loop) handleArrival() {
 	// Route by one draw over the interval's splitter weights.
 	var n *desNode
 	if l.shareSum > 0 {
-		u := l.routeRNG.Float64() * l.shareSum
-		acc := 0.0
-		for i := 0; i < l.active; i++ {
-			acc += l.shares[i]
-			if u < acc || i == l.active-1 {
-				n = l.nodes[i]
-				break
-			}
-		}
+		n = l.routeDraw()
 	} else {
 		n = l.nodes[l.primaries%l.active]
 	}
 	l.primaries++
 	id := l.alloc(t, int32(n.id))
+	if l.resil != nil && !l.admit(n, id, t) {
+		return
+	}
 	n.arrived++
 	if !l.dispatch(n, id, t) {
+		if l.resil != nil {
+			if n.breaker != nil {
+				n.breaker.Record(false)
+			}
+			l.failAttempt(id, t)
+			return
+		}
 		l.reqs[id].done = true
 		l.free = append(l.free, id)
 		l.dropped++
 		return
 	}
+	l.armDeadline(id, t)
 	// The hedge gate is fleet-wide: with one active node in this domain
 	// but more elsewhere, the timer still arms — the coordinator can
 	// place the copy across the boundary.
@@ -900,6 +1079,9 @@ func (l *loop) handleArrival() {
 func (l *loop) handleCompletion(t float64, ev event) {
 	n := l.node(ev.a)
 	s := int(ev.b)
+	if ev.c != n.svcSeq[s] {
+		return // the service was cancelled; this completion is stranded
+	}
 	id := n.serving[s]
 	n.serving[s] = -1
 	n.busyCount--
@@ -922,9 +1104,106 @@ func (l *loop) handleCompletion(t float64, ev event) {
 		if r.hedgeNode == int32(n.id) {
 			l.hedgeWins++
 		}
+		if n.breaker != nil {
+			n.breaker.Record(true)
+		}
+		// Hedge cancellation: the race is decided, so the losing copy's
+		// server slot is reclaimed instead of running to completion.
+		// Both copies of an in-domain pair live on this loop's nodes.
+		if l.resil != nil && l.resil.CancelHedges && r.hedgeNode >= 0 {
+			loser := r.hedgeNode
+			if loser == int32(n.id) {
+				loser = r.node
+			}
+			if l.cancelCopy(l.node(loser), id, t) {
+				l.hedgeCancels++
+			}
+		}
 	}
 	l.release(id)
 	l.pullWork(n, s, t)
+}
+
+// handleTimeout fires request id's per-attempt deadline. A cross-pair
+// origin parks the expiry for the coordinator's reconciliation (the
+// mirror domain may have completed it first); otherwise the attempt is
+// abandoned here: in-service copies release their servers, queued
+// copies void lazily, and the request respawns as a retry or counts
+// timed out.
+func (l *loop) handleTimeout(t float64, ev event) {
+	id := ev.a
+	r := &l.reqs[id]
+	switch {
+	case r.done:
+	case r.deferRec:
+		l.crossDone = append(l.crossDone, crossEvent{
+			dom: int32(l.id), id: id, t: t, node: r.node, timeout: true,
+		})
+	default:
+		l.expire(id, t)
+	}
+	l.release(id)
+}
+
+// expire abandons every copy of request id at time t and either
+// respawns the request as a fresh entry carrying the original arrival
+// time and attempt count (so end-to-end latency spans all attempts) or
+// records it timed out. A fresh entry sidesteps any stale queued copy
+// of the old id: the old entry is done, so its copies void lazily.
+func (l *loop) expire(id int32, t float64) {
+	r := &l.reqs[id]
+	l.timeouts++
+	pn := l.node(r.node)
+	if pn.breaker != nil {
+		pn.breaker.Record(false)
+	}
+	l.cancelCopy(pn, id, t)
+	if hn := r.hedgeNode; hn >= 0 && hn != r.node {
+		l.cancelCopy(l.node(hn), id, t)
+	}
+	arrival, attempts := r.arrival, r.attempts
+	r.done = true
+	if int(attempts) < l.resil.MaxRetries {
+		// alloc may grow the table; r is dead past this point.
+		nid := l.alloc(arrival, -1)
+		l.reqs[nid].attempts = attempts
+		l.failAttempt(nid, t) // attempts < budget: always schedules the retry
+	} else {
+		l.timedOut++
+	}
+}
+
+// handleRetry re-issues a backed-off attempt of request id: a fresh
+// routing draw over the current weights, then admission, dispatch and
+// deadline exactly like a primary arrival (but never counted a primary,
+// and never hedged — hedging speculates on healthy requests, not ones
+// already failing). The retry timer is the entry's only reference while
+// it waits.
+func (l *loop) handleRetry(t float64, ev event) {
+	id := ev.a
+	r := &l.reqs[id]
+	l.release(id) // the timer's reference; done is false, so the entry stays
+	if l.active == 0 {
+		// The domain lost every active node while the retry waited; look
+		// again once the backoff cap has passed — the roster can regrow.
+		r.refs++
+		l.events.Push(t+l.resil.Backoff.Cap, event{kind: evRetry, a: id})
+		return
+	}
+	n := l.routeDraw()
+	r.node = int32(n.id)
+	if !l.admit(n, id, t) {
+		return
+	}
+	n.arrived++
+	if !l.dispatch(n, id, t) {
+		if n.breaker != nil {
+			n.breaker.Record(false)
+		}
+		l.failAttempt(id, t)
+		return
+	}
+	l.armDeadline(id, t)
 }
 
 // handleHedge fires a request's hedge timer: if it is still in flight,
@@ -940,7 +1219,7 @@ func (l *loop) handleHedge(t float64, ev event) {
 		var target *desNode
 		bestLoad := 0
 		for _, v := range l.nodes[:l.active] {
-			if int32(v.id) == r.node || v.warmLeft > 0 {
+			if int32(v.id) == r.node || v.warmLeft > 0 || !l.hedgeEligible(v) {
 				continue
 			}
 			load := v.queue.Len() + v.busyCount
@@ -953,6 +1232,7 @@ func (l *loop) handleHedge(t float64, ev event) {
 			if l.dispatch(target, id, t) {
 				target.arrived++
 				l.hedges++
+				l.spendHedgeBudget(target)
 			}
 		} else if l.deferCross {
 			// The timer's reference rides along into the outbox.
@@ -970,6 +1250,27 @@ func (l *loop) handleHedge(t float64, ev event) {
 		r.done = true
 		l.dropped++
 		l.free = append(l.free, id)
+	}
+}
+
+// hedgeEligible reports whether node v may receive a hedge copy under
+// the resilience policy: its per-interval hedge budget is not spent and
+// its breaker is not open. (Hedge copies skip full admission — they are
+// the mitigation's own traffic, rationed by the budget instead.)
+func (l *loop) hedgeEligible(v *desNode) bool {
+	if l.resil == nil {
+		return true
+	}
+	if l.resil.HedgeBudget > 0 && v.hedgeLeft <= 0 {
+		return false
+	}
+	return v.breaker == nil || v.breaker.State() != resilience.BreakerOpen
+}
+
+// spendHedgeBudget charges one issued hedge copy to node v's budget.
+func (l *loop) spendHedgeBudget(v *desNode) {
+	if l.resil != nil && l.resil.HedgeBudget > 0 {
+		v.hedgeLeft--
 	}
 }
 
@@ -1014,10 +1315,15 @@ func (l *loop) runInterval(tTick float64) {
 				return
 			}
 			t, ev := l.events.Pop()
-			if ev.kind == evCompletion {
+			switch ev.kind {
+			case evCompletion:
 				l.handleCompletion(t, ev)
-			} else {
+			case evHedge:
 				l.handleHedge(t, ev)
+			case evTimeout:
+				l.handleTimeout(t, ev)
+			default:
+				l.handleRetry(t, ev)
 			}
 		} else {
 			if l.nextArrival >= tTick {
@@ -1313,10 +1619,11 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) error {
 					}
 					f.stats.Migrated++
 				} else if r.refs == 0 {
-					// No other copy in service and no pending hedge
-					// timer: the request is truly lost. (With refs > 0
-					// a surviving copy — or a hedge timer that will
-					// re-issue one — still completes it.)
+					// No other copy in service and no pending timer: the
+					// request is truly lost. (With refs > 0 a surviving
+					// copy — or a hedge timer that will re-issue one, or
+					// a deadline timer that will retry it — still
+					// resolves it.)
 					r.done = true
 					f.free = append(f.free, id2)
 					f.dropped++
@@ -1343,6 +1650,44 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) error {
 	return nil
 }
 
+// rollResilience is the resilience boundary step, identical in the
+// serial and sharded coordinators: every node's circuit breaker rolls
+// its outcome window (state transitions happen only here, in the
+// serial section — which is why Allow/Record inside the event loop
+// never need to agree across domains mid-interval) and per-node hedge
+// budgets reset for the interval that begins at this boundary.
+// Inactive nodes roll too: an open breaker's countdown must keep
+// ticking while its node sits out an autoscale trough.
+func (f *Fleet) rollResilience() {
+	if f.resil == nil {
+		return
+	}
+	if f.resil.Breaker != nil {
+		for _, n := range f.nodes {
+			if n.breaker.Roll() {
+				f.breakerOpens++
+			}
+		}
+	}
+	if f.resil.HedgeBudget > 0 {
+		for _, n := range f.nodes {
+			n.hedgeLeft = f.resil.HedgeBudget
+		}
+	}
+}
+
+// harvestResilience folds one interval's resilience counters into the
+// run totals and resets the coordinator's breaker-open count (the
+// per-loop counters are the caller's to reset).
+func (f *Fleet) harvestResilience(retries, timeouts, rateLimited, hedgeCancels int) {
+	f.stats.Retries += retries
+	f.stats.Timeouts += timeouts
+	f.stats.BreakerOpens += f.breakerOpens
+	f.stats.RateLimited += rateLimited
+	f.stats.HedgeCancels += hedgeCancels
+	f.breakerOpens = 0
+}
+
 // tick closes the interval ending at the clock's next boundary:
 // summarise every active node, merge the fleet sample, re-estimate the
 // hedge delay, run the scaling decision, and set up the next interval.
@@ -1364,6 +1709,7 @@ func (f *Fleet) tick() error {
 	if err := f.learnStep(tEnd); err != nil {
 		return err
 	}
+	f.rollResilience()
 
 	fs := f.merger.MergeInterval(f.samples[:f.active], f.opts.StragglerFactor)
 	fs.T = tEnd
@@ -1376,6 +1722,11 @@ func (f *Fleet) tick() error {
 	fs.HedgeWins = f.hedgeWins
 	fs.Steals = f.steals
 	fs.Warming = warming
+	fs.Retries = f.retries
+	fs.Timeouts = f.timeouts
+	fs.BreakerOpens = f.breakerOpens
+	fs.RateLimited = f.rateLimited
+	fs.HedgeCancels = f.hedgeCancels
 	f.annotateLearn(&fs)
 	f.fleet.Add(fs)
 	f.stats.Hedges += f.hedges
@@ -1383,6 +1734,8 @@ func (f *Fleet) tick() error {
 	f.stats.Steals += f.steals
 	f.stats.WarmupIntervals += warming
 	f.stats.NodeIntervals += f.active
+	f.harvestResilience(f.retries, f.timeouts, f.rateLimited, f.hedgeCancels)
+	f.retries, f.timeouts, f.rateLimited, f.hedgeCancels = 0, 0, 0, 0
 
 	// Hedge delay for the next interval: the configured quantile of the
 	// interval that just ended (carried forward through empty intervals).
@@ -1488,6 +1841,7 @@ func (f *Fleet) result() Result {
 	}
 	res.Latency.Completed = int(f.lat.seen)
 	res.Latency.Dropped = f.dropped
+	res.Latency.TimedOut = f.timedOut
 	if len(f.lat.sample) > 0 {
 		res.Latency.Mean = f.lat.sum / float64(f.lat.seen)
 		stats.SortFloats(f.lat.sample)

@@ -2,16 +2,19 @@ package clusterdes_test
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
 	"hipster/internal/autoscale"
 	"hipster/internal/cluster"
 	"hipster/internal/clusterdes"
+	"hipster/internal/core"
 	"hipster/internal/fleettest"
 	"hipster/internal/loadgen"
 	"hipster/internal/names"
 	"hipster/internal/platform"
+	"hipster/internal/resilience"
 	"hipster/internal/workload"
 )
 
@@ -35,18 +38,64 @@ func buildDES(mit clusterdes.Mitigation, as *clusterdes.AutoscaleOptions, patter
 	}
 }
 
-// TestProperties asserts the two fleet invariants — bit-identical
-// results at any worker count, and a seed that fully determines (and
-// actually varies) the run — over every DES feature combination:
-// plain, hedged, work-stealing, and autoscaled with warm-up.
-func TestProperties(t *testing.T) {
+// stdResilience returns the full resilience surface for the property
+// matrices — retries with backoff, tight per-attempt deadlines, a
+// breaker, per-node rate limiting, hedge budgets and cancellation —
+// fresh per call so builders stay independent.
+func stdResilience() *resilience.Options {
+	return &resilience.Options{
+		MaxRetries:   2,
+		Timeout:      0.4,
+		Backoff:      resilience.Backoff{Base: 0.02, Cap: 0.2, Jitter: 0.2},
+		Breaker:      &resilience.BreakerOptions{FailureThreshold: 0.5, MinSamples: 5},
+		RateLimit:    &resilience.RateLimitOptions{RPS: 40},
+		CancelHedges: true,
+		HedgeBudget:  25,
+	}
+}
+
+// withResilience layers the standard resilience options onto a builder.
+func withResilience(build fleettest.DESBuildFunc) fleettest.DESBuildFunc {
+	return func(seed int64) (clusterdes.Options, error) {
+		opts, err := build(seed)
+		if err != nil {
+			return opts, err
+		}
+		opts.Resilience = stdResilience()
+		return opts, nil
+	}
+}
+
+// withLearn closes the RL loop on a builder with a short learning
+// phase; params are rebuilt per call so runs cannot leak table state
+// into each other.
+func withLearn(build fleettest.DESBuildFunc) fleettest.DESBuildFunc {
+	return func(seed int64) (clusterdes.Options, error) {
+		opts, err := build(seed)
+		if err != nil {
+			return opts, err
+		}
+		params := core.DefaultParams()
+		params.LearnSecs = 20
+		opts.Learn = &clusterdes.LearnOptions{Params: &params}
+		return opts, nil
+	}
+}
+
+type desVariant struct {
+	name    string
+	build   fleettest.DESBuildFunc
+	horizon float64
+}
+
+// desVariants enumerates the DES feature combinations the property
+// harness must hold over: plain, hedged, work-stealing, autoscaled with
+// warm-up, and the resilience layer composed with each mitigation, with
+// autoscaling, and with in-DES learning.
+func desVariants() []desVariant {
 	steady := loadgen.Constant{Frac: 0.6}
 	bursty := loadgen.Spike{Base: 0.2, Peak: 0.35, EverySecs: 30, SpikeSecs: 10, Horizon: 90}
-	variants := []struct {
-		name    string
-		build   fleettest.DESBuildFunc
-		horizon float64
-	}{
+	return []desVariant{
 		{"plain", buildDES(nil, nil, steady), 60},
 		{"hedged", buildDES(clusterdes.Hedged{}, nil, steady), 60},
 		{"stealing", buildDES(clusterdes.WorkStealing{}, nil, steady), 60},
@@ -66,13 +115,69 @@ func TestProperties(t *testing.T) {
 			MinNodes:        2,
 			WarmupIntervals: 3,
 		}, bursty), 90},
+		{"resilient", withResilience(buildDES(nil, nil, steady)), 60},
+		{"resilient-hedged", withResilience(buildDES(clusterdes.Hedged{}, nil, steady)), 60},
+		{"resilient-stealing", withResilience(buildDES(clusterdes.WorkStealing{}, nil, steady)), 60},
+		{"resilient-autoscaled", withResilience(buildDES(clusterdes.Hedged{}, &clusterdes.AutoscaleOptions{
+			MinNodes:        2,
+			WarmupIntervals: 2,
+		}, bursty)), 90},
+		{"resilient-learn", withLearn(withResilience(buildDES(nil, nil, steady))), 60},
 	}
-	for _, v := range variants {
+}
+
+// TestProperties asserts the two fleet invariants — bit-identical
+// results at any worker count, and a seed that fully determines (and
+// actually varies) the run — over every DES feature combination.
+func TestProperties(t *testing.T) {
+	for _, v := range desVariants() {
 		t.Run(v.name, func(t *testing.T) {
 			t.Parallel()
 			fleettest.AssertDESWorkerInvariance(t, v.build, 42, v.horizon)
 			fleettest.AssertDESSeedDeterminism(t, v.build, 42, v.horizon)
 		})
+	}
+}
+
+// TestResilienceConservation drives an overload phase through every
+// resilience composition — serial and sharded — and demands exact
+// request bookkeeping once the fleet drains: admitted == completed +
+// dropped + timed out, with the resilience machinery demonstrably
+// active (deadlines firing, retries re-issued).
+func TestResilienceConservation(t *testing.T) {
+	overload := phasePattern{frac: 1.2, until: 30, span: 60}
+	builds := []struct {
+		name  string
+		build fleettest.DESBuildFunc
+	}{
+		{"resilient", withResilience(buildDES(nil, nil, overload))},
+		{"resilient-hedged", withResilience(buildDES(clusterdes.Hedged{}, nil, overload))},
+		{"resilient-stealing", withResilience(buildDES(clusterdes.WorkStealing{}, nil, overload))},
+		{"resilient-autoscaled", withResilience(buildDES(nil, &clusterdes.AutoscaleOptions{
+			MinNodes:        2,
+			WarmupIntervals: 2,
+		}, overload))},
+		{"resilient-learn", withLearn(withResilience(buildDES(nil, nil, overload)))},
+	}
+	for _, b := range builds {
+		for _, domains := range []int{0, 2} {
+			name := fmt.Sprintf("%s/domains=%d", b.name, domains)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				opts, err := b.build(42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Domains = domains
+				res := fleettest.AssertDESConservation(t, opts, 60)
+				if res.Stats.Timeouts == 0 {
+					t.Error("overload phase fired no attempt deadlines")
+				}
+				if res.Stats.Retries == 0 {
+					t.Error("overload phase re-issued no attempts")
+				}
+			})
+		}
 	}
 }
 
@@ -275,6 +380,27 @@ func TestValidation(t *testing.T) {
 		{"negative queue bound", func(o *clusterdes.Options) { o.MaxQueue = -1 }},
 		{"negative interval", func(o *clusterdes.Options) { o.IntervalSecs = -1 }},
 		{"bad hedge quantile", func(o *clusterdes.Options) { o.Mitigation = clusterdes.Hedged{Quantile: 1.5} }},
+		{"negative steal depth", func(o *clusterdes.Options) {
+			o.Mitigation = clusterdes.WorkStealing{MinDepth: -1}
+		}},
+		{"negative retries", func(o *clusterdes.Options) {
+			o.Resilience = &resilience.Options{MaxRetries: -1}
+		}},
+		{"retries beyond budget", func(o *clusterdes.Options) {
+			o.Resilience = &resilience.Options{MaxRetries: resilience.MaxRetryBudget + 1}
+		}},
+		{"negative timeout", func(o *clusterdes.Options) {
+			o.Resilience = &resilience.Options{Timeout: -1}
+		}},
+		{"bad backoff", func(o *clusterdes.Options) {
+			o.Resilience = &resilience.Options{MaxRetries: 1, Backoff: resilience.Backoff{Base: 2, Cap: 1}}
+		}},
+		{"bad breaker threshold", func(o *clusterdes.Options) {
+			o.Resilience = &resilience.Options{Breaker: &resilience.BreakerOptions{FailureThreshold: 2}}
+		}},
+		{"rate limit without rate", func(o *clusterdes.Options) {
+			o.Resilience = &resilience.Options{RateLimit: &resilience.RateLimitOptions{}}
+		}},
 		{"nil node spec", func(o *clusterdes.Options) { o.Nodes[0].Spec = nil }},
 		{"nil node workload", func(o *clusterdes.Options) { o.Nodes[0].Workload = nil }},
 		{"autoscale beyond roster", func(o *clusterdes.Options) {

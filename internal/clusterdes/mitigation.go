@@ -59,8 +59,10 @@ func MitigationNames() []string {
 	return []string{"none", "hedged", "work-stealing"}
 }
 
-// MitigationByName returns a built-in mitigation with its defaults, or
-// an error (wrapping names.ErrUnknown) listing the valid names.
+// MitigationByName returns a built-in mitigation as its zero value, or
+// an error (wrapping names.ErrUnknown) listing the valid names. Zero
+// fields (Hedged.Quantile, WorkStealing.MinDepth) are resolved to
+// their documented defaults when the fleet is built, not here.
 func MitigationByName(name string) (Mitigation, error) {
 	switch name {
 	case "none":

@@ -78,10 +78,12 @@ func newSharded(f *Fleet, dcount int) *sharded {
 			minDepth:   f.minDepth,
 			hedgeWait:  math.Inf(1),
 			deferCross: len(starts) > 2,
+			resil:      f.resil,
 			warmFactor: f.warmFactor,
 			arrRNG:     sim.SubRNG(f.opts.Seed+int64(k), "des-arrival"),
 			routeRNG:   sim.SubRNG(f.opts.Seed+int64(k), "des-route"),
 			svcRNG:     sim.SubRNG(f.opts.Seed+int64(k), "des-service"),
+			retryRNG:   sim.SubRNG(f.opts.Seed+int64(k), "des-retry"),
 			lat:        latRecorder{stride: 1},
 			shares:     make([]float64, hi-lo),
 		}
@@ -143,7 +145,7 @@ func (s *sharded) run(horizon float64) error {
 // the only points they can happen deterministically.
 func (s *sharded) tick(tEnd float64) error {
 	f := s.f
-	winsNow := s.reconcile()
+	winsNow := s.reconcile(tEnd)
 	warming := 0
 	for _, n := range f.nodes[:f.active] {
 		if n.warmLeft > 0 {
@@ -159,6 +161,7 @@ func (s *sharded) tick(tEnd float64) error {
 	if err := f.learnStep(tEnd); err != nil {
 		return err
 	}
+	f.rollResilience()
 
 	fs := f.merger.MergeInterval(f.samples[:f.active], f.opts.StragglerFactor)
 	fs.T = tEnd
@@ -168,16 +171,26 @@ func (s *sharded) tick(tEnd float64) error {
 	}
 	fs.EnergyJ = energy
 	hedges, wins, steals, prim := 0, winsNow, 0, 0
+	retries, timeouts, rateLim, hCancels := 0, 0, 0, 0
 	for _, l := range s.domains {
 		hedges += l.hedges
 		wins += l.hedgeWins
 		steals += l.steals
 		prim += l.primaries
+		retries += l.retries
+		timeouts += l.timeouts
+		rateLim += l.rateLimited
+		hCancels += l.hedgeCancels
 	}
 	fs.Hedges = hedges
 	fs.HedgeWins = wins
 	fs.Steals = steals
 	fs.Warming = warming
+	fs.Retries = retries
+	fs.Timeouts = timeouts
+	fs.BreakerOpens = f.breakerOpens
+	fs.RateLimited = rateLim
+	fs.HedgeCancels = hCancels
 	f.annotateLearn(&fs)
 	f.fleet.Add(fs)
 	f.stats.Hedges += hedges
@@ -185,6 +198,7 @@ func (s *sharded) tick(tEnd float64) error {
 	f.stats.Steals += steals
 	f.stats.WarmupIntervals += warming
 	f.stats.NodeIntervals += f.active
+	f.harvestResilience(retries, timeouts, rateLim, hCancels)
 
 	// Hedge delay for the next interval: the configured quantile over
 	// the whole fleet's sojourns — every domain hedges off the same
@@ -209,6 +223,7 @@ func (s *sharded) tick(tEnd float64) error {
 	for _, l := range s.domains {
 		l.intervalSojourns = l.intervalSojourns[:0]
 		l.hedges, l.hedgeWins, l.steals, l.primaries = 0, 0, 0, 0
+		l.retries, l.timeouts, l.rateLimited, l.hedgeCancels = 0, 0, 0, 0
 	}
 	s.coordSojourns = s.coordSojourns[:0]
 
@@ -241,15 +256,19 @@ func (s *sharded) tick(tEnd float64) error {
 	return s.refreshInterval(t)
 }
 
-// reconcile decides every cross-domain completion race of the interval
-// that just ended. Events are keyed by the pair's origin entry and
-// ordered deterministically (completion time, primary before mirror on
-// a tie); the first event of a still-open pair wins and is recorded —
-// on the completing node, into the interval just closed — and both
-// entries retire their pair links. Later events of the same pair are
-// the losing copy. It returns the number of races won by the mirror
-// (hedge) copy.
-func (s *sharded) reconcile() int {
+// reconcile decides every cross-domain race of the interval that just
+// ended. Events are keyed by the pair's origin entry and ordered
+// deterministically (event time; on a tie completions beat timeouts and
+// the primary beats the mirror); the first event of a still-open pair
+// decides it and both entries retire their pair links. A completion is
+// recorded on the completing node, into the interval just closed; a
+// deadline expiry abandons both copies — services still running are
+// cancelled at the boundary tEnd, the only moment a cross-domain slot
+// can be reclaimed — and the request retries in its origin domain or
+// counts timed out there. With hedge cancellation on, a decided
+// completion also reclaims the losing copy's server at tEnd. It
+// returns the number of races won by the mirror (hedge) copy.
+func (s *sharded) reconcile(tEnd float64) int {
 	s.crossScratch = s.crossScratch[:0]
 	for _, l := range s.domains {
 		s.crossScratch = append(s.crossScratch, l.crossDone...)
@@ -258,6 +277,7 @@ func (s *sharded) reconcile() int {
 	if len(s.crossScratch) == 0 {
 		return 0
 	}
+	f := s.f
 	evs := s.crossScratch
 	sort.Slice(evs, func(i, j int) bool {
 		a, b := evs[i], evs[j]
@@ -270,6 +290,9 @@ func (s *sharded) reconcile() int {
 		if a.t != b.t {
 			return a.t < b.t
 		}
+		if a.timeout != b.timeout {
+			return !a.timeout // a completion at the deadline still counts
+		}
 		return !a.mirror && b.mirror
 	})
 	wins := 0
@@ -281,16 +304,56 @@ func (s *sharded) reconcile() int {
 		}
 		partner := s.domains[r.crossDom]
 		pref := r.crossRef
+		pr := &partner.reqs[pref]
+		arrival, attempts, pnode, mnode := r.arrival, r.attempts, r.node, pr.node
 		r.done = true
-		partner.reqs[pref].done = true
-		soj := ev.t - r.arrival
-		n := s.f.nodes[ev.node]
-		n.completed++
-		n.sojourns = append(n.sojourns, soj)
-		s.coordSojourns = append(s.coordSojourns, soj)
-		s.lat.record(soj)
-		if ev.mirror {
-			wins++
+		pr.done = true
+		if ev.timeout {
+			origin.timeouts++
+			if pn := origin.node(pnode); pn.breaker != nil {
+				pn.breaker.Record(false)
+			}
+			origin.cancelCopy(origin.node(pnode), ev.id, tEnd)
+			partner.cancelCopy(partner.node(mnode), pref, tEnd)
+			if int(attempts) < f.resil.MaxRetries {
+				// Respawn in the origin domain; the backoff runs from the
+				// expiry but the retry cannot fire before the boundary
+				// that made the expiry visible.
+				nid := origin.alloc(arrival, -1)
+				nr := &origin.reqs[nid]
+				nr.attempts = attempts + 1
+				nr.refs++
+				origin.retries++
+				rt := ev.t + f.resil.Backoff.Delay(int(attempts), origin.retryRNG.Float64())
+				if rt < tEnd {
+					rt = tEnd
+				}
+				origin.events.Push(rt, event{kind: evRetry, a: nid})
+			} else {
+				origin.timedOut++
+			}
+		} else {
+			soj := ev.t - arrival
+			n := f.nodes[ev.node]
+			n.completed++
+			n.sojourns = append(n.sojourns, soj)
+			s.coordSojourns = append(s.coordSojourns, soj)
+			s.lat.record(soj)
+			if n.breaker != nil {
+				n.breaker.Record(true)
+			}
+			if ev.mirror {
+				wins++
+			}
+			if f.resil != nil && f.resil.CancelHedges {
+				if ev.mirror {
+					if origin.cancelCopy(origin.node(pnode), ev.id, tEnd) {
+						origin.hedgeCancels++
+					}
+				} else if partner.cancelCopy(partner.node(mnode), pref, tEnd) {
+					partner.hedgeCancels++
+				}
+			}
 		}
 		origin.release(ev.id)
 		partner.release(pref)
@@ -317,7 +380,7 @@ func (s *sharded) placeHedges(t float64) {
 			var target *desNode
 			bestLoad := 0
 			for _, v := range f.nodes[:f.active] {
-				if int32(v.id) == r.node || v.warmLeft > 0 {
+				if int32(v.id) == r.node || v.warmLeft > 0 || !l.hedgeEligible(v) {
 					continue
 				}
 				load := v.queue.Len() + v.busyCount
@@ -335,6 +398,7 @@ func (s *sharded) placeHedges(t float64) {
 				if l.dispatch(target, id, t) {
 					target.arrived++
 					l.hedges++
+					l.spendHedgeBudget(target)
 				}
 				l.finishHedgeRef(id)
 				continue
@@ -359,6 +423,7 @@ func (s *sharded) placeHedges(t float64) {
 			r.refs++ // pair link, replacing the timer ref released below
 			target.arrived++
 			l.hedges++
+			l.spendHedgeBudget(target)
 			f.stats.CrossDomainHedges++
 			l.release(id)
 		}
@@ -528,13 +593,15 @@ func (s *sharded) pullWorkFleet(l *loop, n *desNode, sv int, t float64) {
 				if id := vl.popLocal(f.nodes[best]); id >= 0 {
 					if vl == l {
 						l.steals++
+						// Track the copy to the thief (see pullWork).
+						vl.reqs[id].node = int32(n.id)
 						s.stealRefreshTop()
 						l.startService(n, sv, id, t)
 						return
 					}
 					r := &vl.reqs[id]
 					if r.refs == 0 && !r.deferRec {
-						nid := l.alloc(r.arrival, r.node)
+						nid := l.alloc(r.arrival, int32(n.id))
 						l.reqs[nid].hedgeNode = r.hedgeNode
 						r.done = true
 						vl.free = append(vl.free, id)
@@ -544,10 +611,11 @@ func (s *sharded) pullWorkFleet(l *loop, n *desNode, sv int, t float64) {
 						l.startService(n, sv, nid, t)
 						return
 					}
-					// Unreachable under the current mitigations (extra
-					// references come only from hedging, which excludes
-					// stealing): a referenced id cannot move tables, so
-					// put the entry back rather than lose it.
+					// A referenced id cannot move tables (the victim
+					// domain's pending deadline timer would dangle), so
+					// put the entry back rather than lose it. Without
+					// resilience this is unreachable — extra references
+					// come only from hedging, which excludes stealing.
 					f.nodes[best].queue.Push(id)
 					r.refs++
 				}
@@ -851,6 +919,7 @@ func (s *sharded) result() Result {
 	var seen int64
 	var sum float64
 	dropped := s.coordDropped
+	timedOut := 0
 	total := len(s.lat.sample)
 	for _, l := range s.domains {
 		total += len(l.lat.sample)
@@ -860,6 +929,7 @@ func (s *sharded) result() Result {
 		seen += l.lat.seen
 		sum += l.lat.sum
 		dropped += l.dropped
+		timedOut += l.timedOut
 		sample = append(sample, l.lat.sample...)
 	}
 	seen += s.lat.seen
@@ -867,6 +937,7 @@ func (s *sharded) result() Result {
 	sample = append(sample, s.lat.sample...)
 	res.Latency.Completed = int(seen)
 	res.Latency.Dropped = dropped
+	res.Latency.TimedOut = timedOut
 	if len(sample) > 0 {
 		res.Latency.Mean = sum / float64(seen)
 		stats.SortFloats(sample)

@@ -13,38 +13,12 @@ import (
 )
 
 // TestShardedEquivalence pins the sharded engine to the serial loop
-// over every DES feature combination: a one-domain sharded run must be
-// bit-identical to the serial loop, and multi-domain runs must be
-// worker-invariant and seed-determined.
+// over every DES feature combination (including every resilience
+// composition): a one-domain sharded run must be bit-identical to the
+// serial loop, and multi-domain runs must be worker-invariant and
+// seed-determined.
 func TestShardedEquivalence(t *testing.T) {
-	steady := loadgen.Constant{Frac: 0.6}
-	bursty := loadgen.Spike{Base: 0.2, Peak: 0.35, EverySecs: 30, SpikeSecs: 10, Horizon: 90}
-	variants := []struct {
-		name    string
-		build   fleettest.DESBuildFunc
-		horizon float64
-	}{
-		{"plain", buildDES(nil, nil, steady), 60},
-		{"hedged", buildDES(clusterdes.Hedged{}, nil, steady), 60},
-		{"stealing", buildDES(clusterdes.WorkStealing{}, nil, steady), 60},
-		{"autoscaled-warmup", buildDES(nil, &clusterdes.AutoscaleOptions{
-			MinNodes:        2,
-			WarmupIntervals: 3,
-		}, bursty), 90},
-		{"autoscaled-warmup-hedged", buildDES(clusterdes.Hedged{}, &clusterdes.AutoscaleOptions{
-			MinNodes:           2,
-			WarmupIntervals:    2,
-			WarmupFactor:       0.25,
-			Policy:             autoscale.QueueDepth{},
-			CooldownIntervals:  3,
-			DownAfterIntervals: 2,
-		}, bursty), 90},
-		{"autoscaled-warmup-stealing", buildDES(clusterdes.WorkStealing{}, &clusterdes.AutoscaleOptions{
-			MinNodes:        2,
-			WarmupIntervals: 3,
-		}, bursty), 90},
-	}
-	for _, v := range variants {
+	for _, v := range desVariants() {
 		t.Run(v.name, func(t *testing.T) {
 			t.Parallel()
 			fleettest.AssertShardedEquivalence(t, v.build, 42, v.horizon)
@@ -112,16 +86,17 @@ func (p schedulePolicy) Desired(ctx autoscale.Context) int {
 
 // assertConserved checks the request conservation law on a fully
 // drained run: every primary arrival the fleet admitted is accounted
-// for exactly once, as a completion or a drop — none lost, none
-// double-counted.
+// for exactly once — as a completion, a drop, or a terminal timeout —
+// none lost, none double-counted.
 func assertConserved(t *testing.T, res clusterdes.Result) {
 	t.Helper()
 	if res.Stats.Requests == 0 {
 		t.Fatal("run admitted no requests")
 	}
-	if got := res.Latency.Completed + res.Latency.Dropped; got != res.Stats.Requests {
-		t.Errorf("conservation violated: %d completed + %d dropped != %d requests",
-			res.Latency.Completed, res.Latency.Dropped, res.Stats.Requests)
+	lat := res.Latency
+	if got := lat.Completed + lat.Dropped + lat.TimedOut; got != res.Stats.Requests {
+		t.Errorf("conservation violated: %d completed + %d dropped + %d timed out != %d requests",
+			lat.Completed, lat.Dropped, lat.TimedOut, res.Stats.Requests)
 	}
 }
 

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"hipster/internal/clusterdes"
+	"hipster/internal/platform"
+	"hipster/internal/resilience"
+	"hipster/internal/workload"
+)
+
+// RetryStormOpts parameterise the retry-storm comparison. The zero
+// value selects the defaults below: a fleet at comfortable base load
+// hit by one overload spike long enough to drive every in-flight
+// request past its deadline.
+type RetryStormOpts struct {
+	// Nodes is the roster size (default 8).
+	Nodes int
+	// Seed drives every variant identically (default DefaultSeed).
+	Seed int64
+	// Horizon is the simulated duration in seconds (default 300); the
+	// long post-spike stretch is what separates a fleet that recovers
+	// from one stuck in the metastable state.
+	Horizon float64
+	// BaseFrac is the steady offered load (default 0.5 of capacity);
+	// SpikeFrac is the overload level (default 1.6), held from
+	// SpikeStart for SpikeSecs (defaults 60 and 30).
+	BaseFrac, SpikeFrac   float64
+	SpikeStart, SpikeSecs float64
+	// Timeout is the per-attempt deadline (default 0.3 s, comfortably
+	// above the healthy tail and far below spike queueing delays);
+	// MaxRetries is the retry budget of the retrying variants
+	// (default 20).
+	Timeout    float64
+	MaxRetries int
+}
+
+func (o RetryStormOpts) withDefaults() RetryStormOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 300
+	}
+	if o.BaseFrac == 0 {
+		o.BaseFrac = 0.5
+	}
+	if o.SpikeFrac == 0 {
+		o.SpikeFrac = 1.6
+	}
+	if o.SpikeStart == 0 {
+		o.SpikeStart = 60
+	}
+	if o.SpikeSecs == 0 {
+		o.SpikeSecs = 30
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 0.3
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 20
+	}
+	return o
+}
+
+// stormPattern offers base load with one overload spike.
+type stormPattern struct {
+	base, peak  float64
+	start, secs float64
+	span        float64
+}
+
+func (p stormPattern) LoadAt(t float64) float64 {
+	if t >= p.start && t < p.start+p.secs {
+		return p.peak
+	}
+	return p.base
+}
+
+func (p stormPattern) Duration() float64 { return p.span }
+
+// RetryStormRow is one variant of the retry-storm comparison.
+type RetryStormRow struct {
+	Variant string
+	// End-to-end latency of completed requests (seconds), spanning
+	// every attempt of a retried request.
+	P50, P99 float64
+	// Request dispositions.
+	Completed, Dropped, TimedOut int
+	// Resilience activity.
+	Retries, Timeouts, BreakerOpens int
+	// RecoveredInterval is the first monitoring interval at or after
+	// the spike's end whose fleet-wide backlog is below two queued
+	// requests per node, and from which the backlog never crosses that
+	// line again (-1 = still saturated at the horizon). It is the
+	// difference between a congestion collapse that drains and the
+	// metastable state: the overload is long gone, yet retry traffic
+	// alone keeps the queues full.
+	RecoveredInterval int
+}
+
+// RetryStorm reproduces the classic metastable failure mode of naive
+// retries (cf. the retry-storm analyses in arXiv:2111.10241's lineage)
+// and the circuit-breaker escape from it, on one seed and one request
+// stream. Three variants of the same fleet and spike:
+//
+//   - no-retry: per-attempt deadlines only. The spike saturates the
+//     fleet, timed-out requests are simply dropped, and the backlog
+//     drains shortly after the spike ends.
+//   - naive-retry: every timeout re-issues the request (large budget,
+//     near-zero backoff, no breaker). During the spike each arrival
+//     multiplies into many attempts; after the spike the retry traffic
+//     alone exceeds capacity, so the fleet stays saturated — the
+//     metastable state. Its completed-request P99 is strictly worse
+//     than the no-retry baseline's.
+//   - breaker: the same naive retries behind a per-node circuit
+//     breaker. The windowed failure rate trips the breakers open,
+//     admission rejections exhaust retry budgets in fast-fail loops
+//     instead of queue time, the storm starves, and the fleet drains
+//     back to the healthy state the baseline reaches.
+func RetryStorm(o RetryStormOpts) ([]RetryStormRow, error) {
+	o = o.withDefaults()
+	naive := func() *resilience.Options {
+		return &resilience.Options{
+			Timeout:    o.Timeout,
+			MaxRetries: o.MaxRetries,
+			Backoff:    resilience.Backoff{Base: 0.01, Cap: 0.02, Jitter: 0.1},
+		}
+	}
+	broken := naive()
+	broken.Breaker = &resilience.BreakerOptions{
+		FailureThreshold: 0.5,
+		MinSamples:       20,
+	}
+	variants := []struct {
+		name  string
+		resil *resilience.Options
+	}{
+		{"no-retry", &resilience.Options{Timeout: o.Timeout}},
+		{"naive-retry", naive()},
+		{"breaker", broken},
+	}
+	var rows []RetryStormRow
+	for _, v := range variants {
+		nodes, err := clusterdes.Uniform(o.Nodes, platform.JunoR1(), workload.WebSearch())
+		if err != nil {
+			return nil, err
+		}
+		fl, err := clusterdes.New(clusterdes.Options{
+			Nodes: nodes,
+			Pattern: stormPattern{
+				base: o.BaseFrac, peak: o.SpikeFrac,
+				start: o.SpikeStart, secs: o.SpikeSecs,
+				span: o.Horizon,
+			},
+			Seed:       o.Seed,
+			Resilience: v.resil,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := fl.Run(o.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RetryStormRow{
+			Variant:           v.name,
+			P50:               res.Latency.P50,
+			P99:               res.Latency.P99,
+			Completed:         res.Latency.Completed,
+			Dropped:           res.Latency.Dropped,
+			TimedOut:          res.Latency.TimedOut,
+			Retries:           res.Stats.Retries,
+			Timeouts:          res.Stats.Timeouts,
+			BreakerOpens:      res.Stats.BreakerOpens,
+			RecoveredInterval: recoveredAt(res, o),
+		})
+	}
+	return rows, nil
+}
+
+// recoveredAt scans the fleet trace from the spike's end for the first
+// interval whose backlog stays below two queued requests per node for
+// the rest of the run (base-load noise stays well under that line; a
+// retry storm holds the backlog orders of magnitude above it).
+func recoveredAt(res clusterdes.Result, o RetryStormOpts) int {
+	samples := res.Fleet.Samples
+	spikeEnd := o.SpikeStart + o.SpikeSecs
+	recovered := -1
+	for i, s := range samples {
+		if s.T < spikeEnd {
+			continue
+		}
+		if s.Backlog < 2*float64(o.Nodes) {
+			if recovered < 0 {
+				recovered = i
+			}
+		} else {
+			recovered = -1
+		}
+	}
+	return recovered
+}

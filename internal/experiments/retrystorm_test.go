@@ -1,0 +1,80 @@
+package experiments
+
+import "testing"
+
+// shortStorm shrinks the post-spike stretch so the test stays fast
+// while still leaving the metastable state time to prove it persists.
+func shortStorm() RetryStormOpts {
+	return RetryStormOpts{Horizon: 200}
+}
+
+// TestRetryStorm pins the experiment's reason to exist: naive retries
+// turn one overload spike into a persistent (metastable) congestion
+// with a strictly worse completed-request P99 than not retrying at
+// all, and the same retries behind a circuit breaker drain back to a
+// healthy fleet on the same seed.
+func TestRetryStorm(t *testing.T) {
+	rows, err := RetryStorm(shortStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want one per variant", len(rows))
+	}
+	byName := map[string]RetryStormRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+	}
+	base, naive, breaker := byName["no-retry"], byName["naive-retry"], byName["breaker"]
+	if base.Completed == 0 || base.Timeouts == 0 {
+		t.Fatalf("baseline did not exercise deadlines: %+v", base)
+	}
+	if base.Retries != 0 || base.BreakerOpens != 0 {
+		t.Fatalf("baseline recorded retry/breaker activity: %+v", base)
+	}
+	if base.RecoveredInterval < 0 {
+		t.Error("no-retry baseline never drained after the spike")
+	}
+	// The storm: naive retries are strictly worse than no retries and
+	// hold the fleet saturated to the horizon.
+	if naive.Retries == 0 {
+		t.Fatal("naive variant issued no retries")
+	}
+	if naive.P99 <= base.P99 {
+		t.Errorf("naive-retry P99 %.4fs not strictly worse than no-retry %.4fs",
+			naive.P99, base.P99)
+	}
+	if naive.RecoveredInterval != -1 {
+		t.Errorf("naive-retry drained at interval %d; the storm should be metastable",
+			naive.RecoveredInterval)
+	}
+	// The escape: the same retries behind a breaker recover.
+	if breaker.BreakerOpens == 0 {
+		t.Fatal("breaker variant never opened a breaker")
+	}
+	if breaker.RecoveredInterval < 0 {
+		t.Error("breaker variant never drained after the spike")
+	}
+	if breaker.P99 >= naive.P99 {
+		t.Errorf("breaker P99 %.4fs did not improve on the storm's %.4fs",
+			breaker.P99, naive.P99)
+	}
+}
+
+// TestRetryStormDeterministic replays the experiment: same options,
+// same rows, field for field.
+func TestRetryStormDeterministic(t *testing.T) {
+	a, err := RetryStorm(shortStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RetryStorm(shortStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs across replays:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

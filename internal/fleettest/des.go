@@ -49,6 +49,35 @@ func FingerprintDES(tb testing.TB, opts clusterdes.Options, horizon float64) []b
 	return buf.Bytes()
 }
 
+// AssertDESConservation runs the fleet DES to the horizon and checks
+// the request conservation law: every primary request the fleet
+// admitted is accounted for exactly once — as a completion, a drop, or
+// a terminal timeout (retry budget exhausted). The caller's pattern
+// must stop offering load early enough before the horizon for the run
+// to drain (queues empty, retries resolved); on a drained run the law
+// is exact, so any leak or double count fails. Returns the result for
+// further assertions.
+func AssertDESConservation(tb testing.TB, opts clusterdes.Options, horizon float64) clusterdes.Result {
+	tb.Helper()
+	fl, err := clusterdes.New(opts)
+	if err != nil {
+		tb.Fatalf("fleettest: build DES fleet: %v", err)
+	}
+	res, err := fl.Run(horizon)
+	if err != nil {
+		tb.Fatalf("fleettest: run DES fleet: %v", err)
+	}
+	if res.Stats.Requests == 0 {
+		tb.Fatal("fleettest: run admitted no requests")
+	}
+	lat := res.Latency
+	if got := lat.Completed + lat.Dropped + lat.TimedOut; got != res.Stats.Requests {
+		tb.Fatalf("fleettest: conservation violated: %d completed + %d dropped + %d timed out != %d requests",
+			lat.Completed, lat.Dropped, lat.TimedOut, res.Stats.Requests)
+	}
+	return res
+}
+
 func fingerprintDESAt(tb testing.TB, build DESBuildFunc, seed int64, workers int, horizon float64) []byte {
 	tb.Helper()
 	opts, err := build(seed)

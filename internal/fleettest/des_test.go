@@ -9,6 +9,7 @@ import (
 	"hipster/internal/fleettest"
 	"hipster/internal/loadgen"
 	"hipster/internal/platform"
+	"hipster/internal/resilience"
 	"hipster/internal/workload"
 )
 
@@ -35,6 +36,46 @@ func tinyDESFleet(seed int64) (clusterdes.Options, error) {
 func TestDESHarnessProperties(t *testing.T) {
 	fleettest.AssertDESWorkerInvariance(t, tinyDESFleet, 11, 30)
 	fleettest.AssertDESSeedDeterminism(t, tinyDESFleet, 11, 30)
+}
+
+// stopAt offers a constant load fraction until Until, then nothing —
+// the drained tail AssertDESConservation needs for the law to be
+// exact.
+type stopAt struct {
+	frac  float64
+	until float64
+}
+
+func (p stopAt) LoadAt(t float64) float64 {
+	if t < p.until {
+		return p.frac
+	}
+	return 0
+}
+
+func (p stopAt) Duration() float64 { return 0 }
+
+// TestDESConservation exercises the conservation assertion on a
+// drained overloaded run with the full resilience layer on, so all
+// three dispositions (completed, dropped, timed out) are populated.
+func TestDESConservation(t *testing.T) {
+	nodes, err := clusterdes.Uniform(3, platform.JunoR1(), workload.WebSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fleettest.AssertDESConservation(t, clusterdes.Options{
+		Nodes:   nodes,
+		Pattern: stopAt{frac: 1.3, until: 20},
+		Seed:    11,
+		Resilience: &resilience.Options{
+			MaxRetries: 2,
+			Timeout:    0.3,
+			Backoff:    resilience.Backoff{Base: 0.02, Cap: 0.2, Jitter: 0.2},
+		},
+	}, 40)
+	if res.Stats.Timeouts == 0 || res.Stats.Retries == 0 {
+		t.Fatalf("overloaded run exercised no deadlines/retries: %+v", res.Stats)
+	}
 }
 
 // TestDESFingerprintCoversRouting guards the DES harness itself: the

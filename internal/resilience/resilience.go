@@ -1,0 +1,390 @@
+// Package resilience holds the request-path failure policies the
+// cluster DES composes per request: bounded retries under an
+// exponential-backoff schedule with seeded jitter, per-attempt
+// deadlines, per-node token-bucket admission limiting, and a per-node
+// circuit breaker driven by an interval-windowed failure rate. The
+// package is pure policy — small deterministic state machines with no
+// clock, no RNG and no goroutines of their own. The DES event loop
+// feeds them event times and jitter draws from its own seeded streams,
+// which is what keeps resilience-enabled runs a pure function of
+// (seed, domain count) at any worker count.
+//
+// The design follows the speculative-execution budgeting argument of
+// START (arXiv:2111.10241) — re-issued work must be rationed, not
+// unbounded — and the deadline-aware retry/replication scheduling of
+// the temporal-failure bag-of-tasks literature (arXiv:1810.10279):
+// a retry is only worth issuing when a deadline bounds how long the
+// abandoned attempt can keep hurting.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options compose the per-request resilience policies of a cluster DES
+// run. The zero value of every field means "feature off" (or, where a
+// field only tunes an enabled feature, "use the documented default");
+// a nil *Options on the DES disables the whole layer.
+type Options struct {
+	// MaxRetries bounds how many times a failed attempt (deadline
+	// expiry, queue-cap drop, admission rejection) is re-issued.
+	// 0 disables retries: the first failure is final.
+	MaxRetries int
+
+	// Backoff is the retry delay schedule (zero value: 50 ms base
+	// doubling to a 1 s cap with 10% jitter).
+	Backoff Backoff
+
+	// Timeout is the per-attempt deadline in seconds: an attempt
+	// outstanding longer is abandoned — its server slot is freed, its
+	// queued copies are voided — and the request retries or, with no
+	// retry budget left, counts timed out. 0 disables deadlines.
+	Timeout float64
+
+	// Breaker, when non-nil, gives every node a circuit breaker:
+	// admission is refused while the node's windowed failure rate holds
+	// it open.
+	Breaker *BreakerOptions
+
+	// RateLimit, when non-nil, gives every node a token-bucket
+	// admission limiter; arrivals beyond the sustained rate (plus
+	// burst) are rejected and counted.
+	RateLimit *RateLimitOptions
+
+	// CancelHedges cancels the losing copy of a decided hedge race: a
+	// queued copy is voided, an in-service copy releases its server
+	// slot immediately instead of running to completion.
+	CancelHedges bool
+
+	// HedgeBudget caps the hedge copies any single node accepts per
+	// monitoring interval (budgets reset in the coordinator's serial
+	// section). 0 leaves hedging unbudgeted.
+	HedgeBudget int
+}
+
+// Enabled reports whether any resilience field is set — a fully zero
+// Options is equivalent to a nil one. Negative (invalid) values count
+// as set, so Resolve rejects them instead of a consumer silently
+// running without the layer.
+func (o *Options) Enabled() bool {
+	if o == nil {
+		return false
+	}
+	return o.MaxRetries != 0 || o.Timeout != 0 || o.Breaker != nil ||
+		o.RateLimit != nil || o.CancelHedges || o.HedgeBudget != 0 ||
+		o.Backoff != (Backoff{})
+}
+
+// Resolve validates o and returns a copy with every defaulted field
+// filled in, so the simulator reads final values only.
+func Resolve(o Options) (Options, error) {
+	if o.MaxRetries < 0 || o.MaxRetries > MaxRetryBudget {
+		return Options{}, fmt.Errorf("resilience: retry budget %d out of [0, %d]", o.MaxRetries, MaxRetryBudget)
+	}
+	if o.Timeout < 0 {
+		return Options{}, fmt.Errorf("resilience: negative timeout %v", o.Timeout)
+	}
+	if o.HedgeBudget < 0 {
+		return Options{}, fmt.Errorf("resilience: negative hedge budget %d", o.HedgeBudget)
+	}
+	var err error
+	if o.Backoff, err = o.Backoff.resolve(); err != nil {
+		return Options{}, err
+	}
+	if o.Breaker != nil {
+		b, err := o.Breaker.resolve()
+		if err != nil {
+			return Options{}, err
+		}
+		o.Breaker = &b
+	}
+	if o.RateLimit != nil {
+		r, err := o.RateLimit.resolve()
+		if err != nil {
+			return Options{}, err
+		}
+		o.RateLimit = &r
+	}
+	return o, nil
+}
+
+// MaxRetryBudget bounds Options.MaxRetries: the DES stores per-request
+// attempt counts in a byte, and no sane policy retries more often.
+const MaxRetryBudget = 100
+
+// Backoff is an exponential retry-delay schedule with multiplicative
+// jitter: attempt k (0-based) waits Raw(k) = min(Base·2^k, Cap)
+// seconds, scaled by a jitter factor in [1-Jitter, 1+Jitter]. The zero
+// value resolves to the full default schedule (50 ms base, 1 s cap,
+// 10% jitter); once any field is set, a zero Jitter is literal — an
+// exact schedule.
+type Backoff struct {
+	// Base is the first retry's delay in seconds (default 0.05).
+	Base float64
+	// Cap bounds the exponential growth in seconds (default 1).
+	Cap float64
+	// Jitter is the relative jitter half-width in [0, 1). 0 keeps the
+	// schedule exact (but see the zero-value rule above).
+	Jitter float64
+}
+
+func (b Backoff) resolve() (Backoff, error) {
+	if b == (Backoff{}) {
+		return Backoff{Base: 0.05, Cap: 1, Jitter: 0.1}, nil
+	}
+	if b.Base < 0 || b.Cap < 0 {
+		return Backoff{}, fmt.Errorf("resilience: negative backoff (base %v, cap %v)", b.Base, b.Cap)
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		return Backoff{}, fmt.Errorf("resilience: backoff jitter %v out of [0, 1)", b.Jitter)
+	}
+	if b.Base == 0 {
+		b.Base = 0.05
+	}
+	if b.Cap == 0 {
+		b.Cap = 1
+	}
+	if b.Cap < b.Base {
+		return Backoff{}, fmt.Errorf("resilience: backoff cap %v below base %v", b.Cap, b.Base)
+	}
+	return b, nil
+}
+
+// Raw returns attempt k's delay before jitter: min(Base·2^k, Cap).
+// It is nondecreasing in k and never exceeds Cap — the two properties
+// FuzzBackoffSchedule pins.
+func (b Backoff) Raw(attempt int) float64 {
+	if attempt < 0 {
+		attempt = 0
+	}
+	// 2^k overflows fast; past the cap the exact power is irrelevant.
+	if attempt > 62 {
+		return b.Cap
+	}
+	d := b.Base * float64(int64(1)<<attempt)
+	if d > b.Cap || math.IsInf(d, 1) {
+		return b.Cap
+	}
+	return d
+}
+
+// Delay returns attempt k's jittered delay for a uniform draw
+// u in [0, 1): Raw(k) scaled into [1-Jitter, 1+Jitter]. The caller
+// supplies u from its own seeded stream, keeping the schedule
+// deterministic.
+func (b Backoff) Delay(attempt int, u float64) float64 {
+	return b.Raw(attempt) * (1 - b.Jitter + 2*b.Jitter*u)
+}
+
+// RateLimitOptions configure the per-node token-bucket admission
+// limiter.
+type RateLimitOptions struct {
+	// RPS is the sustained admission rate in requests per second.
+	RPS float64
+	// Burst is the bucket depth in requests (default: one second of
+	// RPS), the short-term excess admitted above the sustained rate.
+	Burst float64
+}
+
+func (o RateLimitOptions) resolve() (RateLimitOptions, error) {
+	if o.RPS <= 0 {
+		return RateLimitOptions{}, fmt.Errorf("resilience: non-positive rate limit %v", o.RPS)
+	}
+	if o.Burst < 0 {
+		return RateLimitOptions{}, fmt.Errorf("resilience: negative rate-limit burst %v", o.Burst)
+	}
+	if o.Burst == 0 {
+		o.Burst = o.RPS
+	}
+	return o, nil
+}
+
+// TokenBucket is the classic continuous-refill token bucket: Allow
+// spends one token when available. Refill is computed lazily from the
+// event time the caller passes in, so the bucket needs no clock of its
+// own. Not safe for concurrent use; in the DES every bucket is owned
+// by exactly one routing domain.
+type TokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   float64
+}
+
+// NewTokenBucket builds a full bucket from resolved options.
+func NewTokenBucket(o RateLimitOptions) *TokenBucket {
+	return &TokenBucket{rate: o.RPS, burst: o.Burst, tokens: o.Burst}
+}
+
+// Allow refills the bucket up to event time t and reports whether a
+// token was available (and spends it). Calls must use nondecreasing t,
+// which the event loop's time order guarantees.
+func (tb *TokenBucket) Allow(t float64) bool {
+	if t > tb.last {
+		tb.tokens = math.Min(tb.burst, tb.tokens+(t-tb.last)*tb.rate)
+		tb.last = t
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true
+	}
+	return false
+}
+
+// BreakerOptions configure the per-node circuit breaker.
+type BreakerOptions struct {
+	// FailureThreshold opens the breaker when the interval window's
+	// failure fraction reaches it, in (0, 1] (default 0.5).
+	FailureThreshold float64
+	// MinSamples is the minimum outcomes a window needs before the
+	// threshold is consulted (default 10) — a single failed request in
+	// an otherwise idle interval should not open a breaker.
+	MinSamples int
+	// OpenIntervals is how many monitoring intervals an opened breaker
+	// refuses admission before probing half-open (default 3).
+	OpenIntervals int
+	// HalfOpenProbes is how many requests a half-open breaker admits
+	// per interval while deciding whether to close (default 5).
+	HalfOpenProbes int
+}
+
+func (o BreakerOptions) resolve() (BreakerOptions, error) {
+	if o.FailureThreshold < 0 || o.FailureThreshold > 1 {
+		return BreakerOptions{}, fmt.Errorf("resilience: breaker threshold %v out of (0, 1]", o.FailureThreshold)
+	}
+	if o.MinSamples < 0 || o.OpenIntervals < 0 || o.HalfOpenProbes < 0 {
+		return BreakerOptions{}, errors.New("resilience: negative breaker parameter")
+	}
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = 0.5
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 10
+	}
+	if o.OpenIntervals == 0 {
+		o.OpenIntervals = 3
+	}
+	if o.HalfOpenProbes == 0 {
+		o.HalfOpenProbes = 5
+	}
+	return o, nil
+}
+
+// BreakerState enumerates the circuit-breaker states.
+type BreakerState int8
+
+// The three classic breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the lower-case state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is one node's closed/open/half-open circuit breaker. Outcome
+// recording and admission checks run inside the owning domain's event
+// loop; state transitions happen only in Roll, which the coordinator
+// calls for every node in its serial section at each interval boundary
+// — so breaker behaviour is deterministic and identical between the
+// serial and sharded DES. Not safe for concurrent use.
+type Breaker struct {
+	opts BreakerOptions
+
+	state    BreakerState
+	openLeft int // intervals left before a half-open probe phase
+
+	// Interval window, reset at every Roll.
+	samples  int
+	failures int
+
+	probesLeft  int // half-open admissions remaining this interval
+	probeFailed bool
+}
+
+// NewBreaker builds a closed breaker from resolved options.
+func NewBreaker(o BreakerOptions) *Breaker { return &Breaker{opts: o, probesLeft: o.HalfOpenProbes} }
+
+// State returns the current breaker state without side effects.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether the breaker admits one more request now. An
+// open breaker refuses everything; a half-open one spends one of the
+// interval's probe slots.
+func (b *Breaker) Allow() bool {
+	switch b.state {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		if b.probesLeft <= 0 {
+			return false
+		}
+		b.probesLeft--
+		return true
+	}
+	return true
+}
+
+// Record folds one request outcome on this node into the current
+// interval window. Failures observed half-open (a probe timing out,
+// or a straggling pre-open request finally failing) send the breaker
+// back to open at the next Roll.
+func (b *Breaker) Record(success bool) {
+	b.samples++
+	if !success {
+		b.failures++
+		if b.state == BreakerHalfOpen {
+			b.probeFailed = true
+		}
+	}
+}
+
+// Roll closes the monitoring interval: evaluate the window, run the
+// state machine, and reset the window. It returns true when this roll
+// opened (or re-opened) the breaker — the BreakerOpens telemetry
+// counter. Roll must only be called from the coordinator's serial
+// section.
+func (b *Breaker) Roll() (opened bool) {
+	switch b.state {
+	case BreakerClosed:
+		if b.samples >= b.opts.MinSamples &&
+			float64(b.failures) >= b.opts.FailureThreshold*float64(b.samples) {
+			b.state = BreakerOpen
+			b.openLeft = b.opts.OpenIntervals
+			opened = true
+		}
+	case BreakerOpen:
+		b.openLeft--
+		if b.openLeft <= 0 {
+			b.state = BreakerHalfOpen
+			b.probeFailed = false
+		}
+	case BreakerHalfOpen:
+		switch {
+		case b.probeFailed:
+			b.state = BreakerOpen
+			b.openLeft = b.opts.OpenIntervals
+			opened = true
+		case b.probesLeft < b.opts.HalfOpenProbes:
+			// At least one probe went through and none failed: the
+			// node is serving again.
+			b.state = BreakerClosed
+		}
+		// No probe was admitted (no traffic): stay half-open.
+	}
+	b.samples, b.failures = 0, 0
+	b.probesLeft = b.opts.HalfOpenProbes
+	b.probeFailed = false
+	return opened
+}

@@ -1,0 +1,262 @@
+package resilience
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	o, err := Resolve(Options{MaxRetries: 3, Timeout: 0.5,
+		Breaker: &BreakerOptions{}, RateLimit: &RateLimitOptions{RPS: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Backoff.Base != 0.05 || o.Backoff.Cap != 1 || o.Backoff.Jitter != 0.1 {
+		t.Errorf("backoff defaults = %+v", o.Backoff)
+	}
+	if b := o.Breaker; b.FailureThreshold != 0.5 || b.MinSamples != 10 ||
+		b.OpenIntervals != 3 || b.HalfOpenProbes != 5 {
+		t.Errorf("breaker defaults = %+v", o.Breaker)
+	}
+	if o.RateLimit.Burst != 100 {
+		t.Errorf("rate-limit burst default = %v, want RPS", o.RateLimit.Burst)
+	}
+}
+
+func TestResolveRejects(t *testing.T) {
+	cases := []Options{
+		{MaxRetries: -1},
+		{MaxRetries: 101},
+		{Timeout: -1},
+		{HedgeBudget: -2},
+		{Backoff: Backoff{Base: -1}},
+		{Backoff: Backoff{Jitter: 1}},
+		{Backoff: Backoff{Base: 2, Cap: 1}},
+		{Breaker: &BreakerOptions{FailureThreshold: 1.5}},
+		{Breaker: &BreakerOptions{MinSamples: -1}},
+		{RateLimit: &RateLimitOptions{}},
+		{RateLimit: &RateLimitOptions{RPS: 10, Burst: -1}},
+	}
+	for _, c := range cases {
+		if _, err := Resolve(c); err == nil {
+			t.Errorf("Resolve(%+v) accepted invalid options", c)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilOpts *Options
+	if nilOpts.Enabled() {
+		t.Error("nil Options reports enabled")
+	}
+	if (&Options{}).Enabled() {
+		t.Error("zero Options reports enabled")
+	}
+	for _, o := range []Options{
+		{MaxRetries: 1}, {Timeout: 1}, {Breaker: &BreakerOptions{}},
+		{RateLimit: &RateLimitOptions{RPS: 1}}, {CancelHedges: true}, {HedgeBudget: 1},
+		// Invalid values count as set, so Resolve can reject them
+		// instead of consumers silently running without the layer.
+		{MaxRetries: -1}, {Timeout: -1}, {HedgeBudget: -1}, {Backoff: Backoff{Base: -1}},
+	} {
+		if !o.Enabled() {
+			t.Errorf("Options %+v reports disabled", o)
+		}
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b, err := Backoff{Base: 0.1, Cap: 1, Jitter: 0}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.4, 0.8, 1, 1}
+	for k, w := range want {
+		if g := b.Raw(k); math.Abs(g-w) > 1e-12 {
+			t.Errorf("Raw(%d) = %v, want %v", k, g, w)
+		}
+	}
+	if g := b.Raw(-3); g != b.Raw(0) {
+		t.Errorf("Raw(-3) = %v, want Raw(0)", g)
+	}
+	if g := b.Raw(200); g != 1 {
+		t.Errorf("Raw(200) = %v, want cap", g)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 0.05, Cap: 2, Jitter: 0.25}
+	for k := 0; k < 8; k++ {
+		raw := b.Raw(k)
+		for _, u := range []float64{0, 0.25, 0.5, 0.999999} {
+			d := b.Delay(k, u)
+			if d < raw*(1-b.Jitter)-1e-12 || d > raw*(1+b.Jitter)+1e-12 {
+				t.Errorf("Delay(%d, %v) = %v outside [%v, %v]",
+					k, u, d, raw*(1-b.Jitter), raw*(1+b.Jitter))
+			}
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	tb := NewTokenBucket(RateLimitOptions{RPS: 10, Burst: 2})
+	if !tb.Allow(0) || !tb.Allow(0) {
+		t.Fatal("burst of 2 refused at t=0")
+	}
+	if tb.Allow(0) {
+		t.Fatal("third request at t=0 admitted past the burst")
+	}
+	// 0.1 s refills exactly one token at 10 RPS.
+	if !tb.Allow(0.1) {
+		t.Fatal("refilled token refused")
+	}
+	if tb.Allow(0.1) {
+		t.Fatal("admitted beyond the refill")
+	}
+	// A long gap refills only up to the burst.
+	if !tb.Allow(100) || !tb.Allow(100) {
+		t.Fatal("burst refused after idle gap")
+	}
+	if tb.Allow(100) {
+		t.Fatal("idle gap refilled past the burst")
+	}
+}
+
+// breaker builds a resolved breaker for the state-machine tests:
+// threshold 0.5 over >= 4 samples, 2 open intervals, 1 probe.
+func breaker(t *testing.T) *Breaker {
+	t.Helper()
+	o, err := BreakerOptions{FailureThreshold: 0.5, MinSamples: 4,
+		OpenIntervals: 2, HalfOpenProbes: 1}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBreaker(o)
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := breaker(t)
+	// Below MinSamples: three failures do not open.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.Roll() || b.State() != BreakerClosed {
+		t.Fatalf("opened below MinSamples (state %v)", b.State())
+	}
+	// At the threshold: 2 failures in 4 samples opens.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(true)
+	if !b.Roll() || b.State() != BreakerOpen {
+		t.Fatalf("did not open at threshold (state %v)", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	// Two open intervals, then half-open with one probe.
+	if b.Roll() || b.State() != BreakerOpen {
+		t.Fatalf("open countdown ended early (state %v)", b.State())
+	}
+	if b.Roll() || b.State() != BreakerHalfOpen {
+		t.Fatalf("did not go half-open (state %v)", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused its probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted past its probe budget")
+	}
+	// The probe succeeded: next roll closes.
+	b.Record(true)
+	if b.Roll() || b.State() != BreakerClosed {
+		t.Fatalf("did not close after successful probe (state %v)", b.State())
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := breaker(t)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	b.Roll() // open
+	b.Roll()
+	b.Roll() // half-open
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false)
+	if !b.Roll() || b.State() != BreakerOpen {
+		t.Fatalf("failed probe did not reopen (state %v)", b.State())
+	}
+}
+
+func TestBreakerIdleHalfOpenHolds(t *testing.T) {
+	b := breaker(t)
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	b.Roll()
+	b.Roll()
+	b.Roll() // half-open
+	// No traffic at all: stays half-open rather than guessing.
+	if b.Roll() || b.State() != BreakerHalfOpen {
+		t.Fatalf("idle half-open breaker moved to %v", b.State())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("State %d = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+// FuzzBackoffSchedule pins the three schedule properties every retry
+// loop in the DES relies on: delays are monotone nondecreasing in the
+// attempt number, never exceed the cap (after jitter inflation), and
+// jittered delays stay inside the [raw·(1-J), raw·(1+J)] band.
+func FuzzBackoffSchedule(f *testing.F) {
+	f.Add(0.05, 1.0, 0.1, 0.5, 5)
+	f.Add(0.001, 10.0, 0.0, 0.0, 40)
+	f.Add(2.0, 2.0, 0.9, 0.999, 0)
+	f.Add(1e-9, 1e9, 0.5, 0.25, 80)
+	f.Fuzz(func(t *testing.T, base, cap, jitter, u float64, attempts int) {
+		b, err := Backoff{Base: base, Cap: cap, Jitter: jitter}.resolve()
+		if err != nil {
+			t.Skip()
+		}
+		if u < 0 || u >= 1 || math.IsNaN(u) {
+			t.Skip()
+		}
+		if attempts < 0 {
+			attempts = -attempts
+		}
+		attempts %= 128
+		prev := 0.0
+		for k := 0; k <= attempts; k++ {
+			raw := b.Raw(k)
+			if raw < prev {
+				t.Fatalf("Raw(%d) = %v below Raw(%d) = %v", k, raw, k-1, prev)
+			}
+			if raw > b.Cap {
+				t.Fatalf("Raw(%d) = %v above cap %v", k, raw, b.Cap)
+			}
+			d := b.Delay(k, u)
+			lo, hi := raw*(1-b.Jitter), raw*(1+b.Jitter)
+			if d < lo-1e-9*raw || d > hi+1e-9*raw {
+				t.Fatalf("Delay(%d, %v) = %v outside [%v, %v]", k, u, d, lo, hi)
+			}
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("Delay(%d, %v) = %v", k, u, d)
+			}
+			prev = raw
+		}
+	})
+}

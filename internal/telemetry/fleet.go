@@ -45,6 +45,17 @@ type FleetSample struct {
 	Steals    int `json:"steals,omitempty"`
 	Warming   int `json:"warming,omitempty"`
 
+	// Request-path resilience activity (cluster DES mode with the
+	// resilience layer enabled; zero otherwise): re-issued attempts,
+	// per-attempt deadline expiries, circuit-breaker open transitions,
+	// token-bucket admission rejections, and losing hedge copies
+	// cancelled mid-service.
+	Retries      int `json:"retries,omitempty"`
+	Timeouts     int `json:"timeouts,omitempty"`
+	BreakerOpens int `json:"breaker_opens,omitempty"`
+	RateLimited  int `json:"rate_limited,omitempty"`
+	HedgeCancels int `json:"hedge_cancels,omitempty"`
+
 	// In-DES learning activity (cluster DES mode with the RL loop
 	// enabled; zero otherwise): nodes whose policy reported the
 	// learning phase this interval, and the fleet-mean RL reward of the
@@ -220,6 +231,55 @@ func (ft *FleetTrace) TotalSteals() int {
 	return n
 }
 
+// TotalRetries sums the re-issued request attempts over the run
+// (cluster DES mode with the resilience layer enabled; zero otherwise).
+func (ft *FleetTrace) TotalRetries() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Retries
+	}
+	return n
+}
+
+// TotalTimeouts sums the per-attempt deadline expiries over the run.
+func (ft *FleetTrace) TotalTimeouts() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Timeouts
+	}
+	return n
+}
+
+// TotalBreakerOpens sums the circuit-breaker closed-to-open (and
+// half-open-to-open) transitions over the run.
+func (ft *FleetTrace) TotalBreakerOpens() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.BreakerOpens
+	}
+	return n
+}
+
+// TotalRateLimited sums the token-bucket admission rejections over the
+// run.
+func (ft *FleetTrace) TotalRateLimited() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.RateLimited
+	}
+	return n
+}
+
+// TotalHedgeCancels sums the losing hedge copies cancelled mid-service
+// after their sibling won the race.
+func (ft *FleetTrace) TotalHedgeCancels() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.HedgeCancels
+	}
+	return n
+}
+
 // WarmupIntervals sums the node-intervals spent warming up after an
 // activation — capacity that was powered and billed but degraded.
 func (ft *FleetTrace) WarmupIntervals() int {
@@ -270,6 +330,9 @@ type FleetSummary struct {
 	MeanAchievedRPS float64
 	// Mitigation and warm-up totals (cluster DES mode; zero otherwise).
 	Hedges, HedgeWins, Steals, WarmupIntervals int
+	// Request-path resilience totals (cluster DES mode with the
+	// resilience layer enabled; zero otherwise).
+	Retries, Timeouts, BreakerOpens, RateLimited, HedgeCancels int
 	// LearningIntervals is the node-intervals spent in the learning
 	// phase (cluster DES mode with learning enabled; zero otherwise).
 	LearningIntervals int
@@ -290,6 +353,11 @@ func (ft *FleetTrace) Summarize() FleetSummary {
 	}
 	sum.LearningIntervals = ft.LearningIntervals()
 	sum.Hedges, sum.HedgeWins = ft.TotalHedges()
+	sum.Retries = ft.TotalRetries()
+	sum.Timeouts = ft.TotalTimeouts()
+	sum.BreakerOpens = ft.TotalBreakerOpens()
+	sum.RateLimited = ft.TotalRateLimited()
+	sum.HedgeCancels = ft.TotalHedgeCancels()
 	if len(ft.Samples) > 0 {
 		var off, ach float64
 		for _, s := range ft.Samples {
