@@ -495,6 +495,49 @@ func BenchmarkClusterDESResilience16Nodes(b *testing.B) {
 	b.ReportMetric(p99*1000, "p99-ms")
 }
 
+// BenchmarkClusterDESFaults16Nodes runs the request-level cluster DES
+// with fault injection and the predictive mitigation armed: a 16-node
+// Web-Search fleet at 60% load for 120 simulated seconds with every
+// fault class firing — crashes, slow nodes, partitions, spot
+// revocations — and the per-node drain-estimate detector scanning the
+// fleet each boundary. Against BenchmarkClusterDES16Nodes it prices
+// the fault machinery itself: the schedule replay and queue teardown
+// in the serial section, partition gating on every hedge/steal probe,
+// and the detector's EWMA sweep. Gated in CI (ns/op and the allocation
+// budget vs ci/bench_baseline.json).
+func BenchmarkClusterDESFaults16Nodes(b *testing.B) {
+	spec := platform.JunoR1()
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		nodes, err := hipster.UniformClusterDESNodes(16, spec, hipster.WebSearch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fl, err := hipster.NewClusterDES(hipster.ClusterDESOptions{
+			Nodes:      nodes,
+			Pattern:    hipster.ConstantLoad{Frac: 0.6},
+			Mitigation: hipster.NewPredictiveMitigation(0),
+			Workers:    runtime.GOMAXPROCS(0),
+			Seed:       42,
+			Faults: &hipster.FaultOptions{
+				CrashRate:     0.02,
+				SlowRate:      0.02,
+				PartitionRate: 0.01,
+				SpotFraction:  0.25,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fl.Run(120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p99 = res.Latency.P99
+	}
+	b.ReportMetric(p99*1000, "p99-ms")
+}
+
 // BenchmarkClusterDESLearn16Nodes runs the learn-enabled request-level
 // cluster DES: a 16-node Web-Search fleet at 60% load for 120 simulated
 // seconds with every node's HipsterIn manager deciding its operating

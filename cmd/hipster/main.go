@@ -54,6 +54,18 @@
 //	hipster cluster -mode des -nodes 8 -retries 3 -retry-backoff 0.05,1,0.1 -rate-limit 400
 //	hipster cluster -mode des -nodes 8 -mitigation hedged -hedge-cancel -hedge-budget 50
 //
+// With -faults the DES injects a fault schedule drawn deterministically
+// from the seed — node crashes that destroy queued work, slow nodes,
+// network partitions, and spot revocations with a drain-notice window —
+// so resilience comparisons replay the exact same disasters.
+// -mitigation predictive layers a slow-node detector on top of hedging
+// that flags degraded nodes from their backlog drain estimate before
+// the reactive tail signal can observe a slow completion:
+//
+//	hipster cluster -mode des -nodes 16 -faults -crash-rate 0.02 -partition 0.01
+//	hipster cluster -mode des -nodes 16 -faults -spot-fraction 0.25 -spot-notice 2
+//	hipster cluster -mode des -nodes 8 -faults -slow-factor 0.3 -mitigation predictive
+//
 // With -learn the DES closes Hipster's RL loop on measured request
 // tails: every node's -policy picks its operating point each interval
 // boundary, rewarded by the latencies of the requests it actually
@@ -268,7 +280,7 @@ func runCluster(args []string) error {
 		duration     = fs.Float64("duration", 1440, "simulated seconds")
 		seed         = fs.Int64("seed", 42, "fleet seed (node i uses seed+i)")
 		series       = fs.Bool("series", true, "print sparkline time series")
-		mitigation   = fs.String("mitigation", "none", "DES straggler mitigation: none|hedged|work-stealing")
+		mitigation   = fs.String("mitigation", "none", "DES straggler mitigation: none|hedged|work-stealing|predictive")
 		domains      = fs.Int("domains", 0, "DES routing domains stepped in parallel (0 = serial event loop)")
 		hedgeQ       = fs.Float64("hedge-quantile", 0.95, "DES hedge delay as a quantile of last interval's latencies, in (0, 1)")
 		retries      = fs.Int("retries", 0, "DES resilience: re-issue a failed attempt up to this many times per request")
@@ -294,6 +306,12 @@ func runCluster(args []string) error {
 		maxNodes     = fs.Int("max-nodes", 0, "autoscale upper bound on active nodes (0 = the full fleet)")
 		scalePolicy  = fs.String("scale-policy", "target-utilization", "autoscale policy: target-utilization|qos-headroom|queue-depth")
 		cooldown     = fs.Int("cooldown", 0, "autoscale intervals between a scale event and the next scale-down (0 = default 5)")
+		faultsOn     = fs.Bool("faults", false, "DES: inject a seeded fault schedule — crashes, slow nodes (2% onset rate), partitions, spot revocation")
+		crashRate    = fs.Float64("crash-rate", 0.02, "fault schedule: per-node per-interval crash probability in [0, 1]")
+		slowFactor   = fs.Float64("slow-factor", 0.5, "fault schedule: service-rate multiplier a degraded node drops to, in (0, 1]")
+		partition    = fs.Float64("partition", 0.01, "fault schedule: per-interval network-partition probability in [0, 1]")
+		spotFraction = fs.Float64("spot-fraction", 0, "fault schedule: fraction of the fleet that is revocable spot capacity, in [0, 1]")
+		spotNotice   = fs.Int("spot-notice", 2, "fault schedule: intervals of drain notice before a spot revocation (>= 1)")
 	)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -327,7 +345,12 @@ func runCluster(args []string) error {
 		if err := requireFeature(*mode == "des", "-mode=des",
 			"mitigation", "hedge-quantile", "warmup-intervals", "domains", "learn",
 			"retries", "retry-backoff", "timeout", "breaker", "rate-limit",
-			"hedge-budget", "hedge-cancel"); err != nil {
+			"hedge-budget", "hedge-cancel", "faults", "crash-rate", "slow-factor",
+			"partition", "spot-fraction", "spot-notice"); err != nil {
+			return err
+		}
+		if err := requireFeature(*faultsOn, "-faults",
+			"crash-rate", "slow-factor", "partition", "spot-fraction", "spot-notice"); err != nil {
 			return err
 		}
 		// Policies and federation run in both modes — interval always,
@@ -353,7 +376,10 @@ func runCluster(args []string) error {
 		if *dropout < 0 || *dropout >= 1 {
 			return fmt.Errorf("-sync-dropout %v out of [0, 1)", *dropout)
 		}
-		if err := requireFeature(*mitigation == "hedged", "-mitigation hedged",
+		// The predictive mitigation hedges too (it layers a detector on
+		// top of Hedged), so the hedge knobs apply to both.
+		hedging := *mitigation == "hedged" || *mitigation == "predictive"
+		if err := requireFeature(hedging, "-mitigation hedged or predictive",
 			"hedge-quantile", "hedge-budget", "hedge-cancel"); err != nil {
 			return err
 		}
@@ -365,6 +391,30 @@ func runCluster(args []string) error {
 		// so reject out-of-range values here before they default silently.
 		if *hedgeQ <= 0 || *hedgeQ >= 1 {
 			return fmt.Errorf("-hedge-quantile %v out of (0, 1)", *hedgeQ)
+		}
+		// Same boundary discipline for the fault knobs: the engine
+		// defaults an unset SlowFactor (0.5) and SpotNotice (2) from
+		// their zero values, so an explicit zero would silently turn into
+		// the default instead of "no degradation"/"no notice".
+		if *faultsOn {
+			for _, r := range []struct {
+				name string
+				v    float64
+			}{
+				{"-crash-rate", *crashRate},
+				{"-partition", *partition},
+				{"-spot-fraction", *spotFraction},
+			} {
+				if r.v < 0 || r.v > 1 {
+					return fmt.Errorf("%s %v out of [0, 1]", r.name, r.v)
+				}
+			}
+			if *slowFactor <= 0 || *slowFactor > 1 {
+				return fmt.Errorf("-slow-factor %v out of (0, 1]", *slowFactor)
+			}
+			if *spotNotice < 1 {
+				return fmt.Errorf("-spot-notice %d must be at least 1 interval", *spotNotice)
+			}
 		}
 		// Federation is built once and shared by both modes: the interval
 		// cluster syncs at its monitoring boundaries, the learn-enabled
@@ -405,13 +455,26 @@ func runCluster(args []string) error {
 			if err != nil {
 				return err
 			}
+			var faultOpts *hipster.FaultOptions
+			if *faultsOn {
+				faultOpts = &hipster.FaultOptions{
+					CrashRate: *crashRate,
+					// The onset rate of slow-node episodes is fixed at the
+					// crash default; -slow-factor tunes how deep they cut.
+					SlowRate:      0.02,
+					SlowFactor:    *slowFactor,
+					PartitionRate: *partition,
+					SpotFraction:  *spotFraction,
+					SpotNotice:    *spotNotice,
+				}
+			}
 			return runClusterDES(desArgs{
 				nodes: *nodes, workers: *workers,
 				workload: *workloadName, splitter: *splitterName, pattern: *patternName,
 				duration: *duration, seed: *seed, series: *series,
 				mitigation: *mitigation, hedgeQuantile: *hedgeQ, domains: *domains,
-				resilience: resil,
-				autoscale:  *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
+				resilience: resil, faults: faultOpts,
+				autoscale: *autoScale, minNodes: *minNodes, maxNodes: *maxNodes,
 				scalePolicy: *scalePolicy, cooldown: *cooldown, warmupIntervals: *warmupIvs,
 				learn: *learn, policy: *policyName, params: params,
 				federation: fedOpts, mergeName: *mergeName,
@@ -552,6 +615,7 @@ type desArgs struct {
 	hedgeQuantile                float64
 	domains                      int
 	resilience                   *hipster.ResilienceOptions
+	faults                       *hipster.FaultOptions
 	autoscale                    bool
 	minNodes, maxNodes, cooldown int
 	scalePolicy                  string
@@ -641,6 +705,9 @@ func runClusterDES(a desArgs) error {
 	if a.mitigation == "hedged" {
 		mit = hipster.NewHedgedMitigation(a.hedgeQuantile)
 	}
+	if a.mitigation == "predictive" {
+		mit = hipster.NewPredictiveMitigation(a.hedgeQuantile)
+	}
 	defs, err := hipster.UniformClusterDESNodes(a.nodes, spec, wl)
 	if err != nil {
 		return err
@@ -654,6 +721,7 @@ func runClusterDES(a desArgs) error {
 		Domains:    a.domains,
 		Seed:       a.seed,
 		Resilience: a.resilience,
+		Faults:     a.faults,
 	}
 	if a.autoscale {
 		pol, err := hipster.AutoscalePolicyByName(a.scalePolicy)
@@ -713,6 +781,20 @@ func runClusterDES(a desArgs) error {
 	if a.resilience != nil {
 		fmt.Printf("  resilience      : %d retries, %d attempt timeouts, %d breaker opens, %d rate-limited, %d hedge cancels\n",
 			st.Retries, st.Timeouts, st.BreakerOpens, st.RateLimited, st.HedgeCancels)
+	}
+	if a.faults != nil {
+		fmt.Printf("  faults          : %d crashes, %d slow-node episodes, %d partitions, %d spot revocations\n",
+			st.Crashes, st.SlowOnsets, st.Partitions, st.Revocations)
+		fmt.Printf("  fault impact    : %d requests lost with crashed state, %d queued requests migrated off draining nodes\n",
+			lat.Lost, st.Migrated)
+	}
+	if a.mitigation == "predictive" {
+		first := "never"
+		if st.FirstPredictInterval >= 0 {
+			first = fmt.Sprintf("at interval %d", st.FirstPredictInterval)
+		}
+		fmt.Printf("  predictive      : %d suspect flags, %d queue migrations, first flag %s\n",
+			st.PredFlags, st.PredMigrations, first)
 	}
 	if a.learn {
 		fmt.Printf("  learning        : %s policy, %d decisions, %d core migrations, %d dvfs changes, %d learning-phase intervals\n",

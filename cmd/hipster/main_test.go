@@ -104,6 +104,41 @@ func TestClusterOrphanFlags(t *testing.T) {
 			args: []string{"-mode", "des", "-learn", "-batch", "calculix"},
 			want: []string{"-batch", "-mode=interval"},
 		},
+		{
+			name: "faults-without-des",
+			args: []string{"-faults"},
+			want: []string{"-faults", "-mode=des"},
+		},
+		{
+			name: "faults-under-interval-mode",
+			args: []string{"-mode", "interval", "-faults"},
+			want: []string{"-faults", "-mode=des"},
+		},
+		{
+			name: "crash-rate-without-faults",
+			args: []string{"-mode", "des", "-crash-rate", "0.1"},
+			want: []string{"-crash-rate", "-faults"},
+		},
+		{
+			name: "slow-factor-without-faults",
+			args: []string{"-mode", "des", "-slow-factor", "0.3"},
+			want: []string{"-slow-factor", "-faults"},
+		},
+		{
+			name: "partition-without-faults",
+			args: []string{"-mode", "des", "-partition", "0.05"},
+			want: []string{"-partition", "-faults"},
+		},
+		{
+			name: "spot-flags-without-faults",
+			args: []string{"-mode", "des", "-spot-fraction", "0.25", "-spot-notice", "3"},
+			want: []string{"-spot-fraction", "-spot-notice", "-faults"},
+		},
+		{
+			name: "hedge-quantile-under-work-stealing",
+			args: []string{"-mode", "des", "-mitigation", "work-stealing", "-hedge-quantile", "0.9"},
+			want: []string{"-hedge-quantile", "-mitigation hedged or predictive"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -134,6 +169,53 @@ func TestClusterHedgeQuantileValidation(t *testing.T) {
 		if !strings.Contains(err.Error(), "-hedge-quantile") {
 			t.Errorf("-hedge-quantile=%s error %q does not name the flag", q, err)
 		}
+	}
+}
+
+// TestClusterFaultFlagValidation pins the CLI-boundary rejection of
+// out-of-range fault knobs. -slow-factor and -spot-notice matter most:
+// the engine defaults their unset zero values (to 0.5 and 2), so an
+// explicit zero would silently turn into the default instead of
+// meaning "no degradation"/"no notice".
+func TestClusterFaultFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"crash-rate-negative", []string{"-crash-rate", "-0.1"}},
+		{"crash-rate-above-one", []string{"-crash-rate", "1.5"}},
+		{"slow-factor-zero", []string{"-slow-factor", "0"}},
+		{"slow-factor-above-one", []string{"-slow-factor", "1.5"}},
+		{"partition-above-one", []string{"-partition", "2"}},
+		{"spot-fraction-negative", []string{"-spot-fraction", "-0.5"}},
+		{"spot-notice-zero", []string{"-spot-notice", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-mode", "des", "-faults"}, tc.args...)
+			args = append(args, "-pattern", "constant:0.5", "-duration", "2", "-series=false")
+			err := runCluster(args)
+			if err == nil {
+				t.Fatalf("runCluster(%v) accepted an out-of-range fault knob", args)
+			}
+			if !strings.Contains(err.Error(), tc.args[0]) {
+				t.Errorf("runCluster(%v) error %q does not name %s", args, err, tc.args[0])
+			}
+		})
+	}
+}
+
+// TestClusterDESFaultsRun smoke-tests the fault-injection surface
+// through the CLI path: every fault class enabled, the predictive
+// mitigation driving hedges and migrations, sharded.
+func TestClusterDESFaultsRun(t *testing.T) {
+	err := runCluster([]string{"-mode", "des", "-nodes", "4", "-domains", "2",
+		"-faults", "-crash-rate", "0.05", "-slow-factor", "0.4", "-partition", "0.02",
+		"-spot-fraction", "0.5", "-spot-notice", "2",
+		"-mitigation", "predictive", "-hedge-quantile", "0.9",
+		"-pattern", "constant:0.6", "-duration", "20", "-series=false"})
+	if err != nil {
+		t.Fatalf("fault-injection DES run failed: %v", err)
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"hipster/internal/clusterdes"
 	"hipster/internal/core"
 	"hipster/internal/engine"
+	"hipster/internal/faults"
 	"hipster/internal/federation"
 	"hipster/internal/heuristic"
 	"hipster/internal/loadgen"
@@ -252,9 +253,11 @@ type (
 // interval model collapses into one aggregate number per node, are
 // simulated request by request. On top of that visibility it offers
 // straggler mitigation on in-flight requests (hedged requests,
-// cross-node work stealing), node warm-up after autoscale activations,
-// and the queue-depth scaling signal. Runs are bit-identical for a
-// given seed at any worker count, like the interval cluster.
+// cross-node work stealing, predictive slow-node detection), node
+// warm-up after autoscale activations, the queue-depth scaling signal,
+// and deterministic fault injection (FaultOptions). Runs are
+// bit-identical for a given seed at any worker count, like the interval
+// cluster.
 type (
 	// ClusterDES is the fleet-wide discrete-event simulator.
 	ClusterDES = clusterdes.Fleet
@@ -275,6 +278,22 @@ type (
 	// ClusterDESStats counts a DES run's mitigation and scaling
 	// activity.
 	ClusterDESStats = clusterdes.Stats
+	// FaultOptions configure deterministic fault injection for a cluster
+	// DES run (set on ClusterDESOptions.Faults): node crashes with state
+	// loss, slow-node degradation, network partitions, and spot-pool
+	// revocation with a drain-notice window. The schedule is drawn up
+	// front from its own seeded sub-stream, so fault-enabled runs stay a
+	// pure function of (Seed, Domains) at any worker count. Rates draw a
+	// random schedule; Script replaces generation with explicit events.
+	FaultOptions = faults.Options
+	// FaultEvent is one scripted fault transition (FaultOptions.Script):
+	// the kind fires at a 1-based monitoring-interval boundary, in the
+	// coordinator's serial section.
+	FaultEvent = faults.Event
+	// FaultKind identifies a fault-schedule transition
+	// (crash/recover, slow-start/end, partition-start/end,
+	// revoke-notice/revoke/restore).
+	FaultKind = faults.Kind
 	// Mitigation is a straggler-mitigation policy applied to in-flight
 	// requests at the DES front-end.
 	Mitigation = clusterdes.Mitigation
@@ -314,6 +333,32 @@ type (
 	RateLimitOptions = resilience.RateLimitOptions
 )
 
+// Fault-schedule transition kinds, for FaultOptions.Script events. See
+// the FaultKind alias and the faults package documentation for the
+// semantics of each transition.
+const (
+	// FaultCrash takes a node down instantly; its queued and in-flight
+	// work is lost and its policy state is gone.
+	FaultCrash = faults.Crash
+	// FaultRecover returns a crashed node to service.
+	FaultRecover = faults.Recover
+	// FaultSlowStart degrades a node's service rate by Event.Factor.
+	FaultSlowStart = faults.SlowStart
+	// FaultSlowEnd restores the degraded node's nominal rate.
+	FaultSlowEnd = faults.SlowEnd
+	// FaultPartitionStart severs the fleet into sides [0, Cut) and
+	// [Cut, nodes).
+	FaultPartitionStart = faults.PartitionStart
+	// FaultPartitionEnd heals the partition.
+	FaultPartitionEnd = faults.PartitionEnd
+	// FaultRevokeNotice opens a spot node's drain window.
+	FaultRevokeNotice = faults.RevokeNotice
+	// FaultRevoke takes the spot node down when the window expires.
+	FaultRevoke = faults.Revoke
+	// FaultRestore returns a revoked spot node to the pool.
+	FaultRestore = faults.Restore
+)
+
 // NewClusterDES builds a fleet discrete-event simulation from options.
 func NewClusterDES(opts ClusterDESOptions) (*ClusterDES, error) { return clusterdes.New(opts) }
 
@@ -340,8 +385,23 @@ func NewHedgedMitigation(quantile float64) Mitigation {
 // from the deepest queue in the fleet.
 func NewWorkStealingMitigation() Mitigation { return clusterdes.WorkStealing{} }
 
+// NewPredictiveMitigation returns the predictive straggler mitigation:
+// hedged requests plus a per-node EWMA of the backlog drain estimate
+// that flags suspects against the fleet median, drains their queues by
+// migration, excludes them as hedge targets and hedges their requests
+// early — before the reactive completed-sojourn signal can observe the
+// degradation. The quantile is the reactive hedge delay inherited from
+// Hedged (quantile <= 0 uses the 0.95 default); detector knobs keep
+// their documented defaults.
+func NewPredictiveMitigation(quantile float64) Mitigation {
+	if quantile <= 0 {
+		return clusterdes.Predictive{}
+	}
+	return clusterdes.Predictive{Quantile: quantile}
+}
+
 // MitigationByName returns a built-in straggler mitigation ("none",
-// "hedged" or "work-stealing").
+// "hedged", "work-stealing" or "predictive").
 func MitigationByName(name string) (Mitigation, error) { return clusterdes.MitigationByName(name) }
 
 // NewQueueDepthPolicy returns the queue-depth scaling policy with its

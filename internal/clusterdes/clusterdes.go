@@ -46,6 +46,7 @@ import (
 
 	"hipster/internal/autoscale"
 	"hipster/internal/cluster"
+	"hipster/internal/faults"
 	"hipster/internal/federation"
 	"hipster/internal/loadgen"
 	"hipster/internal/platform"
@@ -168,6 +169,18 @@ type Options struct {
 	// run stays a pure function of (Seed, Domains) at any worker count.
 	Learn *LearnOptions
 
+	// Faults, when non-nil with any fault class enabled, injects a
+	// seeded deterministic fault schedule into the run: node crashes
+	// that lose queued and in-flight work (the Lost disposition), slow
+	// nodes serving at a degraded rate, network partitions severing
+	// cross-side steals/hedges/migrations and federation syncs, and
+	// spot-pool revocations drained through their notice window. Every
+	// injection and recovery transition fires in the coordinator's
+	// serial section, and the schedule is drawn up front from its own
+	// sub-stream of Seed — so fault-enabled runs remain a pure function
+	// of (Seed, Domains) at any worker count.
+	Faults *faults.Options
+
 	// Resilience, when non-nil with any feature enabled, adds
 	// request-path failure policies: bounded retries with seeded-jitter
 	// exponential backoff, per-attempt deadlines (a timed-out request
@@ -191,18 +204,24 @@ type LatencySummary struct {
 	// with no retry budget left (resilience timeouts only; always zero
 	// without them).
 	TimedOut int
-	Mean     float64
-	P50      float64
-	P90      float64
-	P95      float64
-	P99      float64
+	// Lost counts requests destroyed by an injected node crash or
+	// revocation — every copy sat on the dying node and nothing (hedge
+	// timer, deadline, second copy) remained to revive them. Always
+	// zero without Options.Faults.
+	Lost int
+	Mean float64
+	P50  float64
+	P90  float64
+	P95  float64
+	P99  float64
 }
 
 // Stats counts the DES fleet's mitigation and scaling activity.
 type Stats struct {
 	// Requests counts primary arrivals offered to the fleet (every
-	// request is eventually completed, counted dropped, or counted
-	// timed out — the conservation law the fleettest battery asserts).
+	// request is eventually completed, counted dropped, counted timed
+	// out, or counted lost — the conservation law the fleettest battery
+	// asserts).
 	Requests int
 	// Hedges counts hedge copies issued; HedgeWins how many completed
 	// before the primary.
@@ -248,6 +267,18 @@ type Stats struct {
 	// rejections; HedgeCancels counts losing hedge copies cancelled
 	// mid-service.
 	Retries, Timeouts, BreakerOpens, RateLimited, HedgeCancels int
+	// Fault-injection activity (Options.Faults; all zero without it).
+	// Crashes counts node crashes, Revocations spot-pool notices,
+	// Partitions partition onsets, SlowOnsets slow-node episodes; Lost
+	// mirrors Latency.Lost.
+	Crashes, Revocations, Partitions, SlowOnsets, Lost int
+	// Predictive-mitigation activity (the Predictive mitigation; zero
+	// otherwise): suspect node-intervals flagged by the EWMA detector,
+	// queued requests proactively migrated off flagged nodes, and the
+	// monitoring interval of the first flag (-1 if none fired) — the
+	// number the predictive-vs-reactive comparison measures.
+	PredFlags, PredMigrations int
+	FirstPredictInterval      int
 }
 
 // Result bundles a finished DES run.
@@ -371,6 +402,16 @@ type desNode struct {
 
 	warmLeft int
 
+	// Fault state (Options.Faults; all zero without it). A down node is
+	// crashed or revoked: it serves nothing, routes nothing, and its
+	// telemetry reports a dead sample. A draining node is a spot node
+	// inside its revocation notice window: it finishes in-flight work
+	// but accepts nothing new. slow > 0 stretches every service time by
+	// 1/slow — the injected degradation the predictive detector hunts.
+	down     bool
+	draining bool
+	slow     float64
+
 	// Per-interval accumulators.
 	arrived   int
 	completed int
@@ -431,6 +472,22 @@ type loop struct {
 	resil *resilience.Options
 
 	warmFactor float64
+
+	// Fault-layer state, updated only in the coordinator's serial
+	// section (all zero / nil without Options.Faults or the Predictive
+	// mitigation). partCut != 0 splits the roster into sides [0, cut)
+	// and [cut, n) that exchange no steals, hedges or migrations.
+	// servingN counts active-prefix nodes that are neither down nor
+	// draining. suspect is the fleet-shared predictive flag vector
+	// (indexed by global node id, read-only mid-interval), and
+	// suspectWait the shortened hedge delay for requests routed to a
+	// flagged node. lost counts requests destroyed on this loop's
+	// crashed nodes, cumulative over the run like dropped.
+	partCut     int
+	servingN    int
+	suspect     []bool
+	suspectWait float64
+	lost        int
 
 	arrRNG   *rand.Rand
 	routeRNG *rand.Rand
@@ -518,6 +575,25 @@ type Fleet struct {
 	learnRewardSum float64
 	learnRewardN   int
 
+	// Fault-injection state (Options.Faults). The schedule is drawn
+	// once per run from its own Seed sub-stream; faultIdx walks it as
+	// boundaries pass. healPending forces a federation sync round at
+	// the boundary a partition heals, so nodes that missed rounds flush
+	// their accumulated deltas. prevLost tracks the run's loss total at
+	// the previous boundary for per-interval telemetry deltas.
+	faultOpts   *faults.Options
+	faultEvs    faults.Schedule
+	faultIdx    int
+	faultsDrawn bool
+	healPending bool
+	prevLost    int
+
+	// Predictive-mitigation state (the Predictive mitigation): per-node
+	// EWMA of the drain estimate, and the resolved detector parameters.
+	predictive                      bool
+	predAlpha, predThresh, predFrac float64
+	predEwma                        []float64
+
 	sh *sharded // non-nil when Options.Domains > 1
 
 	stats  Stats
@@ -546,8 +622,9 @@ func New(opts Options) (*Fleet, error) {
 	}
 	f := &Fleet{
 		loop: loop{
-			hedgeWait: math.Inf(1),
-			lat:       latRecorder{stride: 1},
+			hedgeWait:   math.Inf(1),
+			suspectWait: math.Inf(1),
+			lat:         latRecorder{stride: 1},
 		},
 		opts:     opts,
 		splitter: opts.Splitter,
@@ -590,6 +667,39 @@ func New(opts Options) (*Fleet, error) {
 		if f.minDepth == 0 {
 			f.minDepth = 2
 		}
+	case Predictive:
+		q := m.Quantile
+		if q == 0 {
+			q = 0.95
+		}
+		if q <= 0 || q >= 1 {
+			return nil, fmt.Errorf("clusterdes: hedge quantile %v out of (0, 1)", m.Quantile)
+		}
+		a := m.Alpha
+		if a == 0 {
+			a = 0.4
+		}
+		if a <= 0 || a > 1 {
+			return nil, fmt.Errorf("clusterdes: predictive EWMA alpha %v out of (0, 1]", m.Alpha)
+		}
+		th := m.Threshold
+		if th == 0 {
+			th = 3
+		}
+		if th <= 1 {
+			return nil, fmt.Errorf("clusterdes: predictive threshold %v must exceed 1", m.Threshold)
+		}
+		hf := m.HedgeFraction
+		if hf == 0 {
+			hf = 0.25
+		}
+		if hf <= 0 || hf > 1 {
+			return nil, fmt.Errorf("clusterdes: predictive hedge fraction %v out of (0, 1]", m.HedgeFraction)
+		}
+		f.hedging = true
+		f.hedgeQ = q
+		f.predictive = true
+		f.predAlpha, f.predThresh, f.predFrac = a, th, hf
 	default:
 		return nil, fmt.Errorf("clusterdes: unsupported mitigation %q", opts.Mitigation.Name())
 	}
@@ -600,6 +710,18 @@ func New(opts Options) (*Fleet, error) {
 			return nil, fmt.Errorf("clusterdes: %w", err)
 		}
 		f.resil = &r
+	}
+
+	if opts.Faults.Enabled() {
+		fo, err := faults.Resolve(*opts.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("clusterdes: %w", err)
+		}
+		f.faultOpts = &fo
+	}
+	if f.predictive {
+		f.suspect = make([]bool, len(opts.Nodes))
+		f.predEwma = make([]float64, len(opts.Nodes))
 	}
 
 	f.arrRNG = sim.SubRNG(opts.Seed, "des-arrival")
@@ -632,6 +754,7 @@ func New(opts Options) (*Fleet, error) {
 		}
 	}
 	f.stats.FirstScaleUpInterval = -1
+	f.stats.FirstPredictInterval = -1
 	f.stats.PeakActive, f.stats.MinActive = f.active, f.active
 	f.states = make([]cluster.NodeState, len(f.nodes))
 	f.samples = make([]telemetry.Sample, len(f.nodes))
@@ -813,6 +936,9 @@ func (l *loop) startService(n *desNode, s int, id int32, t float64) {
 	if n.warmLeft > 0 {
 		d /= l.warmFactor
 	}
+	if n.slow > 0 {
+		d /= n.slow
+	}
 	end := t + d
 	n.busyUntil[s] = end
 	n.busy[s] += math.Min(end, l.tickEnd) - t
@@ -869,6 +995,9 @@ func (n *desNode) fastestIdle() int {
 // fastest idle server when one exists (and the node is serving), else
 // onto the queue. It reports false when the queue bound drops the copy.
 func (l *loop) dispatch(n *desNode, id int32, t float64) bool {
+	if n.down || n.draining {
+		return false
+	}
 	if n.warmLeft == 0 || l.warmFactor > 0 {
 		if s := n.fastestIdle(); s >= 0 {
 			l.startService(n, s, id, t)
@@ -907,7 +1036,7 @@ func (l *loop) steal(thief *desNode) int32 {
 	best := -1
 	depth := l.minDepth - 1
 	for _, v := range l.nodes[:l.active] {
-		if v == thief {
+		if v == thief || v.down || v.draining || !l.sameSide(v.id, thief.id) {
 			continue
 		}
 		if v.queue.Len() > depth {
@@ -929,13 +1058,16 @@ func (l *loop) steal(thief *desNode) int32 {
 // fleet-wide roster — node ids are global and the active set is a
 // roster prefix.)
 func (l *loop) pullWork(n *desNode, s int, t float64) {
-	serving := n.enabled[s] && n.id < l.rosterActive && (n.warmLeft == 0 || l.warmFactor > 0)
+	// A draining (spot-notice) node still serves its own residual queue
+	// — the notice window exists to finish work — but never steals.
+	serving := n.enabled[s] && n.id < l.rosterActive && !n.down &&
+		(n.warmLeft == 0 || l.warmFactor > 0)
 	if serving {
 		if id := l.popLocal(n); id >= 0 {
 			l.startService(n, s, id, t)
 			return
 		}
-		if l.stealing && n.warmLeft == 0 {
+		if l.stealing && n.warmLeft == 0 && !n.draining {
 			if id := l.steal(n); id >= 0 {
 				l.steals++
 				// The thief owns the copy now; a later deadline expiry
@@ -967,21 +1099,52 @@ func (l *loop) kickIdle(n *desNode, t float64) {
 }
 
 // routeDraw picks a node by one draw over the interval's routing
-// weights. The all-zero-weight fallback draws from the retry stream —
-// only re-issued attempts reach it; primary arrivals use their own
-// round-robin fallback so existing runs are untouched.
+// weights (zero-share nodes — including down and draining ones, whose
+// shares the refresh zeroes — are never selected). The all-zero-weight
+// fallback draws from the retry stream — only re-issued attempts reach
+// it; primary arrivals use their own round-robin fallback so existing
+// runs are untouched. Returns nil only when no active node can take
+// new work; callers with servingN > 0 always get a node.
 func (l *loop) routeDraw() *desNode {
 	if l.shareSum > 0 {
 		u := l.routeRNG.Float64() * l.shareSum
 		acc := 0.0
+		last := -1
 		for i := 0; i < l.active; i++ {
+			if l.shares[i] <= 0 {
+				continue
+			}
+			last = i
 			acc += l.shares[i]
-			if u < acc || i == l.active-1 {
+			if u < acc {
 				return l.nodes[i]
 			}
 		}
+		if last >= 0 {
+			return l.nodes[last]
+		}
 	}
-	return l.nodes[int(l.retryRNG.Int63n(int64(l.active)))]
+	return l.fallbackNode(int(l.retryRNG.Int63n(int64(l.active))))
+}
+
+// fallbackNode walks the active prefix round-robin from slot k to the
+// first node that can take new work, nil when every active node is
+// down or draining. Without faults it returns nodes[k%active] — the
+// pre-fault fallback — unchanged.
+func (l *loop) fallbackNode(k int) *desNode {
+	for i := 0; i < l.active; i++ {
+		n := l.nodes[(k+i)%l.active]
+		if !n.down && !n.draining {
+			return n
+		}
+	}
+	return nil
+}
+
+// sameSide reports whether nodes a and b can exchange work under the
+// current partition (always true without one).
+func (l *loop) sameSide(a, b int) bool {
+	return l.partCut == 0 || (a < l.partCut) == (b < l.partCut)
 }
 
 // admit runs node n's admission policies for one attempt of request id
@@ -1039,9 +1202,15 @@ func (l *loop) handleArrival() {
 	if l.shareSum > 0 {
 		n = l.routeDraw()
 	} else {
-		n = l.nodes[l.primaries%l.active]
+		n = l.fallbackNode(l.primaries)
 	}
 	l.primaries++
+	if n == nil {
+		// Every active node is down or draining: the arrival has nowhere
+		// to land and is dropped at the fleet's front door.
+		l.dropped++
+		return
+	}
 	id := l.alloc(t, int32(n.id))
 	if l.resil != nil && !l.admit(n, id, t) {
 		return
@@ -1065,8 +1234,15 @@ func (l *loop) handleArrival() {
 	// but more elsewhere, the timer still arms — the coordinator can
 	// place the copy across the boundary.
 	if l.hedging && !math.IsInf(l.hedgeWait, 1) && l.rosterActive > 1 {
+		wait := l.hedgeWait
+		// Predictive mitigation: a request routed to a flagged node gets
+		// its hedge armed at a fraction of the reactive delay — the copy
+		// races before the slow node's tail ever shows in telemetry.
+		if l.suspect != nil && l.suspect[n.id] && !math.IsInf(l.suspectWait, 1) {
+			wait = l.suspectWait
+		}
 		l.reqs[id].refs++
-		l.events.Push(t+l.hedgeWait, event{kind: evHedge, a: id})
+		l.events.Push(t+wait, event{kind: evHedge, a: id})
 	}
 }
 
@@ -1183,9 +1359,10 @@ func (l *loop) handleRetry(t float64, ev event) {
 	id := ev.a
 	r := &l.reqs[id]
 	l.release(id) // the timer's reference; done is false, so the entry stays
-	if l.active == 0 {
-		// The domain lost every active node while the retry waited; look
-		// again once the backoff cap has passed — the roster can regrow.
+	if l.active == 0 || l.servingN == 0 {
+		// The domain lost every active node (to scale-down, crashes or
+		// revocations) while the retry waited; look again once the
+		// backoff cap has passed — the roster can regrow or recover.
 		r.refs++
 		l.events.Push(t+l.resil.Backoff.Cap, event{kind: evRetry, a: id})
 		return
@@ -1219,7 +1396,7 @@ func (l *loop) handleHedge(t float64, ev event) {
 		var target *desNode
 		bestLoad := 0
 		for _, v := range l.nodes[:l.active] {
-			if int32(v.id) == r.node || v.warmLeft > 0 || !l.hedgeEligible(v) {
+			if !l.hedgeTargetOK(v, r) {
 				continue
 			}
 			load := v.queue.Len() + v.busyCount
@@ -1251,6 +1428,24 @@ func (l *loop) handleHedge(t float64, ev event) {
 		l.dropped++
 		l.free = append(l.free, id)
 	}
+}
+
+// hedgeTargetOK reports whether node v may receive request r's hedge
+// copy: not the primary's node, not warming, not down or draining, not
+// a predictive suspect, on the primary's side of any partition, and
+// eligible under the resilience policy. Without faults or the
+// predictive detector this reduces to the pre-fault condition.
+func (l *loop) hedgeTargetOK(v *desNode, r *request) bool {
+	if int32(v.id) == r.node || v.warmLeft > 0 || v.down || v.draining {
+		return false
+	}
+	if l.suspect != nil && l.suspect[v.id] {
+		return false
+	}
+	if !l.sameSide(v.id, int(r.node)) {
+		return false
+	}
+	return l.hedgeEligible(v)
 }
 
 // hedgeEligible reports whether node v may receive a hedge copy under
@@ -1341,6 +1536,19 @@ func (f *Fleet) refreshInterval(t float64) error {
 	if f.lambda < 0 {
 		return fmt.Errorf("clusterdes: pattern returned negative load at t=%v", t)
 	}
+	f.servingN = 0
+	for _, n := range f.nodes[:f.active] {
+		if !n.down && !n.draining {
+			f.servingN++
+		}
+	}
+	if f.servingN == 0 {
+		// Blackout: every active node is down or draining. No arrivals are
+		// admitted (clients see a dead cluster, not an infinite queue);
+		// pending retries re-probe at the backoff cap until capacity
+		// returns.
+		f.lambda = 0
+	}
 	if f.lambda > 0 && math.IsInf(f.nextArrival, 1) {
 		f.nextArrival = t + f.arrRNG.ExpFloat64()/f.lambda
 	}
@@ -1363,6 +1571,12 @@ func (f *Fleet) refreshInterval(t float64) error {
 			return fmt.Errorf("clusterdes: splitter %q returned negative share %v for node %d",
 				f.splitter.Name(), s, i)
 		}
+		// A down or draining node takes no new primaries regardless of
+		// what the splitter assigned it; its share redistributes
+		// implicitly through routeDraw's positive-share walk.
+		if v := f.nodes[i]; v.down || v.draining {
+			s = 0
+		}
 		f.shares[i] = s
 		f.shareSum += s
 	}
@@ -1374,6 +1588,34 @@ func (f *Fleet) refreshInterval(t float64) error {
 // node's own state plus pure model evaluations, so the coordinator runs
 // it for all nodes in parallel.
 func (n *desNode) finishInterval(t, dt float64) telemetry.Sample {
+	if n.down {
+		// Dead sample: a crashed or revoked node reports the tail cap —
+		// the fleet observes it as a hard QoS failure (straggler signal,
+		// autoscale pressure) rather than a vacuous pass — and draws no
+		// power (its meter stops accumulating while it is off).
+		s := telemetry.Sample{
+			T:           t,
+			TailLatency: n.wl.TailCapFactor * n.wl.TargetLatency,
+			Target:      n.wl.TargetLatency,
+			NBig:        n.cfg.NBig,
+			NSmall:      n.cfg.NSmall,
+			BigFreqMHz:  int(n.cfg.BigFreq),
+			EnergyJ:     n.meter.TotalJ(),
+		}
+		n.trace.Add(s)
+		n.state.Stepped = true
+		n.state.LastOfferedRPS = 0
+		n.state.LastAchievedRPS = 0
+		n.state.LastBacklog = 0
+		n.state.LastTailLatency = s.TailLatency
+		n.state.LastTarget = s.Target
+		n.arrived, n.completed = 0, 0
+		n.sojourns = n.sojourns[:0]
+		for i := range n.busy {
+			n.busy[i] = 0
+		}
+		return s
+	}
 	tail := 0.0
 	if len(n.sojourns) > 0 {
 		stats.SortFloats(n.sojourns)
@@ -1508,7 +1750,7 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) error {
 		f.roster[i] = autoscale.NodeInfo{
 			ID:              i,
 			CapacityRPS:     n.nominalCap,
-			Active:          n.state.Active,
+			Active:          n.state.Active && !n.down,
 			Stepped:         n.state.Stepped,
 			LastOfferedRPS:  n.state.LastOfferedRPS,
 			LastTailLatency: n.state.LastTailLatency,
@@ -1589,45 +1831,7 @@ func (f *Fleet) autoscaleStep(t float64, measuredRPS float64) error {
 				if id2 < 0 {
 					break
 				}
-				target := f.nodes[0]
-				for _, v := range f.nodes[1:f.active] {
-					if v.queue.Len()+v.busyCount < target.queue.Len()+target.busyCount {
-						target = v
-					}
-				}
-				r := &f.reqs[id2]
-				if f.dispatch(target, id2, t) {
-					// Track each copy to its new node so a pending
-					// hedge timer keeps avoiding the primary's node and
-					// hedge-win attribution stays honest; the two
-					// copies landing on one node voids the race — a
-					// completion there proves nothing about hedging.
-					// (A queued copy is the primary iff it sat on the
-					// primary's node: stolen requests are never
-					// re-queued, and stealing excludes hedging anyway.)
-					if int32(n.id) == r.node {
-						r.node = int32(target.id)
-						if r.hedgeNode == r.node {
-							r.hedgeNode = hedgeVoid
-						}
-					} else if r.hedgeNode == int32(n.id) {
-						if int32(target.id) == r.node {
-							r.hedgeNode = hedgeVoid
-						} else {
-							r.hedgeNode = int32(target.id)
-						}
-					}
-					f.stats.Migrated++
-				} else if r.refs == 0 {
-					// No other copy in service and no pending timer: the
-					// request is truly lost. (With refs > 0 a surviving
-					// copy — or a hedge timer that will re-issue one, or
-					// a deadline timer that will retry it — still
-					// resolves it.)
-					r.done = true
-					f.free = append(f.free, id2)
-					f.dropped++
-				}
+				f.migrateOne(n, id2, t, false)
 			}
 			n.state.Stepped = false
 			n.state.LastOfferedRPS = 0
@@ -1728,6 +1932,8 @@ func (f *Fleet) tick() error {
 	fs.RateLimited = f.rateLimited
 	fs.HedgeCancels = f.hedgeCancels
 	f.annotateLearn(&fs)
+	f.annotateFaults(&fs, f.lost-f.prevLost)
+	f.prevLost = f.lost
 	f.fleet.Add(fs)
 	f.stats.Hedges += f.hedges
 	f.stats.HedgeWins += f.hedgeWins
@@ -1765,16 +1971,26 @@ func (f *Fleet) tick() error {
 	// Services started from here on (migrations, idle kicks) belong to
 	// the interval that begins now.
 	f.tickEnd = t + f.dt
+	// Fault transitions and the predictive detector run here, with the
+	// event loop quiescent and every cross-node effect confined to this
+	// serial section — fault-enabled runs stay a pure function of
+	// (seed, domain count) at any worker count.
+	if err := f.faultStep(t); err != nil {
+		return err
+	}
+	f.detectStep(t)
 	// Federation runs in the serial section with the event loop
 	// quiescent, mirroring the interval-mode cluster: reading and
 	// rewriting per-node tables here cannot race with policy decisions,
-	// and results stay independent of the worker count.
-	if f.fed != nil && f.fed.Due(f.clock.Steps()) {
+	// and results stay independent of the worker count. A partition heal
+	// forces an extra round so accumulated deltas flush immediately.
+	if f.fed != nil && (f.fed.Due(f.clock.Steps()) || f.healPending) {
 		if err := f.fed.Sync(f.clock.Steps(), f.isActiveFn); err != nil {
 			return err
 		}
 		f.stats.SyncRounds++
 	}
+	f.healPending = false
 	if f.ctl != nil {
 		if err := f.autoscaleStep(t, measuredRPS); err != nil {
 			return err
@@ -1782,8 +1998,12 @@ func (f *Fleet) tick() error {
 	}
 	// Idle servers pick up queues outside the completion path: warm-up
 	// expiries, freshly migrated requests, and (with stealing) fully
-	// idle nodes rescuing a deep peer.
+	// idle nodes rescuing a deep peer. Down nodes serve nothing;
+	// draining nodes still work their own residual queue.
 	for _, n := range f.nodes[:f.active] {
+		if n.down {
+			continue
+		}
 		if n.warmLeft == 0 || f.warmFactor > 0 {
 			f.kickIdle(n, t)
 		}
@@ -1806,6 +2026,9 @@ func (f *Fleet) Run(horizon float64) (Result, error) {
 	fail := func(err error) (Result, error) {
 		f.failed = err
 		return Result{}, err
+	}
+	if err := f.initFaults(horizon); err != nil {
+		return fail(err)
 	}
 	if f.sh != nil {
 		if err := f.sh.run(horizon); err != nil {
@@ -1842,6 +2065,8 @@ func (f *Fleet) result() Result {
 	res.Latency.Completed = int(f.lat.seen)
 	res.Latency.Dropped = f.dropped
 	res.Latency.TimedOut = f.timedOut
+	res.Latency.Lost = f.lost
+	res.Stats.Lost = f.lost
 	if len(f.lat.sample) > 0 {
 		res.Latency.Mean = f.lat.sum / float64(f.lat.seen)
 		stats.SortFloats(f.lat.sample)

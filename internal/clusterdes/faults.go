@@ -1,0 +1,410 @@
+package clusterdes
+
+// Fault injection and the predictive slow-node detector. Every
+// transition here runs in the coordinator's serial section at an
+// interval boundary — the event loops are quiescent, cross-node and
+// cross-domain effects happen in a fixed order, and the schedule is
+// drawn once from its own Seed sub-stream — so fault-enabled runs stay
+// a pure function of (Seed, Domains) at any worker count, the same
+// contract the fault-free paths honour.
+
+import (
+	"fmt"
+	"math"
+
+	"hipster/internal/faults"
+	"hipster/internal/federation"
+	"hipster/internal/policy"
+	"hipster/internal/sim"
+	"hipster/internal/stats"
+	"hipster/internal/telemetry"
+)
+
+// initFaults draws the run's fault schedule. The draw depends only on
+// (Seed, roster size, horizon) — not on Domains or Workers — which is
+// what keeps sharded and serial runs facing identical fault timelines.
+func (f *Fleet) initFaults(horizon float64) error {
+	if f.faultOpts == nil || f.faultsDrawn {
+		return nil
+	}
+	intervals := int(math.Ceil(horizon / f.dt))
+	evs, err := faults.Generate(*f.faultOpts, len(f.nodes), intervals,
+		sim.SubRNG(f.opts.Seed, "des-faults"))
+	if err != nil {
+		return fmt.Errorf("clusterdes: %w", err)
+	}
+	f.faultEvs = evs
+	f.faultsDrawn = true
+	return nil
+}
+
+// loopOf returns the loop owning node id: the per-domain loop in a
+// sharded run, the fleet's own in a serial one.
+func (f *Fleet) loopOf(id int) *loop {
+	if f.sh != nil {
+		return f.sh.domainOf(id)
+	}
+	return &f.loop
+}
+
+// setPartition installs (or clears, cut == 0) the partition cut on the
+// fleet and every domain loop, so mid-interval steal/hedge decisions
+// see it without reaching for shared coordinator state.
+func (f *Fleet) setPartition(cut int) {
+	f.loop.partCut = cut
+	if f.sh != nil {
+		for _, l := range f.sh.domains {
+			l.partCut = cut
+		}
+	}
+}
+
+// faultStep applies every schedule event due at this boundary.
+func (f *Fleet) faultStep(t float64) error {
+	if f.faultOpts == nil {
+		return nil
+	}
+	step := f.clock.Steps()
+	for f.faultIdx < len(f.faultEvs) && f.faultEvs[f.faultIdx].Interval <= step {
+		ev := f.faultEvs[f.faultIdx]
+		f.faultIdx++
+		switch ev.Kind {
+		case faults.Crash:
+			f.crashNode(ev.Node, t, false)
+		case faults.Revoke:
+			f.crashNode(ev.Node, t, true)
+		case faults.Recover, faults.Restore:
+			if err := f.reviveNode(ev.Node); err != nil {
+				return err
+			}
+		case faults.RevokeNotice:
+			// The notice window: migrate the queue to survivors now,
+			// finish what is already in flight, accept nothing new.
+			n := f.nodes[ev.Node]
+			n.draining = true
+			f.stats.Revocations++
+			f.drainQueueAny(n, t, false)
+		case faults.SlowStart:
+			f.nodes[ev.Node].slow = ev.Factor
+			f.stats.SlowOnsets++
+		case faults.SlowEnd:
+			f.nodes[ev.Node].slow = 0
+		case faults.PartitionStart:
+			f.setPartition(ev.Cut)
+			f.stats.Partitions++
+		case faults.PartitionEnd:
+			f.setPartition(0)
+			// Force a sync round at this boundary so the healed side's
+			// accumulated deltas flush immediately (see Fleet.tick).
+			f.healPending = true
+		}
+	}
+	return nil
+}
+
+// crashNode takes node id down with state loss: queued and in-flight
+// requests are destroyed (terminal Lost outcome unless another copy or
+// timer survives), the TD chain is cut, and the node reports dead
+// telemetry until it recovers. A revocation is the same mechanism with
+// its own counter — the notice window already drained what it could.
+func (f *Fleet) crashNode(id int, t float64, revoked bool) {
+	n := f.nodes[id]
+	n.draining = false
+	n.down = true
+	if !revoked {
+		f.stats.Crashes++
+	}
+	f.loseNode(f.loopOf(id), n, t)
+	if ep, ok := n.pol.(policy.Episodic); ok {
+		ep.EndEpisode()
+	}
+	n.state.Stepped = false
+	n.state.LastOfferedRPS = 0
+	n.state.LastAchievedRPS = 0
+	n.state.LastBacklog = 0
+	n.state.LastTailLatency = 0
+	n.state.LastTarget = 0
+	if f.predictive {
+		f.predEwma[id] = 0
+		f.suspect[id] = false
+	}
+}
+
+// reviveNode brings a crashed or revoked node back: cold by default,
+// warm-started from the federation table when learning is on and the
+// node can reach the coordinator's side. Unlike a scale-down, a crash
+// never flushed the node's delta — state loss is the point — so the
+// warm start is a pure pull.
+func (f *Fleet) reviveNode(id int) error {
+	n := f.nodes[id]
+	n.down = false
+	n.draining = false
+	if f.fed != nil && id < f.active && f.sameSide(id, 0) {
+		var bc federation.Broadcast
+		warmed, err := f.fed.WarmStart(id, f.clock.Steps(), &bc)
+		if err != nil {
+			return fmt.Errorf("clusterdes: warm-start of recovered node %d: %w", id, err)
+		}
+		if warmed {
+			f.stats.WarmStarts++
+		}
+	}
+	// Discard interval residue from the outage, exactly like an
+	// autoscale reactivation.
+	n.arrived, n.completed = 0, 0
+	n.sojourns = n.sojourns[:0]
+	for i := range n.busy {
+		n.busy[i] = 0
+	}
+	return nil
+}
+
+// loseNode destroys node n's queued and in-flight work at time t. Each
+// serving slot strands its scheduled completion by bumping the service
+// sequence (the heap needs no deletions) and trims the interval's busy
+// charge, mirroring cancelService — except nothing pulls new work onto
+// a dead node.
+func (f *Fleet) loseNode(l *loop, n *desNode, t float64) {
+	for s, sid := range n.serving {
+		if sid < 0 {
+			continue
+		}
+		n.serving[s] = -1
+		n.svcSeq[s]++
+		n.busyCount--
+		if over := math.Min(n.busyUntil[s], l.tickEnd) - t; over > 0 {
+			n.busy[s] -= over
+		}
+		n.busyUntil[s] = t
+		n.idle[s] = true
+		f.discardCopy(l, n, sid, t)
+	}
+	for n.queue.Len() > 0 {
+		f.discardCopy(l, n, n.queue.Pop(), t)
+	}
+}
+
+// discardCopy destroys one copy of request id held by crashed node n,
+// releasing the reference the slot or queue entry held. The request is
+// Lost only when no other reference can still resolve it: a surviving
+// copy, a pending hedge or deadline timer, or a cross-domain partner
+// each keep it alive. The node's breaker records a failure — injected
+// faults are exactly what breakers exist to observe.
+func (f *Fleet) discardCopy(l *loop, n *desNode, id int32, t float64) {
+	r := &l.reqs[id]
+	l.release(id)
+	if r.done {
+		return
+	}
+	if n.breaker != nil {
+		n.breaker.Record(false)
+	}
+	if r.deferRec {
+		// One side of a cross-domain hedge pair died; the pair resolves
+		// lost only when both copies are gone (the partner may still
+		// complete). Mirrors the scale-down copyGone protocol.
+		r.copyGone = true
+		pl := f.sh.domains[r.crossDom]
+		pr := &pl.reqs[r.crossRef]
+		if pr.copyGone {
+			r.done, pr.done = true, true
+			f.sh.coordLost++
+			l.release(id)
+			pl.release(r.crossRef)
+		}
+		return
+	}
+	if r.refs == 0 {
+		r.done = true
+		l.lost++
+		l.free = append(l.free, id)
+	}
+}
+
+// eligibleTarget reports whether node v may receive migrated or
+// re-homed work originating on node from: up, not draining, not a
+// predictive suspect, and on from's side of any partition. Without
+// faults or the predictive detector it is always true.
+func (f *Fleet) eligibleTarget(v *desNode, from int) bool {
+	if v.down || v.draining {
+		return false
+	}
+	if f.suspect != nil && f.suspect[v.id] {
+		return false
+	}
+	return f.sameSide(v.id, from)
+}
+
+// drainQueueAny migrates node n's queue to eligible survivors, in both
+// the serial and sharded paths (a revocation notice or a predictive
+// flag, vs. autoscale's deactivation drain which runs inside each
+// path's own step). With no eligible target anywhere it leaves the
+// queue in place — the node still serves it — rather than dropping.
+func (f *Fleet) drainQueueAny(n *desNode, t float64, pred bool) {
+	has := false
+	for _, v := range f.nodes[:f.active] {
+		if v != n && f.eligibleTarget(v, n.id) {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return
+	}
+	l := f.loopOf(n.id)
+	for {
+		id2 := l.popLocal(n)
+		if id2 < 0 {
+			break
+		}
+		if f.sh != nil {
+			f.sh.migrate(l, n, id2, t, pred)
+		} else {
+			f.migrateOne(n, id2, t, pred)
+		}
+	}
+}
+
+// migrateOne re-homes one request popped off node n's queue to the
+// least-committed eligible node, with the same hedge bookkeeping as
+// the sharded migrate's same-domain case. Serial path only.
+func (f *Fleet) migrateOne(n *desNode, id2 int32, t float64, pred bool) {
+	r := &f.reqs[id2]
+	var target *desNode
+	for _, v := range f.nodes[:f.active] {
+		if v == n || !f.eligibleTarget(v, n.id) {
+			continue
+		}
+		if target == nil || v.queue.Len()+v.busyCount < target.queue.Len()+target.busyCount {
+			target = v
+		}
+	}
+	if target != nil && f.dispatch(target, id2, t) {
+		// Track each copy to its new node so a pending hedge timer
+		// keeps avoiding the primary's node and hedge-win attribution
+		// stays honest; the two copies landing on one node voids the
+		// race — a completion there proves nothing about hedging.
+		// (A queued copy is the primary iff it sat on the primary's
+		// node: stolen requests are never re-queued, and stealing
+		// excludes hedging anyway.)
+		if int32(n.id) == r.node {
+			r.node = int32(target.id)
+			if r.hedgeNode == r.node {
+				r.hedgeNode = hedgeVoid
+			}
+		} else if r.hedgeNode == int32(n.id) {
+			if int32(target.id) == r.node {
+				r.hedgeNode = hedgeVoid
+			} else {
+				r.hedgeNode = int32(target.id)
+			}
+		}
+		if pred {
+			f.stats.PredMigrations++
+		} else {
+			f.stats.Migrated++
+		}
+	} else if r.refs == 0 {
+		// No other copy in service and no pending timer: the request
+		// is truly dropped. (With refs > 0 a surviving copy — or a
+		// hedge timer that will re-issue one, or a deadline timer that
+		// will retry it — still resolves it.)
+		r.done = true
+		f.free = append(f.free, id2)
+		f.dropped++
+	}
+}
+
+// detectStep is the predictive slow-node detector, run every boundary
+// when the Predictive mitigation is on. Each node's EWMA tracks its
+// drain estimate (backlog over nominal capacity, in seconds); a node
+// whose smoothed estimate exceeds Threshold times the fleet median —
+// and a floor tied to the workload target, so an idle fleet never
+// flags — becomes a suspect: its queue migrates away now, it receives
+// no hedges or steals, and requests routed to it hedge after only
+// HedgeFraction of the reactive delay. The signal leads the reactive
+// quantile hedge because a degraded node's backlog grows as soon as
+// service slows, while the sojourn quantile must wait for slow
+// completions to land in the estimate.
+func (f *Fleet) detectStep(t float64) {
+	if !f.predictive {
+		return
+	}
+	f.sortScratch = f.sortScratch[:0]
+	for i, n := range f.nodes[:f.active] {
+		if n.down {
+			f.predEwma[n.id] = 0
+			continue
+		}
+		q := f.samples[i].Backlog / n.nominalCap
+		f.predEwma[n.id] = f.predAlpha*q + (1-f.predAlpha)*f.predEwma[n.id]
+		if !n.draining {
+			f.sortScratch = append(f.sortScratch, f.predEwma[n.id])
+		}
+	}
+	med := 0.0
+	if len(f.sortScratch) > 0 {
+		stats.SortFloats(f.sortScratch)
+		med, _ = stats.PercentileSorted(f.sortScratch, 0.5)
+	}
+	for _, n := range f.nodes[:f.active] {
+		e := f.predEwma[n.id]
+		flag := !n.down && !n.draining &&
+			e > f.predThresh*med && e > 0.25*n.wl.TargetLatency
+		f.suspect[n.id] = flag
+		if flag {
+			f.stats.PredFlags++
+			if f.stats.FirstPredictInterval < 0 {
+				f.stats.FirstPredictInterval = f.clock.Steps()
+			}
+		}
+	}
+	for i := f.active; i < len(f.nodes); i++ {
+		f.suspect[i] = false
+	}
+	// Drain every suspect's queue while it stays flagged; new arrivals
+	// it receives mid-interval hedge early rather than migrate.
+	for _, n := range f.nodes[:f.active] {
+		if f.suspect[n.id] {
+			f.drainQueueAny(n, t, true)
+		}
+	}
+	hw := f.hedgeWait
+	if f.sh != nil {
+		hw = f.sh.domains[0].hedgeWait
+	}
+	w := math.Inf(1)
+	if !math.IsInf(hw, 1) {
+		w = hw * f.predFrac
+	}
+	f.suspectWait = w
+	if f.sh != nil {
+		for _, l := range f.sh.domains {
+			l.suspectWait = w
+		}
+	}
+}
+
+// annotateFaults attaches the boundary's fault telemetry to the merged
+// fleet sample: the interval's lost count and the fleet's current
+// down/slow/partitioned/suspect populations.
+func (f *Fleet) annotateFaults(fs *telemetry.FleetSample, lostDelta int) {
+	if f.faultOpts == nil && !f.predictive {
+		return
+	}
+	fs.Lost = lostDelta
+	for _, n := range f.nodes[:f.active] {
+		if n.down {
+			fs.DownNodes++
+		}
+		if n.slow > 0 {
+			fs.SlowNodes++
+		}
+		if f.suspect != nil && f.suspect[n.id] {
+			fs.Suspects++
+		}
+		if f.loop.partCut != 0 && n.id >= f.loop.partCut {
+			fs.Partitioned++
+		}
+	}
+}

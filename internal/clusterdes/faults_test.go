@@ -1,0 +1,89 @@
+package clusterdes
+
+import (
+	"testing"
+
+	"hipster/internal/cluster"
+	"hipster/internal/faults"
+)
+
+// partitionScript severs nodes {2, 3} from the coordinator side between
+// the boundaries closing intervals 10 and 20.
+var partitionScript = &faults.Options{Script: []faults.Event{
+	{Interval: 10, Kind: faults.PartitionStart, Node: -1, Cut: 2},
+	{Interval: 20, Kind: faults.PartitionEnd, Node: -1},
+}}
+
+// TestPartitionGatesFederationSync pins how injected partitions compose
+// with federation (and with the Participation dropout the -sync-dropout
+// flag models): a partitioned node is skipped on both legs of every
+// round while the cut is up, keeps learning locally and accumulates its
+// delta, and the heal forces an extra round at its own boundary so the
+// severed side's experience flushes immediately instead of waiting out
+// the sync period. The report counts are exact because the roster is
+// fixed (no autoscale) and the schedule is scripted: rounds fire at
+// every third boundary of the 95-interval run (31 rounds) plus the
+// forced heal round at 20; the three rounds during the cut (12, 15, 18)
+// see only the coordinator-side pair.
+func TestPartitionGatesFederationSync(t *testing.T) {
+	run := func(t *testing.T, participation func(nodeID, interval int) bool) (Result, *Fleet) {
+		fl := learnFleet(t, func(o *Options) {
+			o.Learn.Federation = &cluster.FederationOptions{
+				SyncEvery:     3,
+				Participation: participation,
+			}
+			o.Faults = partitionScript
+		})
+		res, err := fl.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertLearnConserved(t, res)
+		return res, fl
+	}
+
+	t.Run("heal-flushes", func(t *testing.T) {
+		res, fl := run(t, nil)
+		st, ok := fl.FederationStats()
+		if !ok {
+			t.Fatal("federation disabled")
+		}
+		if want := 31 + 1; res.Stats.SyncRounds != want || st.Rounds != want {
+			t.Errorf("rounds = %d (coordinator %d), want %d (31 scheduled + forced heal round)",
+				res.Stats.SyncRounds, st.Rounds, want)
+		}
+		// 3 partitioned rounds x 2 reporters + 29 full rounds x 4.
+		if want := 3*2 + 29*4; st.Reports != want {
+			t.Errorf("reports = %d, want %d", st.Reports, want)
+		}
+		if st.StaleDropped != 0 {
+			t.Errorf("%d deltas dropped as stale; the severed side's accumulated delta must merge at heal", st.StaleDropped)
+		}
+		if st.MergedCells == 0 {
+			t.Error("no delta cells merged")
+		}
+	})
+
+	t.Run("composes-with-dropout", func(t *testing.T) {
+		// The -sync-dropout model: node 1 also sits out every round
+		// before the partition opens. Both gates must compose — dropout
+		// thins the pre-partition rounds, the cut thins the mid-partition
+		// ones, and the forced heal round still sees the full roster.
+		_, fl := run(t, func(nodeID, interval int) bool {
+			return nodeID != 1 || interval >= 10
+		})
+		st, ok := fl.FederationStats()
+		if !ok {
+			t.Fatal("federation disabled")
+		}
+		if st.Rounds != 32 {
+			t.Errorf("rounds = %d, want 32", st.Rounds)
+		}
+		// Rounds 3, 6, 9: dropout excludes node 1 (3 reporters); rounds
+		// 12, 15, 18: the cut excludes nodes 2 and 3 (2 reporters); the
+		// forced round at 20 and the 25 remaining see all 4.
+		if want := 3*3 + 3*2 + 26*4; st.Reports != want {
+			t.Errorf("reports = %d, want %d", st.Reports, want)
+		}
+	})
+}

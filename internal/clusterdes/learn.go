@@ -83,13 +83,22 @@ func (f *Fleet) initLearn(lo LearnOptions) error {
 		f.fed = fed
 	}
 	f.learning = true
-	f.isActiveFn = f.isActive
+	f.isActiveFn = f.isSyncable
 	return nil
 }
 
 // isActive reports whether a node is in the active set (the roster
 // prefix).
 func (f *Fleet) isActive(id int) bool { return id < f.active }
+
+// isSyncable reports whether a node participates in a federation sync
+// round: active, up, and — under a partition — on the coordinator's
+// side (node 0's). A partitioned or down node both misses rounds and
+// keeps accumulating its delta, which flushes at the forced round on
+// heal or recovery. Without faults this is exactly isActive.
+func (f *Fleet) isSyncable(id int) bool {
+	return id < f.active && !f.nodes[id].down && f.sameSide(id, 0)
+}
 
 // Learning reports whether the in-DES RL loop is enabled.
 func (f *Fleet) Learning() bool { return f.learning }
@@ -161,6 +170,11 @@ func (f *Fleet) learnStep(tEnd float64) error {
 	}
 	f.learnPhase, f.learnRewardSum, f.learnRewardN = 0, 0, 0
 	for i, n := range f.nodes[:f.active] {
+		if n.down {
+			// A crashed node makes no operating-point decisions; its TD
+			// chain was cut at the crash and resumes on recovery.
+			continue
+		}
 		s := &f.samples[i]
 		obs := policy.Observation{
 			Time:        tEnd,

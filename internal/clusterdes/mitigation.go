@@ -53,10 +53,38 @@ type WorkStealing struct {
 // Name implements Mitigation.
 func (WorkStealing) Name() string { return "work-stealing" }
 
+// Predictive layers a slow-node detector on top of Hedged: the fleet
+// keeps a per-node EWMA of the drain estimate (backlog over nominal
+// capacity) from the telemetry it already merges each interval, and
+// flags a node as suspect when its EWMA exceeds Threshold times the
+// fleet median (and a floor tied to the workload target, so an idle
+// fleet never flags). Suspect nodes are drained by migration at every
+// boundary, excluded as hedge/steal targets, and requests routed to
+// them hedge after HedgeFraction of the reactive delay — acting
+// *before* the quantile signal observes a slow completion (the
+// predict-then-mitigate discipline of START, arXiv:2111.10241).
+type Predictive struct {
+	// Quantile is the reactive hedge quantile inherited from Hedged, in
+	// (0, 1) (default 0.95).
+	Quantile float64
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.4);
+	// larger values react faster but flap more.
+	Alpha float64
+	// Threshold is the suspicion multiplier over the fleet-median drain
+	// estimate, > 1 (default 3).
+	Threshold float64
+	// HedgeFraction scales the reactive hedge delay for requests
+	// primary-routed to a suspect node, in (0, 1] (default 0.25).
+	HedgeFraction float64
+}
+
+// Name implements Mitigation.
+func (Predictive) Name() string { return "predictive" }
+
 // MitigationNames lists the built-in mitigations as accepted by
 // MitigationByName.
 func MitigationNames() []string {
-	return []string{"none", "hedged", "work-stealing"}
+	return []string{"none", "hedged", "work-stealing", "predictive"}
 }
 
 // MitigationByName returns a built-in mitigation as its zero value, or
@@ -71,6 +99,8 @@ func MitigationByName(name string) (Mitigation, error) {
 		return Hedged{}, nil
 	case "work-stealing":
 		return WorkStealing{}, nil
+	case "predictive":
+		return Predictive{}, nil
 	}
 	return nil, names.Unknown("clusterdes", "mitigation", name, MitigationNames())
 }

@@ -48,10 +48,12 @@ type sharded struct {
 
 	// Coordinator-side accumulators: latency and sojourns of requests
 	// reconciled at boundaries (their race outcome is not attributable
-	// to a single domain), and requests lost in coordinator hands.
+	// to a single domain), and requests dropped or lost in coordinator
+	// hands (cross-pair copies both destroyed).
 	lat           latRecorder
 	coordSojourns []float64
 	coordDropped  int
+	coordLost     int
 	crossScratch  []crossEvent
 
 	// stealCands is the boundary sweep's max-heap of steal victims,
@@ -70,22 +72,24 @@ func newSharded(f *Fleet, dcount int) *sharded {
 	for k := 0; k+1 < len(starts); k++ {
 		lo, hi := starts[k], starts[k+1]
 		l := &loop{
-			id:         k,
-			lo:         lo,
-			nodes:      f.nodes[lo:hi],
-			hedging:    f.hedging,
-			stealing:   f.stealing,
-			minDepth:   f.minDepth,
-			hedgeWait:  math.Inf(1),
-			deferCross: len(starts) > 2,
-			resil:      f.resil,
-			warmFactor: f.warmFactor,
-			arrRNG:     sim.SubRNG(f.opts.Seed+int64(k), "des-arrival"),
-			routeRNG:   sim.SubRNG(f.opts.Seed+int64(k), "des-route"),
-			svcRNG:     sim.SubRNG(f.opts.Seed+int64(k), "des-service"),
-			retryRNG:   sim.SubRNG(f.opts.Seed+int64(k), "des-retry"),
-			lat:        latRecorder{stride: 1},
-			shares:     make([]float64, hi-lo),
+			id:          k,
+			lo:          lo,
+			nodes:       f.nodes[lo:hi],
+			hedging:     f.hedging,
+			stealing:    f.stealing,
+			minDepth:    f.minDepth,
+			hedgeWait:   math.Inf(1),
+			suspectWait: math.Inf(1),
+			suspect:     f.suspect,
+			deferCross:  len(starts) > 2,
+			resil:       f.resil,
+			warmFactor:  f.warmFactor,
+			arrRNG:      sim.SubRNG(f.opts.Seed+int64(k), "des-arrival"),
+			routeRNG:    sim.SubRNG(f.opts.Seed+int64(k), "des-route"),
+			svcRNG:      sim.SubRNG(f.opts.Seed+int64(k), "des-service"),
+			retryRNG:    sim.SubRNG(f.opts.Seed+int64(k), "des-retry"),
+			lat:         latRecorder{stride: 1},
+			shares:      make([]float64, hi-lo),
 		}
 		for i := lo; i < hi; i++ {
 			s.domOf[i] = int32(k)
@@ -192,6 +196,12 @@ func (s *sharded) tick(tEnd float64) error {
 	fs.RateLimited = rateLim
 	fs.HedgeCancels = hCancels
 	f.annotateLearn(&fs)
+	lostTot := s.coordLost
+	for _, l := range s.domains {
+		lostTot += l.lost
+	}
+	f.annotateFaults(&fs, lostTot-f.prevLost)
+	f.prevLost = lostTot
 	f.fleet.Add(fs)
 	f.stats.Hedges += hedges
 	f.stats.HedgeWins += wins
@@ -238,14 +248,23 @@ func (s *sharded) tick(tEnd float64) error {
 	for _, l := range s.domains {
 		l.tickEnd = t + f.dt
 	}
+	// Fault transitions and the predictive detector run in the same
+	// serial-section slot as the serial loop's, before federation and
+	// autoscale — Domains=1 stays bit-identical with faults on.
+	if err := f.faultStep(t); err != nil {
+		return err
+	}
+	f.detectStep(t)
 	// Federation mirrors the serial loop: a boundary sync round in the
-	// coordinator's serial section, with every domain quiescent.
-	if f.fed != nil && f.fed.Due(f.clock.Steps()) {
+	// coordinator's serial section, with every domain quiescent. A
+	// partition heal forces an extra round so deltas flush immediately.
+	if f.fed != nil && (f.fed.Due(f.clock.Steps()) || f.healPending) {
 		if err := f.fed.Sync(f.clock.Steps(), f.isActiveFn); err != nil {
 			return err
 		}
 		f.stats.SyncRounds++
 	}
+	f.healPending = false
 	if f.ctl != nil {
 		if err := s.autoscaleStep(t, measuredRPS); err != nil {
 			return err
@@ -380,7 +399,7 @@ func (s *sharded) placeHedges(t float64) {
 			var target *desNode
 			bestLoad := 0
 			for _, v := range f.nodes[:f.active] {
-				if int32(v.id) == r.node || v.warmLeft > 0 || !l.hedgeEligible(v) {
+				if !l.hedgeTargetOK(v, r) {
 					continue
 				}
 				load := v.queue.Len() + v.busyCount
@@ -458,9 +477,17 @@ func (l *loop) finishHedgeRef(id int32) {
 // per steal.
 func (s *sharded) boundaryKick(t float64) {
 	f := s.f
-	if f.stealing {
-		s.stealCands = s.stealCands[:0]
+	// Under a partition the heap cannot encode sides, so thieves fall
+	// back to a per-pull linear scan (stealBestFor); the heap stays
+	// empty and its refresh calls become no-ops.
+	s.stealCands = s.stealCands[:0]
+	if f.stealing && f.loop.partCut == 0 {
 		for _, v := range f.nodes[:f.active] {
+			// Down nodes have empty queues; draining ones are excluded
+			// as victims, matching the serial steal filter.
+			if v.draining {
+				continue
+			}
 			if v.queue.Len() >= f.minDepth {
 				s.stealCands = append(s.stealCands, stealCand{depth: v.queue.Len(), id: v.id})
 			}
@@ -470,10 +497,31 @@ func (s *sharded) boundaryKick(t float64) {
 		}
 	}
 	for _, n := range f.nodes[:f.active] {
+		if n.down {
+			continue
+		}
 		if n.warmLeft == 0 || f.warmFactor > 0 {
 			s.kickIdleFleet(n, t)
 		}
 	}
+}
+
+// stealBestFor is the partition-aware victim scan: the serial steal's
+// linear argmax over the whole active roster, restricted to the
+// thief's side. Only used while a partition is active.
+func (s *sharded) stealBestFor(n *desNode) int {
+	f := s.f
+	best, depth := -1, f.minDepth-1
+	for _, v := range f.nodes[:f.active] {
+		if v == n || v.down || v.draining || !f.sameSide(v.id, n.id) {
+			continue
+		}
+		if v.queue.Len() > depth {
+			depth = v.queue.Len()
+			best = v.id
+		}
+	}
+	return best
 }
 
 // stealCand is one boundary steal candidate: a node and the queue
@@ -578,17 +626,26 @@ func (s *sharded) kickIdleFleet(n *desNode, t float64) {
 // allocates its own.
 func (s *sharded) pullWorkFleet(l *loop, n *desNode, sv int, t float64) {
 	f := s.f
-	serving := n.enabled[sv] && n.id < f.active && (n.warmLeft == 0 || l.warmFactor > 0)
+	// A draining node still serves its own residual queue but never
+	// steals; a down node serves nothing (see pullWork).
+	serving := n.enabled[sv] && n.id < f.active && !n.down &&
+		(n.warmLeft == 0 || l.warmFactor > 0)
 	if serving {
 		if id := l.popLocal(n); id >= 0 {
 			l.startService(n, sv, id, t)
 			return
 		}
-		if l.stealing && n.warmLeft == 0 {
+		if l.stealing && n.warmLeft == 0 && !n.draining {
 			// The thief never appears among the candidates: its local
 			// queue just drained (popLocal above returned -1) and
 			// minDepth >= 1, matching the serial scan's self-exclusion.
-			if best := s.stealBest(); best >= 0 {
+			best := -1
+			if f.loop.partCut != 0 {
+				best = s.stealBestFor(n)
+			} else {
+				best = s.stealBest()
+			}
+			if best >= 0 {
 				vl := s.domainOf(best)
 				if id := vl.popLocal(f.nodes[best]); id >= 0 {
 					if vl == l {
@@ -636,7 +693,7 @@ func (s *sharded) autoscaleStep(t, measuredRPS float64) error {
 		f.roster[i] = autoscale.NodeInfo{
 			ID:              i,
 			CapacityRPS:     n.nominalCap,
-			Active:          n.state.Active,
+			Active:          n.state.Active && !n.down,
 			Stepped:         n.state.Stepped,
 			LastOfferedRPS:  n.state.LastOfferedRPS,
 			LastTailLatency: n.state.LastTailLatency,
@@ -710,7 +767,7 @@ func (s *sharded) autoscaleStep(t, measuredRPS float64) error {
 				if id2 < 0 {
 					break
 				}
-				s.migrate(victim, n, id2, t)
+				s.migrate(victim, n, id2, t, false)
 			}
 			n.state.Stepped = false
 			n.state.LastOfferedRPS = 0
@@ -743,14 +800,45 @@ func (s *sharded) autoscaleStep(t, measuredRPS float64) error {
 // re-dispatches within its own domain's survivors; with none left, a
 // cross-pair copy is marked gone, and when both copies of a pair are
 // gone the request is counted lost.
-func (s *sharded) migrate(victim *loop, n *desNode, id2 int32, t float64) {
+func (s *sharded) migrate(victim *loop, n *desNode, id2 int32, t float64, pred bool) {
 	f := s.f
 	r := &victim.reqs[id2]
-	target := f.nodes[0]
-	for _, v := range f.nodes[1:f.active] {
-		if v.queue.Len()+v.busyCount < target.queue.Len()+target.busyCount {
+	count := func() {
+		if pred {
+			f.stats.PredMigrations++
+		} else {
+			f.stats.Migrated++
+		}
+	}
+	var target *desNode
+	for _, v := range f.nodes[:f.active] {
+		if v == n || !f.eligibleTarget(v, n.id) {
+			continue
+		}
+		if target == nil || v.queue.Len()+v.busyCount < target.queue.Len()+target.busyCount {
 			target = v
 		}
+	}
+	if target == nil {
+		// No eligible survivor anywhere (drainQueueAny pre-checks, so
+		// only autoscale's drain can land here): the copy is dropped
+		// unless another reference still resolves the request.
+		if r.refs == 0 && !r.deferRec {
+			r.done = true
+			victim.free = append(victim.free, id2)
+			victim.dropped++
+		} else if r.deferRec {
+			r.copyGone = true
+			pl := s.domains[r.crossDom]
+			pr := &pl.reqs[r.crossRef]
+			if pr.copyGone && !r.done {
+				r.done, pr.done = true, true
+				s.coordDropped++
+				victim.release(id2)
+				pl.release(r.crossRef)
+			}
+		}
+		return
 	}
 	tl := s.domainOf(target.id)
 	if tl == victim {
@@ -767,7 +855,7 @@ func (s *sharded) migrate(victim *loop, n *desNode, id2 int32, t float64) {
 					r.hedgeNode = int32(target.id)
 				}
 			}
-			f.stats.Migrated++
+			count()
 		} else if r.refs == 0 {
 			r.done = true
 			victim.free = append(victim.free, id2)
@@ -787,7 +875,7 @@ func (s *sharded) migrate(victim *loop, n *desNode, id2 int32, t float64) {
 		r.done = true
 		victim.free = append(victim.free, id2)
 		if tl.dispatch(target, nid, t) {
-			f.stats.Migrated++
+			count()
 			f.stats.CrossDomainMigrations++
 		} else {
 			tl.reqs[nid].done = true
@@ -797,9 +885,12 @@ func (s *sharded) migrate(victim *loop, n *desNode, id2 int32, t float64) {
 		return
 	}
 	// Referenced inside its own domain: re-dispatch among the domain's
-	// surviving actives.
+	// surviving eligible actives.
 	var vt *desNode
 	for _, v := range victim.nodes[:victim.active] {
+		if v == n || !f.eligibleTarget(v, n.id) {
+			continue
+		}
 		if vt == nil || v.queue.Len()+v.busyCount < vt.queue.Len()+vt.busyCount {
 			vt = v
 		}
@@ -818,7 +909,7 @@ func (s *sharded) migrate(victim *loop, n *desNode, id2 int32, t float64) {
 					r.hedgeNode = int32(vt.id)
 				}
 			}
-			f.stats.Migrated++
+			count()
 		}
 		// On a full queue with refs > 0, another copy or the pending
 		// hedge timer still completes or re-issues it — leave alive.
@@ -851,6 +942,21 @@ func (s *sharded) refreshInterval(t float64) error {
 	if lambda < 0 {
 		return fmt.Errorf("clusterdes: pattern returned negative load at t=%v", t)
 	}
+	fleetServing := 0
+	for _, l := range s.domains {
+		l.servingN = 0
+	}
+	for _, n := range f.nodes[:f.active] {
+		if !n.down && !n.draining {
+			s.domainOf(n.id).servingN++
+			fleetServing++
+		}
+	}
+	if fleetServing == 0 {
+		// Blackout, exactly like the serial refresh: no arrivals while
+		// every active node is down or draining.
+		lambda = 0
+	}
 	for i, n := range f.nodes[:f.active] {
 		f.states[i] = n.state
 	}
@@ -870,7 +976,12 @@ func (s *sharded) refreshInterval(t float64) error {
 			return fmt.Errorf("clusterdes: splitter %q returned negative share %v for node %d",
 				f.splitter.Name(), sh, i)
 		}
-		fleetSum += sh
+		// Down and draining nodes take no new primaries; zero their
+		// weight without mutating the splitter's slice (see the serial
+		// refresh).
+		if v := f.nodes[i]; !v.down && !v.draining {
+			fleetSum += sh
+		}
 	}
 	for _, l := range s.domains {
 		if l.active == 0 {
@@ -883,17 +994,23 @@ func (s *sharded) refreshInterval(t float64) error {
 		l.shareSum = 0
 		for i := 0; i < l.active; i++ {
 			sh := shares[l.lo+i]
+			if v := l.nodes[i]; v.down || v.draining {
+				sh = 0
+			}
 			l.shares[i] = sh
 			l.shareSum += sh
 		}
-		if fleetSum > 0 {
+		switch {
+		case fleetSum > 0:
 			// For a single domain shareSum == fleetSum, so the ratio is
 			// exactly 1.0 and λ survives bit-identical.
 			l.lambda = lambda * (l.shareSum / fleetSum)
-		} else {
+		case fleetServing > 0:
 			// Zero routing weight everywhere: the serial loop falls back
-			// to round-robin; thin by active-node share instead.
-			l.lambda = lambda * float64(l.active) / float64(f.active)
+			// to round-robin over serving nodes; thin by serving share.
+			l.lambda = lambda * float64(l.servingN) / float64(fleetServing)
+		default:
+			l.lambda = 0
 		}
 		if l.lambda > 0 && math.IsInf(l.nextArrival, 1) {
 			l.nextArrival = t + l.arrRNG.ExpFloat64()/l.lambda
@@ -920,6 +1037,7 @@ func (s *sharded) result() Result {
 	var sum float64
 	dropped := s.coordDropped
 	timedOut := 0
+	lost := s.coordLost
 	total := len(s.lat.sample)
 	for _, l := range s.domains {
 		total += len(l.lat.sample)
@@ -930,6 +1048,7 @@ func (s *sharded) result() Result {
 		sum += l.lat.sum
 		dropped += l.dropped
 		timedOut += l.timedOut
+		lost += l.lost
 		sample = append(sample, l.lat.sample...)
 	}
 	seen += s.lat.seen
@@ -938,6 +1057,8 @@ func (s *sharded) result() Result {
 	res.Latency.Completed = int(seen)
 	res.Latency.Dropped = dropped
 	res.Latency.TimedOut = timedOut
+	res.Latency.Lost = lost
+	res.Stats.Lost = lost
 	if len(sample) > 0 {
 		res.Latency.Mean = sum / float64(seen)
 		stats.SortFloats(sample)

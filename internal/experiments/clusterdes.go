@@ -72,7 +72,10 @@ func HedgingTail(o ClusterDESOpts) ([]HedgingTailRow, error) {
 	spec := platform.JunoR1()
 	wl := workload.WebSearch()
 	var rows []HedgingTailRow
-	for _, name := range clusterdes.MitigationNames() {
+	// The classic three only: the predictive detector needs injected
+	// degradation to act on, so it is benchmarked against hedged in
+	// FaultTolerance instead of adding a redundant healthy-fleet row.
+	for _, name := range []string{"none", "hedged", "work-stealing"} {
 		mit, err := clusterdes.MitigationByName(name)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"hipster/internal/clusterdes"
+	"hipster/internal/faults"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/telemetry"
+	"hipster/internal/workload"
+)
+
+// FaultToleranceOpts parameterise the fault-injection experiments. The
+// zero value selects the defaults below: a fleet busy enough (70% of
+// capacity) that a degraded node's backlog grows immediately, which is
+// the signal the predictive detector reads.
+type FaultToleranceOpts struct {
+	// Nodes is the roster size (default 8).
+	Nodes int
+	// Seed drives every variant identically (default DefaultSeed).
+	Seed int64
+	// Horizon is the simulated duration in seconds (default 300).
+	Horizon float64
+	// LoadFrac is the steady offered load (default 0.7 of capacity).
+	LoadFrac float64
+	// SlowNode, SlowAt, SlowSecs and SlowFactor script the detector
+	// race's degradation: node SlowNode serves at SlowFactor of nominal
+	// speed from interval SlowAt for SlowSecs seconds (defaults: node 5,
+	// interval 60, 120 s, factor 0.3 — a machine suddenly 3x slower,
+	// the fail-slow regime of production straggler studies). Moderate
+	// degradation is the interesting race: a node slowed into the
+	// zero-completion regime trips the telemetry's capped dead-interval
+	// tail immediately, so both signals see it at once.
+	SlowNode, SlowAt int
+	SlowSecs         int
+	SlowFactor       float64
+	// Soup rates for the background-fault mix (defaults: CrashRate
+	// 0.01, PartitionRate 0.01, SpotFraction 0.25, RevokeRate 0.05).
+	Soup faults.Options
+}
+
+func (o FaultToleranceOpts) withDefaults() FaultToleranceOpts {
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = DefaultSeed
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 300
+	}
+	if o.LoadFrac == 0 {
+		o.LoadFrac = 0.7
+	}
+	if o.SlowNode == 0 {
+		o.SlowNode = 5
+	}
+	if o.SlowAt == 0 {
+		o.SlowAt = 60
+	}
+	if o.SlowSecs == 0 {
+		o.SlowSecs = 120
+	}
+	if o.SlowFactor == 0 {
+		o.SlowFactor = 0.3
+	}
+	if !o.Soup.Enabled() {
+		o.Soup = faults.Options{
+			CrashRate:     0.01,
+			PartitionRate: 0.01,
+			SpotFraction:  0.25,
+			RevokeRate:    0.05,
+		}
+	}
+	return o
+}
+
+// DetectorRaceRow is one mitigation variant of the fail-slow race.
+type DetectorRaceRow struct {
+	Mitigation string
+	// End-to-end request-latency distribution (seconds).
+	P50, P99  float64
+	Completed int
+	// Hedging and migration activity.
+	Hedges, HedgeWins int
+	PredMigrations    int
+	// PredictInterval is the first monitoring interval the predictive
+	// detector flagged a suspect (-1 for the reactive variant, which
+	// has no such signal).
+	PredictInterval int
+	// StragglerInterval is the first interval at or after the scripted
+	// onset where the REACTIVE tail signal (tail beyond
+	// telemetry.DefaultStragglerFactor x the fleet median, over
+	// completed-request sojourns) flagged the degraded node itself.
+	// Healthy-fleet variance flags isolated stragglers elsewhere
+	// throughout any run, so the scan pins the scripted node: the race
+	// is about seeing THIS fault. -1 = never observed.
+	StragglerInterval int
+}
+
+// SoupResult is the background-fault-mix run: every fault class firing
+// at once on a fleet with no resilience layer, so crash-destroyed work
+// is truly lost and the four-way conservation law
+// (completed + dropped + timed out + lost == admitted) is visible in
+// the dispositions.
+type SoupResult struct {
+	Requests, Completed, Dropped, TimedOut, Lost int
+	Crashes, Revocations, Partitions             int
+	Migrated, WarmStarts                         int
+	P99                                          float64
+}
+
+// FaultToleranceResult bundles the two fault-injection experiments.
+type FaultToleranceResult struct {
+	Race []DetectorRaceRow
+	Soup SoupResult
+}
+
+// slowScript builds the detector race's scripted degradation.
+func (o FaultToleranceOpts) slowScript() *faults.Options {
+	return &faults.Options{Script: []faults.Event{
+		{Interval: o.SlowAt, Kind: faults.SlowStart, Node: o.SlowNode, Factor: o.SlowFactor},
+		{Interval: o.SlowAt + o.SlowSecs, Kind: faults.SlowEnd, Node: o.SlowNode},
+	}}
+}
+
+// FaultTolerance runs the fault-injection experiments behind
+// examples/faults.
+//
+// The detector race serves the same fleet, load, seed and scripted
+// fail-slow node twice: once under the reactive quantile hedge
+// (re-issue after the p95 of recent sojourns), once under the
+// predictive detector (EWMA of each node's backlog drain estimate
+// against the fleet median). The reactive signal is built from
+// completed-request sojourns, so it cannot move until requests served
+// at the degraded rate finish and push the node's measured tail past
+// the straggler factor — a couple of intervals after onset, during
+// which every request routed there queues behind the slowdown. The
+// drain estimate grows the moment service slows, before a single
+// degraded completion lands. The predictive variant flags the node
+// first, migrates its queue, excludes it from hedge targets and hedges
+// its requests early, which is what cuts the fleet P99 tail.
+//
+// The soup run then turns every fault class on at once — crashes,
+// partitions, spot revocations — over a drained horizon, reporting the
+// full disposition ledger under the four-way conservation law.
+func FaultTolerance(o FaultToleranceOpts) (FaultToleranceResult, error) {
+	o = o.withDefaults()
+	var out FaultToleranceResult
+	for _, mit := range []clusterdes.Mitigation{clusterdes.Hedged{}, clusterdes.Predictive{}} {
+		nodes, err := clusterdes.Uniform(o.Nodes, platform.JunoR1(), workload.WebSearch())
+		if err != nil {
+			return out, err
+		}
+		fl, err := clusterdes.New(clusterdes.Options{
+			Nodes:      nodes,
+			Pattern:    loadgen.Constant{Frac: o.LoadFrac},
+			Mitigation: mit,
+			Seed:       o.Seed,
+			Faults:     o.slowScript(),
+		})
+		if err != nil {
+			return out, err
+		}
+		res, err := fl.Run(o.Horizon)
+		if err != nil {
+			return out, err
+		}
+		out.Race = append(out.Race, DetectorRaceRow{
+			Mitigation:        mit.Name(),
+			P50:               res.Latency.P50,
+			P99:               res.Latency.P99,
+			Completed:         res.Latency.Completed,
+			Hedges:            res.Stats.Hedges,
+			HedgeWins:         res.Stats.HedgeWins,
+			PredMigrations:    res.Stats.PredMigrations,
+			PredictInterval:   res.Stats.FirstPredictInterval,
+			StragglerInterval: firstNodeStragglerFrom(res, o.SlowNode, o.SlowAt),
+		})
+	}
+
+	nodes, err := clusterdes.Uniform(o.Nodes, platform.JunoR1(), workload.WebSearch())
+	if err != nil {
+		return out, err
+	}
+	soup := o.Soup
+	fl, err := clusterdes.New(clusterdes.Options{
+		Nodes: nodes,
+		// Stop offering load well before the horizon so the run drains
+		// and the conservation ledger is exact. No mitigation and no
+		// resilience layer: a pending hedge or deadline timer re-issues
+		// a crashed node's work, so the bare fleet is the one where
+		// crash-destroyed requests are terminally Lost.
+		Pattern: stormPattern{peak: o.LoadFrac, secs: o.Horizon - 60, span: o.Horizon},
+		Seed:    o.Seed,
+		Faults:  &soup,
+	})
+	if err != nil {
+		return out, err
+	}
+	res, err := fl.Run(o.Horizon)
+	if err != nil {
+		return out, err
+	}
+	out.Soup = SoupResult{
+		Requests:    res.Stats.Requests,
+		Completed:   res.Latency.Completed,
+		Dropped:     res.Latency.Dropped,
+		TimedOut:    res.Latency.TimedOut,
+		Lost:        res.Latency.Lost,
+		Crashes:     res.Stats.Crashes,
+		Revocations: res.Stats.Revocations,
+		Partitions:  res.Stats.Partitions,
+		Migrated:    res.Stats.Migrated,
+		WarmStarts:  res.Stats.WarmStarts,
+		P99:         res.Latency.P99,
+	}
+	return out, nil
+}
+
+// firstNodeStragglerFrom scans the traces from the given 1-based
+// interval for the first interval where the given node crossed the
+// straggler criterion the fleet merge applies — its completed-sojourn
+// tail beyond DefaultStragglerFactor times the fleet median tail
+// (-1 = never observed). This is the reactive signal's view of one
+// specific node: a node slow enough to complete nothing in an interval
+// contributes no sojourns at all, which is exactly the blindness the
+// backlog-based predictor does not share.
+func firstNodeStragglerFrom(res clusterdes.Result, node, from int) int {
+	for i, s := range res.Fleet.Samples {
+		if i+1 < from || i >= len(res.Nodes[node].Samples) {
+			continue
+		}
+		ns := res.Nodes[node].Samples[i]
+		if ns.TailLatency > telemetry.DefaultStragglerFactor*s.MedianTail {
+			return i + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import "testing"
+
+// shortFT shrinks the horizon so the test stays fast while the slow
+// window and the drained soup tail both fit.
+func shortFT() FaultToleranceOpts {
+	return FaultToleranceOpts{Horizon: 240, SlowSecs: 80}
+}
+
+// TestFaultTolerancePredictiveLeads pins the experiment's reason to
+// exist: on a scripted fail-slow node, the predictive detector flags
+// the degradation strictly before the reactive tail signal observes it
+// and ends the run with a strictly lower fleet P99 than the reactive
+// quantile hedge on the same seed.
+func TestFaultTolerancePredictiveLeads(t *testing.T) {
+	res, err := FaultTolerance(shortFT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Race) != 2 {
+		t.Fatalf("got %d race rows, want 2", len(res.Race))
+	}
+	byName := map[string]DetectorRaceRow{}
+	for _, r := range res.Race {
+		byName[r.Mitigation] = r
+	}
+	reactive, predictive := byName["hedged"], byName["predictive"]
+	if reactive.PredictInterval != -1 {
+		t.Fatalf("reactive variant reported a predictive flag: %+v", reactive)
+	}
+	if reactive.StragglerInterval < 0 {
+		t.Fatal("reactive signal never observed the scripted degradation")
+	}
+	if predictive.PredictInterval < 0 || predictive.PredMigrations == 0 {
+		t.Fatalf("predictive detector never fired: %+v", predictive)
+	}
+	if predictive.PredictInterval >= reactive.StragglerInterval {
+		t.Errorf("predictive flagged at interval %d, not before the reactive signal at %d",
+			predictive.PredictInterval, reactive.StragglerInterval)
+	}
+	if predictive.P99 >= reactive.P99 {
+		t.Errorf("predictive P99 %.4fs did not improve on reactive %.4fs",
+			predictive.P99, reactive.P99)
+	}
+}
+
+// TestFaultToleranceSoupConserves pins the background-mix run: every
+// fault class fires, crash-destroyed work is terminally lost on the
+// bare fleet, and the four-way ledger is exact on the drained horizon.
+func TestFaultToleranceSoupConserves(t *testing.T) {
+	res, err := FaultTolerance(shortFT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Soup
+	if s.Crashes == 0 || s.Revocations == 0 || s.Partitions == 0 {
+		t.Fatalf("soup missed a fault class: %+v", s)
+	}
+	if s.Lost == 0 {
+		t.Fatal("crashes destroyed no work on the bare fleet")
+	}
+	if got := s.Completed + s.Dropped + s.TimedOut + s.Lost; got != s.Requests {
+		t.Errorf("conservation violated: %d accounted != %d admitted", got, s.Requests)
+	}
+}
+
+// TestFaultToleranceDeterministic replays the experiment: same
+// options, same rows and ledger, field for field.
+func TestFaultToleranceDeterministic(t *testing.T) {
+	a, err := FaultTolerance(shortFT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultTolerance(shortFT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Race {
+		if a.Race[i] != b.Race[i] {
+			t.Errorf("race row %d differs across replays:\n%+v\n%+v", i, a.Race[i], b.Race[i])
+		}
+	}
+	if a.Soup != b.Soup {
+		t.Errorf("soup differs across replays:\n%+v\n%+v", a.Soup, b.Soup)
+	}
+}

@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	o, err := Resolve(Options{SpotFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.SlowFactor != 0.5 || o.SpotNotice != 2 || o.RevokeRate != 0.02 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if o.DownIntervals != 5 || o.SlowIntervals != 10 || o.PartitionIntervals != 10 {
+		t.Fatalf("duration defaults not applied: %+v", o)
+	}
+}
+
+func TestResolveRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"negative crash rate", Options{CrashRate: -0.1}, "CrashRate"},
+		{"crash rate above one", Options{CrashRate: 1.5}, "CrashRate"},
+		{"negative slow rate", Options{SlowRate: -1}, "SlowRate"},
+		{"negative partition rate", Options{PartitionRate: -0.2}, "PartitionRate"},
+		{"spot fraction above one", Options{SpotFraction: 2}, "SpotFraction"},
+		{"negative revoke rate", Options{RevokeRate: -0.5}, "RevokeRate"},
+		{"slow factor above one", Options{SlowFactor: 1.2}, "SlowFactor"},
+		{"negative slow factor", Options{SlowFactor: -0.5}, "SlowFactor"},
+		{"negative notice", Options{SpotNotice: -1}, "SpotNotice"},
+		{"negative down intervals", Options{DownIntervals: -3}, "DownIntervals"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Resolve(c.o); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Resolve(%+v) = %v, want error mentioning %s", c.o, err, c.want)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilOpts *Options
+	if nilOpts.Enabled() {
+		t.Fatal("nil options enabled")
+	}
+	if (&Options{}).Enabled() {
+		t.Fatal("zero options enabled")
+	}
+	for _, o := range []Options{
+		{CrashRate: 0.1},
+		{SlowRate: 0.1},
+		{PartitionRate: 0.1},
+		{SpotFraction: 0.5},
+		{Script: []Event{{Interval: 1, Kind: Crash}}},
+	} {
+		if !(&o).Enabled() {
+			t.Fatalf("options %+v not enabled", o)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins the schedule to the RNG stream: the
+// same seed draws the same schedule, the next seed a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	o := Options{CrashRate: 0.05, SlowRate: 0.05, PartitionRate: 0.02, SpotFraction: 0.25, RevokeRate: 0.05}
+	a, err := Generate(o, 8, 200, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("200 intervals at these rates drew no events")
+	}
+	b, err := Generate(o, 8, 200, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed drew different schedules")
+	}
+	c, err := Generate(o, 8, 200, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds drew identical schedules")
+	}
+}
+
+// TestGenerateValid replays generated schedules through Validate across
+// seeds and rosters: generation must satisfy its own state machine.
+func TestGenerateValid(t *testing.T) {
+	o := Options{CrashRate: 0.1, SlowRate: 0.1, PartitionRate: 0.05, SpotFraction: 0.5, RevokeRate: 0.1}
+	ro, err := Resolve(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		for _, nodes := range []int{1, 2, 5, 16} {
+			s, err := Generate(o, nodes, 150, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("seed %d nodes %d: %v", seed, nodes, err)
+			}
+			if err := s.Validate(nodes, ro); err != nil {
+				t.Fatalf("seed %d nodes %d: generated schedule invalid: %v", seed, nodes, err)
+			}
+		}
+	}
+}
+
+// TestGenerateScript checks the script path: events are sorted and
+// validated, and an illegal script is rejected.
+func TestGenerateScript(t *testing.T) {
+	script := []Event{
+		{Interval: 9, Kind: Recover, Node: 1},
+		{Interval: 4, Kind: Crash, Node: 1},
+		{Interval: 2, Kind: SlowStart, Node: 0, Factor: 0.25},
+		{Interval: 12, Kind: SlowEnd, Node: 0},
+	}
+	s, err := Generate(Options{Script: script}, 3, 20, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Interval < s[i-1].Interval {
+			t.Fatalf("script not sorted: %+v", s)
+		}
+	}
+	bad := []Event{{Interval: 3, Kind: Recover, Node: 0}}
+	if _, err := Generate(Options{Script: bad}, 3, 20, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("recover without a crash accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	o, err := Resolve(Options{SpotNotice: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		s    Schedule
+		want string
+	}{
+		{"unsorted", Schedule{{Interval: 5, Kind: Crash, Node: 0}, {Interval: 2, Kind: Crash, Node: 1}}, "not sorted"},
+		{"interval zero", Schedule{{Interval: 0, Kind: Crash, Node: 0}}, "first boundary"},
+		{"double crash", Schedule{{Interval: 1, Kind: Crash, Node: 0}, {Interval: 2, Kind: Crash, Node: 0}}, "already down"},
+		{"notice while down", Schedule{{Interval: 1, Kind: Crash, Node: 0}, {Interval: 2, Kind: RevokeNotice, Node: 0}}, "while down"},
+		{"revoke without notice", Schedule{{Interval: 3, Kind: Revoke, Node: 0}}, "without a notice"},
+		{"revoke before notice elapses", Schedule{
+			{Interval: 1, Kind: RevokeNotice, Node: 0},
+			{Interval: 2, Kind: Revoke, Node: 0},
+		}, "promised"},
+		{"restore without revoke", Schedule{{Interval: 1, Kind: Restore, Node: 0}}, "without a revocation"},
+		{"node out of range", Schedule{{Interval: 1, Kind: Crash, Node: 9}}, "of 4"},
+		{"double slow", Schedule{
+			{Interval: 1, Kind: SlowStart, Node: 0, Factor: 0.5},
+			{Interval: 2, Kind: SlowStart, Node: 0, Factor: 0.5},
+		}, "already slow"},
+		{"bad slow factor", Schedule{{Interval: 1, Kind: SlowStart, Node: 0, Factor: 2}}, "(0, 1]"},
+		{"double partition", Schedule{
+			{Interval: 1, Kind: PartitionStart, Node: -1, Cut: 2},
+			{Interval: 2, Kind: PartitionStart, Node: -1, Cut: 2},
+		}, "while one is active"},
+		{"bad cut", Schedule{{Interval: 1, Kind: PartitionStart, Node: -1, Cut: 4}}, "split"},
+		{"heal without partition", Schedule{{Interval: 1, Kind: PartitionEnd, Node: -1}}, "no partition active"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.s.Validate(4, o); err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate = %v, want error mentioning %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestSpotFractionScopesRevocations checks only the top spot IDs are
+// ever revoked.
+func TestSpotFractionScopesRevocations(t *testing.T) {
+	o := Options{SpotFraction: 0.25, RevokeRate: 0.3}
+	s, err := Generate(o, 8, 200, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked := false
+	for _, ev := range s {
+		if ev.Kind == RevokeNotice || ev.Kind == Revoke || ev.Kind == Restore {
+			revoked = true
+			if ev.Node < 6 {
+				t.Fatalf("%s hit on-demand node %d with spot fraction 0.25 of 8", ev.Kind, ev.Node)
+			}
+		}
+	}
+	if !revoked {
+		t.Fatal("200 intervals at revoke rate 0.3 drew no revocations")
+	}
+}

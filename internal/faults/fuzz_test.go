@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultSchedule throws arbitrary rates, rosters and horizons at the
+// schedule generator and checks the contract every fault-enabled DES
+// run leans on: the drawn schedule passes its own state-machine
+// validation, and — independently re-checked, so a weakened Validate
+// cannot hide a generator bug — events are sorted by interval, no node
+// crashes twice without recovering, every revocation honors the
+// promised notice window, and the draw is a pure function of the seed.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(7), 8, 200, 0.05, 0.05, 0.02, 0.25, 0.05, 0.5, 2)
+	f.Add(int64(1), 1, 50, 0.9, 0.9, 0.9, 1.0, 0.9, 1.0, 1)
+	f.Add(int64(42), 16, 400, 0.01, 0.0, 0.0, 0.0, 0.0, 0.3, 3)
+	f.Add(int64(3), 2, 10, 0.0, 1.0, 1.0, 0.5, 1.0, 0.01, 7)
+	f.Fuzz(func(t *testing.T, seed int64, nodes, intervals int,
+		crash, slow, part, spotFrac, revoke, slowFactor float64, notice int) {
+		o := Options{
+			CrashRate:     crash,
+			SlowRate:      slow,
+			SlowFactor:    slowFactor,
+			PartitionRate: part,
+			SpotFraction:  spotFrac,
+			RevokeRate:    revoke,
+			SpotNotice:    notice,
+		}
+		resolved, err := Resolve(o)
+		if err != nil {
+			t.Skip() // out-of-range options are the caller's error, not ours
+		}
+		for _, v := range []float64{crash, slow, part, spotFrac, revoke} {
+			if math.IsNaN(v) {
+				t.Skip()
+			}
+		}
+		if nodes < 0 {
+			nodes = -nodes
+		}
+		nodes = 1 + nodes%32
+		if intervals < 0 {
+			intervals = -intervals
+		}
+		intervals %= 300
+
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Generate(o, nodes, intervals, rng)
+		if err != nil {
+			t.Fatalf("resolvable options failed to generate: %v", err)
+		}
+		if err := s.Validate(nodes, resolved); err != nil {
+			t.Fatalf("generated schedule fails its own validation: %v", err)
+		}
+
+		down := make([]bool, nodes)
+		noticeAt := make(map[int]int)
+		last := 0
+		for i, ev := range s {
+			if ev.Interval < last {
+				t.Fatalf("event %d at interval %d after %d: not sorted", i, ev.Interval, last)
+			}
+			last = ev.Interval
+			switch ev.Kind {
+			case Crash:
+				if down[ev.Node] {
+					t.Fatalf("node %d crashed at interval %d while down", ev.Node, ev.Interval)
+				}
+				down[ev.Node] = true
+			case Recover, Restore:
+				down[ev.Node] = false
+			case RevokeNotice:
+				noticeAt[ev.Node] = ev.Interval
+			case Revoke:
+				at, ok := noticeAt[ev.Node]
+				if !ok {
+					t.Fatalf("node %d revoked at interval %d without a notice", ev.Node, ev.Interval)
+				}
+				if got := ev.Interval - at; got < resolved.SpotNotice {
+					t.Fatalf("node %d revoked %d intervals after notice, %d promised",
+						ev.Node, got, resolved.SpotNotice)
+				}
+				delete(noticeAt, ev.Node)
+				down[ev.Node] = true
+			}
+		}
+
+		b, err := Generate(o, nodes, intervals, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s, b) {
+			t.Fatal("same seed drew different schedules")
+		}
+	})
+}

@@ -51,12 +51,12 @@ func FingerprintDES(tb testing.TB, opts clusterdes.Options, horizon float64) []b
 
 // AssertDESConservation runs the fleet DES to the horizon and checks
 // the request conservation law: every primary request the fleet
-// admitted is accounted for exactly once — as a completion, a drop, or
-// a terminal timeout (retry budget exhausted). The caller's pattern
-// must stop offering load early enough before the horizon for the run
-// to drain (queues empty, retries resolved); on a drained run the law
-// is exact, so any leak or double count fails. Returns the result for
-// further assertions.
+// admitted is accounted for exactly once — as a completion, a drop, a
+// terminal timeout (retry budget exhausted), or a loss to an injected
+// node crash. The caller's pattern must stop offering load early
+// enough before the horizon for the run to drain (queues empty,
+// retries resolved); on a drained run the law is exact, so any leak or
+// double count fails. Returns the result for further assertions.
 func AssertDESConservation(tb testing.TB, opts clusterdes.Options, horizon float64) clusterdes.Result {
 	tb.Helper()
 	fl, err := clusterdes.New(opts)
@@ -71,9 +71,9 @@ func AssertDESConservation(tb testing.TB, opts clusterdes.Options, horizon float
 		tb.Fatal("fleettest: run admitted no requests")
 	}
 	lat := res.Latency
-	if got := lat.Completed + lat.Dropped + lat.TimedOut; got != res.Stats.Requests {
-		tb.Fatalf("fleettest: conservation violated: %d completed + %d dropped + %d timed out != %d requests",
-			lat.Completed, lat.Dropped, lat.TimedOut, res.Stats.Requests)
+	if got := lat.Completed + lat.Dropped + lat.TimedOut + lat.Lost; got != res.Stats.Requests {
+		tb.Fatalf("fleettest: conservation violated: %d completed + %d dropped + %d timed out + %d lost != %d requests",
+			lat.Completed, lat.Dropped, lat.TimedOut, lat.Lost, res.Stats.Requests)
 	}
 	return res
 }

@@ -56,6 +56,17 @@ type FleetSample struct {
 	RateLimited  int `json:"rate_limited,omitempty"`
 	HedgeCancels int `json:"hedge_cancels,omitempty"`
 
+	// Fault-injection activity (cluster DES mode with Faults or the
+	// predictive mitigation enabled; zero otherwise): requests destroyed
+	// by crashes this interval, the fleet's current crashed/revoked and
+	// degraded populations, active nodes cut off from the coordinator's
+	// partition side, and nodes the predictive detector flags suspect.
+	Lost        int `json:"lost,omitempty"`
+	DownNodes   int `json:"down_nodes,omitempty"`
+	SlowNodes   int `json:"slow_nodes,omitempty"`
+	Partitioned int `json:"partitioned,omitempty"`
+	Suspects    int `json:"suspects,omitempty"`
+
 	// In-DES learning activity (cluster DES mode with the RL loop
 	// enabled; zero otherwise): nodes whose policy reported the
 	// learning phase this interval, and the fleet-mean RL reward of the
@@ -280,6 +291,28 @@ func (ft *FleetTrace) TotalHedgeCancels() int {
 	return n
 }
 
+// TotalLost sums the requests destroyed by node crashes over the run.
+func (ft *FleetTrace) TotalLost() int {
+	n := 0
+	for _, s := range ft.Samples {
+		n += s.Lost
+	}
+	return n
+}
+
+// FirstStragglerInterval returns the 1-based interval of the first
+// sample with a straggler, -1 when the run never saw one. This is the
+// moment the REACTIVE tail signal (factor × median) first observed the
+// degradation — the benchmark the predictive detector races against.
+func (ft *FleetTrace) FirstStragglerInterval() int {
+	for i, s := range ft.Samples {
+		if s.Stragglers > 0 {
+			return i + 1
+		}
+	}
+	return -1
+}
+
 // WarmupIntervals sums the node-intervals spent warming up after an
 // activation — capacity that was powered and billed but degraded.
 func (ft *FleetTrace) WarmupIntervals() int {
@@ -333,6 +366,9 @@ type FleetSummary struct {
 	// Request-path resilience totals (cluster DES mode with the
 	// resilience layer enabled; zero otherwise).
 	Retries, Timeouts, BreakerOpens, RateLimited, HedgeCancels int
+	// Lost is the requests destroyed by injected node crashes (cluster
+	// DES mode with fault injection enabled; zero otherwise).
+	Lost int
 	// LearningIntervals is the node-intervals spent in the learning
 	// phase (cluster DES mode with learning enabled; zero otherwise).
 	LearningIntervals int
@@ -358,6 +394,7 @@ func (ft *FleetTrace) Summarize() FleetSummary {
 	sum.BreakerOpens = ft.TotalBreakerOpens()
 	sum.RateLimited = ft.TotalRateLimited()
 	sum.HedgeCancels = ft.TotalHedgeCancels()
+	sum.Lost = ft.TotalLost()
 	if len(ft.Samples) > 0 {
 		var off, ach float64
 		for _, s := range ft.Samples {
