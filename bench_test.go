@@ -672,6 +672,42 @@ func BenchmarkClusterAutoscale(b *testing.B) {
 	b.ReportMetric(saved, "node-intervals-saved%")
 }
 
+// BenchmarkTuneSmall runs the offline tuner end to end on a small
+// instance — a 4-node fleet, 40-second evaluations, one hill-climbing
+// round of two neighbors with no restarts, one training seed — so CI
+// gates the search harness itself (proposal, dedup, candidate fan-out,
+// serial ledger fold) riding on a handful of fleet evaluations.
+// Workers is 1 so the measurement is machine-independent, and the
+// search's determinism makes the allocation count near-exact, which is
+// what the alloc budget in ci/bench_baseline.json pins.
+func BenchmarkTuneSmall(b *testing.B) {
+	ev := hipster.TuneFleetEvaluator{Nodes: 4, Horizon: 40}
+	space, err := ev.Space()
+	if err != nil {
+		b.Fatal(err)
+	}
+	evaluate := ev.Evaluator(space)
+	var score float64
+	for i := 0; i < b.N; i++ {
+		res, err := hipster.Tune(hipster.TuneOptions{
+			Space:     space,
+			Evaluate:  evaluate,
+			Seeds:     []int64{42},
+			Seed:      1,
+			Neighbors: 2,
+			MaxRounds: 1,
+			Patience:  1,
+			Restarts:  0,
+			Workers:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		score = res.Winner.Score
+	}
+	b.ReportMetric(score, "winner-score")
+}
+
 // BenchmarkExtSeedRobustness regenerates the multi-seed robustness
 // study of HipsterIn's headline metrics.
 func BenchmarkExtSeedRobustness(b *testing.B) {

@@ -30,7 +30,7 @@ func main() {
 		format   = flag.String("format", "json", "input format: json (go test -json stream) or text (raw bench output)")
 		baseline = flag.String("baseline", "", "committed baseline file to gate against")
 		out      = flag.String("out", "", "write the summarized results (report artifact) to this path")
-		gate     = flag.String("gate", "BenchmarkCluster16Nodes", "benchmark name prefix the regression gate applies to")
+		gate     = flag.String("gate", "BenchmarkCluster16Nodes", "comma-separated benchmark name prefixes the regression gate applies to")
 		maxReg   = flag.Float64("max-regress", 0.20, "maximum allowed ns/op regression as a fraction of the baseline")
 		update   = flag.Bool("update-baseline", false, "rewrite the baseline from this run instead of gating")
 		note     = flag.String("note", "", "note stored in the baseline when updating")

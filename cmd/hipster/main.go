@@ -76,6 +76,17 @@
 //	hipster cluster -mode des -learn -nodes 8 -workload websearch -pattern spike
 //	hipster cluster -mode des -learn -alpha 0.5 -gamma 0.85 -learn-secs 300
 //	hipster cluster -mode des -learn -federate -sync-interval 5 -autoscale -warmup-intervals 3
+//
+// The tune subcommand searches those knobs offline: seeded
+// hill-climbing with random restarts over the learn-enabled DES,
+// every candidate scored across the training seeds on a weighted
+// P99 + QoS-miss + power objective, writing the winner plus the full
+// evaluation ledger as a JSON artifact that -tuned replays. The search
+// is deterministic at any -workers value:
+//
+//	hipster tune -nodes 6 -duration 300 -restarts 3 -out tuning_result.json
+//	hipster cluster -mode des -tuned tuning_result.json
+//	hipster cluster -mode des -tuned tuning_result.json -seed 1042
 package main
 
 import (
@@ -96,6 +107,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "cluster" {
 		if err := runCluster(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "hipster cluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tune" {
+		if err := runTune(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "hipster tune:", err)
 			os.Exit(1)
 		}
 		return
@@ -312,6 +330,7 @@ func runCluster(args []string) error {
 		partition    = fs.Float64("partition", 0.01, "fault schedule: per-interval network-partition probability in [0, 1]")
 		spotFraction = fs.Float64("spot-fraction", 0, "fault schedule: fraction of the fleet that is revocable spot capacity, in [0, 1]")
 		spotNotice   = fs.Int("spot-notice", 2, "fault schedule: intervals of drain notice before a spot revocation (>= 1)")
+		tunedPath    = fs.String("tuned", "", "DES: replay the winning configuration of a tuning artifact (see the tune subcommand)")
 	)
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -346,8 +365,57 @@ func runCluster(args []string) error {
 			"mitigation", "hedge-quantile", "warmup-intervals", "domains", "learn",
 			"retries", "retry-backoff", "timeout", "breaker", "rate-limit",
 			"hedge-budget", "hedge-cancel", "faults", "crash-rate", "slow-factor",
-			"partition", "spot-fraction", "spot-notice"); err != nil {
+			"partition", "spot-fraction", "spot-notice", "tuned"); err != nil {
 			return err
+		}
+		// A tuning artifact dictates the learning, federation, autoscale
+		// and mitigation knobs; flags that would fight it are rejected
+		// rather than silently ignored — the mirror image of the orphan
+		// checks above.
+		if *tunedPath != "" {
+			set := make(map[string]bool)
+			fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+			var clashing []string
+			for _, name := range []string{
+				"policy", "splitter", "mitigation", "hedge-quantile", "domains",
+				"learn", "alpha", "gamma", "bucket-frac", "learn-secs",
+				"federate", "sync-interval", "merge", "staleness", "sync-dropout",
+				"autoscale", "max-nodes", "scale-policy", "cooldown", "warmup-intervals",
+				"retries", "retry-backoff", "timeout", "breaker", "rate-limit",
+				"hedge-budget", "hedge-cancel", "faults", "crash-rate", "slow-factor",
+				"partition", "spot-fraction", "spot-notice",
+			} {
+				if set[name] {
+					clashing = append(clashing, "-"+name)
+				}
+			}
+			if len(clashing) > 0 {
+				return fmt.Errorf("%s conflict(s) with -tuned: the artifact dictates those knobs", strings.Join(clashing, ", "))
+			}
+			// Unset fleet flags fall back to the tuner's evaluation
+			// conditions, so a bare replay reruns the fleet the artifact
+			// was tuned on; explicit flags override to probe how the
+			// winner generalises.
+			a := tunedArgs{
+				path: *tunedPath, workers: *workers, seed: *seed, series: *series,
+				nodes: 6, workload: "websearch", duration: 300, minNodes: 2,
+			}
+			if set["nodes"] {
+				a.nodes = *nodes
+			}
+			if set["workload"] {
+				a.workload = *workloadName
+			}
+			if set["pattern"] {
+				a.pattern = *patternName
+			}
+			if set["duration"] {
+				a.duration = *duration
+			}
+			if set["min-nodes"] {
+				a.minNodes = *minNodes
+			}
+			return runTunedReplay(a)
 		}
 		if err := requireFeature(*faultsOn, "-faults",
 			"crash-rate", "slow-factor", "partition", "spot-fraction", "spot-notice"); err != nil {

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hipster"
+	"hipster/internal/report"
+)
+
+// runTune implements the tune subcommand: an offline search over the
+// learn-enabled cluster DES that writes its winner plus the full
+// evaluation ledger as a reproducible JSON artifact. The search is
+// deterministic — the same invocation reproduces the same artifact
+// byte for byte at any -workers value — so the artifact doubles as a
+// record of how the winner was found.
+func runTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	var (
+		nodes        = fs.Int("nodes", 6, "fleet size every candidate is evaluated on")
+		workers      = fs.Int("workers", 0, "parallel candidate evaluations (0 = GOMAXPROCS); never changes the result")
+		workloadName = fs.String("workload", "websearch", "latency-critical workload on every node: memcached|websearch")
+		patternName  = fs.String("pattern", "", "training-day load pattern: diurnal|ramp|constant:<frac>|spike (default: the tuner's bursty day)")
+		duration     = fs.Float64("duration", 300, "simulated seconds per evaluation")
+		seed         = fs.Int64("seed", 42, "search-stream seed; also the base of the default training seeds")
+		trainSeeds   = fs.String("train-seeds", "", "comma-separated training seeds every candidate is scored across (default seed,seed+1)")
+		rounds       = fs.Int("rounds", 12, "hill-climbing rounds per restart")
+		neighbors    = fs.Int("neighbors", 4, "candidates proposed per round")
+		patience     = fs.Int("patience", 2, "rounds without improvement before a climb converges")
+		restarts     = fs.Int("restarts", 3, "random restarts after the default-point climb")
+		minNodes     = fs.Int("min-nodes", 2, "autoscale lower bound of every evaluation fleet")
+		wP99         = fs.Float64("w-p99", 1, "objective weight on a second of p99 tail latency")
+		wQoS         = fs.Float64("w-qos", 5, "objective weight on a whole missed QoS fraction")
+		wPower       = fs.Float64("w-power", 0.1, "objective weight on a watt of fleet mean power")
+		powerCap     = fs.Float64("power-cap", -1, "soft energy budget in watts; above it draw is priced steeply (-1 = measure the untuned config, 0 = no budget)")
+		out          = fs.String("out", "tuning_result.json", "path the tuning artifact is written to")
+	)
+	prof := profileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return prof.around(func() error {
+		switch {
+		case *nodes < 2:
+			return fmt.Errorf("-nodes %d: tuning needs at least 2 nodes", *nodes)
+		case *duration <= 0:
+			return fmt.Errorf("-duration %v must be positive", *duration)
+		case *rounds < 1:
+			return fmt.Errorf("-rounds %d must be at least 1", *rounds)
+		case *neighbors < 1:
+			return fmt.Errorf("-neighbors %d must be at least 1", *neighbors)
+		case *patience < 1:
+			return fmt.Errorf("-patience %d must be at least 1", *patience)
+		case *restarts < 0:
+			return fmt.Errorf("-restarts %d must not be negative", *restarts)
+		case *wP99 < 0 || *wQoS < 0 || *wPower < 0:
+			return fmt.Errorf("objective weights must not be negative (got -w-p99 %v -w-qos %v -w-power %v)", *wP99, *wQoS, *wPower)
+		case *out == "":
+			return fmt.Errorf("-out must name a file")
+		}
+		seeds, err := parseTrainSeeds(*trainSeeds, *seed)
+		if err != nil {
+			return err
+		}
+		wl, err := hipster.WorkloadByName(*workloadName)
+		if err != nil {
+			return err
+		}
+		var pattern hipster.Pattern
+		if *patternName != "" {
+			if pattern, err = parsePattern(*patternName); err != nil {
+				return err
+			}
+		}
+
+		ev := hipster.TuneFleetEvaluator{
+			Nodes:    *nodes,
+			Workload: wl,
+			Pattern:  pattern,
+			Horizon:  *duration,
+			MinNodes: *minNodes,
+		}
+		space, err := ev.Space()
+		if err != nil {
+			return err
+		}
+		evaluate := ev.Evaluator(space)
+
+		weights := hipster.TuneWeights{P99: *wP99, QoSMiss: *wQoS, PowerW: *wPower}
+		switch {
+		case *powerCap > 0:
+			weights.PowerCapW = *powerCap
+		case *powerCap < 0:
+			// Measure the untuned configuration's draw on the training
+			// seeds and budget the search against it: the winner may not
+			// buy its tail with more energy than the default burns.
+			var capW float64
+			for _, s := range seeds {
+				m, err := evaluate(space.Default(), s)
+				if err != nil {
+					return fmt.Errorf("baseline evaluation under seed %d: %w", s, err)
+				}
+				capW += m.MeanPowerW
+			}
+			weights.PowerCapW = capW / float64(len(seeds))
+		}
+
+		res, err := hipster.Tune(hipster.TuneOptions{
+			Space:     space,
+			Evaluate:  evaluate,
+			Seeds:     seeds,
+			Seed:      *seed,
+			Neighbors: *neighbors,
+			MaxRounds: *rounds,
+			Patience:  *patience,
+			Restarts:  *restarts,
+			Workers:   *workers,
+			Weights:   weights,
+		})
+		if err != nil {
+			return err
+		}
+		if err := res.WriteFile(*out); err != nil {
+			return err
+		}
+
+		fmt.Printf("tune nodes=%d workers=%d workload=%s duration=%.0fs seed=%d train-seeds=%s\n",
+			*nodes, *workers, *workloadName, *duration, *seed, formatSeeds(seeds))
+		fmt.Printf("  search          : %d configs evaluated, %d rounds, %d restarts, converged=%v\n",
+			len(res.Evaluations), res.Rounds, *restarts, res.Converged)
+		if res.Weights.PowerCapW > 0 {
+			fmt.Printf("  energy budget   : %s W (soft cap)\n", report.F2(res.Weights.PowerCapW))
+		}
+		fmt.Printf("  default score   : %s (train-seed mean, lower is better)\n", report.F4(res.DefaultEval.Score))
+		fmt.Printf("  winner score    : %s (%s better)\n", report.F4(res.Winner.Score),
+			report.Pct((1-res.Winner.Score/res.DefaultEval.Score)*100))
+		fmt.Println("  winner config   :")
+		for _, s := range res.Winner.Settings {
+			if s.Value != "" {
+				fmt.Printf("    %-15s %s\n", s.Name, s.Value)
+			} else {
+				fmt.Printf("    %-15s %s\n", s.Name, strconv.FormatFloat(s.Number, 'g', 6, 64))
+			}
+		}
+		fmt.Printf("  artifact        : %s (replay with: hipster cluster -mode des -tuned %s)\n", *out, *out)
+		return nil
+	})
+}
+
+// tunedArgs carries the cluster flags that apply to -tuned replay.
+type tunedArgs struct {
+	path              string
+	nodes, workers    int
+	workload, pattern string
+	duration          float64
+	seed              int64
+	series            bool
+	minNodes          int
+}
+
+// runTunedReplay reruns a tuning artifact's winning configuration as a
+// cluster DES: the artifact's own space and winner settings rebuild
+// the exact evaluation fleet through the same code path the tuner
+// used, so a replay under a training seed reproduces the ledger's
+// numbers and a replay under a fresh seed grades the winner on a day
+// it never saw.
+func runTunedReplay(a tunedArgs) error {
+	res, err := hipster.ReadTuneResult(a.path)
+	if err != nil {
+		return err
+	}
+	wl, err := hipster.WorkloadByName(a.workload)
+	if err != nil {
+		return err
+	}
+	var pattern hipster.Pattern
+	if a.pattern != "" {
+		if pattern, err = parsePattern(a.pattern); err != nil {
+			return err
+		}
+	}
+	ev := hipster.TuneFleetEvaluator{
+		Nodes:    a.nodes,
+		Workload: wl,
+		Pattern:  pattern,
+		Horizon:  a.duration,
+		MinNodes: a.minNodes,
+	}
+	opts, err := ev.FleetOptions(res.Space, res.WinnerPoint(), a.seed)
+	if err != nil {
+		return err
+	}
+	opts.Workers = a.workers
+	m, err := hipster.EvaluateClusterDES(opts, a.duration)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster mode=des tuned=%s nodes=%d workload=%s duration=%.0fs seed=%d\n",
+		a.path, a.nodes, a.workload, a.duration, a.seed)
+	fmt.Println("  tuned config    :")
+	for _, s := range res.Winner.Settings {
+		if s.Value != "" {
+			fmt.Printf("    %-15s %s\n", s.Name, s.Value)
+		} else {
+			fmt.Printf("    %-15s %s\n", s.Name, strconv.FormatFloat(s.Number, 'g', 6, 64))
+		}
+	}
+	fmt.Printf("  requests        : %d issued, %d completed\n", m.Requests, m.Completed)
+	fmt.Printf("  latency         : p99 %s ms (end to end)\n", report.F2(m.P99*1000))
+	fmt.Printf("  QoS attainment  : %s\n", report.Pct(m.QoSAttainment*100))
+	fmt.Printf("  fleet energy    : %s J (mean %s W)\n", report.F0(m.EnergyJ), report.F2(m.MeanPowerW))
+	fmt.Printf("  objective score : %s (artifact weights; winner scored %s on the training seeds)\n",
+		report.F4(res.Weights.Score(m)), report.F4(res.Winner.Score))
+	return nil
+}
+
+// parseTrainSeeds parses the -train-seeds list, defaulting to
+// {seed, seed+1}.
+func parseTrainSeeds(s string, seed int64) ([]int64, error) {
+	if s == "" {
+		return []int64{seed, seed + 1}, nil
+	}
+	parts := strings.Split(s, ",")
+	seeds := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -train-seeds %q: %w", s, err)
+		}
+		seeds[i] = v
+	}
+	return seeds, nil
+}
+
+// formatSeeds renders a seed list for the report header.
+func formatSeeds(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden file from this run")
+
+// TestGoldenOutput replays the example into a buffer and compares it
+// byte-for-byte against the committed golden, so any drift in the
+// search trajectory, the winning configuration or the held-out
+// numbers is caught in CI. After an intentional change, regenerate
+// with:
+//
+//	go test ./examples/tuning -run TestGoldenOutput -update
+func TestGoldenOutput(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		// The golden pins byte-exact float formatting; Go permits FMA
+		// fusion on other architectures, which can shift accumulated
+		// sums by a rounded digit. CI (amd64) enforces the golden.
+		t.Skipf("golden pinned to amd64 float semantics, running on %s", runtime.GOARCH)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "output.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file %s regenerated", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("output drifted from %s (rerun with -update if intentional)\n--- want ---\n%s--- got ---\n%s",
+			golden, want, buf.Bytes())
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"hipster/internal/policy"
 	"hipster/internal/resilience"
 	"hipster/internal/telemetry"
+	"hipster/internal/tuning"
 	"hipster/internal/workload"
 )
 
@@ -358,6 +359,98 @@ const (
 	// FaultRestore returns a revoked spot node to the pool.
 	FaultRestore = faults.Restore
 )
+
+// Offline tuning types: a deterministic parallel search over the
+// learn-enabled cluster DES. Tune hill-climbs a typed parameter space
+// (RL hyperparameters, hedge quantile, routing domains, federation
+// sync interval, autoscale target, mitigation policy) with random
+// restarts, evaluating every candidate across several training seeds
+// on a worker pool and scoring a weighted tail + QoS + energy
+// objective. Because each evaluation is a pure function of (seed,
+// config) and search decisions consume a dedicated seeded stream, the
+// same TuneOptions reproduce the same TuneResult — and the same JSON
+// artifact byte for byte — at any worker count. The cmd/hipster tune
+// subcommand writes that artifact and cluster -mode=des -tuned replays
+// its winner.
+type (
+	// ParamSpace is the typed search space: an ordered set of bounded
+	// dimensions.
+	ParamSpace = tuning.Space
+	// ParamDimension is one axis of a ParamSpace — continuous or
+	// discrete with [Min, Max] bounds, or categorical over an explicit
+	// value set.
+	ParamDimension = tuning.Dimension
+	// ParamKind classifies a ParamDimension (continuous, discrete,
+	// categorical).
+	ParamKind = tuning.Kind
+	// TunePoint is one configuration of a ParamSpace, one value per
+	// dimension in space order.
+	TunePoint = tuning.Point
+	// TuneSetting is one dimension binding of the JSON artifact.
+	TuneSetting = tuning.Setting
+	// TuneWeights parameterise the scalar objective, including the
+	// optional soft energy budget (PowerCapW).
+	TuneWeights = tuning.Weights
+	// TuneOptions configure a Tune run: space, evaluator, training
+	// seeds, search budget and objective weights.
+	TuneOptions = tuning.Options
+	// TuneResult is a finished search: the winning configuration, the
+	// untuned baseline, and the full evaluation ledger — serializable
+	// as the reproducible tuning artifact.
+	TuneResult = tuning.Result
+	// TuneEvaluation is one ledger entry: a deduplicated candidate with
+	// per-seed metrics and its aggregate score.
+	TuneEvaluation = tuning.Evaluation
+	// TuneMetrics are the objective inputs one evaluation produces
+	// (tail latency, QoS attainment, energy), as returned by
+	// EvaluateClusterDES.
+	TuneMetrics = tuning.Metrics
+	// TuneEvaluator is the single-point evaluation function the search
+	// calls; it must be pure in (point, seed).
+	TuneEvaluator = tuning.Evaluator
+	// TuneFleetEvaluator maps points of DefaultParamSpace onto concrete
+	// learn-enabled cluster DES runs; its FleetOptions method is also
+	// how a tuning artifact is replayed as a ClusterDESOptions.
+	TuneFleetEvaluator = tuning.FleetEvaluator
+)
+
+// Parameter-dimension kinds for ParamDimension.Kind.
+const (
+	// ParamContinuous dimensions take any float in [Min, Max].
+	ParamContinuous = tuning.Continuous
+	// ParamDiscrete dimensions take integer values in [Min, Max].
+	ParamDiscrete = tuning.Discrete
+	// ParamCategorical dimensions take one of an explicit value set.
+	ParamCategorical = tuning.Categorical
+)
+
+// Tune runs the offline search: seeded hill-climbing with random
+// restarts over the option's ParamSpace, candidates evaluated across
+// the training seeds in parallel. Same options, same result, at any
+// worker count.
+func Tune(o TuneOptions) (TuneResult, error) { return tuning.Tune(o) }
+
+// DefaultParamSpace returns the search space over the learn-enabled
+// cluster DES for a fleet of the given size: Hipster's RL
+// hyperparameters, the hedge quantile, routing domains, the federation
+// sync interval, the autoscale utilisation target, and the mitigation
+// policy. Its default point is the untuned CLI configuration.
+func DefaultParamSpace(nodes int) (ParamSpace, error) { return tuning.DefaultSpace(nodes) }
+
+// DefaultTuneWeights returns the documented objective defaults (no
+// energy budget).
+func DefaultTuneWeights() TuneWeights { return tuning.DefaultWeights() }
+
+// ReadTuneResult loads a tuning artifact written by TuneResult's
+// WriteFile, validating its space and winner.
+func ReadTuneResult(path string) (TuneResult, error) { return tuning.ReadFile(path) }
+
+// EvaluateClusterDES builds a fleet from opts, runs it for horizon
+// simulated seconds, and folds the run into TuneMetrics — the
+// single-point evaluation the tuner fans out across its worker pool.
+func EvaluateClusterDES(opts ClusterDESOptions, horizon float64) (TuneMetrics, error) {
+	return clusterdes.Evaluate(opts, horizon)
+}
 
 // NewClusterDES builds a fleet discrete-event simulation from options.
 func NewClusterDES(opts ClusterDESOptions) (*ClusterDES, error) { return clusterdes.New(opts) }

@@ -227,26 +227,46 @@ func (b Baseline) WriteBaseline(w io.Writer) error {
 }
 
 // Gate compares the summarized current run against the baseline: the
-// ns/op of every baseline benchmark whose name starts with prefix
-// (current more than maxRegress above baseline fails, e.g. 0.20 =
-// +20%), plus every allocation budget in the baseline regardless of
-// prefix (allocs/op above the budget fails; budgets are exempt from
-// maxRegress since allocation counts are near-deterministic). It
-// returns human-readable regression messages and an error when either
-// gate is vacuous — no gated benchmark appears in the current run (or,
-// for budgets, ran without -benchmem), so a regression could never be
-// detected.
+// ns/op of every baseline benchmark whose name starts with any of the
+// comma-separated prefixes (current more than maxRegress above
+// baseline fails, e.g. 0.20 = +20%), plus every allocation budget in
+// the baseline regardless of prefix (allocs/op above the budget fails;
+// budgets are exempt from maxRegress since allocation counts are
+// near-deterministic). Every prefix must match at least one baseline
+// benchmark — a stale prefix in the gate list means a renamed or
+// deleted benchmark, which must fail rather than silently retire its
+// gate. It returns human-readable regression messages and an error
+// when either gate is vacuous — no gated benchmark appears in the
+// current run (or, for budgets, ran without -benchmem), so a
+// regression could never be detected.
 func Gate(current map[string]Summary, base Baseline, prefix string, maxRegress float64) ([]string, error) {
-	var names []string
-	for name := range base.Benchmarks {
-		if strings.HasPrefix(name, prefix) {
-			names = append(names, name)
+	var prefixes []string
+	for _, p := range strings.Split(prefix, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
 		}
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, fmt.Errorf("benchparse: baseline has no benchmark matching %q", prefix)
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("benchparse: empty gate prefix %q", prefix)
 	}
+	gated := make(map[string]bool)
+	for _, p := range prefixes {
+		matched := false
+		for name := range base.Benchmarks {
+			if strings.HasPrefix(name, p) {
+				gated[name] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("benchparse: baseline has no benchmark matching %q", p)
+		}
+	}
+	names := make([]string, 0, len(gated))
+	for name := range gated {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var regressions []string
 	compared := 0
 	for _, name := range names {

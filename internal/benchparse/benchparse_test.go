@@ -166,6 +166,54 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestGateMultiPrefix(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchmarkCluster16Nodes/workers=1": 100,
+		"BenchmarkTuneSmall":                200,
+		"BenchmarkEngineStep":               10,
+	}}
+	current := map[string]Summary{
+		"BenchmarkCluster16Nodes/workers=1": {NsPerOp: 100},
+		"BenchmarkTuneSmall":                {NsPerOp: 300},
+		"BenchmarkEngineStep":               {NsPerOp: 99},
+	}
+
+	// A comma-separated gate list covers both families: the Tune
+	// regression is caught, the ungated EngineStep one still ignored.
+	regs, err := Gate(current, base, "BenchmarkCluster,BenchmarkTune", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkTuneSmall") {
+		t.Fatalf("regressions = %v", regs)
+	}
+
+	// Overlapping prefixes gate each benchmark once, not twice.
+	current["BenchmarkTuneSmall"] = Summary{NsPerOp: 600}
+	regs, err = Gate(current, base, "BenchmarkTune,BenchmarkTuneSmall", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("overlapping prefixes duplicated the gate: %v", regs)
+	}
+
+	// Every prefix must match: one stale name in the list fails the
+	// whole gate instead of silently retiring it.
+	if _, err := Gate(current, base, "BenchmarkCluster,BenchmarkNope", 0.20); err == nil ||
+		!strings.Contains(err.Error(), "BenchmarkNope") {
+		t.Fatalf("want stale-prefix error naming BenchmarkNope, got %v", err)
+	}
+
+	// Spaces around commas are tolerated; an all-empty list is not.
+	if _, err := Gate(current, base, " BenchmarkCluster , BenchmarkTune ", 0.20); err != nil {
+		t.Fatalf("spaced gate list rejected: %v", err)
+	}
+	if _, err := Gate(current, base, " , ", 0.20); err == nil {
+		t.Fatal("want error for empty gate list")
+	}
+}
+
 func TestGateAllocBudgets(t *testing.T) {
 	base := Baseline{
 		Benchmarks: map[string]float64{"BenchmarkCluster16Nodes/workers=1": 100},

@@ -1,0 +1,49 @@
+package clusterdes
+
+// EvalMetrics are the headline numbers of one DES run, in the shape
+// the offline tuner's objective consumes: tail latency, QoS
+// attainment and energy, plus the request ledger for sanity checks.
+type EvalMetrics struct {
+	// P99 is the end-to-end request tail latency in seconds.
+	P99 float64 `json:"p99_s"`
+	// QoSAttainment is the fraction of node-intervals meeting the tail
+	// target.
+	QoSAttainment float64 `json:"qos"`
+	// EnergyJ is the fleet energy spent over the run.
+	EnergyJ float64 `json:"energy_j"`
+	// MeanPowerW is the fleet mean power (EnergyJ over the horizon).
+	MeanPowerW float64 `json:"mean_power_w"`
+	// Requests and Completed count the run's request ledger.
+	Requests, Completed int `json:"-"`
+}
+
+// Evaluate is the tuner's single-point evaluation: build a fleet from
+// opts, run it for horizon seconds, and fold the result into
+// EvalMetrics. Because a Fleet's Result is a pure function of (Seed,
+// Domains) at any worker count, so is the returned metric — the
+// property the offline search leans on when it fans evaluations out
+// across a worker pool. Each evaluation owns a private fleet, so
+// concurrent Evaluate calls (with Workers: 1, as the tuner issues
+// them) share no state.
+func Evaluate(opts Options, horizon float64) (EvalMetrics, error) {
+	fl, err := New(opts)
+	if err != nil {
+		return EvalMetrics{}, err
+	}
+	res, err := fl.Run(horizon)
+	if err != nil {
+		return EvalMetrics{}, err
+	}
+	sum := res.Summarize()
+	m := EvalMetrics{
+		P99:           res.Latency.P99,
+		QoSAttainment: sum.QoSAttainment,
+		EnergyJ:       sum.TotalEnergyJ,
+		Requests:      res.Stats.Requests,
+		Completed:     res.Latency.Completed,
+	}
+	if horizon > 0 {
+		m.MeanPowerW = sum.TotalEnergyJ / horizon
+	}
+	return m, nil
+}

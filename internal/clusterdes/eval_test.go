@@ -1,0 +1,79 @@
+package clusterdes_test
+
+import (
+	"testing"
+
+	"hipster/internal/clusterdes"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// evalOpts builds a small learn-enabled fleet for Evaluate tests.
+func evalOpts(seed int64) clusterdes.Options {
+	nodes, err := clusterdes.Uniform(4, platform.JunoR1(), workload.WebSearch())
+	if err != nil {
+		panic(err)
+	}
+	return clusterdes.Options{
+		Nodes:   nodes,
+		Pattern: loadgen.Constant{Frac: 0.5},
+		Seed:    seed,
+		Learn:   &clusterdes.LearnOptions{},
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	m, err := clusterdes.Evaluate(evalOpts(42), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P99 <= 0 {
+		t.Errorf("P99 = %v, want positive", m.P99)
+	}
+	if m.QoSAttainment < 0 || m.QoSAttainment > 1 {
+		t.Errorf("QoSAttainment = %v outside [0, 1]", m.QoSAttainment)
+	}
+	if m.EnergyJ <= 0 {
+		t.Errorf("EnergyJ = %v, want positive", m.EnergyJ)
+	}
+	if want := m.EnergyJ / 60; m.MeanPowerW != want {
+		t.Errorf("MeanPowerW = %v, want EnergyJ/horizon = %v", m.MeanPowerW, want)
+	}
+	if m.Requests == 0 || m.Completed == 0 {
+		t.Errorf("empty request ledger: %+v", m)
+	}
+	if m.Completed > m.Requests {
+		t.Errorf("completed %d exceeds issued %d", m.Completed, m.Requests)
+	}
+}
+
+// TestEvaluatePure pins the purity the tuner leans on: Evaluate is a
+// function of (opts, horizon) alone — same inputs, same metrics —
+// while a different seed yields a different run.
+func TestEvaluatePure(t *testing.T) {
+	a, err := clusterdes.Evaluate(evalOpts(42), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := clusterdes.Evaluate(evalOpts(42), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same (opts, horizon) diverged:\n%+v\n%+v", a, b)
+	}
+	c, err := clusterdes.Evaluate(evalOpts(7), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical metrics")
+	}
+}
+
+func TestEvaluateError(t *testing.T) {
+	if _, err := clusterdes.Evaluate(clusterdes.Options{}, 10); err == nil {
+		t.Fatal("Evaluate on empty options succeeded")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// shortTuning shrinks the fleet, horizon and search so the determinism
+// re-runs stay fast while still exercising restarts and the held-out
+// grading.
+func shortTuning() TuningOpts {
+	return TuningOpts{Nodes: 4, EvalSecs: 120, Rounds: 3, Neighbors: 2, Restarts: 1}
+}
+
+// TestTuningClaim pins the headline result at the experiment's default
+// scale: the configuration the offline tuner picks beats the untuned
+// default on a held-out day — a lower request tail at no worse QoS
+// attainment and no more energy.
+func TestTuningClaim(t *testing.T) {
+	res, err := Tuning(TuningOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, tu := res.Default, res.Tuned
+	if tu.Metrics.P99 >= d.Metrics.P99 {
+		t.Errorf("tuned P99 %.4fs not below default %.4fs", tu.Metrics.P99, d.Metrics.P99)
+	}
+	if tu.Metrics.QoSAttainment < d.Metrics.QoSAttainment {
+		t.Errorf("tuned QoS %.4f below default %.4f", tu.Metrics.QoSAttainment, d.Metrics.QoSAttainment)
+	}
+	if tu.Metrics.EnergyJ > d.Metrics.EnergyJ {
+		t.Errorf("tuned energy %.1fJ above default %.1fJ", tu.Metrics.EnergyJ, d.Metrics.EnergyJ)
+	}
+	if tu.Score >= d.Score {
+		t.Errorf("tuned held-out score %.4f not below default %.4f", tu.Score, d.Score)
+	}
+	if d.Config != "default" || tu.Config != "tuned" {
+		t.Errorf("rows mislabelled: %q %q", d.Config, tu.Config)
+	}
+	if tu.Key != res.Tune.Winner.Key {
+		t.Errorf("tuned row key %s is not the search winner %s", tu.Key, res.Tune.Winner.Key)
+	}
+	// The search itself must have preferred the winner on the training
+	// seeds too, and recorded the full ledger.
+	if res.Tune.Winner.Score >= res.Tune.DefaultEval.Score {
+		t.Errorf("winner train score %.4f not below default %.4f", res.Tune.Winner.Score, res.Tune.DefaultEval.Score)
+	}
+	if len(res.Tune.Evaluations) < 10 {
+		t.Errorf("suspiciously small ledger: %d evaluations", len(res.Tune.Evaluations))
+	}
+	if res.Tune.Weights.PowerCapW <= 0 {
+		t.Error("experiment did not set the energy budget")
+	}
+}
+
+// TestTuningDeterministic re-runs the whole search twice at different
+// worker counts and demands byte-identical artifacts: the search is a
+// pure function of the options, and the worker pool only changes how
+// fast it runs.
+func TestTuningDeterministic(t *testing.T) {
+	o := shortTuning()
+	o.Workers = 1
+	a, err := Tuning(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 7
+	b, err := Tuning(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aj, bj bytes.Buffer
+	if err := a.Tune.WriteJSON(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Tune.WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj.Bytes(), bj.Bytes()) {
+		t.Fatal("tuning artifacts differ across worker counts")
+	}
+	if a.Tuned != b.Tuned || a.Default != b.Default {
+		t.Fatalf("held-out rows differ across worker counts:\n%+v\n%+v", a.Tuned, b.Tuned)
+	}
+}

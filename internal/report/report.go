@@ -106,6 +106,9 @@ func Sparkline(vals []float64, width int) string {
 // Pct formats a percentage with one decimal.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
 
+// F4 formats a float with four decimals.
+func F4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
 // F2 formats a float with two decimals.
 func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
 

@@ -1,0 +1,194 @@
+package tuning
+
+import (
+	"fmt"
+
+	"hipster/internal/autoscale"
+	"hipster/internal/cluster"
+	"hipster/internal/clusterdes"
+	"hipster/internal/core"
+	"hipster/internal/loadgen"
+	"hipster/internal/platform"
+	"hipster/internal/workload"
+)
+
+// Dimension names of the default search space; FleetOptions binds each
+// of them onto the learn-enabled cluster DES.
+const (
+	DimAlpha         = "alpha"          // RL learning rate
+	DimGamma         = "gamma"          // RL discount factor
+	DimBucketFrac    = "bucket-frac"    // RL load-bucket width
+	DimLearnSecs     = "learn-secs"     // initial learning-phase duration
+	DimHedgeQuantile = "hedge-quantile" // hedge delay quantile
+	DimDomains       = "domains"        // routing domains
+	DimSyncInterval  = "sync-interval"  // federation sync interval
+	DimScaleTarget   = "scale-target"   // autoscale utilisation target
+	DimMitigation    = "mitigation"     // straggler mitigation
+)
+
+// DefaultSpace is the search space over the learn-enabled cluster DES:
+// Hipster's RL hyperparameters (alpha, gamma, bucket-frac,
+// learn-secs), the hedge quantile, the routing-domain count, the
+// federation sync interval, the autoscaler's utilisation target, and
+// the mitigation policy itself. Defaults are the CLI/paper defaults,
+// so the default Point IS the configuration an untuned run uses.
+// nodes caps the domain dimension (a fleet cannot shard past its
+// roster) and must be at least 2.
+func DefaultSpace(nodes int) (Space, error) {
+	if nodes < 2 {
+		return Space{}, fmt.Errorf("tuning: default space needs at least 2 nodes, got %d", nodes)
+	}
+	maxDomains := 4
+	if nodes < maxDomains {
+		maxDomains = nodes
+	}
+	s := Space{Dims: []Dimension{
+		{Name: DimAlpha, Kind: Continuous, Min: 0.1, Max: 1.0, Default: 0.6},
+		{Name: DimGamma, Kind: Continuous, Min: 0.0, Max: 0.98, Default: 0.9},
+		{Name: DimBucketFrac, Kind: Continuous, Min: 0.02, Max: 0.25, Default: 0.05},
+		{Name: DimLearnSecs, Kind: Continuous, Min: 30, Max: 500, Default: 500, Step: 120},
+		{Name: DimHedgeQuantile, Kind: Continuous, Min: 0.55, Max: 0.99, Default: 0.95},
+		{Name: DimDomains, Kind: Discrete, Min: 1, Max: float64(maxDomains), Default: 1},
+		{Name: DimSyncInterval, Kind: Discrete, Min: 2, Max: 20, Default: 10, Step: 3},
+		{Name: DimScaleTarget, Kind: Continuous, Min: 0.5, Max: 0.95, Default: 0.7, Step: 0.12},
+		{Name: DimMitigation, Kind: Categorical, Default: 0,
+			Values: []string{"none", "hedged", "work-stealing", "predictive"}},
+	}}
+	return s, s.Validate()
+}
+
+// FleetEvaluator maps a Point of the default space onto a concrete
+// learn-enabled cluster DES run: a uniform fleet training on a bursty
+// day with federation, elastic autoscaling and the Point's mitigation,
+// every knob of the Point bound to the corresponding engine option.
+// The zero value selects the documented defaults.
+type FleetEvaluator struct {
+	// Nodes is the fleet size (default 6).
+	Nodes int
+	// Spec is the per-node platform (default platform.JunoR1).
+	Spec *platform.Spec
+	// Workload is the latency-critical workload (default WebSearch).
+	Workload *workload.Model
+	// Pattern is the training day (default a bursty spike pattern:
+	// 0.35 base, 0.75 peak every 100 s for 30 s — the transients where
+	// tuned knobs separate from defaults).
+	Pattern loadgen.Pattern
+	// Horizon is the simulated seconds per evaluation (default 300).
+	Horizon float64
+	// MinNodes is the autoscaler's lower bound (default 2); the fleet
+	// starts full and may shed down to it.
+	MinNodes int
+}
+
+// withDefaults fills unset fields.
+func (e FleetEvaluator) withDefaults() FleetEvaluator {
+	if e.Nodes == 0 {
+		e.Nodes = 6
+	}
+	if e.Spec == nil {
+		e.Spec = platform.JunoR1()
+	}
+	if e.Workload == nil {
+		e.Workload = workload.WebSearch()
+	}
+	if e.Horizon == 0 {
+		e.Horizon = 300
+	}
+	if e.Pattern == nil {
+		e.Pattern = loadgen.Spike{Base: 0.35, Peak: 0.75, EverySecs: 100, SpikeSecs: 30, Horizon: e.Horizon}
+	}
+	if e.MinNodes == 0 {
+		e.MinNodes = 2
+	}
+	return e
+}
+
+// Space returns the evaluator's search space (DefaultSpace capped by
+// its fleet size).
+func (e FleetEvaluator) Space() (Space, error) {
+	return DefaultSpace(e.withDefaults().Nodes)
+}
+
+// FleetOptions binds configuration p onto cluster DES options under
+// one evaluation seed. The fleet is built with Workers: 1 — the tuner
+// parallelises across evaluations, not inside them — and the result
+// depends only on (p, seed), which is the purity the search requires.
+// Exported so cmd/hipster can rebuild the exact evaluation fleet when
+// replaying a tuning artifact under -mode=des.
+func (e FleetEvaluator) FleetOptions(s Space, p Point, seed int64) (clusterdes.Options, error) {
+	e = e.withDefaults()
+	if !s.Contains(p) {
+		return clusterdes.Options{}, fmt.Errorf("tuning: point %v outside the search space", p)
+	}
+	// A replayed artifact may carry a foreign space; verify it binds
+	// every knob this evaluator needs before indexing into it.
+	for _, name := range []string{DimAlpha, DimGamma, DimBucketFrac, DimLearnSecs,
+		DimHedgeQuantile, DimDomains, DimSyncInterval, DimScaleTarget, DimMitigation} {
+		if s.Index(name) < 0 {
+			return clusterdes.Options{}, fmt.Errorf("tuning: space lacks the %s dimension", name)
+		}
+	}
+	if s.Dims[s.Index(DimMitigation)].Kind != Categorical {
+		return clusterdes.Options{}, fmt.Errorf("tuning: %s dimension must be categorical", DimMitigation)
+	}
+	nodes, err := clusterdes.Uniform(e.Nodes, e.Spec, e.Workload)
+	if err != nil {
+		return clusterdes.Options{}, err
+	}
+	params := core.DefaultParams()
+	params.Alpha = s.Value(p, DimAlpha)
+	params.Gamma = s.Value(p, DimGamma)
+	params.BucketFrac = s.Value(p, DimBucketFrac)
+	params.LearnSecs = s.Value(p, DimLearnSecs)
+	if err := params.Validate(); err != nil {
+		return clusterdes.Options{}, err
+	}
+
+	var mit clusterdes.Mitigation
+	q := s.Value(p, DimHedgeQuantile)
+	switch name := s.Category(p, DimMitigation); name {
+	case "none":
+		mit = clusterdes.None{}
+	case "hedged":
+		mit = clusterdes.Hedged{Quantile: q}
+	case "work-stealing":
+		mit = clusterdes.WorkStealing{}
+	case "predictive":
+		mit = clusterdes.Predictive{Quantile: q}
+	default:
+		return clusterdes.Options{}, fmt.Errorf("tuning: unmapped mitigation %q", name)
+	}
+
+	return clusterdes.Options{
+		Nodes:      nodes,
+		Pattern:    e.Pattern,
+		Mitigation: mit,
+		Workers:    1,
+		Domains:    int(s.Value(p, DimDomains)),
+		Seed:       seed,
+		Learn: &clusterdes.LearnOptions{
+			Params: &params,
+			Federation: &cluster.FederationOptions{
+				SyncEvery: int(s.Value(p, DimSyncInterval)),
+			},
+		},
+		Autoscale: &clusterdes.AutoscaleOptions{
+			Policy:       autoscale.TargetUtilization{Target: s.Value(p, DimScaleTarget)},
+			MinNodes:     e.MinNodes,
+			InitialNodes: e.Nodes,
+		},
+	}, nil
+}
+
+// Evaluator returns the Tune evaluation function over this fleet:
+// simulate p under seed and report the run's headline metrics.
+func (e FleetEvaluator) Evaluator(s Space) Evaluator {
+	e = e.withDefaults()
+	return func(p Point, seed int64) (Metrics, error) {
+		opts, err := e.FleetOptions(s, p, seed)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return clusterdes.Evaluate(opts, e.Horizon)
+	}
+}

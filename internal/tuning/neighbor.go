@@ -1,0 +1,61 @@
+package tuning
+
+import "math/rand"
+
+// Neighbor proposes an in-bounds configuration near p: it perturbs a
+// small random subset of dimensions (at least one), leaving the rest
+// untouched. Continuous dimensions move by a uniform draw in
+// [-Step, +Step] and clamp to their bounds; discrete dimensions move
+// ±Step and clamp; categorical dimensions jump to a uniformly chosen
+// OTHER value. All randomness comes from rng — the search's dedicated
+// decision stream — so a proposal is a pure function of (space, p, rng
+// state), which is what keeps a whole tune invocation reproducible.
+func Neighbor(rng *rand.Rand, s Space, p Point) Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	// Each dimension mutates with probability 2/len — around two moves
+	// per proposal — and one forced mutation keeps a proposal from
+	// degenerating into its origin.
+	forced := rng.Intn(len(s.Dims))
+	for i, d := range s.Dims {
+		if i != forced && rng.Float64() >= 2/float64(len(s.Dims)) {
+			continue
+		}
+		switch d.Kind {
+		case Continuous:
+			q[i] = d.clamp(q[i] + (2*rng.Float64()-1)*d.step())
+		case Discrete:
+			delta := d.step()
+			if rng.Intn(2) == 0 {
+				delta = -delta
+			}
+			q[i] = d.clamp(q[i] + delta)
+		case Categorical:
+			// Draw over the other len-1 values so the forced mutation
+			// really moves; shift past the current index.
+			v := rng.Intn(len(d.Values) - 1)
+			if v >= int(q[i]) {
+				v++
+			}
+			q[i] = float64(v)
+		}
+	}
+	return q
+}
+
+// RandomPoint draws a uniform in-bounds configuration — the start of a
+// random restart.
+func RandomPoint(rng *rand.Rand, s Space) Point {
+	p := make(Point, len(s.Dims))
+	for i, d := range s.Dims {
+		switch d.Kind {
+		case Continuous:
+			p[i] = d.Min + rng.Float64()*(d.Max-d.Min)
+		case Discrete:
+			p[i] = d.Min + float64(rng.Intn(int(d.Max-d.Min)+1))
+		case Categorical:
+			p[i] = float64(rng.Intn(len(d.Values)))
+		}
+	}
+	return p
+}

@@ -1,0 +1,119 @@
+package tuning
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNeighborStaysInBounds(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(7))
+	p := s.Default()
+	for i := 0; i < 2000; i++ {
+		q := Neighbor(rng, s, p)
+		if !s.Contains(q) {
+			t.Fatalf("step %d: Neighbor produced out-of-space point %v", i, q)
+		}
+		if len(q) != len(p) {
+			t.Fatalf("step %d: Neighbor changed dimensionality: %v", i, q)
+		}
+		p = q
+	}
+}
+
+func TestNeighborAlwaysMoves(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(11))
+	p := s.Default()
+	moved := 0
+	for i := 0; i < 500; i++ {
+		q := Neighbor(rng, s, p)
+		for j := range q {
+			if q[j] != p[j] {
+				moved++
+				break
+			}
+		}
+	}
+	// The forced mutation guarantees intent to move; only a clamp at a
+	// bound can leave the point unchanged, which must be rare from an
+	// interior default.
+	if moved < 400 {
+		t.Fatalf("only %d/500 proposals moved", moved)
+	}
+}
+
+func TestNeighborDeterministic(t *testing.T) {
+	s := testSpace(t)
+	p := s.Default()
+	a := rand.New(rand.NewSource(3))
+	b := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		qa, qb := Neighbor(a, s, p), Neighbor(b, s, p)
+		for j := range qa {
+			if qa[j] != qb[j] {
+				t.Fatalf("step %d: same rng seed diverged: %v vs %v", i, qa, qb)
+			}
+		}
+		p = qa
+	}
+}
+
+func TestRandomPointInBounds(t *testing.T) {
+	s, err := DefaultSpace(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		p := RandomPoint(rng, s)
+		if !s.Contains(p) {
+			t.Fatalf("RandomPoint out of space: %v", p)
+		}
+	}
+}
+
+// FuzzNeighbor pins the proposal invariants the search relies on:
+// every proposal stays inside the space (continuous values within
+// bounds, discrete values integral, categorical indices inside the
+// allowed value set) and survives the Settings/pointOf artifact
+// round-trip unchanged, from any reachable origin under any rng
+// stream.
+func FuzzNeighbor(f *testing.F) {
+	f.Add(int64(1), 8)
+	f.Add(int64(42), 64)
+	f.Add(int64(-3), 1)
+	f.Add(int64(1<<40), 200)
+	space, err := DefaultSpace(6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, steps int) {
+		if steps < 0 {
+			steps = -steps
+		}
+		steps %= 256
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomPoint(rng, space)
+		if !space.Contains(p) {
+			t.Fatalf("RandomPoint(%d) out of space: %v", seed, p)
+		}
+		for i := 0; i <= steps; i++ {
+			p = Neighbor(rng, space, p)
+			if !space.Contains(p) {
+				t.Fatalf("seed %d step %d: proposal out of space: %v", seed, i, p)
+			}
+			for j, d := range space.Dims {
+				if d.Kind == Categorical && (int(p[j]) < 0 || int(p[j]) >= len(d.Values)) {
+					t.Fatalf("seed %d step %d: categorical index %v outside %v", seed, i, p[j], d.Values)
+				}
+			}
+			back := space.pointOf(space.Settings(p))
+			for j := range p {
+				if back[j] != p[j] {
+					t.Fatalf("seed %d step %d: artifact round-trip changed dim %d: %v -> %v", seed, i, j, p[j], back[j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,268 @@
+// Package tuning searches the configuration space of the learn-enabled
+// cluster DES for the knob settings that best trade request-tail
+// latency against QoS attainment and energy — the offline optimization
+// loop the ROADMAP calls "search over the closed loop". The simulator
+// substrate (a sharded, learn-enabled clusterdes.Fleet) makes every
+// evaluation a pure function of (seed, config), so the search can fan
+// candidates out across a worker pool and still be reproducible: the
+// same tune invocation produces the same winner and the same
+// evaluation ledger byte for byte at any worker count.
+//
+// The pieces: a typed parameter Space (continuous, discrete and
+// categorical dimensions with bounds), a Neighbor generator proposing
+// in-bounds perturbations from a dedicated seeded stream, a candidate
+// Store that deduplicates configs and records every evaluation, and
+// Tune — seeded hill-climbing with random restarts and convergence
+// detection, evaluating each candidate across several training seeds
+// in parallel on the cluster worker pool and scoring a weighted
+// QoS + energy + P99 objective. The winning Point plus the full ledger
+// serialize to a reproducible JSON artifact (WriteJSON) that
+// cmd/hipster can replay under -mode=des.
+package tuning
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a search dimension.
+type Kind string
+
+const (
+	// Continuous dimensions take any float value in [Min, Max].
+	Continuous Kind = "continuous"
+	// Discrete dimensions take integer values in [Min, Max].
+	Discrete Kind = "discrete"
+	// Categorical dimensions take one of an explicit value set; the
+	// Point encodes the chosen index.
+	Categorical Kind = "categorical"
+)
+
+// Dimension is one axis of the search space. Continuous and Discrete
+// dimensions are bounded by [Min, Max] (Discrete bounds must be
+// integers); Categorical dimensions enumerate Values and ignore the
+// bounds. Step is the neighborhood scale: the largest perturbation a
+// single Neighbor proposal applies (defaults: a tenth of the span for
+// continuous dimensions, 1 for discrete ones).
+type Dimension struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Min and Max bound continuous and discrete dimensions.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Step scales a single neighborhood move (0 = kind default).
+	Step float64 `json:"step,omitempty"`
+	// Default is the dimension's untuned value: the starting point of
+	// the first climb and the baseline configs are measured against.
+	// Categorical dimensions give the default VALUE INDEX.
+	Default float64 `json:"default"`
+	// Values is the categorical value set.
+	Values []string `json:"values,omitempty"`
+}
+
+// validate checks one dimension's internal consistency.
+func (d Dimension) validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("tuning: dimension with empty name")
+	}
+	switch d.Kind {
+	case Continuous, Discrete:
+		if !(d.Min < d.Max) {
+			return fmt.Errorf("tuning: dimension %s: bounds [%v, %v] are not an interval", d.Name, d.Min, d.Max)
+		}
+		if d.Kind == Discrete && (d.Min != math.Trunc(d.Min) || d.Max != math.Trunc(d.Max)) {
+			return fmt.Errorf("tuning: discrete dimension %s: bounds [%v, %v] are not integers", d.Name, d.Min, d.Max)
+		}
+		if d.Default < d.Min || d.Default > d.Max {
+			return fmt.Errorf("tuning: dimension %s: default %v outside [%v, %v]", d.Name, d.Default, d.Min, d.Max)
+		}
+	case Categorical:
+		if len(d.Values) < 2 {
+			return fmt.Errorf("tuning: categorical dimension %s needs at least two values", d.Name)
+		}
+		if idx := int(d.Default); float64(idx) != d.Default || idx < 0 || idx >= len(d.Values) {
+			return fmt.Errorf("tuning: categorical dimension %s: default index %v outside its %d values", d.Name, d.Default, len(d.Values))
+		}
+	default:
+		return fmt.Errorf("tuning: dimension %s: unknown kind %q", d.Name, d.Kind)
+	}
+	return nil
+}
+
+// step returns the dimension's neighborhood scale with defaults
+// applied.
+func (d Dimension) step() float64 {
+	if d.Step > 0 {
+		return d.Step
+	}
+	if d.Kind == Continuous {
+		return (d.Max - d.Min) / 10
+	}
+	return 1
+}
+
+// contains reports whether v is a legal value for the dimension.
+func (d Dimension) contains(v float64) bool {
+	switch d.Kind {
+	case Continuous:
+		return v >= d.Min && v <= d.Max
+	case Discrete:
+		return v >= d.Min && v <= d.Max && v == math.Trunc(v)
+	case Categorical:
+		return v == math.Trunc(v) && int(v) >= 0 && int(v) < len(d.Values)
+	}
+	return false
+}
+
+// clamp projects v onto the dimension's legal set.
+func (d Dimension) clamp(v float64) float64 {
+	switch d.Kind {
+	case Discrete:
+		v = math.Round(v)
+	case Categorical:
+		v = math.Round(v)
+		if v < 0 {
+			return 0
+		}
+		if int(v) >= len(d.Values) {
+			return float64(len(d.Values) - 1)
+		}
+		return v
+	}
+	if v < d.Min {
+		return d.Min
+	}
+	if v > d.Max {
+		return d.Max
+	}
+	return v
+}
+
+// Space is an ordered set of dimensions; a Point binds one value per
+// dimension, in the same order.
+type Space struct {
+	Dims []Dimension `json:"dims"`
+}
+
+// Point is one configuration of a Space: Point[i] is the value of
+// Space.Dims[i] (for categorical dimensions, the value index).
+type Point []float64
+
+// Validate checks the space's dimensions are well formed and uniquely
+// named.
+func (s Space) Validate() error {
+	if len(s.Dims) == 0 {
+		return fmt.Errorf("tuning: empty search space")
+	}
+	seen := make(map[string]bool, len(s.Dims))
+	for _, d := range s.Dims {
+		if err := d.validate(); err != nil {
+			return err
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("tuning: duplicate dimension %s", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return nil
+}
+
+// Default returns the space's untuned configuration.
+func (s Space) Default() Point {
+	p := make(Point, len(s.Dims))
+	for i, d := range s.Dims {
+		p[i] = d.Default
+	}
+	return p
+}
+
+// Contains reports whether p is a legal configuration of the space.
+func (s Space) Contains(p Point) bool {
+	if len(p) != len(s.Dims) {
+		return false
+	}
+	for i, d := range s.Dims {
+		if !d.contains(p[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Index returns the position of the named dimension, or -1.
+func (s Space) Index(name string) int {
+	for i, d := range s.Dims {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns p's value for the named dimension; categorical
+// dimensions return the selected value string in s. It panics on an
+// unknown name — the caller owns the space it is asking about.
+func (s Space) Value(p Point, name string) float64 {
+	i := s.Index(name)
+	if i < 0 {
+		panic("tuning: unknown dimension " + name)
+	}
+	return p[i]
+}
+
+// Category returns p's selected value string for the named categorical
+// dimension.
+func (s Space) Category(p Point, name string) string {
+	i := s.Index(name)
+	if i < 0 || s.Dims[i].Kind != Categorical {
+		panic("tuning: " + name + " is not a categorical dimension")
+	}
+	return s.Dims[i].Values[int(p[i])]
+}
+
+// Key is the canonical identity of a configuration, used by the
+// candidate store to deduplicate proposals and by the artifact to name
+// configs stably: dimension values joined in space order, continuous
+// values at full float precision.
+func (s Space) Key(p Point) string {
+	var b strings.Builder
+	for i, d := range s.Dims {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(d.Name)
+		b.WriteByte('=')
+		if d.Kind == Categorical {
+			b.WriteString(d.Values[int(p[i])])
+		} else {
+			b.WriteString(strconv.FormatFloat(p[i], 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// Settings renders p as ordered name/value pairs for the JSON artifact
+// (categorical dimensions report the value string, not the index).
+func (s Space) Settings(p Point) []Setting {
+	out := make([]Setting, len(s.Dims))
+	for i, d := range s.Dims {
+		set := Setting{Name: d.Name}
+		if d.Kind == Categorical {
+			set.Value = d.Values[int(p[i])]
+		} else {
+			set.Number = p[i]
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// Setting is one dimension binding of the JSON artifact: Number for
+// continuous and discrete dimensions, Value for categorical ones.
+type Setting struct {
+	Name   string  `json:"name"`
+	Number float64 `json:"number,omitempty"`
+	Value  string  `json:"value,omitempty"`
+}

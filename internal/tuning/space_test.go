@@ -1,0 +1,193 @@
+package tuning
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSpace is a small three-kind space used across the package tests.
+func testSpace(t *testing.T) Space {
+	t.Helper()
+	s := Space{Dims: []Dimension{
+		{Name: "alpha", Kind: Continuous, Min: 0.1, Max: 1.0, Default: 0.6},
+		{Name: "domains", Kind: Discrete, Min: 1, Max: 4, Default: 1},
+		{Name: "mitigation", Kind: Categorical, Default: 0, Values: []string{"none", "hedged", "predictive"}},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("test space invalid: %v", err)
+	}
+	return s
+}
+
+func TestDimensionValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		dim  Dimension
+		want string // error substring, "" = valid
+	}{
+		{"continuous ok", Dimension{Name: "a", Kind: Continuous, Min: 0, Max: 1, Default: 0.5}, ""},
+		{"discrete ok", Dimension{Name: "d", Kind: Discrete, Min: 1, Max: 8, Default: 2}, ""},
+		{"categorical ok", Dimension{Name: "c", Kind: Categorical, Values: []string{"x", "y"}}, ""},
+		{"empty name", Dimension{Kind: Continuous, Min: 0, Max: 1}, "empty name"},
+		{"inverted bounds", Dimension{Name: "a", Kind: Continuous, Min: 1, Max: 0}, "not an interval"},
+		{"degenerate bounds", Dimension{Name: "a", Kind: Continuous, Min: 1, Max: 1, Default: 1}, "not an interval"},
+		{"non-integer discrete", Dimension{Name: "d", Kind: Discrete, Min: 1, Max: 4.5, Default: 2}, "not integers"},
+		{"default out of bounds", Dimension{Name: "a", Kind: Continuous, Min: 0, Max: 1, Default: 2}, "outside"},
+		{"one categorical value", Dimension{Name: "c", Kind: Categorical, Values: []string{"x"}}, "at least two"},
+		{"bad default index", Dimension{Name: "c", Kind: Categorical, Values: []string{"x", "y"}, Default: 2}, "outside"},
+		{"fractional default index", Dimension{Name: "c", Kind: Categorical, Values: []string{"x", "y"}, Default: 0.5}, "outside"},
+		{"unknown kind", Dimension{Name: "a", Kind: "fuzzy", Min: 0, Max: 1}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.dim.validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := (Space{}).Validate(); err == nil {
+		t.Fatal("empty space validated")
+	}
+	dup := Space{Dims: []Dimension{
+		{Name: "a", Kind: Continuous, Min: 0, Max: 1},
+		{Name: "a", Kind: Discrete, Min: 0, Max: 3},
+	}}
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate dims: err = %v, want duplicate error", err)
+	}
+}
+
+func TestClampAndContains(t *testing.T) {
+	s := testSpace(t)
+	cases := []struct {
+		dim  string
+		in   float64
+		want float64
+	}{
+		{"alpha", 0.05, 0.1},  // below min
+		{"alpha", 1.7, 1.0},   // above max
+		{"alpha", 0.42, 0.42}, // in bounds, untouched
+		{"domains", 2.6, 3},   // rounds to integer
+		{"domains", 0, 1},     // below min after rounding
+		{"domains", 9, 4},     // above max
+		{"mitigation", -1, 0}, // index floor
+		{"mitigation", 7, 2},  // index ceiling
+	}
+	for _, tc := range cases {
+		d := s.Dims[s.Index(tc.dim)]
+		if got := d.clamp(tc.in); got != tc.want {
+			t.Errorf("%s.clamp(%v) = %v, want %v", tc.dim, tc.in, got, tc.want)
+		}
+		if !d.contains(d.clamp(tc.in)) {
+			t.Errorf("%s.clamp(%v) not contained", tc.dim, tc.in)
+		}
+	}
+
+	if s.Contains(Point{0.6, 1}) {
+		t.Error("short point contained")
+	}
+	if s.Contains(Point{0.6, 1.5, 0}) {
+		t.Error("fractional discrete value contained")
+	}
+	if s.Contains(Point{0.6, 1, 3}) {
+		t.Error("out-of-range categorical index contained")
+	}
+	if !s.Contains(s.Default()) {
+		t.Error("default point not contained")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	s := testSpace(t)
+	p := Point{0.30000000000000004, 2, 1} // 0.1+0.2: full precision must survive
+	key := s.Key(p)
+	want := "alpha=0.30000000000000004,domains=2,mitigation=hedged"
+	if key != want {
+		t.Fatalf("Key = %q, want %q", key, want)
+	}
+	q := Point{0.3, 2, 1}
+	if s.Key(q) == key {
+		t.Fatal("distinct float values collided in Key")
+	}
+}
+
+func TestSettingsRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	p := Point{0.25, 3, 2}
+	got := s.pointOf(s.Settings(p))
+	if len(got) != len(p) {
+		t.Fatalf("round-trip length %d, want %d", len(got), len(p))
+	}
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("round-trip[%d] = %v, want %v (settings %+v)", i, got[i], p[i], s.Settings(p))
+		}
+	}
+	// Unknown settings are ignored; missing ones fall back to defaults.
+	partial := s.pointOf([]Setting{{Name: "domains", Number: 4}, {Name: "ghost", Number: 9}})
+	want := s.Default()
+	want[s.Index("domains")] = 4
+	for i := range want {
+		if partial[i] != want[i] {
+			t.Fatalf("partial round-trip = %v, want %v", partial, want)
+		}
+	}
+}
+
+func TestValueAndCategory(t *testing.T) {
+	s := testSpace(t)
+	p := Point{0.42, 2, 1}
+	if v := s.Value(p, "alpha"); v != 0.42 {
+		t.Errorf("Value(alpha) = %v", v)
+	}
+	if c := s.Category(p, "mitigation"); c != "hedged" {
+		t.Errorf("Category(mitigation) = %q", c)
+	}
+	mustPanic(t, "unknown Value", func() { s.Value(p, "ghost") })
+	mustPanic(t, "Category on continuous", func() { s.Category(p, "alpha") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestDefaultSpace(t *testing.T) {
+	if _, err := DefaultSpace(1); err == nil {
+		t.Fatal("DefaultSpace(1) succeeded, want error")
+	}
+	s, err := DefaultSpace(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := s.Dims[s.Index(DimDomains)].Max; max != 3 {
+		t.Errorf("domains max = %v for 3 nodes, want 3", max)
+	}
+	s, err = DefaultSpace(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := s.Dims[s.Index(DimDomains)].Max; max != 4 {
+		t.Errorf("domains max = %v for 16 nodes, want cap 4", max)
+	}
+	// The default point IS the untuned CLI configuration.
+	p := s.Default()
+	if s.Value(p, DimAlpha) != 0.6 || s.Value(p, DimLearnSecs) != 500 || s.Category(p, DimMitigation) != "none" {
+		t.Errorf("default point is not the untuned config: %v", p)
+	}
+}

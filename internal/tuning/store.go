@@ -1,0 +1,80 @@
+package tuning
+
+import "hipster/internal/clusterdes"
+
+// Metrics are the objective inputs one evaluation produces: the
+// headline numbers of a learn-enabled cluster DES run, exactly the
+// shape clusterdes.Evaluate returns.
+type Metrics = clusterdes.EvalMetrics
+
+// Evaluation is one ledger entry: a deduplicated candidate config with
+// its per-seed metrics and aggregate score. The ledger records every
+// config the search ever evaluated, in evaluation order — the order is
+// part of the reproducibility contract (it depends only on the seed,
+// never on the worker count).
+type Evaluation struct {
+	// ID is the candidate's 0-based position in evaluation order.
+	ID int `json:"id"`
+	// Key is the canonical config identity (Space.Key).
+	Key string `json:"key"`
+	// Settings bind each dimension, in space order.
+	Settings []Setting `json:"settings"`
+	// Round and Restart locate the evaluation in the search: restart
+	// Restart, hill-climbing round Round (round 0 is the restart's
+	// starting point).
+	Round   int `json:"round"`
+	Restart int `json:"restart"`
+	// Seeds and PerSeed are the training seeds and the metrics each
+	// produced, index-aligned.
+	Seeds   []int64   `json:"seeds"`
+	PerSeed []Metrics `json:"per_seed"`
+	// Score is the seed-mean weighted objective (lower is better).
+	Score float64 `json:"score"`
+}
+
+// Store deduplicates candidate configurations and accumulates the
+// evaluation ledger.
+type Store struct {
+	space Space
+	byKey map[string]int // key -> ledger index
+	evals []Evaluation
+}
+
+// NewStore builds an empty store over the space.
+func NewStore(s Space) *Store {
+	return &Store{space: s, byKey: make(map[string]int)}
+}
+
+// Lookup returns the ledger entry for p, if it was evaluated.
+func (st *Store) Lookup(p Point) (Evaluation, bool) {
+	i, ok := st.byKey[st.space.Key(p)]
+	if !ok {
+		return Evaluation{}, false
+	}
+	return st.evals[i], true
+}
+
+// Seen reports whether p was already evaluated.
+func (st *Store) Seen(p Point) bool {
+	_, ok := st.byKey[st.space.Key(p)]
+	return ok
+}
+
+// Add records a completed evaluation and returns its ledger id. Adding
+// a config twice is a bug in the search loop, not a merge: the store
+// panics rather than silently double-counting.
+func (st *Store) Add(e Evaluation) int {
+	if _, dup := st.byKey[e.Key]; dup {
+		panic("tuning: duplicate evaluation for " + e.Key)
+	}
+	e.ID = len(st.evals)
+	st.byKey[e.Key] = e.ID
+	st.evals = append(st.evals, e)
+	return e.ID
+}
+
+// Evaluations returns the ledger in evaluation order.
+func (st *Store) Evaluations() []Evaluation { return st.evals }
+
+// Len is the number of distinct configs evaluated.
+func (st *Store) Len() int { return len(st.evals) }
